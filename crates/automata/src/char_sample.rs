@@ -1,0 +1,354 @@
+//! Characteristic samples for RPNI.
+//!
+//! The completeness half of Theorem 3.5 starts from the classical fact that
+//! RPNI identifies a target regular language from a *characteristic sample*
+//! `(P⁺, P⁻)` of polynomial size \[35\]. This module constructs such a
+//! sample for any target DFA, following the textbook recipe (de la Higuera,
+//! ch. 12):
+//!
+//! * `Sp` — the **short prefixes**: for every state `q`, the `≤`-minimal
+//!   word reaching `q`;
+//! * `K` — the **kernel**: `{ε} ∪ Sp·Σ` restricted to defined transitions;
+//! * every kernel word is completed to an accepted word through the
+//!   `≤`-minimal accepting suffix (populating `P⁺`);
+//! * every pair of distinct states reached by `Sp × (Sp ∪ K)` is separated
+//!   by the `≤`-minimal distinguishing suffix, putting the accepting side
+//!   in `P⁺` and the rejecting side in `P⁻`.
+//!
+//! For the graph construction of Theorem 3.5 the paper additionally needs
+//! `P⁻` words that avoid accepting states along their runs (so that a
+//! single negative graph node can cover them); choosing *minimal*
+//! distinguishing suffixes guarantees this for prefix-free targets, which
+//! [`characteristic_sample`]'s tests assert.
+
+use crate::dfa::Dfa;
+use crate::symbol::Symbol;
+use crate::word::{sort_canonical, Word};
+use crate::StateId;
+use std::collections::VecDeque;
+
+/// A positive/negative word sample.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WordSample {
+    /// Words the target accepts.
+    pub pos: Vec<Word>,
+    /// Words the target rejects.
+    pub neg: Vec<Word>,
+}
+
+/// Builds a characteristic sample for the language of `target`.
+///
+/// The result is characteristic for RPNI: `rpni(S⁺, S⁻)` is
+/// language-equivalent to `target` for every consistent extension
+/// `S⁺ ⊇ P⁺`, `S⁻ ⊇ P⁻`. `target` is minimized internally, so any DFA for
+/// the language works.
+pub fn characteristic_sample(target: &Dfa) -> WordSample {
+    let minimal = target.minimize();
+    if minimal.language_is_empty() {
+        // No positive words exist; the empty sample is characteristic for
+        // the empty language only vacuously. Callers treat this specially.
+        return WordSample::default();
+    }
+    let (complete, _) = minimal.complete();
+
+    let short_prefixes = shortest_access_words(&minimal);
+
+    // Kernel: short prefixes extended by every defined transition.
+    let mut kernel: Vec<Word> = vec![Vec::new()];
+    for (q, u) in short_prefixes.iter().enumerate() {
+        for a in 0..minimal.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if minimal.step(q as StateId, sym).is_some() {
+                let mut w = u.clone();
+                w.push(sym);
+                kernel.push(w);
+            }
+        }
+    }
+    let mut basis: Vec<Word> = short_prefixes.clone();
+    basis.extend(kernel.iter().cloned());
+    sort_canonical(&mut basis);
+
+    let mut sample = WordSample::default();
+
+    // 1. Structural positives: every basis word completed to acceptance.
+    for w in &basis {
+        let state = minimal
+            .run(w)
+            .expect("basis words stay within the trimmed target");
+        let completion = shortest_accepting_suffix(&minimal, state);
+        let mut positive = w.clone();
+        positive.extend_from_slice(&completion);
+        sample.pos.push(positive);
+    }
+
+    // 2. Distinguishing pairs: separate every pair of distinct states
+    //    reached by basis words.
+    for (i, u) in basis.iter().enumerate() {
+        let p = minimal.run(u).expect("basis word runs");
+        for v in basis.iter().skip(i + 1) {
+            let q = minimal.run(v).expect("basis word runs");
+            if p == q {
+                continue;
+            }
+            let suffix = shortest_distinguishing_suffix(&complete, p, q)
+                .expect("distinct states of a minimal DFA are distinguishable");
+            let mut from_u = u.clone();
+            from_u.extend_from_slice(&suffix);
+            let mut from_v = v.clone();
+            from_v.extend_from_slice(&suffix);
+            debug_assert_ne!(minimal.accepts(&from_u), minimal.accepts(&from_v));
+            if minimal.accepts(&from_u) {
+                sample.pos.push(from_u);
+                sample.neg.push(from_v);
+            } else {
+                sample.neg.push(from_u);
+                sample.pos.push(from_v);
+            }
+        }
+    }
+
+    sort_canonical(&mut sample.pos);
+    sort_canonical(&mut sample.neg);
+    sample
+}
+
+/// `≤`-minimal access word of every state (BFS with symbols ascending).
+pub fn shortest_access_words(dfa: &Dfa) -> Vec<Word> {
+    let n = dfa.num_states();
+    let mut words: Vec<Option<Word>> = vec![None; n];
+    words[dfa.initial() as usize] = Some(Vec::new());
+    let mut queue = VecDeque::from([dfa.initial()]);
+    while let Some(s) = queue.pop_front() {
+        for a in 0..dfa.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = dfa.step(s, sym) {
+                if words[t as usize].is_none() {
+                    let mut w = words[s as usize].clone().expect("visited");
+                    w.push(sym);
+                    words[t as usize] = Some(w);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    words
+        .into_iter()
+        .map(|w| w.expect("minimized DFA has only reachable states"))
+        .collect()
+}
+
+/// `≤`-minimal word leading from `state` to an accepting state.
+pub fn shortest_accepting_suffix(dfa: &Dfa, state: StateId) -> Word {
+    if dfa.is_final(state) {
+        return Vec::new();
+    }
+    let n = dfa.num_states();
+    let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[state as usize] = true;
+    let mut queue = VecDeque::from([state]);
+    while let Some(s) = queue.pop_front() {
+        for a in 0..dfa.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = dfa.step(s, sym) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    parent[t as usize] = Some((s, sym));
+                    if dfa.is_final(t) {
+                        let mut word = Vec::new();
+                        let mut cur = t;
+                        while cur != state {
+                            let (p, sym) = parent[cur as usize].expect("path");
+                            word.push(sym);
+                            cur = p;
+                        }
+                        word.reverse();
+                        return word;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    unreachable!("state in a trimmed DFA reaches a final state")
+}
+
+/// `≤`-minimal word `e` with `final(δ(p,e)) ≠ final(δ(q,e))` in a
+/// **complete** DFA, or `None` if `p` and `q` are equivalent.
+pub fn shortest_distinguishing_suffix(
+    complete: &Dfa,
+    p: StateId,
+    q: StateId,
+) -> Option<Word> {
+    if complete.is_final(p) != complete.is_final(q) {
+        return Some(Vec::new());
+    }
+    let n = complete.num_states();
+    let pack = |x: StateId, y: StateId| x as usize * n + y as usize;
+    let mut parent: Vec<Option<(usize, Symbol)>> = vec![None; n * n];
+    let mut seen = vec![false; n * n];
+    seen[pack(p, q)] = true;
+    let mut queue = VecDeque::from([(p, q)]);
+    while let Some((x, y)) = queue.pop_front() {
+        for a in 0..complete.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            let tx = complete.step(x, sym).expect("complete DFA");
+            let ty = complete.step(y, sym).expect("complete DFA");
+            let id = pack(tx, ty);
+            if !seen[id] {
+                seen[id] = true;
+                parent[id] = Some((pack(x, y), sym));
+                if complete.is_final(tx) != complete.is_final(ty) {
+                    let mut word = Vec::new();
+                    let mut cur = id;
+                    while cur != pack(p, q) {
+                        let (prev, sym) = parent[cur].expect("path");
+                        word.push(sym);
+                        cur = prev;
+                    }
+                    word.reverse();
+                    return Some(word);
+                }
+                queue.push_back((tx, ty));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::rpni::rpni;
+    use crate::symbol::Alphabet;
+
+    fn target(expr: &str, labels: &[&str]) -> (Dfa, Alphabet) {
+        let alphabet = Alphabet::from_labels(labels.iter().copied());
+        let dfa = Regex::parse(expr, &alphabet).unwrap().to_dfa(alphabet.len());
+        (dfa, alphabet)
+    }
+
+    #[test]
+    fn sample_is_consistent_with_target() {
+        let (dfa, _) = target("(a·b)*·c", &["a", "b", "c"]);
+        let sample = characteristic_sample(&dfa);
+        for w in &sample.pos {
+            assert!(dfa.accepts(w), "{w:?} should be accepted");
+        }
+        for w in &sample.neg {
+            assert!(!dfa.accepts(w), "{w:?} should be rejected");
+        }
+        assert!(!sample.pos.is_empty());
+    }
+
+    #[test]
+    fn paper_example_sample_contains_expected_words() {
+        // Theorem 3.5 proof example for (a·b)*·c:
+        // P⁺ ⊇ {c, abc}; P⁻ ⊇ distinguishing rejections.
+        let (dfa, alphabet) = target("(a·b)*·c", &["a", "b", "c"]);
+        let sample = characteristic_sample(&dfa);
+        let c = alphabet.parse_word("c").unwrap();
+        let abc = alphabet.parse_word("a b c").unwrap();
+        assert!(sample.pos.contains(&c));
+        assert!(sample.pos.contains(&abc));
+        assert!(sample.neg.contains(&Vec::new())); // ε is rejected
+    }
+
+    #[test]
+    fn rpni_identifies_targets_from_characteristic_samples() {
+        let cases: &[(&str, &[&str])] = &[
+            ("(a·b)*·c", &["a", "b", "c"]),
+            ("a*·b", &["a", "b"]),
+            ("a·(b+c)", &["a", "b", "c"]),
+            ("(a+b)·(a+b)·c", &["a", "b", "c"]),
+            ("a·b·c", &["a", "b", "c"]),
+            ("(a+b)*·c·c", &["a", "b", "c"]),
+            ("a", &["a", "b"]),
+            ("(b·a)* · a", &["a", "b"]),
+        ];
+        for (expr, labels) in cases {
+            let (dfa, alphabet) = target(expr, labels);
+            let sample = characteristic_sample(&dfa);
+            let learned = rpni(&sample.pos, &sample.neg, alphabet.len());
+            assert!(
+                learned.equivalent(&dfa),
+                "failed to identify {expr}: learned {}",
+                crate::state_elim::dfa_to_regex(&learned)
+                    .display(&alphabet)
+            );
+        }
+    }
+
+    #[test]
+    fn identification_survives_consistent_extension() {
+        // Definition 3.4(2): any sample extending CS consistently with the
+        // target must still yield the target.
+        let (dfa, alphabet) = target("(a·b)*·c", &["a", "b", "c"]);
+        let mut sample = characteristic_sample(&dfa);
+        sample.pos.push(alphabet.parse_word("a b a b c").unwrap());
+        sample.neg.push(alphabet.parse_word("a a").unwrap());
+        sample.neg.push(alphabet.parse_word("c c").unwrap());
+        let learned = rpni(&sample.pos, &sample.neg, alphabet.len());
+        assert!(learned.equivalent(&dfa));
+    }
+
+    #[test]
+    fn negatives_avoid_final_states_for_prefix_free_targets() {
+        // Needed by the Theorem 3.5 graph construction: every P⁻ word must
+        // be coverable by the completed-DFA-minus-finals component, i.e.
+        // its run never visits an accepting state.
+        for (expr, labels) in [
+            ("(a·b)*·c", vec!["a", "b", "c"]),
+            ("a·(b+c)", vec!["a", "b", "c"]),
+            ("(a+b)·(a+b)·c", vec!["a", "b", "c"]),
+        ] {
+            let (dfa, _) = target(expr, &labels);
+            assert!(dfa.is_prefix_free());
+            let (complete, _) = dfa.complete();
+            let sample = characteristic_sample(&dfa);
+            for w in &sample.neg {
+                let mut state = complete.initial();
+                for &sym in w {
+                    assert!(
+                        !complete.is_final(state),
+                        "negative {w:?} visits a final state ({expr})"
+                    );
+                    state = complete.step(state, sym).unwrap();
+                }
+                assert!(!complete.is_final(state));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_size_is_modest() {
+        let (dfa, _) = target("(a·b)*·c", &["a", "b", "c"]);
+        let sample = characteristic_sample(&dfa);
+        // Polynomial in the 3-state target; sanity-bound it.
+        assert!(sample.pos.len() + sample.neg.len() < 60);
+    }
+
+    #[test]
+    fn helpers_compute_minimal_words() {
+        let (dfa, alphabet) = target("(a·b)*·c", &["a", "b", "c"]);
+        let access = shortest_access_words(&dfa);
+        // canonical DFA: state0=ε, and the a-state accessed by "a",
+        // final state accessed by "c".
+        assert!(access.contains(&Vec::new()));
+        assert!(access.contains(&alphabet.parse_word("a").unwrap()));
+        assert!(access.contains(&alphabet.parse_word("c").unwrap()));
+        let initial = dfa.initial();
+        assert_eq!(
+            shortest_accepting_suffix(&dfa, initial),
+            alphabet.parse_word("c").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_language_yields_empty_sample() {
+        let dfa = Dfa::empty_language(2);
+        assert_eq!(characteristic_sample(&dfa), WordSample::default());
+    }
+}

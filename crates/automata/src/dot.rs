@@ -1,0 +1,77 @@
+//! Graphviz DOT export for automata (debugging / documentation aid).
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::symbol::Alphabet;
+use std::fmt::Write as _;
+
+/// Renders a DFA in Graphviz DOT syntax.
+pub fn dfa_to_dot(dfa: &Dfa, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", dfa.initial());
+    for s in 0..dfa.num_states() {
+        let shape = if dfa.is_final(s as u32) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{s} [shape={shape}];");
+    }
+    for (from, sym, to) in dfa.transitions() {
+        let _ = writeln!(
+            out,
+            "  q{from} -> q{to} [label=\"{}\"];",
+            alphabet.name(sym)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an NFA in Graphviz DOT syntax.
+pub fn nfa_to_dot(nfa: &Nfa, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, &init) in nfa.initials().iter().enumerate() {
+        let _ = writeln!(out, "  __start{i} [shape=point];");
+        let _ = writeln!(out, "  __start{i} -> q{init};");
+    }
+    for s in 0..nfa.num_states() {
+        let shape = if nfa.is_final(s as u32) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{s} [shape={shape}];");
+    }
+    for s in 0..nfa.num_states() as u32 {
+        for &(sym, t) in nfa.transitions_from(s) {
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"{}\"];", alphabet.name(sym));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    #[test]
+    fn dot_output_mentions_all_states_and_labels() {
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let dfa = Regex::parse("(a·b)*·c", &alphabet).unwrap().to_dfa(3);
+        let dot = dfa_to_dot(&dfa, &alphabet, "fig4");
+        assert!(dot.contains("digraph fig4"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"c\""));
+        let nfa = dfa.to_nfa();
+        let dot = nfa_to_dot(&nfa, &alphabet, "fig4_nfa");
+        assert!(dot.contains("__start0"));
+    }
+}

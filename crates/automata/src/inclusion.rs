@@ -1,0 +1,222 @@
+//! Antichain-based language inclusion for NFAs.
+//!
+//! Deciding `L(A) ⊆ L(B)` for NFAs is PSPACE-complete ([39] in the paper,
+//! Stockmeyer & Meyer); it is the computational core of both consistency
+//! checking (Lemma 3.1 / 3.2) and certain-node detection (Lemma 4.1 / 4.2).
+//! The paper proves these problems intractable and then *approximates* them
+//! in practice; we additionally ship the exact procedure so the approximate
+//! variants can be validated on small inputs and so library users can run
+//! the exact checks when their graphs allow it.
+//!
+//! The algorithm explores pairs `(s, T)` where `s` is an `A`-state and `T`
+//! the set of `B`-states reachable on the same word, determinizing `B`
+//! on-the-fly. A counterexample is a pair with `s` accepting and `T`
+//! containing no accepting state. The **antichain optimization** prunes any
+//! pair `(s, T)` when some visited `(s, T')` has `T' ⊆ T`: every
+//! counterexample reachable from `(s, T)` is also reachable from `(s, T')`.
+//! Exploration is BFS with symbols ascending, so the returned
+//! counterexample is `≤`-minimal.
+
+use crate::bitset::BitSet;
+use crate::nfa::Nfa;
+use crate::symbol::Symbol;
+use crate::word::Word;
+use std::collections::VecDeque;
+
+/// Result of an inclusion check: `Ok(())` if `L(a) ⊆ L(b)`, otherwise the
+/// `≤`-minimal counterexample word.
+///
+/// The search state is the **determinized pair** (reach-set of `a`,
+/// reach-set of `b`) so each word maps to a unique state and the BFS
+/// discovery order is the canonical order of minimal words — making the
+/// returned counterexample `≤`-minimal. Antichain pruning is keyed by the
+/// `a`-side set: `(S_a, S_b)` is subsumed by a visited `(S_a, S_b')` with
+/// `S_b' ⊆ S_b`, because any suffix escaping `b` from the larger set also
+/// escapes from the smaller one.
+pub fn nfa_included_in(a: &Nfa, b: &Nfa) -> Result<(), Word> {
+    assert_eq!(a.alphabet_len(), b.alphabet_len(), "alphabet mismatch");
+    let alphabet = a.alphabet_len();
+
+    let a_init = a.initial_set();
+    let b_init = b.initial_set();
+    if a_init.intersects(a.finals()) && !b_init.intersects(b.finals()) {
+        return Err(Vec::new());
+    }
+    if a_init.is_empty() {
+        return Ok(());
+    }
+
+    // visited[S_a] = antichain of ⊆-minimal B-sets seen with S_a.
+    let mut visited: std::collections::HashMap<BitSet, Vec<BitSet>> =
+        std::collections::HashMap::new();
+    let mut queue: VecDeque<(BitSet, BitSet, Word)> = VecDeque::new();
+    antichain_insert(visited.entry(a_init.clone()).or_default(), &b_init);
+    queue.push_back((a_init, b_init, Vec::new()));
+
+    while let Some((a_set, b_set, word)) = queue.pop_front() {
+        for sym_index in 0..alphabet {
+            let sym = Symbol::from_index(sym_index);
+            let a_next = a.step_set(&a_set, sym);
+            if a_next.is_empty() {
+                continue; // no word of L(a) continues this way
+            }
+            let b_next = b.step_set(&b_set, sym);
+            if a_next.intersects(a.finals()) && !b_next.intersects(b.finals()) {
+                let mut counterexample = word.clone();
+                counterexample.push(sym);
+                return Err(counterexample);
+            }
+            if antichain_insert(visited.entry(a_next.clone()).or_default(), &b_next) {
+                let mut next_word = word.clone();
+                next_word.push(sym);
+                queue.push_back((a_next, b_next, next_word));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Inserts `set` into an antichain of ⊆-minimal sets. Returns `false` if
+/// `set` is subsumed by (a subset-or-equal) existing member; otherwise
+/// removes members subsumed by `set` and inserts it.
+fn antichain_insert(chain: &mut Vec<BitSet>, set: &BitSet) -> bool {
+    for existing in chain.iter() {
+        if existing.is_subset(set) {
+            return false;
+        }
+    }
+    chain.retain(|existing| !set.is_subset(existing));
+    chain.push(set.clone());
+    true
+}
+
+/// Reference implementation via full determinization of `b` (exponential);
+/// used by tests to validate the antichain algorithm.
+pub fn nfa_included_in_naive(a: &Nfa, b: &Nfa) -> Result<(), Word> {
+    let b_dfa = crate::determinize::determinize(b);
+    let b_complement = b_dfa.complement();
+    match crate::product::nfa_intersection_shortest(a, &b_complement.to_nfa()) {
+        None => Ok(()),
+        Some(word) => Err(word),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateId;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// All-final "paths" NFA of a chain a·b·c starting at state 0.
+    fn chain_paths() -> Nfa {
+        let mut nfa = Nfa::new(4, 3);
+        nfa.set_initial(0);
+        nfa.add_transition(0, sym(0), 1);
+        nfa.add_transition(1, sym(1), 2);
+        nfa.add_transition(2, sym(2), 3);
+        nfa.set_all_final();
+        nfa
+    }
+
+    #[test]
+    fn prefix_language_inclusion_holds() {
+        // Prefixes of a·b ⊆ prefixes of a·b·c.
+        let mut small = Nfa::new(3, 3);
+        small.set_initial(0);
+        small.add_transition(0, sym(0), 1);
+        small.add_transition(1, sym(1), 2);
+        small.set_all_final();
+        assert_eq!(nfa_included_in(&small, &chain_paths()), Ok(()));
+    }
+
+    #[test]
+    fn counterexample_is_canonical_minimum() {
+        // L(a) = prefixes of a·b·c; L(b) = prefixes of a·b only.
+        let mut small = Nfa::new(3, 3);
+        small.set_initial(0);
+        small.add_transition(0, sym(0), 1);
+        small.add_transition(1, sym(1), 2);
+        small.set_all_final();
+        let err = nfa_included_in(&chain_paths(), &small).unwrap_err();
+        assert_eq!(err, vec![sym(0), sym(1), sym(2)]);
+    }
+
+    #[test]
+    fn epsilon_counterexample() {
+        // a accepts ε, b accepts nothing.
+        let mut a = Nfa::new(1, 1);
+        a.set_initial(0);
+        a.set_final(0);
+        let mut b = Nfa::new(1, 1);
+        b.set_initial(0);
+        assert_eq!(nfa_included_in(&a, &b), Err(vec![]));
+    }
+
+    #[test]
+    fn antichain_insert_prunes_supersets() {
+        let mut chain: Vec<BitSet> = Vec::new();
+        let big = BitSet::from_indices(8, [1, 2, 3]);
+        let small = BitSet::from_indices(8, [1, 2]);
+        assert!(antichain_insert(&mut chain, &big));
+        // Subsumed check: the smaller set replaces the bigger one.
+        assert!(antichain_insert(&mut chain, &small));
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0], small);
+        // Superset of an existing member is rejected.
+        assert!(!antichain_insert(&mut chain, &big));
+    }
+
+    #[test]
+    fn randomized_agreement_with_naive() {
+        let mut seed = 0xDEADBEEFCAFEF00Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..60 {
+            let alphabet = 2;
+            let gen_nfa = |next: &mut dyn FnMut() -> u64| {
+                let n = 1 + (next() % 5) as usize;
+                let mut nfa = Nfa::new(n, alphabet);
+                nfa.set_initial((next() % n as u64) as StateId);
+                let edges = next() % 10;
+                for _ in 0..edges {
+                    nfa.add_transition(
+                        (next() % n as u64) as StateId,
+                        sym((next() % alphabet as u64) as usize),
+                        (next() % n as u64) as StateId,
+                    );
+                }
+                for s in 0..n {
+                    if next().is_multiple_of(2) {
+                        nfa.set_final(s as StateId);
+                    }
+                }
+                nfa
+            };
+            let a = gen_nfa(&mut next);
+            let b = gen_nfa(&mut next);
+            let fast = nfa_included_in(&a, &b);
+            let slow = nfa_included_in_naive(&a, &b);
+            match (fast, slow) {
+                (Ok(()), Ok(())) => {}
+                (Err(w1), Err(w2)) => {
+                    // Both must be genuine counterexamples of minimal rank.
+                    assert!(a.accepts(&w1) && !b.accepts(&w1), "trial {trial}");
+                    assert!(a.accepts(&w2) && !b.accepts(&w2), "trial {trial}");
+                    assert_eq!(
+                        crate::word::canonical_cmp(&w1, &w2),
+                        std::cmp::Ordering::Equal,
+                        "trial {trial}: {w1:?} vs {w2:?}"
+                    );
+                }
+                (f, s) => panic!("trial {trial}: antichain={f:?} naive={s:?}"),
+            }
+        }
+    }
+}

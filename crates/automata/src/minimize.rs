@@ -1,0 +1,367 @@
+//! DFA minimization.
+//!
+//! The primary algorithm is **Hopcroft's partition refinement**
+//! (`O(|Σ| n log n)`); a straightforward **Moore iteration** (`O(|Σ| n²)`)
+//! is kept as an independently-implemented cross-check used by the tests
+//! and as an ablation baseline for the benchmark suite.
+//!
+//! Both entry points return the *canonical* DFA of the language: trimmed
+//! (every state reachable and co-reachable — so the sink introduced by
+//! completion disappears again), with states renumbered in BFS order. This
+//! is the representation the paper uses to define query size (§2).
+
+use crate::dfa::{Dfa, DEAD};
+use crate::StateId;
+use std::collections::VecDeque;
+
+/// Minimizes a DFA with Hopcroft's algorithm; returns the canonical form.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let trimmed = dfa.trim();
+    if trimmed.language_is_empty() {
+        return Dfa::empty_language(trimmed.alphabet_len());
+    }
+    let (complete, _) = trimmed.complete();
+    let partition = hopcroft_partition(&complete);
+    quotient(&complete, &partition).trim().canonicalize()
+}
+
+/// Minimizes a DFA with Moore's iterative refinement; returns the
+/// canonical form. Cross-check / ablation implementation.
+pub fn minimize_moore(dfa: &Dfa) -> Dfa {
+    let trimmed = dfa.trim();
+    if trimmed.language_is_empty() {
+        return Dfa::empty_language(trimmed.alphabet_len());
+    }
+    let (complete, _) = trimmed.complete();
+    let partition = moore_partition(&complete);
+    quotient(&complete, &partition).trim().canonicalize()
+}
+
+/// Hopcroft partition refinement on a **complete** DFA. Returns
+/// `block_of[state]`.
+// Index loops over (state × symbol) grids mirror the textbook
+// presentation of the algorithm; iterator adaptors obscure it here.
+#[allow(clippy::needless_range_loop)]
+fn hopcroft_partition(dfa: &Dfa) -> Vec<u32> {
+    let n = dfa.num_states();
+    let alphabet = dfa.alphabet_len();
+
+    // Reverse transitions, per symbol: preds[a][t] = states s with s-a->t.
+    let mut preds: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; alphabet];
+    for s in 0..n as StateId {
+        for a in 0..alphabet {
+            let t = dfa.step_raw(s, crate::Symbol::from_index(a));
+            debug_assert_ne!(t, DEAD, "hopcroft requires a complete DFA");
+            preds[a][t as usize].push(s);
+        }
+    }
+
+    // Blocks as index sets; block_of maps states to their block.
+    let mut blocks: Vec<Vec<StateId>> = Vec::new();
+    let mut block_of: Vec<u32> = vec![0; n];
+    let finals: Vec<StateId> = dfa.finals().iter().map(|s| s as StateId).collect();
+    let non_finals: Vec<StateId> = (0..n as StateId)
+        .filter(|&s| !dfa.is_final(s))
+        .collect();
+    for group in [finals, non_finals] {
+        if group.is_empty() {
+            continue;
+        }
+        let id = blocks.len() as u32;
+        for &s in &group {
+            block_of[s as usize] = id;
+        }
+        blocks.push(group);
+    }
+
+    // Worklist of (block, symbol) splitters. Start from the smaller block
+    // for every symbol (classic optimization); starting from both is also
+    // correct, and with at most two initial blocks we simply enqueue the
+    // smaller (or the only) one.
+    let smaller = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
+        1u32
+    } else {
+        0u32
+    };
+    let mut worklist: VecDeque<(u32, usize)> =
+        (0..alphabet).map(|a| (smaller, a)).collect();
+    let mut in_worklist: Vec<Vec<bool>> = vec![vec![false; alphabet]; blocks.len()];
+    for a in 0..alphabet {
+        in_worklist[smaller as usize][a] = true;
+    }
+
+    // Scratch: membership marks for the current preimage, and per-block hit
+    // counters. The marks make the split independent of `block_of` updates
+    // that happen while processing the same splitter (the splitter block
+    // itself may be among the blocks being split).
+    let mut marked: Vec<bool> = vec![false; n];
+    let mut touched_count: Vec<u32> = vec![0; blocks.len()];
+    let mut touched_blocks: Vec<u32> = Vec::new();
+
+    while let Some((splitter, a)) = worklist.pop_front() {
+        in_worklist[splitter as usize][a] = false;
+
+        // X = preimage of the splitter block under symbol a. In a complete
+        // DFA each state has exactly one a-successor, so X has no
+        // duplicates.
+        let mut preimage: Vec<StateId> = Vec::new();
+        for &t in &blocks[splitter as usize] {
+            preimage.extend_from_slice(&preds[a][t as usize]);
+        }
+        if preimage.is_empty() {
+            continue;
+        }
+
+        touched_blocks.clear();
+        for &s in &preimage {
+            marked[s as usize] = true;
+            let b = block_of[s as usize];
+            if touched_count[b as usize] == 0 {
+                touched_blocks.push(b);
+            }
+            touched_count[b as usize] += 1;
+        }
+
+        for &b in &touched_blocks {
+            let hit = touched_count[b as usize];
+            touched_count[b as usize] = 0;
+            let total = blocks[b as usize].len() as u32;
+            if hit == total {
+                continue; // block entirely inside preimage: no split
+            }
+            // Split block b into (in preimage) and (out of preimage).
+            let old = std::mem::take(&mut blocks[b as usize]);
+            let mut inside = Vec::with_capacity(hit as usize);
+            let mut outside = Vec::with_capacity((total - hit) as usize);
+            for s in old {
+                if marked[s as usize] {
+                    inside.push(s);
+                } else {
+                    outside.push(s);
+                }
+            }
+            debug_assert_eq!(inside.len() as u32, hit);
+            let new_id = blocks.len() as u32;
+            for &s in &inside {
+                block_of[s as usize] = new_id;
+            }
+            blocks[b as usize] = outside;
+            blocks.push(inside);
+            in_worklist.push(vec![false; alphabet]);
+            touched_count.push(0);
+            // Update the worklist per Hopcroft: if (b, c) is pending, the
+            // new block must also be processed; otherwise enqueue the
+            // smaller of the two halves.
+            for c in 0..alphabet {
+                if in_worklist[b as usize][c] {
+                    in_worklist[new_id as usize][c] = true;
+                    worklist.push_back((new_id, c));
+                } else {
+                    let pick =
+                        if blocks[new_id as usize].len() < blocks[b as usize].len() {
+                            new_id
+                        } else {
+                            b
+                        };
+                    if !in_worklist[pick as usize][c] {
+                        in_worklist[pick as usize][c] = true;
+                        worklist.push_back((pick, c));
+                    }
+                }
+            }
+        }
+
+        for &s in &preimage {
+            marked[s as usize] = false;
+        }
+    }
+
+    block_of
+}
+
+/// Moore partition refinement on a **complete** DFA. Returns
+/// `block_of[state]`.
+fn moore_partition(dfa: &Dfa) -> Vec<u32> {
+    let n = dfa.num_states();
+    let alphabet = dfa.alphabet_len();
+    let mut block_of: Vec<u32> = (0..n)
+        .map(|s| u32::from(dfa.finals().contains(s)))
+        .collect();
+    let mut num_blocks = 2;
+    loop {
+        // Signature of a state: (block, successor blocks per symbol).
+        let mut signatures: Vec<(u32, Vec<u32>)> = Vec::with_capacity(n);
+        for s in 0..n {
+            let succ: Vec<u32> = (0..alphabet)
+                .map(|a| {
+                    let t = dfa.step_raw(s as StateId, crate::Symbol::from_index(a));
+                    block_of[t as usize]
+                })
+                .collect();
+            signatures.push((block_of[s], succ));
+        }
+        let mut index: std::collections::HashMap<&(u32, Vec<u32>), u32> =
+            std::collections::HashMap::new();
+        let mut next: Vec<u32> = vec![0; n];
+        for s in 0..n {
+            let fresh = index.len() as u32;
+            let id = *index.entry(&signatures[s]).or_insert(fresh);
+            next[s] = id;
+        }
+        let new_blocks = index.len();
+        if new_blocks == num_blocks {
+            return next;
+        }
+        num_blocks = new_blocks;
+        block_of = next;
+    }
+}
+
+/// Builds the quotient DFA for a block assignment.
+fn quotient(dfa: &Dfa, block_of: &[u32]) -> Dfa {
+    let num_blocks = block_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let alphabet = dfa.alphabet_len();
+    let mut out = Dfa::new(num_blocks, alphabet, block_of[dfa.initial() as usize]);
+    for s in 0..dfa.num_states() as StateId {
+        let b = block_of[s as usize];
+        for a in 0..alphabet {
+            let sym = crate::Symbol::from_index(a);
+            if let Some(t) = dfa.step(s, sym) {
+                out.set_transition(b, sym, block_of[t as usize]);
+            }
+        }
+        if dfa.is_final(s) {
+            out.set_final(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use crate::word::enumerate_words;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// A redundant DFA for (a·b)*·c with duplicated states.
+    fn redundant_fig4() -> Dfa {
+        // states: 0 start, 1 after-a, 2 final, 3 duplicate of 0, 4 dup of 1.
+        let mut dfa = Dfa::new(5, 3, 0);
+        dfa.set_transition(0, sym(0), 1);
+        dfa.set_transition(1, sym(1), 3);
+        dfa.set_transition(3, sym(0), 4);
+        dfa.set_transition(4, sym(1), 0);
+        dfa.set_transition(0, sym(2), 2);
+        dfa.set_transition(3, sym(2), 2);
+        dfa.set_final(2);
+        dfa
+    }
+
+    #[test]
+    fn hopcroft_reduces_to_three_states() {
+        let min = minimize(&redundant_fig4());
+        assert_eq!(min.num_states(), 3);
+        let reference = crate::dfa::tests::fig4();
+        for word in enumerate_words(3, 5) {
+            assert_eq!(min.accepts(&word), reference.accepts(&word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn moore_agrees_with_hopcroft() {
+        let dfa = redundant_fig4();
+        assert_eq!(minimize(&dfa), minimize_moore(&dfa));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let min = minimize(&redundant_fig4());
+        assert_eq!(min, minimize(&min));
+    }
+
+    #[test]
+    fn minimize_empty_and_epsilon() {
+        let empty = Dfa::new(4, 2, 0);
+        assert_eq!(minimize(&empty).num_states(), 1);
+        assert!(minimize(&empty).language_is_empty());
+
+        let eps = Dfa::epsilon_language(2);
+        let min = minimize(&eps);
+        assert_eq!(min.num_states(), 1);
+        assert!(min.accepts(&[]));
+        assert!(!min.accepts(&[sym(0)]));
+    }
+
+    #[test]
+    fn minimize_merges_language_equal_finals() {
+        // Two final states both with residual {ε}: a | b.
+        let mut dfa = Dfa::new(3, 2, 0);
+        dfa.set_transition(0, sym(0), 1);
+        dfa.set_transition(0, sym(1), 2);
+        dfa.set_final(1);
+        dfa.set_final(2);
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 2);
+        assert!(min.accepts(&[sym(0)]) && min.accepts(&[sym(1)]));
+        assert!(!min.accepts(&[]) && !min.accepts(&[sym(0), sym(0)]));
+    }
+
+    #[test]
+    fn universal_language_minimizes_to_one_state() {
+        let mut dfa = Dfa::new(2, 2, 0);
+        for s in 0..2 {
+            for a in 0..2 {
+                dfa.set_transition(s, sym(a), (s + 1) % 2);
+            }
+        }
+        dfa.set_final(0);
+        dfa.set_final(1);
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 1);
+        assert!(min.accepts(&[sym(0), sym(1), sym(1)]));
+    }
+
+    #[test]
+    fn randomized_hopcroft_vs_moore_language_check() {
+        // Deterministic pseudo-random DFAs; compare minimal forms and
+        // language membership on all short words.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..40 {
+            let n = 2 + (next() % 7) as usize;
+            let alphabet = 1 + (next() % 3) as usize;
+            let mut dfa = Dfa::new(n, alphabet, 0);
+            for s in 0..n as StateId {
+                for a in 0..alphabet {
+                    if next() % 4 != 0 {
+                        dfa.set_transition(s, sym(a), (next() % n as u64) as StateId);
+                    }
+                }
+            }
+            for s in 0..n {
+                if next() % 3 == 0 {
+                    dfa.set_final(s as StateId);
+                }
+            }
+            let hop = minimize(&dfa);
+            let moore = minimize_moore(&dfa);
+            assert_eq!(hop, moore, "trial {trial}");
+            for word in enumerate_words(alphabet, 4) {
+                assert_eq!(
+                    dfa.accepts(&word),
+                    hop.accepts(&word),
+                    "trial {trial}, word {word:?}"
+                );
+            }
+        }
+    }
+}

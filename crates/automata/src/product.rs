@@ -1,0 +1,294 @@
+//! Product constructions and intersection-emptiness tests.
+//!
+//! Two operations from the paper's complexity toolbox live here:
+//!
+//! * **emptiness of the intersection of two NFAs** — PTIME ([29] in the
+//!   paper) — used by Algorithm 1 both for the merge-consistency test
+//!   (line 4: `L(A_{s'→s}) ∩ paths_G(S⁻) = ∅`) and for the final
+//!   positive-coverage test (line 6);
+//! * the **canonically-minimal witness word** of a non-empty intersection,
+//!   used by tests and by the SCP machinery's cross-checks.
+//!
+//! All searches are on-the-fly: pair states are only materialized when
+//! reached, so intersecting a small query DFA with a 30k-node graph NFA
+//! touches `O(|Q|·|V|)` pairs at worst.
+
+use crate::bitset::BitSet;
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::symbol::Symbol;
+use crate::word::Word;
+use crate::StateId;
+use std::collections::VecDeque;
+
+/// `true` iff `L(a) ∩ L(b) = ∅` — BFS over nondeterministic pair states
+/// (cheap; no word-order guarantee is needed for emptiness).
+pub fn nfa_intersection_is_empty(a: &Nfa, b: &Nfa) -> bool {
+    let bn = b.num_states();
+    let pair = |sa: StateId, sb: StateId| sa as usize * bn + sb as usize;
+    let mut seen = BitSet::new(a.num_states().max(1) * bn.max(1));
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+    for &sa in a.initials() {
+        for &sb in b.initials() {
+            if a.is_final(sa) && b.is_final(sb) {
+                return false;
+            }
+            if seen.insert(pair(sa, sb)) {
+                queue.push_back((sa, sb));
+            }
+        }
+    }
+    while let Some((sa, sb)) = queue.pop_front() {
+        // Merge-join the two sorted transition rows by symbol.
+        let row_a = a.transitions_from(sa);
+        let row_b = b.transitions_from(sb);
+        let mut i = 0;
+        while i < row_a.len() {
+            let sym = row_a[i].0;
+            let end_a = row_a[i..].partition_point(|&(s, _)| s == sym) + i;
+            let start_b = row_b.partition_point(|&(s, _)| s < sym);
+            let end_b = row_b.partition_point(|&(s, _)| s <= sym);
+            for &(_, ta) in &row_a[i..end_a] {
+                for &(_, tb) in &row_b[start_b..end_b] {
+                    if a.is_final(ta) && b.is_final(tb) {
+                        return false;
+                    }
+                    if seen.insert(pair(ta, tb)) {
+                        queue.push_back((ta, tb));
+                    }
+                }
+            }
+            i = end_a;
+        }
+    }
+    true
+}
+
+/// The `≤`-minimal word of `L(a) ∩ L(b)`, or `None` if empty.
+///
+/// Runs on the **jointly determinized** product — state = (reach-set of
+/// `a`, reach-set of `b`) — so each word maps to a unique search state and
+/// BFS with ascending symbols discovers states in canonical order of
+/// their minimal words. (A pair-state BFS would break lexicographic ties
+/// between states sharing a minimal word.)
+pub fn nfa_intersection_shortest(a: &Nfa, b: &Nfa) -> Option<Word> {
+    let init_a = a.initial_set();
+    let init_b = b.initial_set();
+    if init_a.intersects(a.finals()) && init_b.intersects(b.finals()) {
+        return Some(Vec::new());
+    }
+    if init_a.is_empty() || init_b.is_empty() {
+        return None;
+    }
+    let alphabet = a.alphabet_len();
+    let mut seen: std::collections::HashSet<(BitSet, BitSet)> =
+        std::collections::HashSet::new();
+    let mut queue: VecDeque<(BitSet, BitSet, Word)> = VecDeque::new();
+    seen.insert((init_a.clone(), init_b.clone()));
+    queue.push_back((init_a, init_b, Vec::new()));
+    while let Some((set_a, set_b, word)) = queue.pop_front() {
+        for i in 0..alphabet {
+            let sym = Symbol::from_index(i);
+            let next_a = a.step_set(&set_a, sym);
+            if next_a.is_empty() {
+                continue;
+            }
+            let next_b = b.step_set(&set_b, sym);
+            if next_b.is_empty() {
+                continue;
+            }
+            let mut next_word = word.clone();
+            next_word.push(sym);
+            if next_a.intersects(a.finals()) && next_b.intersects(b.finals()) {
+                return Some(next_word);
+            }
+            let key = (next_a, next_b);
+            if !seen.contains(&key) {
+                seen.insert(key.clone());
+                queue.push_back((key.0, key.1, next_word));
+            }
+        }
+    }
+    None
+}
+
+/// `true` iff `L(dfa) ∩ L(nfa) = ∅`.
+///
+/// Specialized hot path for Algorithm 1's merge test: the DFA side is the
+/// merge candidate (a handful of states), the NFA side the graph's
+/// negative-paths language.
+pub fn dfa_nfa_intersection_is_empty(dfa: &Dfa, nfa: &Nfa) -> bool {
+    if dfa.num_states() == 0 {
+        return true;
+    }
+    let nn = nfa.num_states();
+    let pair = |q: StateId, s: StateId| q as usize * nn + s as usize;
+    let mut seen = BitSet::new(dfa.num_states() * nn.max(1));
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+
+    let q0 = dfa.initial();
+    for &s in nfa.initials() {
+        if dfa.is_final(q0) && nfa.is_final(s) {
+            return false;
+        }
+        if seen.insert(pair(q0, s)) {
+            queue.push_back((q0, s));
+        }
+    }
+    while let Some((q, s)) = queue.pop_front() {
+        for &(sym, t) in nfa.transitions_from(s) {
+            if let Some(qt) = dfa.step(q, sym) {
+                if dfa.is_final(qt) && nfa.is_final(t) {
+                    return false;
+                }
+                if seen.insert(pair(qt, t)) {
+                    queue.push_back((qt, t));
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Materialized product NFA recognizing `L(a) ∩ L(b)` (used by tests; the
+/// searches above are preferred in production paths).
+pub fn nfa_product(a: &Nfa, b: &Nfa) -> Nfa {
+    let bn = b.num_states();
+    let n = a.num_states() * bn;
+    let mut edges = Vec::new();
+    for sa in 0..a.num_states() as StateId {
+        for &(sym, ta) in a.transitions_from(sa) {
+            for sb in 0..bn as StateId {
+                for &(_, tb) in b.successors(sb, sym) {
+                    edges.push((
+                        sa * bn as StateId + sb,
+                        sym,
+                        ta * bn as StateId + tb,
+                    ));
+                }
+            }
+        }
+    }
+    let initials = a
+        .initials()
+        .iter()
+        .flat_map(|&sa| b.initials().iter().map(move |&sb| sa * bn as StateId + sb))
+        .collect::<Vec<_>>();
+    let finals = a
+        .finals()
+        .iter()
+        .flat_map(|fa| b.finals().iter().map(move |fb| (fa * bn + fb) as StateId))
+        .collect::<Vec<_>>();
+    Nfa::from_edges(n.max(1), a.alphabet_len(), edges, initials, finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// NFA for (ab)*c.
+    fn abc() -> Nfa {
+        let mut nfa = Nfa::new(3, 3);
+        nfa.set_initial(0);
+        nfa.add_transition(0, sym(0), 1);
+        nfa.add_transition(1, sym(1), 0);
+        nfa.add_transition(0, sym(2), 2);
+        nfa.set_final(2);
+        nfa
+    }
+
+    /// All-final NFA for the prefix-closed language {ε, a, ab, abc, c-ish}.
+    fn paths_like() -> Nfa {
+        let mut nfa = Nfa::new(4, 3);
+        nfa.set_initial(0);
+        nfa.add_transition(0, sym(0), 1);
+        nfa.add_transition(1, sym(1), 2);
+        nfa.add_transition(2, sym(2), 3);
+        nfa.set_all_final();
+        nfa
+    }
+
+    #[test]
+    fn nonempty_intersection_with_witness() {
+        let a = abc();
+        let b = paths_like();
+        assert!(!nfa_intersection_is_empty(&a, &b));
+        assert_eq!(
+            nfa_intersection_shortest(&a, &b),
+            Some(vec![sym(0), sym(1), sym(2)])
+        );
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let a = abc();
+        // Language {b}:
+        let mut b = Nfa::new(2, 3);
+        b.set_initial(0);
+        b.add_transition(0, sym(1), 1);
+        b.set_final(1);
+        assert!(nfa_intersection_is_empty(&a, &b));
+        assert_eq!(nfa_intersection_shortest(&a, &b), None);
+    }
+
+    #[test]
+    fn epsilon_in_both() {
+        let mut a = Nfa::new(1, 1);
+        a.set_initial(0);
+        a.set_final(0);
+        let mut b = Nfa::new(1, 1);
+        b.set_initial(0);
+        b.set_final(0);
+        assert!(!nfa_intersection_is_empty(&a, &b));
+        assert_eq!(nfa_intersection_shortest(&a, &b), Some(vec![]));
+    }
+
+    #[test]
+    fn witness_is_canonical_minimum() {
+        // a: accepts {ba, c}; b: accepts everything (all-final complete).
+        let mut a = Nfa::new(3, 3);
+        a.set_initial(0);
+        a.add_transition(0, sym(1), 1);
+        a.add_transition(1, sym(0), 2);
+        a.add_transition(0, sym(2), 2);
+        a.set_final(2);
+        let mut b = Nfa::new(1, 3);
+        b.set_initial(0);
+        for i in 0..3 {
+            b.add_transition(0, sym(i), 0);
+        }
+        b.set_all_final();
+        // Shortest is "c" (length 1) even though "ba" exists.
+        assert_eq!(nfa_intersection_shortest(&a, &b), Some(vec![sym(2)]));
+    }
+
+    #[test]
+    fn dfa_nfa_emptiness_agrees_with_nfa_version() {
+        let dfa = crate::determinize::determinize(&abc()).minimize();
+        let b = paths_like();
+        assert!(!dfa_nfa_intersection_is_empty(&dfa, &b));
+        let mut only_b = Nfa::new(2, 3);
+        only_b.set_initial(0);
+        only_b.add_transition(0, sym(1), 1);
+        only_b.set_final(1);
+        assert!(dfa_nfa_intersection_is_empty(&dfa, &only_b));
+    }
+
+    #[test]
+    fn product_nfa_language_matches_search() {
+        let a = abc();
+        let b = paths_like();
+        let prod = nfa_product(&a, &b);
+        for word in crate::word::enumerate_words(3, 4) {
+            assert_eq!(
+                prod.accepts(&word),
+                a.accepts(&word) && b.accepts(&word),
+                "{word:?}"
+            );
+        }
+    }
+}

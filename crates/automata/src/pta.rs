@@ -1,0 +1,163 @@
+//! Prefix tree acceptors (PTAs).
+//!
+//! Algorithm 1 (line 3) builds *"the prefix tree acceptor \[18\] of P …
+//! basically a tree-like DFA accepting only the paths in P and having as
+//! states all their prefixes"*. The RPNI generalization step then merges
+//! PTA states in the canonical order of their access words, so this module
+//! numbers states accordingly: **state ids are the canonical ranks of the
+//! prefixes** (`ε` is state 0).
+
+use crate::dfa::Dfa;
+use crate::symbol::Symbol;
+use crate::word::{sort_canonical, Word};
+use crate::StateId;
+
+/// Builds the PTA of a set of words as a [`Dfa`].
+///
+/// States correspond one-to-one to the prefixes of the input words and are
+/// numbered in canonical order of those prefixes, which is exactly the
+/// merge order RPNI expects. Accepting states are the input words.
+pub fn build_pta(words: &[Word], alphabet_len: usize) -> Dfa {
+    // Collect all prefixes, canonically sorted and deduplicated.
+    let mut prefixes: Vec<Word> = Vec::new();
+    for word in words {
+        for len in 0..=word.len() {
+            prefixes.push(word[..len].to_vec());
+        }
+    }
+    if prefixes.is_empty() {
+        prefixes.push(Vec::new()); // lone root: PTA of ∅ accepts nothing
+    }
+    sort_canonical(&mut prefixes);
+
+    let index_of = |needle: &[Symbol]| -> StateId {
+        prefixes
+            .binary_search_by(|p| crate::word::canonical_cmp(p, needle))
+            .expect("prefix present by construction") as StateId
+    };
+
+    let mut dfa = Dfa::new(prefixes.len(), alphabet_len, 0);
+    for (id, prefix) in prefixes.iter().enumerate() {
+        if !prefix.is_empty() {
+            let parent = index_of(&prefix[..prefix.len() - 1]);
+            dfa.set_transition(parent, prefix[prefix.len() - 1], id as StateId);
+        }
+    }
+    let mut sorted_words: Vec<Word> = words.to_vec();
+    sort_canonical(&mut sorted_words);
+    for word in &sorted_words {
+        dfa.set_final(index_of(word));
+    }
+    dfa
+}
+
+/// The access word of a PTA state (the unique word reaching it), assuming
+/// the canonical numbering produced by [`build_pta`]. Used by diagnostics
+/// and tests.
+pub fn access_word(pta: &Dfa, state: StateId) -> Option<Word> {
+    // BFS from the root recording parents.
+    let n = pta.num_states();
+    let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[pta.initial() as usize] = true;
+    let mut queue = std::collections::VecDeque::from([pta.initial()]);
+    while let Some(s) = queue.pop_front() {
+        for a in 0..pta.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = pta.step(s, sym) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    parent[t as usize] = Some((s, sym));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    if !seen[state as usize] {
+        return None;
+    }
+    let mut word = Vec::new();
+    let mut cur = state;
+    while let Some((p, sym)) = parent[cur as usize] {
+        word.push(sym);
+        cur = p;
+    }
+    word.reverse();
+    Some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::canonical_cmp;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    #[test]
+    fn paper_example_pta() {
+        // Figure 6(a): PTA of P = {abc, c} has states {ε, a, c, ab, abc}
+        // with finals {c, abc}.
+        let a = sym(0);
+        let b = sym(1);
+        let c = sym(2);
+        let pta = build_pta(&[vec![a, b, c], vec![c]], 3);
+        assert_eq!(pta.num_states(), 5);
+        assert!(pta.accepts(&[c]));
+        assert!(pta.accepts(&[a, b, c]));
+        assert!(!pta.accepts(&[]));
+        assert!(!pta.accepts(&[a]));
+        assert!(!pta.accepts(&[a, b]));
+        assert!(!pta.accepts(&[a, b, c, c]));
+    }
+
+    #[test]
+    fn states_are_canonically_ordered_prefixes() {
+        let a = sym(0);
+        let b = sym(1);
+        let c = sym(2);
+        let pta = build_pta(&[vec![a, b, c], vec![c]], 3);
+        // Expected order: ε < a < c < ab < abc.
+        let expected: Vec<Word> =
+            vec![vec![], vec![a], vec![c], vec![a, b], vec![a, b, c]];
+        for (id, word) in expected.iter().enumerate() {
+            assert_eq!(access_word(&pta, id as StateId).as_ref(), Some(word));
+        }
+        // Access words strictly increase with state id.
+        for id in 1..pta.num_states() {
+            let prev = access_word(&pta, (id - 1) as StateId).unwrap();
+            let cur = access_word(&pta, id as StateId).unwrap();
+            assert_eq!(canonical_cmp(&prev, &cur), std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn pta_accepts_exactly_input_words() {
+        let words = vec![
+            vec![sym(0)],
+            vec![sym(0), sym(0)],
+            vec![sym(1), sym(0)],
+            vec![],
+        ];
+        let pta = build_pta(&words, 2);
+        for probe in crate::word::enumerate_words(2, 4) {
+            assert_eq!(pta.accepts(&probe), words.contains(&probe), "{probe:?}");
+        }
+    }
+
+    #[test]
+    fn pta_of_empty_set() {
+        let pta = build_pta(&[], 2);
+        assert_eq!(pta.num_states(), 1);
+        assert!(pta.language_is_empty());
+    }
+
+    #[test]
+    fn duplicate_words_are_deduped() {
+        let words = vec![vec![sym(0)], vec![sym(0)]];
+        let pta = build_pta(&words, 1);
+        assert_eq!(pta.num_states(), 2);
+        assert!(pta.accepts(&[sym(0)]));
+    }
+}

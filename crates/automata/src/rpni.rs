@@ -1,0 +1,368 @@
+//! RPNI-style state merging, generic over a merge-consistency oracle.
+//!
+//! The paper's Algorithm 1 generalizes the PTA of the selected SCPs *"by
+//! merging two of its states if the obtained DFA selects no negative
+//! node"* (lines 4–5), explicitly mirroring RPNI \[35\]. The difference
+//! between classic RPNI and the graph learner is **only the consistency
+//! test**: classic RPNI rejects a merge when the quotient accepts a
+//! negative *word*; the graph learner rejects it when the quotient's
+//! language intersects `paths_G(S⁻)`. We therefore implement the red-blue
+//! merge loop once, parameterized by a [`MergeOracle`], and let the two
+//! callers plug in their test.
+//!
+//! States of the input PTA must be numbered in canonical order of their
+//! access words (guaranteed by [`crate::pta::build_pta`]); both the blue
+//! selection and the red iteration follow that order, which is what makes
+//! the characteristic-sample guarantee of Theorem 3.5 carry over.
+
+use crate::dfa::Dfa;
+use crate::symbol::Symbol;
+use crate::word::Word;
+use crate::StateId;
+
+/// Decides whether a candidate quotient automaton is still consistent with
+/// the negative information.
+pub trait MergeOracle {
+    /// `true` iff `candidate` may replace the current hypothesis.
+    fn is_consistent(&mut self, candidate: &Dfa) -> bool;
+}
+
+/// Classic RPNI oracle: consistent iff no negative word is accepted.
+#[derive(Clone, Debug)]
+pub struct NegativeWordsOracle<'a> {
+    negatives: &'a [Word],
+}
+
+impl<'a> NegativeWordsOracle<'a> {
+    /// Creates an oracle from negative example words.
+    pub fn new(negatives: &'a [Word]) -> Self {
+        NegativeWordsOracle { negatives }
+    }
+}
+
+impl MergeOracle for NegativeWordsOracle<'_> {
+    fn is_consistent(&mut self, candidate: &Dfa) -> bool {
+        self.negatives.iter().all(|w| !candidate.accepts(w))
+    }
+}
+
+/// Union-find with union-by-minimum-id, so each class is represented by
+/// the canonically smallest PTA state it contains.
+#[derive(Clone)]
+struct Partition {
+    parent: Vec<StateId>,
+}
+
+impl Partition {
+    fn identity(n: usize) -> Self {
+        Partition {
+            parent: (0..n as StateId).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: StateId) -> StateId {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Unions the classes of `a` and `b`; the smaller representative wins.
+    fn union_min(&mut self, a: StateId, b: StateId) -> StateId {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (keep, absorb) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[absorb as usize] = keep;
+        keep
+    }
+}
+
+/// Merges `blue` into `red` and restores determinism by folding: whenever a
+/// class has two same-symbol transitions to different classes, those target
+/// classes are unioned in turn. Returns the folded partition.
+// The `target_of[a]` grid access mirrors the determinism-check shape.
+#[allow(clippy::needless_range_loop)]
+fn merge_and_fold(pta: &Dfa, partition: &Partition, red: StateId, blue: StateId) -> Partition {
+    let mut p = partition.clone();
+    let merged = p.union_min(red, blue);
+    let mut worklist = vec![merged];
+    while let Some(class) = worklist.pop() {
+        let class = p.find(class);
+        // Per-symbol target class across all member states.
+        let mut target_of: Vec<Option<StateId>> = vec![None; pta.alphabet_len()];
+        let mut changed = false;
+        for s in 0..pta.num_states() as StateId {
+            if p.find(s) != class {
+                continue;
+            }
+            for a in 0..pta.alphabet_len() {
+                let sym = Symbol::from_index(a);
+                let Some(t) = pta.step(s, sym) else { continue };
+                let tc = p.find(t);
+                match target_of[a] {
+                    None => target_of[a] = Some(tc),
+                    Some(existing) if existing != tc => {
+                        let survivor = p.union_min(existing, tc);
+                        target_of[a] = Some(survivor);
+                        worklist.push(survivor);
+                        changed = true;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if changed {
+            // The folded targets may have introduced new conflicts within
+            // this very class (e.g. through a chain of unions); re-check.
+            worklist.push(class);
+        }
+    }
+    p
+}
+
+/// Builds the quotient DFA of the PTA under a partition. Classes are
+/// renumbered densely in ascending order of their representative (i.e.
+/// canonical order of the smallest access word in each class).
+fn quotient(pta: &Dfa, partition: &Partition) -> (Dfa, Vec<StateId>) {
+    let n = pta.num_states();
+    let mut p = partition.clone();
+    let mut reps: Vec<StateId> = (0..n as StateId).map(|s| p.find(s)).collect();
+    let mut class_ids: Vec<StateId> = reps.clone();
+    class_ids.sort_unstable();
+    class_ids.dedup();
+    let dense = |rep: StateId, class_ids: &[StateId]| -> StateId {
+        class_ids.binary_search(&rep).expect("rep present") as StateId
+    };
+    let mut out = Dfa::new(
+        class_ids.len(),
+        pta.alphabet_len(),
+        dense(reps[pta.initial() as usize], &class_ids),
+    );
+    for s in 0..n as StateId {
+        let from = dense(reps[s as usize], &class_ids);
+        for a in 0..pta.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = pta.step(s, sym) {
+                out.set_transition(from, sym, dense(reps[t as usize], &class_ids));
+            }
+        }
+        if pta.is_final(s) {
+            out.set_final(from);
+        }
+    }
+    for rep in &mut reps {
+        *rep = dense(*rep, &class_ids);
+    }
+    (out, reps)
+}
+
+/// Red-blue RPNI generalization of a PTA under a merge oracle.
+///
+/// Returns the generalized DFA (the quotient of the PTA by the accepted
+/// merges — not minimized; callers normalize as needed).
+pub fn generalize(pta: &Dfa, oracle: &mut dyn MergeOracle) -> Dfa {
+    let n = pta.num_states();
+    let mut partition = Partition::identity(n);
+    // Red classes by representative id. State 0 (ε) starts red.
+    let mut red: Vec<StateId> = vec![pta.initial()];
+
+    loop {
+        // Blue = successor classes of red classes that are not red.
+        let mut blue: Vec<StateId> = Vec::new();
+        for &r in &red {
+            for s in 0..n as StateId {
+                if partition.find(s) != r {
+                    continue;
+                }
+                for a in 0..pta.alphabet_len() {
+                    if let Some(t) = pta.step(s, Symbol::from_index(a)) {
+                        let tc = partition.find(t);
+                        if !red.contains(&tc) && !blue.contains(&tc) {
+                            blue.push(tc);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(&chosen_blue) = blue.iter().min() else {
+            break; // no blue left: every class is red
+        };
+
+        let mut merged = false;
+        let mut reds_sorted = red.clone();
+        reds_sorted.sort_unstable();
+        for &r in &reds_sorted {
+            let candidate_partition = merge_and_fold(pta, &partition, r, chosen_blue);
+            let (candidate, _) = quotient(pta, &candidate_partition);
+            if oracle.is_consistent(&candidate) {
+                partition = candidate_partition;
+                // Folding may have absorbed red classes into one another;
+                // refresh representatives.
+                for r in &mut red {
+                    *r = partition.find(*r);
+                }
+                red.sort_unstable();
+                red.dedup();
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            red.push(partition.find(chosen_blue));
+        }
+    }
+
+    quotient(pta, &partition).0
+}
+
+/// Classic RPNI \[35\]: learns a DFA from positive and negative words.
+///
+/// With a characteristic sample for a target language (see
+/// [`crate::char_sample`]), the result is language-equivalent to the
+/// target; on arbitrary consistent input it returns *some* DFA accepting
+/// all positives and no negatives.
+///
+/// ```
+/// use pathlearn_automata::{rpni::rpni, Alphabet, Regex};
+///
+/// let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+/// let word = |s| alphabet.parse_word(s).unwrap();
+/// // The characteristic words from the Theorem 3.5 proof example:
+/// let pos = [word("c"), word("a b c")];
+/// let neg = [word(""), word("a"), word("a b"), word("a c"), word("b c")];
+/// let learned = rpni(&pos, &neg, alphabet.len());
+/// let target = Regex::parse("(a·b)*·c", &alphabet).unwrap().to_dfa(3);
+/// assert!(learned.equivalent(&target));
+/// ```
+pub fn rpni(positives: &[Word], negatives: &[Word], alphabet_len: usize) -> Dfa {
+    let pta = crate::pta::build_pta(positives, alphabet_len);
+    let mut oracle = NegativeWordsOracle::new(negatives);
+    debug_assert!(
+        oracle.is_consistent(&pta),
+        "input sample is inconsistent (a negative word is also positive-prefixed)"
+    );
+    generalize(&pta, &mut oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{Alphabet, Symbol};
+    use crate::word::enumerate_words;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // §3.2: P = {abc, c}, negatives covered by ν2/ν7 include bc and ε
+        // (and a, ab as non-selecting prefixes is fine). With the word
+        // negatives of the RPNI view (Theorem 3.5 proof):
+        // P− = {ε, a, ab, ac, bc}, RPNI learns (a·b)*·c.
+        let a = sym(0);
+        let b = sym(1);
+        let c = sym(2);
+        let pos = vec![vec![a, b, c], vec![c]];
+        let neg = vec![
+            vec![],
+            vec![a],
+            vec![a, b],
+            vec![a, c],
+            vec![b, c],
+        ];
+        let learned = rpni(&pos, &neg, 3);
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let target = crate::regex::Regex::parse("(a·b)*·c", &alphabet)
+            .unwrap()
+            .to_dfa(3);
+        assert!(
+            learned.equivalent(&target),
+            "learned {:?}",
+            crate::state_elim::dfa_to_regex(&learned).display(&alphabet).to_string()
+        );
+    }
+
+    #[test]
+    fn consistency_always_holds() {
+        // Whatever RPNI returns must accept all positives, no negatives.
+        let a = sym(0);
+        let b = sym(1);
+        let pos = vec![vec![a], vec![a, b, a]];
+        let neg = vec![vec![b], vec![a, b]];
+        let learned = rpni(&pos, &neg, 2);
+        for w in &pos {
+            assert!(learned.accepts(w));
+        }
+        for w in &neg {
+            assert!(!learned.accepts(w));
+        }
+    }
+
+    #[test]
+    fn no_negatives_collapses_hard() {
+        // With no negative evidence every merge is allowed; the result
+        // accepts at least the positives (and typically much more).
+        let a = sym(0);
+        let pos = vec![vec![a, a, a]];
+        let learned = rpni(&pos, &[], 1);
+        assert!(learned.accepts(&[a, a, a]));
+        // All states collapse into one: a* (containing ε? state ε merged
+        // with finals). The single class is final, so ε is accepted.
+        assert_eq!(learned.num_states(), 1);
+        assert!(learned.accepts(&[]));
+        assert!(learned.accepts(&[a, a, a, a, a]));
+    }
+
+    #[test]
+    fn merge_and_fold_keeps_determinism() {
+        // PTA of {aa, ab}: merging root with its a-child forces folding.
+        let a = sym(0);
+        let b = sym(1);
+        let pta = crate::pta::build_pta(&[vec![a, a], vec![a, b]], 2);
+        let partition = Partition::identity(pta.num_states());
+        let folded = merge_and_fold(&pta, &partition, 0, 1);
+        let (q, _) = quotient(&pta, &folded);
+        // Determinism: at most one transition per (state, symbol) — by
+        // construction of `Dfa`; check the language is still sane.
+        assert!(q.accepts(&[a, a]));
+        assert!(q.accepts(&[a, b]));
+    }
+
+    #[test]
+    fn learns_even_a_star_b() {
+        // Target: a*·b. Characteristic-ish sample chosen by hand.
+        let a = sym(0);
+        let b = sym(1);
+        let pos = vec![vec![b], vec![a, b], vec![a, a, b]];
+        let neg = vec![vec![], vec![a], vec![b, b], vec![a, a]];
+        let learned = rpni(&pos, &neg, 2);
+        let alphabet = Alphabet::from_labels(["a", "b"]);
+        let target = crate::regex::Regex::parse("a*·b", &alphabet)
+            .unwrap()
+            .to_dfa(2);
+        assert!(learned.equivalent(&target));
+    }
+
+    #[test]
+    fn generalize_with_always_false_oracle_returns_pta() {
+        struct Never;
+        impl MergeOracle for Never {
+            fn is_consistent(&mut self, _c: &Dfa) -> bool {
+                false
+            }
+        }
+        let a = sym(0);
+        let pta = crate::pta::build_pta(&[vec![a, a]], 1);
+        let out = generalize(&pta, &mut Never);
+        for word in enumerate_words(1, 4) {
+            assert_eq!(out.accepts(&word), pta.accepts(&word));
+        }
+        assert_eq!(out.num_states(), pta.num_states());
+    }
+}

@@ -1,0 +1,177 @@
+//! DFA/NFA → regular expression via state elimination (GNFA method).
+//!
+//! Learned queries are DFAs internally; users read them as regular
+//! expressions (the paper displays `(a·b)*·c`, `(tram+bus)*·cinema`, …).
+//! We build a generalized NFA with a fresh source/sink, then eliminate
+//! states one at a time, picking the state with the fewest incident
+//! edge-regex combinations first (a standard heuristic to limit blowup).
+//! The smart constructors in [`crate::regex`] keep the output reasonably
+//! small (`ε` absorption, alternative dedup, `(r*)* = r*`).
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::StateId;
+
+/// Converts a DFA to an equivalent regular expression.
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    nfa_to_regex(&dfa.to_nfa())
+}
+
+/// Converts an NFA to an equivalent regular expression.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    let (nfa, _) = nfa.trim();
+    if nfa.num_states() == 0 || nfa.finals().is_empty() {
+        return Regex::Empty;
+    }
+    let n = nfa.num_states();
+    // GNFA states: 0..n are the NFA states, n = fresh source, n+1 = sink.
+    let source = n;
+    let sink = n + 1;
+    let total = n + 2;
+    // Edge matrix of regexes; None = no edge (∅).
+    let mut edges: Vec<Vec<Option<Regex>>> = vec![vec![None; total]; total];
+
+    let connect = |edges: &mut Vec<Vec<Option<Regex>>>, from: usize, to: usize, r: Regex| {
+        let slot = &mut edges[from][to];
+        *slot = Some(match slot.take() {
+            None => r,
+            Some(existing) => Regex::alt(vec![existing, r]),
+        });
+    };
+
+    for s in 0..n as StateId {
+        for &(sym, t) in nfa.transitions_from(s) {
+            connect(&mut edges, s as usize, t as usize, Regex::Symbol(sym));
+        }
+    }
+    for &i in nfa.initials() {
+        connect(&mut edges, source, i as usize, Regex::Epsilon);
+    }
+    for f in nfa.finals().iter() {
+        connect(&mut edges, f, sink, Regex::Epsilon);
+    }
+
+    // Eliminate the interior states, cheapest first.
+    let mut alive: Vec<usize> = (0..n).collect();
+    while !alive.is_empty() {
+        // Pick the state minimizing in-degree × out-degree (self-loops
+        // excluded from both counts).
+        let (pos, &victim) = alive
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| {
+                let in_deg = (0..total)
+                    .filter(|&u| u != v && edges[u][v].is_some())
+                    .count();
+                let out_deg = (0..total)
+                    .filter(|&w| w != v && edges[v][w].is_some())
+                    .count();
+                in_deg * out_deg
+            })
+            .expect("alive non-empty");
+        alive.swap_remove(pos);
+
+        let self_loop = edges[victim][victim].take().map(Regex::star);
+        let incoming: Vec<(usize, Regex)> = (0..total)
+            .filter(|&u| u != victim)
+            .filter_map(|u| edges[u][victim].take().map(|r| (u, r)))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = (0..total)
+            .filter(|&w| w != victim)
+            .filter_map(|w| edges[victim][w].take().map(|r| (w, r)))
+            .collect();
+        for (u, rin) in &incoming {
+            for (w, rout) in &outgoing {
+                let mut parts = vec![rin.clone()];
+                if let Some(loop_regex) = &self_loop {
+                    parts.push(loop_regex.clone());
+                }
+                parts.push(rout.clone());
+                connect(&mut edges, *u, *w, Regex::concat(parts));
+            }
+        }
+    }
+
+    edges[source][sink].take().unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{Alphabet, Symbol};
+    use crate::word::enumerate_words;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    fn roundtrip_preserves_language(dfa: &Dfa, max_len: usize) {
+        let regex = dfa_to_regex(dfa);
+        let back = regex.to_dfa(dfa.alphabet_len());
+        for word in enumerate_words(dfa.alphabet_len(), max_len) {
+            assert_eq!(dfa.accepts(&word), back.accepts(&word), "{word:?}");
+        }
+        assert!(dfa.equivalent(&back));
+    }
+
+    #[test]
+    fn fig4_roundtrip() {
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let regex = Regex::parse("(a·b)*·c", &alphabet).unwrap();
+        let dfa = regex.to_dfa(3);
+        roundtrip_preserves_language(&dfa, 6);
+    }
+
+    #[test]
+    fn empty_language_prints_empty() {
+        let dfa = Dfa::empty_language(2);
+        assert_eq!(dfa_to_regex(&dfa), Regex::Empty);
+    }
+
+    #[test]
+    fn epsilon_language() {
+        let dfa = Dfa::epsilon_language(2);
+        let regex = dfa_to_regex(&dfa);
+        assert!(regex.nullable());
+        roundtrip_preserves_language(&dfa, 3);
+    }
+
+    #[test]
+    fn single_symbol() {
+        let mut dfa = Dfa::new(2, 2, 0);
+        dfa.set_transition(0, sym(0), 1);
+        dfa.set_final(1);
+        let regex = dfa_to_regex(&dfa);
+        assert_eq!(regex, Regex::Symbol(sym(0)));
+    }
+
+    #[test]
+    fn randomized_roundtrips() {
+        let mut seed = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..25 {
+            let n = 1 + (next() % 5) as usize;
+            let alphabet = 2;
+            let mut dfa = Dfa::new(n, alphabet, 0);
+            for s in 0..n as StateId {
+                for a in 0..alphabet {
+                    if next() % 3 != 0 {
+                        dfa.set_transition(s, sym(a), (next() % n as u64) as StateId);
+                    }
+                }
+            }
+            for s in 0..n {
+                if next() % 3 == 0 {
+                    dfa.set_final(s as StateId);
+                }
+            }
+            roundtrip_preserves_language(&dfa, 5);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Interned symbols and ordered alphabets.
+//!
+//! The paper (§2) fixes a finite **ordered** alphabet `Σ`; the canonical
+//! order on words is derived from the symbol order. We intern label strings
+//! into dense `u32` identifiers so automata and graphs can use plain array
+//! indexing; the interning order *is* the symbol order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned edge label / alphabet symbol.
+///
+/// Symbols are ordered by their interning index in the owning [`Alphabet`];
+/// this order induces the lexicographic component of the canonical order on
+/// words (see [`crate::word::canonical_cmp`]).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Creates a symbol from a raw dense index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+
+    /// Dense index of the symbol, usable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finite, ordered set of label strings with O(1) symbol↔name mapping.
+///
+/// The order of symbols is the insertion order. Use
+/// [`Alphabet::from_labels`] to get the conventional "sorted by name" order
+/// used throughout the paper's examples (`a < b < c < …`).
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet whose symbol order is the **sorted** order of the
+    /// given labels (duplicates are ignored).
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut names: Vec<String> =
+            labels.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        let mut alphabet = Self::new();
+        for name in names {
+            alphabet.intern(&name);
+        }
+        alphabet
+    }
+
+    /// Returns the symbol for `name`, interning it at the end of the order
+    /// if it is new.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up an existing symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol does not belong to this alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len()).map(Symbol::from_index)
+    }
+
+    /// Iterates over `(symbol, name)` pairs in order.
+    pub fn entries(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol::from_index(i), n.as_str()))
+    }
+
+    /// Parses a whitespace-separated sequence of labels into a word.
+    ///
+    /// Every label must already be present in the alphabet.
+    pub fn parse_word(&self, text: &str) -> Result<crate::word::Word, String> {
+        text.split_whitespace()
+            .map(|tok| {
+                self.symbol(tok)
+                    .ok_or_else(|| format!("unknown label `{tok}`"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut alphabet = Alphabet::new();
+        let a = alphabet.intern("a");
+        let b = alphabet.intern("b");
+        assert_eq!(alphabet.intern("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(alphabet.len(), 2);
+        assert_eq!(alphabet.name(a), "a");
+        assert_eq!(alphabet.name(b), "b");
+    }
+
+    #[test]
+    fn from_labels_sorts_and_dedups() {
+        let alphabet = Alphabet::from_labels(["tram", "bus", "cinema", "bus"]);
+        assert_eq!(alphabet.len(), 3);
+        let names: Vec<&str> = alphabet.entries().map(|(_, n)| n).collect();
+        assert_eq!(names, ["bus", "cinema", "tram"]);
+        // Symbol order follows sorted name order.
+        assert!(alphabet.symbol("bus").unwrap() < alphabet.symbol("cinema").unwrap());
+        assert!(alphabet.symbol("cinema").unwrap() < alphabet.symbol("tram").unwrap());
+    }
+
+    #[test]
+    fn symbol_lookup_miss() {
+        let alphabet = Alphabet::from_labels(["a"]);
+        assert_eq!(alphabet.symbol("z"), None);
+    }
+
+    #[test]
+    fn parse_word_roundtrip() {
+        let alphabet = Alphabet::from_labels(["a", "b"]);
+        let word = alphabet.parse_word("a b a").unwrap();
+        assert_eq!(word.len(), 3);
+        assert_eq!(alphabet.name(word[0]), "a");
+        assert_eq!(alphabet.name(word[1]), "b");
+        assert!(alphabet.parse_word("a z").is_err());
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let alphabet = Alphabet::from_labels(["c", "a", "b"]);
+        let symbols: Vec<Symbol> = alphabet.symbols().collect();
+        assert_eq!(symbols.len(), 3);
+        assert!(symbols.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation bench for monadic RPQ evaluation (DESIGN.md decision on S12):
+//! single backward product reachability vs. per-node forward emptiness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathlearn_bench::{bio_dataset, syn_dataset};
+use pathlearn_graph::eval::{eval_monadic, eval_monadic_naive};
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let bio = bio_dataset(42);
+    let q6 = bio.queries[5].query.dfa().clone();
+    let mut group = c.benchmark_group("eval_monadic");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("backward_alibaba_bio6", |b| {
+        b.iter(|| eval_monadic(black_box(&q6), &bio.graph))
+    });
+    group.bench_function("naive_alibaba_bio6", |b| {
+        b.iter(|| eval_monadic_naive(black_box(&q6), &bio.graph))
+    });
+
+    let syn = syn_dataset(10_000, 42);
+    let s2 = syn.queries[1].query.dfa().clone();
+    group.bench_function("backward_syn10k_syn2", |b| {
+        b.iter(|| eval_monadic(black_box(&s2), &syn.graph))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks for one interactive round: the strategy's node proposal
+//! (`kR` scan vs `kS` exhaustive count) — the dominant cost in the
+//! "time between interactions" column of Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathlearn_bench::bio_dataset;
+use pathlearn_core::Sample;
+use pathlearn_datagen::sampling::random_sample;
+use pathlearn_graph::NodeId;
+use pathlearn_interactive::strategy::{propose, StrategyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_propose(c: &mut Criterion) {
+    let dataset = bio_dataset(42);
+    let goal = &dataset.queries[3].query; // bio4
+    let selection = goal.eval(&dataset.graph);
+    let sample: Sample = random_sample(&dataset.graph, &selection, 0.01, 7);
+    let candidates: Vec<NodeId> = dataset
+        .graph
+        .nodes()
+        .filter(|&n| !sample.is_labeled(n))
+        .collect();
+
+    let mut group = c.benchmark_group("propose_alibaba");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for strategy in [StrategyKind::KRandom, StrategyKind::KSmallest] {
+        group.bench_function(strategy.to_string(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                propose(
+                    strategy,
+                    &dataset.graph,
+                    &sample,
+                    &candidates,
+                    2,
+                    4,
+                    10_000,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end Algorithm 1 benchmarks — the learning-time measurements
+//! behind Figure 12, as micro-benchmarks (one per biological query at a
+//! fixed 2% label fraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathlearn_bench::bio_dataset;
+use pathlearn_core::Learner;
+use pathlearn_datagen::sampling::random_sample;
+use std::hint::black_box;
+
+fn bench_learner(c: &mut Criterion) {
+    let dataset = bio_dataset(42);
+    let mut group = c.benchmark_group("learn_alibaba_2pct");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for q in &dataset.queries {
+        let selection = q.query.eval(&dataset.graph);
+        let sample = random_sample(&dataset.graph, &selection, 0.02, 7);
+        let learner = Learner::default();
+        group.bench_function(q.name.as_str(), |b| {
+            b.iter(|| learner.learn(black_box(&dataset.graph), black_box(&sample)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learner);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation bench for SCP search (DESIGN.md decision 3): the shared
+//! negative-side determinization cache vs. a fresh cache per positive
+//! node, and the naive enumerate-and-test baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathlearn_bench::bio_dataset;
+use pathlearn_core::Sample;
+use pathlearn_datagen::sampling::random_sample;
+use pathlearn_graph::scp::scp_naive;
+use pathlearn_graph::{GraphDb, ScpFinder};
+use std::hint::black_box;
+
+fn setup() -> (GraphDb, Sample) {
+    let dataset = bio_dataset(42);
+    let goal = &dataset.queries[5].query; // bio6: plenty of positives
+    let selection = goal.eval(&dataset.graph);
+    let sample = random_sample(&dataset.graph, &selection, 0.02, 7);
+    (dataset.graph, sample)
+}
+
+fn bench_scp(c: &mut Criterion) {
+    let (graph, sample) = setup();
+    let mut group = c.benchmark_group("scp_alibaba_2pct");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("shared_neg_cache", |b| {
+        b.iter(|| {
+            let mut finder = ScpFinder::new(&graph, sample.neg());
+            let mut found = 0usize;
+            for &node in sample.pos() {
+                if finder.scp(black_box(node), 3).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+
+    group.bench_function("fresh_cache_per_node", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &node in sample.pos() {
+                // Ablation: rebuild the finder (and its cache) per node.
+                let mut finder = ScpFinder::new(&graph, sample.neg());
+                if finder.scp(black_box(node), 3).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+
+    // The naive baseline is slow; restrict it to a handful of nodes.
+    let few: Vec<_> = sample.pos().iter().copied().take(3).collect();
+    group.bench_function("naive_enumerate_3nodes", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &node in &few {
+                if scp_naive(&graph, node, sample.neg(), 3).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scp);
+criterion_main!(benches);

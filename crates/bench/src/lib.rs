@@ -1,0 +1,152 @@
+//! Shared setup for the benchmark harness.
+//!
+//! One binary per paper artifact (run with `--release`):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table 1 (bio query selectivities) | `table1_selectivity` |
+//! | Figure 11 (F1 vs. % labeled nodes) | `fig11_f1 [bio\|syn]` |
+//! | Figure 12 (learning time vs. % labeled nodes) | `fig12_time [bio\|syn]` |
+//! | Table 2 (static vs. interactive labels, time/interaction) | `table2_interactive [bio\|syn]` |
+//!
+//! Criterion micro/ablation benches live under `benches/`.
+//!
+//! All binaries accept `--seed N` (default 42) and `--full` (paper-scale
+//! synthetic graphs 10k/20k/30k; the default quick scale uses 10k only so
+//! the whole harness finishes in minutes).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pathlearn_core::PathQuery;
+use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
+use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
+use pathlearn_graph::GraphDb;
+
+/// Parsed command-line options shared by the harness binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Paper-scale synthetic graphs (10k/20k/30k) instead of 10k only.
+    pub full: bool,
+    /// Positional arguments (e.g. `bio` / `syn`).
+    pub positional: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, ignoring the binary name.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            seed: 42,
+            full: false,
+            positional: Vec::new(),
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--full" => args.full = true,
+                other if other.starts_with("--") => {
+                    panic!("unknown flag {other} (expected --seed/--full)")
+                }
+                other => args.positional.push(other.to_owned()),
+            }
+        }
+        args
+    }
+
+    /// Synthetic graph sizes for this scale.
+    pub fn syn_sizes(&self) -> Vec<usize> {
+        if self.full {
+            vec![10_000, 20_000, 30_000]
+        } else {
+            vec![10_000]
+        }
+    }
+}
+
+/// A named dataset: graph + calibrated workload queries.
+pub struct Dataset {
+    /// Dataset label for reports (`alibaba-sim`, `syn-10000`, …).
+    pub name: String,
+    /// The graph.
+    pub graph: GraphDb,
+    /// The calibrated workload on it.
+    pub queries: Vec<CalibratedQuery>,
+}
+
+/// Builds the simulated-AliBaba dataset with the Table 1 workload.
+pub fn bio_dataset(seed: u64) -> Dataset {
+    let graph = pathlearn_datagen::alibaba_like(seed);
+    let workload = bio_workload(&graph);
+    Dataset {
+        name: "alibaba-sim".to_owned(),
+        graph,
+        queries: workload.queries,
+    }
+}
+
+/// Builds one synthetic dataset of the given size with syn1..syn3.
+pub fn syn_dataset(nodes: usize, seed: u64) -> Dataset {
+    let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(nodes, seed));
+    let workload = syn_workload(&graph);
+    Dataset {
+        name: format!("syn-{nodes}"),
+        graph,
+        queries: workload.queries,
+    }
+}
+
+/// Returns the datasets selected by the positional argument
+/// (`bio`, `syn`, or both when absent).
+pub fn datasets_for(args: &HarnessArgs) -> Vec<Dataset> {
+    let which = args.positional.first().map(String::as_str);
+    let mut datasets = Vec::new();
+    if matches!(which, None | Some("bio")) {
+        datasets.push(bio_dataset(args.seed));
+    }
+    if matches!(which, None | Some("syn")) {
+        for nodes in args.syn_sizes() {
+            datasets.push(syn_dataset(nodes, args.seed));
+        }
+    }
+    assert!(
+        !datasets.is_empty(),
+        "dataset selector must be `bio` or `syn`"
+    );
+    datasets
+}
+
+/// Convenience: a `(name, goal)` list from a dataset.
+pub fn goals(dataset: &Dataset) -> Vec<(String, PathQuery)> {
+    dataset
+        .queries
+        .iter()
+        .map(|q| (q.name.clone(), q.query.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bio_dataset_builds() {
+        let dataset = bio_dataset(42);
+        assert_eq!(dataset.queries.len(), 6);
+        assert_eq!(dataset.graph.num_nodes(), 3000);
+    }
+
+    #[test]
+    fn syn_dataset_builds_small() {
+        let dataset = syn_dataset(500, 42);
+        assert_eq!(dataset.queries.len(), 3);
+        assert_eq!(dataset.name, "syn-500");
+    }
+}

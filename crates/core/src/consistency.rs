@@ -1,0 +1,142 @@
+//! Exact consistency checking (paper §3.1).
+//!
+//! Lemma 3.1: a sample is consistent iff for every positive node `ν`,
+//! `paths_G(ν) ⊄ paths_G(S⁻)` — some path of `ν` escapes the negatives'
+//! coverage. Deciding this is PSPACE-complete (Lemma 3.2), which is the
+//! paper's reason for the *learning with abstain* framework; we implement
+//! the check exactly with the antichain inclusion algorithm so that small
+//! and medium inputs can be validated, and expose the witnessing path of
+//! each positive node (the *consistent path*, not necessarily minimal).
+
+use crate::sample::Sample;
+use pathlearn_automata::inclusion::nfa_included_in;
+use pathlearn_automata::Word;
+use pathlearn_graph::{GraphDb, NodeId};
+
+/// Why a sample is inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inconsistency {
+    /// The positive node all of whose paths are covered by `S⁻`.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "positive node {} has every path covered by the negative examples",
+            self.node
+        )
+    }
+}
+
+impl std::error::Error for Inconsistency {}
+
+/// Exact consistency check (Lemma 3.1). Returns, for each positive node,
+/// a consistent path witnessing `paths_G(ν) ⊄ paths_G(S⁻)`, or the first
+/// violating node.
+///
+/// Worst-case exponential (the problem is PSPACE-complete, Lemma 3.2);
+/// the antichain pruning makes it practical on the graphs used in this
+/// workspace's tests and experiments.
+pub fn check_consistency(
+    graph: &GraphDb,
+    sample: &Sample,
+) -> Result<Vec<(NodeId, Word)>, Inconsistency> {
+    let negative_paths = graph.paths_nfa(sample.neg());
+    let mut witnesses = Vec::with_capacity(sample.pos().len());
+    for &node in sample.pos() {
+        let node_paths = graph.paths_nfa(&[node]);
+        match nfa_included_in(&node_paths, &negative_paths) {
+            // Inclusion holds: every path covered ⇒ inconsistent.
+            Ok(()) => return Err(Inconsistency { node }),
+            // The counterexample is exactly a consistent path (and, being
+            // produced by a canonical-order search, it is the SCP).
+            Err(path) => witnesses.push((node, path)),
+        }
+    }
+    Ok(witnesses)
+}
+
+/// Boolean form of [`check_consistency`].
+pub fn is_consistent(graph: &GraphDb, sample: &Sample) -> bool {
+    check_consistency(graph, sample).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_automata::Alphabet;
+    use pathlearn_graph::graph::figure3_g0;
+    use pathlearn_graph::GraphBuilder;
+
+    #[test]
+    fn g0_paper_sample_is_consistent_with_scp_witnesses() {
+        let graph = figure3_g0();
+        let sample = Sample::new()
+            .positive(graph.node_id("v1").unwrap())
+            .positive(graph.node_id("v3").unwrap())
+            .negative(graph.node_id("v2").unwrap())
+            .negative(graph.node_id("v7").unwrap());
+        let witnesses = check_consistency(&graph, &sample).unwrap();
+        let alphabet = graph.alphabet();
+        // The canonical-order counterexamples are the SCPs: abc and c.
+        assert_eq!(witnesses.len(), 2);
+        assert_eq!(witnesses[0].1, alphabet.parse_word("a b c").unwrap());
+        assert_eq!(witnesses[1].1, alphabet.parse_word("c").unwrap());
+    }
+
+    #[test]
+    fn figure5_sample_is_inconsistent() {
+        // Figure 5: the positive's infinitely many paths are all covered.
+        let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b"]));
+        builder.add_edge("p", "a", "p2");
+        builder.add_edge("p2", "b", "p2");
+        builder.add_edge("n1", "a", "n1b");
+        builder.add_edge("n1b", "b", "n1b");
+        builder.add_node("n2");
+        let graph = builder.build();
+        let p = graph.node_id("p").unwrap();
+        let sample = Sample::new()
+            .positive(p)
+            .negative(graph.node_id("n1").unwrap())
+            .negative(graph.node_id("n2").unwrap());
+        assert_eq!(
+            check_consistency(&graph, &sample),
+            Err(Inconsistency { node: p })
+        );
+        assert!(!is_consistent(&graph, &sample));
+    }
+
+    #[test]
+    fn empty_negatives_always_consistent() {
+        let graph = figure3_g0();
+        let sample = Sample::new().positive(0).positive(3);
+        let witnesses = check_consistency(&graph, &sample).unwrap();
+        // ε is the witness for everyone.
+        assert!(witnesses.iter().all(|(_, w)| w.is_empty()));
+    }
+
+    #[test]
+    fn no_positives_always_consistent() {
+        let graph = figure3_g0();
+        let sample = Sample::new().negative(0);
+        assert!(is_consistent(&graph, &sample));
+    }
+
+    #[test]
+    fn consistency_iff_learner_can_succeed_unbounded() {
+        // On G0 every consistent sample the paper uses admits learning;
+        // check agreement between the exact check and a large-k learner.
+        let graph = figure3_g0();
+        let goal = crate::PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
+        let selected = goal.eval(&graph);
+        let mut sample = Sample::new();
+        for node in graph.nodes() {
+            sample.add(node, selected.contains(node as usize));
+        }
+        assert!(is_consistent(&graph, &sample));
+        let outcome = crate::Learner::with_fixed_k(8).learn(&graph, &sample);
+        assert!(outcome.query.is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! Definability of node sets (related work of the paper, \[4\]).
+//!
+//! The paper contrasts *learning* with *definability* (Antonopoulos,
+//! Neven, Servais — ICDT 2013): both look for a query consistent with
+//! examples, but definability requires the query to select **exactly** a
+//! given node set — every node outside the set is an implicit negative.
+//! Definability is therefore the extreme case of our learning problem
+//! where the sample labels every node, and the paper reuses its hardness
+//! constructions for Lemmas 3.2/3.3.
+//!
+//! This module exposes that reduction: a set `X` is (approximately)
+//! definable by a path query iff the learner succeeds on the sample
+//! `(X, V \ X)` — *sound* (any returned query defines `X`) but, like the
+//! learner, allowed to abstain (the exact problem is undecidable-hard in
+//! the size-bounded sense and PSPACE-hard to check; Lemma 3.2's proof
+//! adapts definability hardness).
+
+use crate::learner::{Learner, LearnerConfig};
+use crate::query::PathQuery;
+use crate::sample::Sample;
+use pathlearn_graph::{GraphDb, NodeId};
+
+/// Result of a definability check.
+#[derive(Clone, Debug)]
+pub enum Definability {
+    /// A query selecting exactly the given set.
+    Definable(PathQuery),
+    /// No defining query was found with SCPs of length ≤ the learner's k
+    /// (the set may still be definable — the procedure abstains).
+    Unknown,
+}
+
+impl Definability {
+    /// The defining query, if one was found.
+    pub fn query(self) -> Option<PathQuery> {
+        match self {
+            Definability::Definable(query) => Some(query),
+            Definability::Unknown => None,
+        }
+    }
+}
+
+/// Attempts to define `nodes` exactly: learn on the fully labeled sample
+/// where `nodes` are positive and everything else negative, and verify
+/// exactness.
+pub fn define_set(graph: &GraphDb, nodes: &[NodeId], config: LearnerConfig) -> Definability {
+    let mut sample = Sample::new();
+    let mut in_set = vec![false; graph.num_nodes()];
+    for &node in nodes {
+        in_set[node as usize] = true;
+    }
+    for node in graph.nodes() {
+        sample.add(node, in_set[node as usize]);
+    }
+    let outcome = Learner::with_config(config).learn(graph, &sample);
+    match outcome.query {
+        Some(query) => {
+            let selected = query.eval(graph);
+            // Consistency already guarantees exactness on a fully labeled
+            // sample, but assert the contract explicitly.
+            debug_assert!(graph
+                .nodes()
+                .all(|n| selected.contains(n as usize) == in_set[n as usize]));
+            Definability::Definable(query)
+        }
+        None => Definability::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_graph::graph::figure3_g0;
+
+    #[test]
+    fn defines_query_selections_on_g0() {
+        // Any actual query result is definable (by that query, at least).
+        let graph = figure3_g0();
+        for expr in ["a", "(a·b)*·c", "c"] {
+            let goal = PathQuery::parse(expr, graph.alphabet()).unwrap();
+            let target: Vec<NodeId> = goal
+                .eval(&graph)
+                .iter()
+                .map(|n| n as NodeId)
+                .collect();
+            match define_set(&graph, &target, LearnerConfig::default()) {
+                Definability::Definable(query) => {
+                    assert_eq!(query.eval(&graph), goal.eval(&graph), "{expr}");
+                }
+                Definability::Unknown => panic!("{expr}: should be definable"),
+            }
+        }
+    }
+
+    #[test]
+    fn undefinable_set_abstains() {
+        // {ν4} on G0: ν4's only path is ε, and ε-queries select every
+        // node, so no path query selects exactly {ν4}.
+        let graph = figure3_g0();
+        let v4 = graph.node_id("v4").unwrap();
+        match define_set(&graph, &[v4], LearnerConfig::default()) {
+            Definability::Unknown => {}
+            Definability::Definable(query) => {
+                panic!("impossible: {}", query.display(graph.alphabet()))
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_is_definable_by_empty_query() {
+        let graph = figure3_g0();
+        match define_set(&graph, &[], LearnerConfig::default()) {
+            Definability::Definable(query) => {
+                assert!(query.eval(&graph).is_empty());
+            }
+            Definability::Unknown => panic!("∅ is definable by the empty query"),
+        }
+    }
+
+    #[test]
+    fn full_set_is_definable_by_epsilon() {
+        let graph = figure3_g0();
+        let all: Vec<NodeId> = graph.nodes().collect();
+        match define_set(&graph, &all, LearnerConfig::default()) {
+            Definability::Definable(query) => {
+                assert_eq!(query.eval(&graph).len(), graph.num_nodes());
+            }
+            Definability::Unknown => panic!("V is definable by ε"),
+        }
+    }
+
+    #[test]
+    fn definability_query_accessor() {
+        let graph = figure3_g0();
+        let v4 = graph.node_id("v4").unwrap();
+        assert!(define_set(&graph, &[v4], LearnerConfig::default())
+            .query()
+            .is_none());
+    }
+}

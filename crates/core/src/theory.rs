@@ -1,0 +1,257 @@
+//! The Theorem 3.5 construction: characteristic graphs and samples.
+//!
+//! Completeness of `learner` (Definition 3.4(2)) is proved by exhibiting,
+//! for every target query `q`, a graph `G` and a polynomial *characteristic
+//! sample* `CS` such that `learner(G, S)` returns `q` for every `S ⊇ CS`
+//! consistent with `q`. The construction (illustrated by Figure 7 of the
+//! paper) is:
+//!
+//! 1. compute an RPNI characteristic word sample `(P⁺, P⁻)` for `L(q)`
+//!    ([`pathlearn_automata::char_sample`]);
+//! 2. for each `p ∈ P⁺`, add a **chain** of fresh nodes spelling `p`; its
+//!    start node is a positive example, and
+//!    `p = min≤(L(q) ∩ paths_G(ν))` holds because `q` is prefix-free;
+//! 3. add one **negative component**: the completed canonical DFA of `q`
+//!    with all accepting states (and the transitions into them) removed.
+//!    The path language of its initial-state node is exactly the set `N`
+//!    of words with **no prefix in `L(q)`** — covering every `P⁻` word
+//!    (guaranteed by minimal distinguishing suffixes) *and* every word
+//!    smaller than a `P⁺` word that condition (iii) of the proof requires.
+//!
+//! With `k = 2·size(q)+1` (Theorem 3.5), `learner`'s SCPs on this instance
+//! are exactly `P⁺`, and its merge oracle refuses exactly the merges RPNI
+//! would refuse, so the output is `q`.
+
+use crate::query::PathQuery;
+use crate::sample::Sample;
+use pathlearn_automata::char_sample::{characteristic_sample, WordSample};
+use pathlearn_automata::{Alphabet, Symbol};
+use pathlearn_graph::{GraphBuilder, GraphDb, NodeId};
+
+/// A graph plus characteristic sample for a target query.
+#[derive(Clone, Debug)]
+pub struct CharacteristicInstance {
+    /// The constructed graph.
+    pub graph: GraphDb,
+    /// The characteristic sample on it.
+    pub sample: Sample,
+    /// The word sample `(P⁺, P⁻)` that drove the construction.
+    pub words: WordSample,
+    /// The `k` bound Theorem 3.5 prescribes: `2·size(q)+1`.
+    pub required_k: usize,
+}
+
+/// Errors from [`characteristic_instance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryError {
+    /// The empty-language query has no positive examples on any graph; it
+    /// is learned from the empty sample instead.
+    EmptyLanguage,
+    /// `{ε}` selects every node of every graph; any single positive node
+    /// with no negatives is characteristic, but the construction below
+    /// needs a non-accepting initial state.
+    EpsilonLanguage,
+}
+
+impl std::fmt::Display for TheoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TheoryError::EmptyLanguage => write!(f, "target language is empty"),
+            TheoryError::EpsilonLanguage => write!(f, "target language is {{ε}}"),
+        }
+    }
+}
+
+impl std::error::Error for TheoryError {}
+
+/// Builds the Theorem 3.5 characteristic graph and sample for `query`.
+///
+/// `query` is normalized to its prefix-free form first (§2 justifies this
+/// w.l.o.g.: learner outputs are prefix-free representatives).
+///
+/// ```
+/// use pathlearn_automata::Alphabet;
+/// use pathlearn_core::{theory::characteristic_instance, Learner, PathQuery};
+///
+/// let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+/// let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap();
+/// let instance = characteristic_instance(&target, &alphabet).unwrap();
+/// // Theorem 3.5: with k = 2·size(q)+1 the learner identifies the target.
+/// let outcome =
+///     Learner::with_fixed_k(instance.required_k).learn(&instance.graph, &instance.sample);
+/// assert!(outcome.query.unwrap().equivalent_language(&target));
+/// ```
+pub fn characteristic_instance(
+    query: &PathQuery,
+    alphabet: &Alphabet,
+) -> Result<CharacteristicInstance, TheoryError> {
+    let target = query.prefix_free();
+    let dfa = target.dfa();
+    if dfa.language_is_empty() {
+        return Err(TheoryError::EmptyLanguage);
+    }
+    if dfa.accepts(&[]) {
+        return Err(TheoryError::EpsilonLanguage);
+    }
+
+    let words = characteristic_sample(dfa);
+    let mut builder = GraphBuilder::with_alphabet(alphabet.clone());
+    let mut sample = Sample::new();
+
+    // (2) Positive chains.
+    for (i, p) in words.pos.iter().enumerate() {
+        let start = builder.add_node(&format!("pos{i}_0"));
+        let mut current = start;
+        for (j, &sym) in p.iter().enumerate() {
+            let next = builder.add_node(&format!("pos{i}_{}", j + 1));
+            builder.add_edge_ids(current, sym, next);
+            current = next;
+        }
+        sample.add(start, true);
+    }
+
+    // (3) Negative component: completed canonical DFA minus finals.
+    let (complete, _) = dfa.complete();
+    let mut state_node: Vec<Option<NodeId>> = vec![None; complete.num_states()];
+    for s in 0..complete.num_states() as u32 {
+        if !complete.is_final(s) {
+            state_node[s as usize] = Some(builder.add_node(&format!("neg_q{s}")));
+        }
+    }
+    for s in 0..complete.num_states() as u32 {
+        let Some(from) = state_node[s as usize] else { continue };
+        for a in 0..alphabet.len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = complete.step(s, sym) {
+                if let Some(to) = state_node[t as usize] {
+                    builder.add_edge_ids(from, sym, to);
+                }
+            }
+        }
+    }
+    let negative_node = state_node[complete.initial() as usize]
+        .expect("initial state is non-final for non-ε prefix-free targets");
+    sample.add(negative_node, false);
+
+    let graph = builder.build();
+    let required_k = 2 * target.size() + 1;
+
+    debug_assert!(
+        words
+            .neg
+            .iter()
+            .all(|w| graph.covers(w, &[negative_node])),
+        "negative component must cover every P⁻ word"
+    );
+
+    Ok(CharacteristicInstance {
+        graph,
+        sample,
+        words,
+        required_k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::Learner;
+
+    fn check_identification(expr: &str, labels: &[&str]) {
+        let alphabet = Alphabet::from_labels(labels.iter().copied());
+        let target = PathQuery::parse(expr, &alphabet).unwrap();
+        let instance = characteristic_instance(&target, &alphabet).unwrap();
+        let learner = Learner::with_fixed_k(instance.required_k);
+        let outcome = learner.learn(&instance.graph, &instance.sample);
+        let learned = outcome.query.unwrap_or_else(|| {
+            panic!("learner abstained on characteristic instance for {expr}")
+        });
+        assert!(
+            learned.equivalent_language(&target.prefix_free()),
+            "{expr}: learned {} instead",
+            learned.display(&alphabet)
+        );
+    }
+
+    #[test]
+    fn theorem_3_5_identifies_paper_query() {
+        check_identification("(a·b)*·c", &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn theorem_3_5_identifies_assorted_queries() {
+        check_identification("a·b·c", &["a", "b", "c"]);
+        check_identification("a*·b", &["a", "b"]);
+        check_identification("a·(b+c)", &["a", "b", "c"]);
+        check_identification("(a+b)·c", &["a", "b", "c"]);
+        check_identification("(b·a)*·a", &["a", "b"]);
+        check_identification("a", &["a", "b"]);
+    }
+
+    #[test]
+    fn theorem_3_5_identifies_bio_style_disjunction_queries() {
+        // Table 1 structural templates with small disjunction classes.
+        check_identification("b·(a+b)·(a+b)*", &["a", "b", "c"]);
+        check_identification("(a+c)·(a+c)*·b", &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn identification_survives_consistent_extension() {
+        // Definition 3.4(2): extend CS with more consistent labels.
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap();
+        let instance = characteristic_instance(&target, &alphabet).unwrap();
+        let selected = target.eval(&instance.graph);
+        let mut sample = instance.sample.clone();
+        // Label everything consistently with the target.
+        for node in instance.graph.nodes() {
+            if !sample.is_labeled(node) {
+                sample.add(node, selected.contains(node as usize));
+            }
+        }
+        let outcome =
+            Learner::with_fixed_k(instance.required_k).learn(&instance.graph, &sample);
+        assert!(outcome
+            .query
+            .unwrap()
+            .equivalent_language(&target));
+    }
+
+    #[test]
+    fn scps_on_characteristic_instance_are_exactly_p_plus() {
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap();
+        let instance = characteristic_instance(&target, &alphabet).unwrap();
+        let outcome = Learner::with_fixed_k(instance.required_k)
+            .learn(&instance.graph, &instance.sample);
+        let mut scps: Vec<_> = outcome.stats.scps.iter().map(|(_, w)| w.clone()).collect();
+        pathlearn_automata::word::sort_canonical(&mut scps);
+        assert_eq!(scps, instance.words.pos);
+    }
+
+    #[test]
+    fn degenerate_targets_are_rejected() {
+        let alphabet = Alphabet::from_labels(["a"]);
+        let empty = PathQuery::from_dfa(&pathlearn_automata::Dfa::empty_language(1));
+        assert_eq!(
+            characteristic_instance(&empty, &alphabet).unwrap_err(),
+            TheoryError::EmptyLanguage
+        );
+        let eps = PathQuery::parse("eps", &alphabet).unwrap();
+        assert_eq!(
+            characteristic_instance(&eps, &alphabet).unwrap_err(),
+            TheoryError::EpsilonLanguage
+        );
+    }
+
+    #[test]
+    fn sample_sizes_are_polynomial() {
+        // |CS⁺| = |P⁺| and |CS⁻| = 1 (Theorem 3.5 proof).
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap();
+        let instance = characteristic_instance(&target, &alphabet).unwrap();
+        assert_eq!(instance.sample.pos().len(), instance.words.pos.len());
+        assert_eq!(instance.sample.neg().len(), 1);
+        assert_eq!(instance.required_k, 2 * 3 + 1);
+    }
+}

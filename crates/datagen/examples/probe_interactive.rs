@@ -1,0 +1,26 @@
+//! Dev probe: does a fully labeled sample identify syn3 exactly on a
+//! small synthetic graph? (Checks the interactive halt condition is
+//! reachable at all.)
+//!
+//! `cargo run -p pathlearn-datagen --release --example probe_interactive`
+use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
+use pathlearn_datagen::workloads::syn_workload;
+fn main() {
+    let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(600, 42));
+    let workload = syn_workload(&graph);
+    let goal = &workload.queries[2];
+    println!("goal {} sel {:.2}% size {}", goal.name, goal.achieved_selectivity*100.0, goal.query.size());
+    let goal_sel = goal.query.eval(&graph);
+    let mut sample = pathlearn_core::Sample::new();
+    // label everything
+    for node in graph.nodes() { sample.add(node, goal_sel.contains(node as usize)); }
+    let out = pathlearn_core::Learner::default().learn(&graph, &sample);
+    match out.query {
+        Some(q) => {
+            let sel = q.eval(&graph);
+            println!("full-label learn: k={} equal={} |learned|={} |goal|={}",
+                out.stats.k_used, sel == goal_sel, sel.len(), goal_sel.len());
+        }
+        None => println!("full-label learn: ABSTAIN k={} no_scp={}", out.stats.k_used, out.stats.nodes_without_scp.len()),
+    }
+}

@@ -1,0 +1,13 @@
+//! Dev probe: prints the calibrated Table 1 selectivities on the
+//! simulated AliBaba graph (quick check during workload tuning).
+//!
+//! `cargo run -p pathlearn-datagen --release --example selcheck`
+fn main() {
+    let graph = pathlearn_datagen::alibaba_like(42);
+    let wl = pathlearn_datagen::bio_workload(&graph);
+    for q in &wl.queries {
+        println!("{}: target {:.4}% achieved {:.4}% ({} nodes)", q.name,
+            q.target_selectivity*100.0, q.achieved_selectivity*100.0,
+            (q.achieved_selectivity*graph.num_nodes() as f64).round());
+    }
+}

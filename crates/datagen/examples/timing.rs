@@ -1,0 +1,20 @@
+//! Dev probe: wall-clock of single `learn` calls at several label
+//! fractions (sanity check for Figure 12's magnitudes).
+//!
+//! `cargo run -p pathlearn-datagen --release --example timing`
+use std::time::Instant;
+fn main() {
+    let dataset_graph = pathlearn_datagen::alibaba_like(42);
+    let wl = pathlearn_datagen::bio_workload(&dataset_graph);
+    for q in [&wl.queries[3], &wl.queries[5]] {
+        let sel = q.query.eval(&dataset_graph);
+        for frac in [0.02, 0.10, 0.30] {
+            let sample = pathlearn_datagen::sampling::random_sample(&dataset_graph, &sel, frac, 7);
+            let t = Instant::now();
+            let out = pathlearn_core::Learner::default().learn(&dataset_graph, &sample);
+            println!("{} frac={frac}: {:?} k={} pta={} gen={} pos={} learned={}",
+                q.name, t.elapsed(), out.stats.k_used, out.stats.pta_states,
+                out.stats.generalized_states, sample.pos().len(), out.query.is_some());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Random example sampling for the static experiments (§5.2).
+//!
+//! *"Given a graph and a goal query, we take as positive examples some
+//! random nodes of the graph that are selected by the query and as
+//! negative examples some random nodes that are not selected by it."* —
+//! realized by drawing a seeded random subset of nodes of a requested
+//! size and labeling each according to the goal's selection. When the
+//! goal selects at least one node, the draw is adjusted to contain at
+//! least one positive (the paper retained only queries with ≥1 positive
+//! example to learn from).
+
+use pathlearn_automata::BitSet;
+use pathlearn_core::Sample;
+use pathlearn_graph::{GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draws a random sample of `⌈fraction·|V|⌉` labeled nodes.
+///
+/// `goal_selection` must be the goal query's selected node set
+/// (`goal.eval(graph)`); labels follow it. Deterministic given `seed`.
+pub fn random_sample(
+    graph: &GraphDb,
+    goal_selection: &BitSet,
+    fraction: f64,
+    seed: u64,
+) -> Sample {
+    let total = graph.num_nodes();
+    let want = ((fraction * total as f64).ceil() as usize).min(total);
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    nodes.shuffle(&mut rng);
+
+    let mut drawn: Vec<NodeId> = nodes[..want].to_vec();
+    // Ensure at least one positive when the goal selects anything.
+    let has_positive = drawn
+        .iter()
+        .any(|&n| goal_selection.contains(n as usize));
+    if !has_positive && !goal_selection.is_empty() && want > 0 {
+        if let Some(&replacement) = nodes[want..]
+            .iter()
+            .find(|&&n| goal_selection.contains(n as usize))
+        {
+            drawn[0] = replacement;
+        }
+    }
+
+    let mut sample = Sample::new();
+    for node in drawn {
+        sample.add(node, goal_selection.contains(node as usize));
+    }
+    sample
+}
+
+/// A fixed random labeling order for incremental experiments: label the
+/// first `m` nodes of a seeded permutation. Used to measure "labels
+/// needed for F1 = 1 without interactions" (Table 2, third column).
+#[derive(Clone, Debug)]
+pub struct LabelingOrder {
+    order: Vec<NodeId>,
+}
+
+impl LabelingOrder {
+    /// Creates a seeded random permutation of the graph's nodes, adjusted
+    /// so a positive node (w.r.t. `goal_selection`) appears first when one
+    /// exists.
+    pub fn new(graph: &GraphDb, goal_selection: &BitSet, seed: u64) -> Self {
+        let mut order: Vec<NodeId> = graph.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        if let Some(at) = order
+            .iter()
+            .position(|&n| goal_selection.contains(n as usize))
+        {
+            order.swap(0, at);
+        }
+        LabelingOrder { order }
+    }
+
+    /// The sample labeling the first `count` nodes of the permutation.
+    pub fn prefix_sample(&self, goal_selection: &BitSet, count: usize) -> Sample {
+        let mut sample = Sample::new();
+        for &node in self.order.iter().take(count) {
+            sample.add(node, goal_selection.contains(node as usize));
+        }
+        sample
+    }
+
+    /// Total number of nodes in the order.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_core::PathQuery;
+    use pathlearn_graph::graph::figure3_g0;
+
+    #[test]
+    fn sample_size_and_labels_follow_goal() {
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
+        let selection = goal.eval(&graph);
+        let sample = random_sample(&graph, &selection, 0.5, 1);
+        assert_eq!(sample.len(), 4); // ⌈0.5·7⌉
+        for &n in sample.pos() {
+            assert!(selection.contains(n as usize));
+        }
+        for &n in sample.neg() {
+            assert!(!selection.contains(n as usize));
+        }
+    }
+
+    #[test]
+    fn at_least_one_positive_when_goal_nonempty() {
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
+        let selection = goal.eval(&graph);
+        for seed in 0..30 {
+            let sample = random_sample(&graph, &selection, 0.2, seed);
+            assert!(
+                !sample.pos().is_empty(),
+                "seed {seed}: no positive drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("a", graph.alphabet()).unwrap();
+        let selection = goal.eval(&graph);
+        assert_eq!(
+            random_sample(&graph, &selection, 0.4, 5),
+            random_sample(&graph, &selection, 0.4, 5)
+        );
+    }
+
+    #[test]
+    fn full_fraction_labels_everything() {
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("a", graph.alphabet()).unwrap();
+        let selection = goal.eval(&graph);
+        let sample = random_sample(&graph, &selection, 1.0, 3);
+        assert_eq!(sample.len(), graph.num_nodes());
+    }
+
+    #[test]
+    fn labeling_order_prefixes_grow_consistently() {
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
+        let selection = goal.eval(&graph);
+        let order = LabelingOrder::new(&graph, &selection, 11);
+        assert_eq!(order.len(), graph.num_nodes());
+        let s2 = order.prefix_sample(&selection, 2);
+        let s4 = order.prefix_sample(&selection, 4);
+        // Prefix property: s2's examples all appear in s4.
+        for &n in s2.pos() {
+            assert_eq!(s4.label(n), Some(true));
+        }
+        for &n in s2.neg() {
+            assert_eq!(s4.label(n), Some(false));
+        }
+        // First node is positive (goal selects something).
+        assert_eq!(s2.pos().len() + s2.neg().len(), 2);
+        let first = order.prefix_sample(&selection, 1);
+        assert_eq!(first.pos().len(), 1);
+    }
+}

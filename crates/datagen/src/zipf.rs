@@ -1,0 +1,120 @@
+//! Zipfian sampling.
+//!
+//! The synthetic graphs of §5.1 use *"a Zipfian edge label distribution"*
+//! (following \[27\]). `rand_distr` is outside this session's dependency
+//! budget, so the sampler is hand-rolled: cumulative weights
+//! `w_i ∝ 1/(i+1)^s` with inverse-CDF sampling by binary search.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` (rank 0 most likely).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with `n` ranks and exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        Self::from_weights((0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)))
+    }
+
+    /// Creates a categorical distribution from explicit positive weights
+    /// (rank `i` gets `weights[i]`). Used when a dataset's label frequency
+    /// profile is not a pure power law (e.g. the AliBaba simulation's
+    /// long rare tail).
+    ///
+    /// # Panics
+    /// Panics on an empty or non-positive weight sequence.
+    pub fn from_weights(weights: impl IntoIterator<Item = f64>) -> Self {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for w in weights {
+            assert!(w > 0.0, "weights must be positive");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(!cumulative.is_empty(), "need at least one rank");
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is empty (never: `new` panics on 0).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        (self.cumulative[rank] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range_and_skewed() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 strictly dominates rank 9; monotone-ish decay.
+        assert!(counts[0] > counts[9] * 5);
+        assert!(counts[0] > counts[4]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = Zipf::new(7, 1.3);
+        let total: f64 = (0..7).map(|r| zipf.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(zipf.pmf(0) > zipf.pmf(6));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((zipf.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let zipf = Zipf::new(20, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

@@ -1,0 +1,247 @@
+//! Regular path query evaluation.
+//!
+//! Monadic semantics (paper §2): `q(G) = { ν | L(q) ∩ paths_G(ν) ≠ ∅ }`.
+//! A node is selected iff, in the product of the graph with the query DFA,
+//! some accepting product state `(·, q_f)` is reachable from `(ν, q₀)`.
+//! We compute the set of product states that can reach acceptance **once**,
+//! by backward BFS over reversed graph edges joined with reversed DFA
+//! transitions — `O(|E| · |Q|)` total — and then read off all selected
+//! nodes simultaneously. This is the evaluation primitive behind Algorithm
+//! 1's line-6 check, the F1 scoring of §5, and every selectivity
+//! measurement in the benchmark harness.
+
+use crate::graph::{GraphDb, NodeId};
+use pathlearn_automata::{BitSet, Dfa, StateId};
+use std::collections::VecDeque;
+
+/// Evaluates a (monadic) path query on a graph: the set of selected nodes.
+pub fn eval_monadic(query: &Dfa, graph: &GraphDb) -> BitSet {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    let mut selected = BitSet::new(v);
+    if v == 0 || q_states == 0 {
+        return selected;
+    }
+    let q0 = query.initial();
+    if query.is_final(q0) {
+        // ε ∈ L(q): every node has the empty path.
+        return BitSet::full(v);
+    }
+
+    // Reverse DFA transitions grouped by target state and symbol:
+    // rev[q][sym] = predecessor states p with δ(p, sym) = q.
+    let alphabet = graph.alphabet().len();
+    let mut rev: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); alphabet]; q_states];
+    for (p, sym, q) in query.transitions() {
+        if sym.index() < alphabet {
+            rev[q as usize][sym.index()].push(p);
+        }
+    }
+
+    // Backward reachability from accepting product states.
+    let pack = |node: usize, state: usize| node * q_states + state;
+    let mut reach = BitSet::new(v * q_states);
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    for f in query.finals().iter() {
+        for node in 0..v {
+            if reach.insert(pack(node, f)) {
+                queue.push_back((node as NodeId, f as StateId));
+            }
+        }
+    }
+    while let Some((node, state)) = queue.pop_front() {
+        // Predecessors: graph in-edges joined with reverse DFA transitions
+        // on the same symbol.
+        let in_edges = graph.in_edges(node);
+        let mut i = 0;
+        while i < in_edges.len() {
+            let sym = in_edges[i].0;
+            let end = in_edges[i..].partition_point(|&(s, _)| s == sym) + i;
+            let dfa_preds = &rev[state as usize][sym.index()];
+            if !dfa_preds.is_empty() {
+                for &(_, src) in &in_edges[i..end] {
+                    for &p in dfa_preds {
+                        if reach.insert(pack(src as usize, p as usize)) {
+                            queue.push_back((src, p));
+                        }
+                    }
+                }
+            }
+            i = end;
+        }
+    }
+
+    for node in 0..v {
+        if reach.contains(pack(node, q0 as usize)) {
+            selected.insert(node);
+        }
+    }
+    selected
+}
+
+/// Reference evaluation by per-node forward product search (tests/benches).
+pub fn eval_monadic_naive(query: &Dfa, graph: &GraphDb) -> BitSet {
+    let mut selected = BitSet::new(graph.num_nodes());
+    for node in graph.nodes() {
+        let paths = graph.paths_nfa(&[node]);
+        if !pathlearn_automata::product::dfa_nfa_intersection_is_empty(query, &paths) {
+            selected.insert(node as usize);
+        }
+    }
+    selected
+}
+
+/// Fraction of graph nodes selected by the query (the paper's
+/// *selectivity*, Table 1).
+pub fn selectivity(query: &Dfa, graph: &GraphDb) -> f64 {
+    if graph.num_nodes() == 0 {
+        return 0.0;
+    }
+    eval_monadic(query, graph).len() as f64 / graph.num_nodes() as f64
+}
+
+/// Binary semantics (Appendix B): the set of end nodes `ν'` such that
+/// `paths2_G(source, ν') ∩ L(q) ≠ ∅`, computed by forward product BFS.
+pub fn eval_binary_from(query: &Dfa, graph: &GraphDb, source: NodeId) -> BitSet {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    let mut result = BitSet::new(v);
+    if q_states == 0 {
+        return result;
+    }
+    let pack = |node: NodeId, state: StateId| node as usize * q_states + state as usize;
+    let mut seen = BitSet::new(v * q_states);
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    let q0 = query.initial();
+    seen.insert(pack(source, q0));
+    queue.push_back((source, q0));
+    if query.is_final(q0) {
+        result.insert(source as usize);
+    }
+    while let Some((node, state)) = queue.pop_front() {
+        let out = graph.out_edges(node);
+        let mut i = 0;
+        while i < out.len() {
+            let sym = out[i].0;
+            let end = out[i..].partition_point(|&(s, _)| s == sym) + i;
+            if let Some(next_state) = query.step(state, sym) {
+                for &(_, target) in &out[i..end] {
+                    if seen.insert(pack(target, next_state)) {
+                        if query.is_final(next_state) {
+                            result.insert(target as usize);
+                        }
+                        queue.push_back((target, next_state));
+                    }
+                }
+            }
+            i = end;
+        }
+    }
+    result
+}
+
+/// `true` iff the binary query selects the pair `(source, target)`.
+pub fn selects_pair(query: &Dfa, graph: &GraphDb, source: NodeId, target: NodeId) -> bool {
+    eval_binary_from(query, graph, source).contains(target as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure3_g0;
+    use pathlearn_automata::Regex;
+
+    fn query(graph: &GraphDb, expr: &str) -> Dfa {
+        Regex::parse(expr, graph.alphabet())
+            .unwrap()
+            .to_dfa(graph.alphabet().len())
+    }
+
+    fn names(graph: &GraphDb, set: &BitSet) -> Vec<String> {
+        let mut names: Vec<String> = set
+            .iter()
+            .map(|n| graph.node_name(n as NodeId).to_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn paper_query_selections_on_g0() {
+        let graph = figure3_g0();
+        // §2: query a selects all nodes except ν4.
+        let a = eval_monadic(&query(&graph, "a"), &graph);
+        assert_eq!(
+            names(&graph, &a),
+            vec!["v1", "v2", "v3", "v5", "v6", "v7"]
+        );
+        // §2: (a·b)*·c selects ν1 and ν3.
+        let abc = eval_monadic(&query(&graph, "(a·b)*·c"), &graph);
+        assert_eq!(names(&graph, &abc), vec!["v1", "v3"]);
+        // §2: b·b·c·c selects no node.
+        let bbcc = eval_monadic(&query(&graph, "b·b·c·c"), &graph);
+        assert!(bbcc.is_empty());
+    }
+
+    #[test]
+    fn epsilon_query_selects_everything() {
+        let graph = figure3_g0();
+        let eps = eval_monadic(&query(&graph, "eps"), &graph);
+        assert_eq!(eps.len(), graph.num_nodes());
+        // and so does (a·b)* — it contains ε.
+        let star = eval_monadic(&query(&graph, "(a·b)*"), &graph);
+        assert_eq!(star.len(), graph.num_nodes());
+    }
+
+    #[test]
+    fn empty_query_selects_nothing() {
+        let graph = figure3_g0();
+        let empty = eval_monadic(&Dfa::empty_language(3), &graph);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn backward_eval_matches_naive() {
+        let graph = figure3_g0();
+        for expr in ["a", "b", "c", "(a·b)*·c", "a·a", "b·c", "(a+b)*·c", "c·a*"] {
+            let q = query(&graph, expr);
+            assert_eq!(
+                eval_monadic(&q, &graph),
+                eval_monadic_naive(&q, &graph),
+                "{expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let graph = figure3_g0();
+        let q = query(&graph, "(a·b)*·c");
+        let s = selectivity(&q, &graph);
+        assert!((s - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_eval_from_source() {
+        let graph = figure3_g0();
+        let v1 = graph.node_id("v1").unwrap();
+        let v4 = graph.node_id("v4").unwrap();
+        // (a·b)*·c from ν1 ends in ν4 (a b c path: v1→v2→v3→v4).
+        let q = query(&graph, "(a·b)*·c");
+        let ends = eval_binary_from(&q, &graph, v1);
+        assert!(ends.contains(v4 as usize));
+        assert_eq!(ends.len(), 1);
+        assert!(selects_pair(&q, &graph, v1, v4));
+        assert!(!selects_pair(&q, &graph, v4, v1));
+    }
+
+    #[test]
+    fn binary_epsilon_selects_self() {
+        let graph = figure3_g0();
+        let v5 = graph.node_id("v5").unwrap();
+        let q = query(&graph, "eps");
+        let ends = eval_binary_from(&q, &graph, v5);
+        assert!(ends.contains(v5 as usize));
+        assert_eq!(ends.len(), 1);
+    }
+}

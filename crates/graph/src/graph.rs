@@ -1,0 +1,373 @@
+//! The graph database container.
+//!
+//! A graph database `G = (V, E)` with `E ⊆ V × Σ × V` (paper §2). Nodes
+//! are dense `u32` ids with optional string names; edges are stored twice
+//! in CSR-style sorted arrays (forward sorted by `(src, label, dst)`,
+//! backward by `(dst, label, src)`) so that per-symbol successor and
+//! predecessor ranges are binary-searched slices — the access pattern of
+//! every simulation and product loop in the workspace.
+
+use pathlearn_automata::{Alphabet, BitSet, Symbol};
+use std::collections::HashMap;
+
+/// Numeric identifier of a graph node.
+pub type NodeId = u32;
+
+/// An immutable, query-ready graph database. Build with [`GraphBuilder`].
+///
+/// ```
+/// use pathlearn_graph::GraphBuilder;
+///
+/// let mut builder = GraphBuilder::new();
+/// builder.add_edge("N1", "tram", "N4");
+/// builder.add_edge("N4", "cinema", "C1");
+/// let graph = builder.build();
+///
+/// assert_eq!(graph.num_nodes(), 3);
+/// let n1 = graph.node_id("N1").unwrap();
+/// let word = graph.alphabet().parse_word("tram cinema").unwrap();
+/// assert!(graph.covers(&word, &[n1])); // tram·cinema ∈ paths(N1)
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphDb {
+    alphabet: Alphabet,
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<(Symbol, NodeId)>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<(Symbol, NodeId)>,
+}
+
+impl GraphDb {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// The edge-label alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node as usize]
+    }
+
+    /// Looks up a node by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Outgoing edges of `node`, sorted by `(label, target)`.
+    pub fn out_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
+        let lo = self.out_offsets[node as usize] as usize;
+        let hi = self.out_offsets[node as usize + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Incoming edges of `node` as `(label, source)`, sorted.
+    pub fn in_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
+        let lo = self.in_offsets[node as usize] as usize;
+        let hi = self.in_offsets[node as usize + 1] as usize;
+        &self.in_edges[lo..hi]
+    }
+
+    /// `sym`-successors of `node`, as the `(label, target)` sub-slice.
+    pub fn successors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
+        symbol_range(self.out_edges(node), sym)
+    }
+
+    /// `sym`-predecessors of `node`, as the `(label, source)` sub-slice.
+    pub fn predecessors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
+        symbol_range(self.in_edges(node), sym)
+    }
+
+    /// Out-degree of `node`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_edges(node).len()
+    }
+
+    /// One forward simulation step on a node set.
+    pub fn step_set(&self, set: &BitSet, sym: Symbol) -> BitSet {
+        let mut next = BitSet::new(self.num_nodes());
+        for node in set.iter() {
+            for &(_, t) in self.successors(node as NodeId, sym) {
+                next.insert(t as usize);
+            }
+        }
+        next
+    }
+
+    /// One forward simulation step on a **sparse** node set (sorted,
+    /// deduplicated ids). Returns a sorted, deduplicated result. Much
+    /// cheaper than [`GraphDb::step_set`] when the set is tiny relative to
+    /// the graph — the common case for the positive side of SCP searches,
+    /// which start from a single node.
+    pub fn step_sparse(&self, set: &[NodeId], sym: Symbol) -> Vec<NodeId> {
+        let mut next: Vec<NodeId> = Vec::with_capacity(set.len());
+        for &node in set {
+            next.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+        }
+        next.sort_unstable();
+        next.dedup();
+        next
+    }
+
+    /// Iterates over all edges as `(src, label, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |n| self.out_edges(n).iter().map(move |&(s, t)| (n, s, t)))
+    }
+}
+
+fn symbol_range(row: &[(Symbol, NodeId)], sym: Symbol) -> &[(Symbol, NodeId)] {
+    let start = row.partition_point(|&(s, _)| s < sym);
+    let end = row.partition_point(|&(s, _)| s <= sym);
+    &row[start..end]
+}
+
+/// Incremental builder for [`GraphDb`].
+///
+/// Nodes can be referenced by name (created on first use) or pre-allocated
+/// with [`GraphBuilder::add_node`]; labels are interned in first-use order
+/// unless the builder is seeded with [`GraphBuilder::with_alphabet`]
+/// (sorted alphabets give the paper's `a < b < c` canonical order).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    alphabet: Alphabet,
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    edges: Vec<(NodeId, Symbol, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with a pre-interned alphabet (fixes symbol order).
+    pub fn with_alphabet(alphabet: Alphabet) -> Self {
+        GraphBuilder {
+            alphabet,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the node id for `name`, creating the node if needed.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = self.node_names.len() as NodeId;
+        self.node_names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds `count` anonymous nodes named `prefix0..prefixN`; returns the
+    /// id of the first.
+    pub fn add_nodes(&mut self, prefix: &str, count: usize) -> NodeId {
+        let first = self.node_names.len() as NodeId;
+        for i in 0..count {
+            self.add_node(&format!("{prefix}{}", first as usize + i));
+        }
+        first
+    }
+
+    /// Adds an edge by node names and label string.
+    pub fn add_edge(&mut self, src: &str, label: &str, dst: &str) -> &mut Self {
+        let s = self.add_node(src);
+        let d = self.add_node(dst);
+        let sym = self.alphabet.intern(label);
+        self.edges.push((s, sym, d));
+        self
+    }
+
+    /// Adds an edge by pre-allocated ids and an interned symbol.
+    pub fn add_edge_ids(&mut self, src: NodeId, sym: Symbol, dst: NodeId) -> &mut Self {
+        debug_assert!((src as usize) < self.node_names.len());
+        debug_assert!((dst as usize) < self.node_names.len());
+        debug_assert!(sym.index() < self.alphabet.len());
+        self.edges.push((src, sym, dst));
+        self
+    }
+
+    /// Interns a label in the builder's alphabet.
+    pub fn intern(&mut self, label: &str) -> Symbol {
+        self.alphabet.intern(label)
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Finalizes the graph: deduplicates edges and freezes the CSR arrays.
+    pub fn build(self) -> GraphDb {
+        let n = self.node_names.len();
+        let mut forward = self.edges;
+        forward.sort_unstable_by_key(|&(s, sym, d)| (s, sym, d));
+        forward.dedup();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(s, _, _) in &forward {
+            out_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_edges: Vec<(Symbol, NodeId)> =
+            forward.iter().map(|&(_, sym, d)| (sym, d)).collect();
+
+        let mut backward: Vec<(NodeId, Symbol, NodeId)> = forward
+            .iter()
+            .map(|&(s, sym, d)| (d, sym, s))
+            .collect();
+        backward.sort_unstable_by_key(|&(d, sym, s)| (d, sym, s));
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(d, _, _) in &backward {
+            in_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let in_edges: Vec<(Symbol, NodeId)> =
+            backward.iter().map(|&(_, sym, s)| (sym, s)).collect();
+
+        GraphDb {
+            alphabet: self.alphabet,
+            node_names: self.node_names,
+            name_index: self.name_index,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+}
+
+/// Builds the graph `G0` of Figure 3 of the paper (7 nodes, 15 edges over
+/// `{a, b, c}`). Used pervasively by tests and documentation examples.
+///
+/// The published figure is not machine-readable in the available text, so
+/// this is a **reconstruction from the paper's stated properties**, all of
+/// which are asserted by tests in this workspace:
+///
+/// * `aba` matches the node sequences `ν1ν2ν3ν4` and `ν3ν2ν3ν4` but not
+///   `ν1ν2ν7ν2` (§2);
+/// * `paths(ν1)` is infinite (§2);
+/// * query `a` selects every node except `ν4`; query `(a·b)*·c` selects
+///   exactly `{ν1, ν3}`; query `b·b·c·c` selects nothing (§2);
+/// * with `S⁺ = {ν1, ν3}`, `S⁻ = {ν2, ν7}` the SCPs are `abc` and `c`, the
+///   merge of PTA states `ε`/`a` is blocked by the path `bc` covered by
+///   `ν2`, and the learner outputs `(a·b)*·c` (§3.2);
+/// * that sample is *characteristic* for `(a·b)*·c` on `G0` (§3.3): every
+///   word needed by the RPNI view is covered by the two negative nodes.
+pub fn figure3_g0() -> GraphDb {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b", "c"]));
+    for (src, label, dst) in [
+        ("v1", "a", "v2"),
+        ("v1", "b", "v7"),
+        ("v2", "a", "v3"),
+        ("v2", "b", "v3"),
+        ("v3", "a", "v2"),
+        ("v3", "a", "v3"),
+        ("v3", "a", "v4"),
+        ("v3", "c", "v4"),
+        ("v5", "a", "v4"),
+        ("v5", "b", "v4"),
+        ("v6", "a", "v5"),
+        ("v6", "a", "v4"),
+        ("v6", "b", "v7"),
+        ("v7", "a", "v6"),
+        ("v7", "b", "v5"),
+    ] {
+        builder.add_edge(src, label, dst);
+    }
+    let graph = builder.build();
+    debug_assert_eq!(graph.num_nodes(), 7);
+    debug_assert_eq!(graph.num_edges(), 15);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_nodes_and_labels() {
+        let mut builder = GraphBuilder::new();
+        builder.add_edge("x", "a", "y");
+        builder.add_edge("y", "b", "x");
+        builder.add_edge("x", "a", "y"); // duplicate
+        let graph = builder.build();
+        assert_eq!(graph.num_nodes(), 2);
+        assert_eq!(graph.num_edges(), 2); // deduplicated
+        assert_eq!(graph.node_name(graph.node_id("x").unwrap()), "x");
+        assert!(graph.alphabet().symbol("a").is_some());
+        assert!(graph.node_id("z").is_none());
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_sliced() {
+        let graph = figure3_g0();
+        let v3 = graph.node_id("v3").unwrap();
+        let a = graph.alphabet().symbol("a").unwrap();
+        let b = graph.alphabet().symbol("b").unwrap();
+        let c = graph.alphabet().symbol("c").unwrap();
+        let out = graph.out_edges(v3);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(graph.successors(v3, a).len(), 3); // → v2, v3, v4
+        assert_eq!(graph.successors(v3, b).len(), 0);
+        assert_eq!(graph.successors(v3, c).len(), 1); // → v4
+        let v4 = graph.node_id("v4").unwrap();
+        // v4 in-edges: a from v3/v5/v6, b from v5, c from v3.
+        assert_eq!(graph.in_edges(v4).len(), 5);
+        assert_eq!(graph.predecessors(v4, c).len(), 1);
+        assert_eq!(graph.predecessors(v4, b).len(), 1);
+        assert_eq!(graph.out_degree(v4), 0);
+    }
+
+    #[test]
+    fn step_set_follows_labels() {
+        let graph = figure3_g0();
+        let v1 = graph.node_id("v1").unwrap();
+        let a = graph.alphabet().symbol("a").unwrap();
+        let b = graph.alphabet().symbol("b").unwrap();
+        let start = BitSet::from_indices(graph.num_nodes(), [v1 as usize]);
+        let after_a = graph.step_set(&start, a);
+        assert_eq!(after_a.len(), 1);
+        assert!(after_a.contains(graph.node_id("v2").unwrap() as usize));
+        let after_b = graph.step_set(&start, b);
+        assert!(after_b.contains(graph.node_id("v7").unwrap() as usize));
+    }
+
+    #[test]
+    fn edges_iterator_counts_all() {
+        let graph = figure3_g0();
+        assert_eq!(graph.edges().count(), 15);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut builder = GraphBuilder::new();
+        let first = builder.add_nodes("n", 5);
+        assert_eq!(first, 0);
+        assert_eq!(builder.num_nodes(), 5);
+        let graph = builder.build();
+        assert_eq!(graph.node_name(3), "n3");
+    }
+}

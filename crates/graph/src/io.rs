@@ -1,0 +1,168 @@
+//! Text serialization for graph databases.
+//!
+//! Line-oriented format, one edge per line: `src label dst` (whitespace
+//! separated); lines starting with `#` are comments; a line `node NAME`
+//! declares an isolated node. Round-trips through [`GraphDb`].
+
+use crate::graph::{GraphBuilder, GraphDb};
+use std::fmt::Write as _;
+
+/// Error from [`parse_graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for GraphParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GraphParseError {}
+
+/// Parses the text format into a graph.
+pub fn parse_graph(text: &str) -> Result<GraphDb, GraphParseError> {
+    let mut builder = GraphBuilder::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["node", name] => {
+                builder.add_node(name);
+            }
+            [src, label, dst] => {
+                builder.add_edge(src, label, dst);
+            }
+            _ => {
+                return Err(GraphParseError {
+                    line: index + 1,
+                    message: format!(
+                        "expected `src label dst` or `node NAME`, got {} field(s)",
+                        fields.len()
+                    ),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a graph into the text format (deterministic order).
+pub fn write_graph(graph: &GraphDb) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} nodes, {} edges, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.alphabet().len()
+    );
+    for node in graph.nodes() {
+        if graph.out_edges(node).is_empty() && graph.in_edges(node).is_empty() {
+            let _ = writeln!(out, "node {}", graph.node_name(node));
+        }
+    }
+    for (src, sym, dst) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            graph.node_name(src),
+            graph.alphabet().name(sym),
+            graph.node_name(dst)
+        );
+    }
+    out
+}
+
+/// Renders the graph in Graphviz DOT syntax, optionally marking nodes with
+/// `+` / `-` example labels (Figure 1-style visualization).
+pub fn graph_to_dot(graph: &GraphDb, positives: &[u32], negatives: &[u32]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph G {{");
+    for node in graph.nodes() {
+        let decoration = if positives.contains(&node) {
+            ", color=green, peripheries=2"
+        } else if negatives.contains(&node) {
+            ", color=red, peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{node} [label=\"{}\"{decoration}];",
+            graph.node_name(node)
+        );
+    }
+    for (src, sym, dst) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  n{src} -> n{dst} [label=\"{}\"];",
+            graph.alphabet().name(sym)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure3_g0;
+
+    #[test]
+    fn roundtrip_figure3() {
+        let graph = figure3_g0();
+        let text = write_graph(&graph);
+        let parsed = parse_graph(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), graph.num_nodes());
+        assert_eq!(parsed.num_edges(), graph.num_edges());
+        // Edge sets agree modulo naming.
+        for (src, sym, dst) in graph.edges() {
+            let label = graph.alphabet().name(sym);
+            let psrc = parsed.node_id(graph.node_name(src)).unwrap();
+            let pdst = parsed.node_id(graph.node_name(dst)).unwrap();
+            let psym = parsed.alphabet().symbol(label).unwrap();
+            assert!(parsed
+                .successors(psrc, psym)
+                .iter()
+                .any(|&(_, t)| t == pdst));
+        }
+    }
+
+    #[test]
+    fn parse_errors_and_comments() {
+        assert!(parse_graph("a b").is_err());
+        assert_eq!(parse_graph("a b").unwrap_err().line, 1);
+        let graph = parse_graph("# comment\n\n x a y \nnode lonely\n").unwrap();
+        assert_eq!(graph.num_nodes(), 3);
+        assert_eq!(graph.num_edges(), 1);
+        assert!(graph.node_id("lonely").is_some());
+    }
+
+    #[test]
+    fn isolated_nodes_survive_roundtrip() {
+        let graph = parse_graph("node alone\nx a y\n").unwrap();
+        let text = write_graph(&graph);
+        let parsed = parse_graph(&text).unwrap();
+        assert!(parsed.node_id("alone").is_some());
+        assert_eq!(parsed.num_nodes(), 3);
+    }
+
+    #[test]
+    fn dot_marks_examples() {
+        let graph = figure3_g0();
+        let v1 = graph.node_id("v1").unwrap();
+        let v2 = graph.node_id("v2").unwrap();
+        let dot = graph_to_dot(&graph, &[v1], &[v2]);
+        assert!(dot.contains("color=green"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("label=\"a\""));
+    }
+}

@@ -1,0 +1,40 @@
+//! Edge-labeled graph databases with regular path query semantics.
+//!
+//! This crate is the data substrate of the EDBT 2015 reproduction: a graph
+//! database is *"a finite, directed, edge-labeled graph"* (paper §2), and
+//! everything the learning algorithms consume is derived from the path
+//! languages `paths_G(ν)` of its nodes:
+//!
+//! * [`graph`] — the [`GraphDb`] container (CSR-style sorted adjacency in
+//!   both directions, interned labels, named nodes) and its builder;
+//! * [`paths`] — the `paths_G` machinery: the all-accepting NFA view,
+//!   word-membership by simulation, bounded canonical-order enumeration;
+//! * [`scp`] — smallest-consistent-path search (Algorithm 1 lines 1–2):
+//!   a determinized product BFS with a shared negative-side cache;
+//! * [`eval`] — monadic RPQ evaluation `q(G)` by backward product
+//!   reachability in `O(|E|·|Q|)`, plus binary-semantics evaluation
+//!   (Appendix B);
+//! * [`binary`] — `paths2_G(ν,ν′)` and the binary SCP search used by
+//!   Algorithm 2;
+//! * [`neighborhood`] — k-neighborhood extraction (interactive scenario,
+//!   Figure 9 step 4);
+//! * [`explain`] — witness paths ("why is this node selected?");
+//! * [`sampling`] — representative subgraph sampling (random walk /
+//!   forest fire), the paper's §6 future-work direction;
+//! * [`io`] — a line-oriented text format and Graphviz export.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod eval;
+pub mod explain;
+pub mod graph;
+pub mod io;
+pub mod neighborhood;
+pub mod paths;
+pub mod sampling;
+pub mod scp;
+
+pub use graph::{GraphBuilder, GraphDb, NodeId};
+pub use scp::ScpFinder;

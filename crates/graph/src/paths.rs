@@ -1,0 +1,228 @@
+//! The path languages `paths_G(ν)` of graph nodes (paper §2).
+//!
+//! `paths_G(ν)` is the set of words matching some node sequence starting at
+//! `ν`; it always contains `ε`, is prefix-closed, and is infinite iff a
+//! cycle is reachable from `ν`. We expose it three ways:
+//!
+//! 1. as an **all-accepting NFA** over the graph itself (for products and
+//!    inclusion checks);
+//! 2. as a **membership test** by set simulation (`O(|w|·|E|)`);
+//! 3. as a **bounded canonical-order enumeration** of distinct words of
+//!    length ≤ k, which the interactive `kS` strategy uses to count
+//!    uncovered paths.
+
+use crate::graph::{GraphDb, NodeId};
+use pathlearn_automata::{BitSet, Nfa, Symbol, Word};
+
+impl GraphDb {
+    /// The NFA recognizing `paths_G(X) = ∪_{ν∈X} paths_G(ν)`: the graph
+    /// itself with initial states `X` and every state accepting.
+    pub fn paths_nfa(&self, sources: &[NodeId]) -> Nfa {
+        let mut nfa = Nfa::from_edges(
+            self.num_nodes().max(1),
+            self.alphabet().len(),
+            self.edges(),
+            sources.iter().copied(),
+            [],
+        );
+        nfa.set_all_final();
+        nfa
+    }
+
+    /// `true` iff `word ∈ paths_G(sources)` (a node sequence matching
+    /// `word` starts at some source).
+    pub fn covers(&self, word: &[Symbol], sources: &[NodeId]) -> bool {
+        let mut current =
+            BitSet::from_indices(self.num_nodes(), sources.iter().map(|&s| s as usize));
+        for &sym in word {
+            if current.is_empty() {
+                return false;
+            }
+            current = self.step_set(&current, sym);
+        }
+        !current.is_empty()
+    }
+
+    /// All **distinct** words of `paths_G(ν)` with length ≤ `max_len`, in
+    /// canonical order, stopping after `limit` words.
+    ///
+    /// Distinct words are enumerated by walking the trie of paths: each
+    /// trie node carries the set of graph nodes reachable by its word, so
+    /// a word is emitted exactly once no matter how many node sequences
+    /// match it. The trie has at most `Σ_{i≤k} |Σ|^i` nodes; `limit` caps
+    /// pathological cases.
+    pub fn enumerate_paths(&self, node: NodeId, max_len: usize, limit: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        let start = BitSet::from_indices(self.num_nodes(), [node as usize]);
+        let mut frontier: Vec<(Word, BitSet)> = vec![(Vec::new(), start)];
+        out.push(Vec::new()); // ε is always a path
+        for _ in 0..max_len {
+            if out.len() >= limit {
+                break;
+            }
+            let mut next = Vec::new();
+            for (word, set) in &frontier {
+                for sym in self.alphabet().symbols() {
+                    let stepped = self.step_set(set, sym);
+                    if stepped.is_empty() {
+                        continue;
+                    }
+                    let mut extended = word.clone();
+                    extended.push(sym);
+                    out.push(extended.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    next.push((extended, stepped));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// `true` iff a cycle is reachable from `node` — equivalently, iff
+    /// `paths_G(node)` is infinite (§2).
+    pub fn has_infinite_paths(&self, node: NodeId) -> bool {
+        // DFS with colors over the reachable subgraph.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.num_nodes()];
+        // Iterative DFS: stack of (node, next edge index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
+        color[node as usize] = Color::Gray;
+        while let Some(&mut (n, ref mut edge_index)) = stack.last_mut() {
+            let edges = self.out_edges(n);
+            if *edge_index >= edges.len() {
+                color[n as usize] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            let (_, target) = edges[*edge_index];
+            *edge_index += 1;
+            match color[target as usize] {
+                Color::Gray => return true,
+                Color::White => {
+                    color[target as usize] = Color::Gray;
+                    stack.push((target, 0));
+                }
+                Color::Black => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::graph::figure3_g0;
+    use pathlearn_automata::word::{canonical_cmp, format_word};
+
+    #[test]
+    fn paths_nfa_accepts_prefix_closed_language() {
+        let graph = figure3_g0();
+        let alphabet = graph.alphabet();
+        let v1 = graph.node_id("v1").unwrap();
+        let nfa = graph.paths_nfa(&[v1]);
+        for text in ["", "a", "a b", "a b c", "b", "b a"] {
+            let word = alphabet.parse_word(text).unwrap();
+            assert!(nfa.accepts(&word), "{text:?} should be a path of v1");
+        }
+        // c is not a path of v1 (no c-edge at v1).
+        let c = alphabet.parse_word("c").unwrap();
+        assert!(!nfa.accepts(&c));
+    }
+
+    #[test]
+    fn covers_matches_nfa() {
+        let graph = figure3_g0();
+        let v2 = graph.node_id("v2").unwrap();
+        let v7 = graph.node_id("v7").unwrap();
+        let nfa = graph.paths_nfa(&[v2, v7]);
+        for word in pathlearn_automata::word::enumerate_words(3, 4) {
+            assert_eq!(
+                graph.covers(&word, &[v2, v7]),
+                nfa.accepts(&word),
+                "{}",
+                format_word(&word, graph.alphabet())
+            );
+        }
+    }
+
+    #[test]
+    fn negative_nodes_cover_characteristic_words() {
+        // §3.3: the negatives {ν2, ν7} jointly cover every word ≤ abc that
+        // has no prefix in L((a·b)*·c).
+        let graph = figure3_g0();
+        let alphabet = graph.alphabet();
+        let v2 = graph.node_id("v2").unwrap();
+        let v7 = graph.node_id("v7").unwrap();
+        for text in [
+            "", "a", "b", "a a", "a b", "a c", "b a", "b b", "b c", "a a a", "a a b",
+            "a a c", "a b a", "a b b",
+        ] {
+            let word = alphabet.parse_word(text).unwrap();
+            assert!(
+                graph.covers(&word, &[v2, v7]),
+                "negatives must cover {text:?}"
+            );
+        }
+        // ...but no word of L((a·b)*·c):
+        for text in ["c", "a b c", "a b a b c"] {
+            let word = alphabet.parse_word(text).unwrap();
+            assert!(!graph.covers(&word, &[v2, v7]), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn enumerate_paths_is_canonical_and_distinct() {
+        let graph = figure3_g0();
+        let v1 = graph.node_id("v1").unwrap();
+        let paths = graph.enumerate_paths(v1, 3, 1000);
+        // Sorted in canonical order, no duplicates.
+        for pair in paths.windows(2) {
+            assert!(canonical_cmp(&pair[0], &pair[1]).is_lt());
+        }
+        // Every enumerated word is a path; abc is among them.
+        let nfa = graph.paths_nfa(&[v1]);
+        for word in &paths {
+            assert!(nfa.accepts(word));
+        }
+        let abc = graph.alphabet().parse_word("a b c").unwrap();
+        assert!(paths.contains(&abc));
+    }
+
+    #[test]
+    fn enumerate_paths_respects_limit() {
+        let graph = figure3_g0();
+        let v1 = graph.node_id("v1").unwrap();
+        let paths = graph.enumerate_paths(v1, 5, 7);
+        assert_eq!(paths.len(), 7);
+    }
+
+    #[test]
+    fn paths_of_sink_is_epsilon_only() {
+        let graph = figure3_g0();
+        let v4 = graph.node_id("v4").unwrap();
+        let paths = graph.enumerate_paths(v4, 4, 100);
+        assert_eq!(paths, vec![Vec::new()]);
+        assert!(!graph.has_infinite_paths(v4));
+    }
+
+    #[test]
+    fn v1_has_infinite_paths() {
+        // §2: paths_G0(ν1) is infinite.
+        let graph = figure3_g0();
+        assert!(graph.has_infinite_paths(graph.node_id("v1").unwrap()));
+        // ν5 only reaches the sink ν4: finite.
+        assert!(!graph.has_infinite_paths(graph.node_id("v5").unwrap()));
+    }
+}

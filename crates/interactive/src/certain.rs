@@ -1,0 +1,177 @@
+//! Certain and informative nodes (paper §4.2).
+//!
+//! Given a consistent sample `S`, an unlabeled node is **certain** when
+//! labeling it adds no information — every query consistent with `S`
+//! agrees on it. Lemma 4.1 characterizes certainty through path-language
+//! inclusions:
+//!
+//! * `ν ∈ Cert⁺(G,S)` iff some `ν' ∈ S⁺` has
+//!   `paths_G(ν') ⊆ paths_G(S⁻) ∪ paths_G(ν)`;
+//! * `ν ∈ Cert⁻(G,S)` iff `paths_G(ν) ⊆ paths_G(S⁻)`.
+//!
+//! A node is **informative** iff it is unlabeled and not certain.
+//! Deciding informativeness is PSPACE-complete (Lemma 4.2); this module
+//! implements the exact checks with the antichain inclusion algorithm and
+//! the paper's practical **k-informative** under-approximation (`ν` has an
+//! uncovered path of length ≤ k ⇒ `ν ∉ Cert⁻` ⇒ informative, provided it
+//! is not certain-positive — see [`is_informative`] for the exact test).
+
+use pathlearn_automata::inclusion::nfa_included_in;
+use pathlearn_core::Sample;
+use pathlearn_graph::{GraphDb, NodeId, ScpFinder};
+
+/// Exact `ν ∈ Cert⁻(G, S)` (Lemma 4.1(2)): every path of `ν` is covered
+/// by the negative examples. Worst-case exponential (PSPACE-complete).
+pub fn is_certain_negative(graph: &GraphDb, sample: &Sample, node: NodeId) -> bool {
+    let node_paths = graph.paths_nfa(&[node]);
+    let negative_paths = graph.paths_nfa(sample.neg());
+    nfa_included_in(&node_paths, &negative_paths).is_ok()
+}
+
+/// Exact `ν ∈ Cert⁺(G, S)` (Lemma 4.1(1)): some positive's paths are all
+/// covered by `S⁻ ∪ {ν}`. Worst-case exponential (PSPACE-complete).
+pub fn is_certain_positive(graph: &GraphDb, sample: &Sample, node: NodeId) -> bool {
+    let mut union_sources: Vec<NodeId> = sample.neg().to_vec();
+    union_sources.push(node);
+    let union_paths = graph.paths_nfa(&union_sources);
+    sample.pos().iter().any(|&positive| {
+        let positive_paths = graph.paths_nfa(&[positive]);
+        nfa_included_in(&positive_paths, &union_paths).is_ok()
+    })
+}
+
+/// Exact informativeness: unlabeled and neither certain-positive nor
+/// certain-negative. PSPACE-complete in general (Lemma 4.2); use
+/// [`is_k_informative`] on large graphs.
+pub fn is_informative(graph: &GraphDb, sample: &Sample, node: NodeId) -> bool {
+    !sample.is_labeled(node)
+        && !is_certain_negative(graph, sample, node)
+        && !is_certain_positive(graph, sample, node)
+}
+
+/// The paper's practical test (§4.2): `ν` is **k-informative** iff it has
+/// at least one path of length ≤ k not covered by a negative example.
+/// k-informative implies `ν ∉ Cert⁻`; the converse may fail for small k.
+pub fn is_k_informative(finder: &mut ScpFinder<'_>, node: NodeId, k: usize) -> bool {
+    finder.is_k_informative(node, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_automata::Alphabet;
+    use pathlearn_graph::graph::figure3_g0;
+    use pathlearn_graph::GraphBuilder;
+
+    /// Figure 10 of the paper: two labeled nodes and a certain node.
+    /// Reconstruction: negative node covering a·b-ish paths, positive node
+    /// selected via b, and an unlabeled node whose only escape is b — it
+    /// must be certain-positive (the only prefix-free consistent query is
+    /// `b`, which selects it).
+    fn figure10() -> (pathlearn_graph::GraphDb, Sample, NodeId) {
+        let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b"]));
+        // negative: covers {ε, a}
+        builder.add_edge("neg", "a", "sink");
+        // positive: paths {ε, a, b}
+        builder.add_edge("pos", "a", "sink");
+        builder.add_edge("pos", "b", "sink");
+        // unlabeled: paths {ε, a, b}
+        builder.add_edge("u", "a", "sink");
+        builder.add_edge("u", "b", "sink");
+        let graph = builder.build();
+        let sample = Sample::new()
+            .positive(graph.node_id("pos").unwrap())
+            .negative(graph.node_id("neg").unwrap());
+        let unlabeled = graph.node_id("u").unwrap();
+        (graph, sample, unlabeled)
+    }
+
+    #[test]
+    fn figure10_certain_positive() {
+        let (graph, sample, unlabeled) = figure10();
+        // paths(pos) = {ε,a,b} ⊆ paths(neg) ∪ paths(u) = {ε,a} ∪ {ε,a,b}.
+        assert!(is_certain_positive(&graph, &sample, unlabeled));
+        assert!(!is_certain_negative(&graph, &sample, unlabeled));
+        assert!(!is_informative(&graph, &sample, unlabeled));
+    }
+
+    #[test]
+    fn certain_negative_when_fully_covered() {
+        let (graph, sample, _) = figure10();
+        let sink = graph.node_id("sink").unwrap();
+        // paths(sink) = {ε} ⊆ paths(neg): certain negative… wait, ε is
+        // covered by any node, and sink ∈ q(G) only for ε-queries which
+        // also select the negative. So sink is certainly negative.
+        assert!(is_certain_negative(&graph, &sample, sink));
+        assert!(!is_informative(&graph, &sample, sink));
+    }
+
+    #[test]
+    fn labeled_nodes_are_not_informative() {
+        let (graph, sample, _) = figure10();
+        let pos = graph.node_id("pos").unwrap();
+        let neg = graph.node_id("neg").unwrap();
+        assert!(!is_informative(&graph, &sample, pos));
+        assert!(!is_informative(&graph, &sample, neg));
+    }
+
+    #[test]
+    fn g0_informative_nodes_with_paper_sample() {
+        let graph = figure3_g0();
+        let sample = Sample::new()
+            .positive(graph.node_id("v1").unwrap())
+            .positive(graph.node_id("v3").unwrap())
+            .negative(graph.node_id("v2").unwrap())
+            .negative(graph.node_id("v7").unwrap());
+        // v4's only path is ε, covered by negatives ⇒ certain negative.
+        let v4 = graph.node_id("v4").unwrap();
+        assert!(is_certain_negative(&graph, &sample, v4));
+        // v5 has paths {ε,a,b} all covered by ν2/ν7 ⇒ certain negative.
+        let v5 = graph.node_id("v5").unwrap();
+        assert!(is_certain_negative(&graph, &sample, v5));
+        // v6 is still informative: the path b·b·a of v6 is not covered by
+        // {ν2, ν7}, so a consistent query like c + b·b·a selects v6 while
+        // the goal (a·b)*·c does not. (A characteristic sample pins down
+        // the *learner's output*, not the label of every node.)
+        let v6 = graph.node_id("v6").unwrap();
+        assert!(!is_certain_negative(&graph, &sample, v6));
+        assert!(is_informative(&graph, &sample, v6));
+        // Labeled nodes are never informative.
+        for node in sample.pos().iter().chain(sample.neg()) {
+            assert!(!is_informative(&graph, &sample, *node));
+        }
+    }
+
+    #[test]
+    fn k_informative_is_sound_for_not_certain_negative() {
+        let graph = figure3_g0();
+        let sample = Sample::new()
+            .negative(graph.node_id("v2").unwrap())
+            .negative(graph.node_id("v7").unwrap());
+        let mut finder = ScpFinder::new(&graph, sample.neg());
+        for node in graph.nodes() {
+            for k in 0..=4 {
+                if is_k_informative(&mut finder, node, k) {
+                    assert!(
+                        !is_certain_negative(&graph, &sample, node),
+                        "k-informative must imply not Cert⁻ (node {node}, k {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample_everything_informative() {
+        // With S = ∅, C(G,S) = pq: no node is certain.
+        let graph = figure3_g0();
+        let sample = Sample::new();
+        for node in graph.nodes() {
+            // Cert⁻ requires paths(ν) ⊆ paths(∅) = ∅, impossible (ε).
+            assert!(!is_certain_negative(&graph, &sample, node));
+            // Cert⁺ requires a positive example; none exist.
+            assert!(!is_certain_positive(&graph, &sample, node));
+            assert!(is_informative(&graph, &sample, node));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The interactive learning scenario (paper §4).
+//!
+//! Instead of a fixed sample, the system repeatedly **chooses a node**,
+//! asks the user to label it, relearns, and halts once enough knowledge
+//! has been accumulated (Figure 9). The modules:
+//!
+//! * [`certain`] — certain nodes `Cert⁺`/`Cert⁻` and informativeness
+//!   (Lemma 4.1), implemented exactly with antichain inclusion (the
+//!   problem is PSPACE-complete, Lemma 4.2), plus the practical
+//!   *k-informative* approximation of §4.2;
+//! * [`strategy`] — the paper's two practical strategies: `kR` (random
+//!   k-informative node) and `kS` (k-informative node with the fewest
+//!   uncovered k-paths);
+//! * [`session`] — the Figure 9 interaction loop with pluggable label
+//!   oracles and halt conditions, and the experiment entry point used to
+//!   reproduce Table 2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod certain;
+pub mod session;
+pub mod strategy;
+
+pub use session::{HaltReason, InteractiveConfig, InteractiveSession, SessionResult};
+pub use strategy::StrategyKind;

@@ -1,0 +1,91 @@
+//! Binary and n-ary semantics (paper Appendix B) on the Figure 1 graph.
+//!
+//! Binary path queries select *pairs* of nodes; the example learns
+//! "from which stop can I reach which cinema" from pair examples
+//! (Algorithm 2), then an itinerary-shaped ternary query (Algorithm 3).
+//!
+//! ```text
+//! cargo run --release --example binary_queries
+//! ```
+
+use pathlearn::core::binary::{learner2, learnern, BinaryLearnerConfig};
+use pathlearn::core::sample::SampleN;
+use pathlearn::graph::eval::selects_pair;
+use pathlearn::prelude::*;
+
+fn figure1() -> GraphDb {
+    let mut builder = GraphBuilder::new();
+    for (src, label, dst) in [
+        ("N1", "tram", "N4"),
+        ("N2", "bus", "N1"),
+        ("N2", "bus", "N3"),
+        ("N6", "bus", "N5"),
+        ("N4", "tram", "N5"),
+        ("N5", "bus", "N3"),
+        ("N4", "cinema", "C1"),
+        ("N6", "cinema", "C2"),
+        ("N3", "restaurant", "R1"),
+        ("N5", "restaurant", "R2"),
+    ] {
+        builder.add_edge(src, label, dst);
+    }
+    builder.build()
+}
+
+fn main() {
+    let graph = figure1();
+    let id = |name: &str| graph.node_id(name).unwrap();
+
+    // ----- Binary: (stop, cinema) pairs -------------------------------
+    let sample = Sample2::new()
+        // N2 reaches C1 (bus·tram·cinema) — wanted.
+        .positive(id("N2"), id("C1"))
+        // N6 reaches C2 directly — wanted.
+        .positive(id("N6"), id("C2"))
+        // N3 reaches R1 directly — not a cinema trip.
+        .negative(id("N3"), id("R1"))
+        // C1 to C1 via the empty path — not a trip at all.
+        .negative(id("C1"), id("C1"));
+
+    let query = learner2(&graph, &sample, &BinaryLearnerConfig::default())
+        .expect("consistent binary query exists");
+    println!(
+        "Learned binary query: {}",
+        query.display(graph.alphabet())
+    );
+    for (src, dst) in [("N2", "C1"), ("N6", "C2"), ("N3", "R1"), ("N1", "C1")] {
+        println!(
+            "  selects ({src} → {dst})? {}",
+            selects_pair(query.dfa(), &graph, id(src), id(dst))
+        );
+    }
+
+    // ----- N-ary: stop → intermediate stop → destination itineraries ---
+    let mut tuples = SampleN::new(3);
+    // N2 → N1 (bus) → C1 (tram·cinema): a cinema trip with one stopover.
+    tuples.add(vec![id("N2"), id("N1"), id("C1")], true);
+    // N4 → N5 (tram) → N3 (bus): a transport-only itinerary.
+    tuples.add(vec![id("N4"), id("N5"), id("N3")], true);
+    // A nonsense itinerary through a restaurant.
+    tuples.add(vec![id("N3"), id("R1"), id("C1")], false);
+
+    match learnern(&graph, &tuples, &BinaryLearnerConfig::default()) {
+        Some(nary) => {
+            println!("\nLearned ternary query with components:");
+            for (i, component) in nary.components.iter().enumerate() {
+                println!("  q{}: {}", i + 1, component.display(graph.alphabet()));
+            }
+            let good = [id("N2"), id("N1"), id("C1")];
+            let bad = [id("N3"), id("R1"), id("C1")];
+            println!(
+                "  selects (N2, N1, C1)? {}",
+                nary.selects_tuple(&graph, &good)
+            );
+            println!(
+                "  selects (N3, R1, C1)? {}",
+                nary.selects_tuple(&graph, &bad)
+            );
+        }
+        None => println!("n-ary learner abstained"),
+    }
+}

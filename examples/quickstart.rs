@@ -1,0 +1,114 @@
+//! Quickstart: the running example of the paper (§1, Figure 1).
+//!
+//! A geographical graph database: neighborhoods N1..N6 connected by tram
+//! and bus lines, with cinemas C1/C2 and restaurants R1/R2 attached. The
+//! user wants the neighborhoods from which a cinema is reachable via
+//! public transportation — the query `(tram+bus)*·cinema` — but instead
+//! of writing it, she labels N2 and N6 positive and N5 negative, and the
+//! learner infers the query.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pathlearn::prelude::*;
+
+/// Builds the Figure 1 graph (reconstructed so the paper's stated facts
+/// hold: `(tram+bus)*·cinema` selects exactly N1, N2, N4, N6, and no path
+/// from N5 reaches a cinema).
+fn figure1() -> GraphDb {
+    let mut builder = GraphBuilder::new();
+    for (src, label, dst) in [
+        // Public transportation.
+        ("N1", "tram", "N4"),
+        ("N2", "bus", "N1"),
+        ("N2", "bus", "N3"),
+        ("N6", "bus", "N5"),
+        ("N4", "tram", "N5"),
+        ("N5", "bus", "N3"),
+        // Facilities.
+        ("N4", "cinema", "C1"),
+        ("N6", "cinema", "C2"),
+        ("N3", "restaurant", "R1"),
+        ("N5", "restaurant", "R2"),
+    ] {
+        builder.add_edge(src, label, dst);
+    }
+    builder.build()
+}
+
+fn main() {
+    let graph = figure1();
+    println!(
+        "Graph: {} nodes, {} edges over {{{}}}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph
+            .alphabet()
+            .entries()
+            .map(|(_, n)| n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The goal query of the introduction.
+    let goal = PathQuery::parse("(tram+bus)*·cinema", graph.alphabet()).unwrap();
+    let goal_selection = goal.eval(&graph);
+    let names = |set: &pathlearn::automata::BitSet| {
+        let mut v: Vec<&str> = set.iter().map(|n| graph.node_name(n as u32)).collect();
+        v.sort();
+        v.join(", ")
+    };
+    println!(
+        "Goal (tram+bus)*·cinema selects: {}",
+        names(&goal_selection)
+    );
+
+    // The user labels a few nodes, exactly as in §1: N2 and N6 positive
+    // (cinemas are reachable from them), N5 negative (no path from N5
+    // reaches a cinema).
+    let sample = Sample::new()
+        .positive(graph.node_id("N2").unwrap())
+        .positive(graph.node_id("N6").unwrap())
+        .negative(graph.node_id("N5").unwrap());
+    println!(
+        "\nSample: + {{N2, N6}}, - {{N5}}  ({} labels on {} nodes)",
+        sample.len(),
+        graph.num_nodes()
+    );
+
+    let outcome = Learner::default().learn(&graph, &sample);
+    match &outcome.query {
+        Some(query) => {
+            println!("Learned query: {}", query.display(graph.alphabet()));
+            println!("It selects:    {}", names(&query.eval(&graph)));
+            println!(
+                "SCPs used: {:?}",
+                outcome
+                    .stats
+                    .scps
+                    .iter()
+                    .map(|(node, path)| format!(
+                        "{} ⇒ {}",
+                        graph.node_name(*node),
+                        pathlearn::automata::word::format_word(path, graph.alphabet())
+                    ))
+                    .collect::<Vec<_>>()
+            );
+        }
+        None => println!("learner abstained (null) — label more nodes"),
+    }
+
+    // With a few more labels the interactive loop pins the goal exactly.
+    let session = InteractiveSession::new(&graph, InteractiveConfig::default());
+    let result = session.run_against_goal(&goal);
+    println!(
+        "\nInteractive: reached the goal with {} labels ({} of the graph)",
+        result.labels_used(),
+        format_args!("{:.0}%", 100.0 * result.label_fraction(&graph)),
+    );
+    if let Some(query) = &result.query {
+        println!("Interactive learned: {}", query.display(graph.alphabet()));
+        assert_eq!(query.eval(&graph), goal_selection);
+    }
+}

@@ -1,0 +1,303 @@
+//! `pathlearn` — command-line interface to the library.
+//!
+//! ```text
+//! pathlearn eval <graph.txt> --query "(a·b)*·c"
+//!     Evaluate a path query; prints the selected nodes.
+//!
+//! pathlearn learn <graph.txt> --pos v1,v3 --neg v2,v7 [--k N]
+//!     Learn a query from labeled nodes (Algorithm 1); prints the regex.
+//!
+//! pathlearn interactive <graph.txt> [--goal "(a·b)*·c"] [--strategy kR|kS]
+//!     Run the Figure 9 loop. With --goal, a simulated user answers; without,
+//!     *you* are the user: the tool shows each proposed node's neighborhood
+//!     and asks for +/-.
+//!
+//! pathlearn stats <graph.txt>
+//!     Graph statistics (nodes, edges, labels, degree distribution).
+//! ```
+//!
+//! Graph files are the line format of `pathlearn-graph::io`:
+//! `src label dst` per edge, `node NAME` for isolated nodes, `#` comments.
+
+use pathlearn::graph::io::parse_graph;
+use pathlearn::graph::neighborhood::neighborhood;
+use pathlearn::interactive::session::LabelOracle;
+use pathlearn::prelude::*;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `pathlearn help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        "eval" => eval_command(&args[1..]),
+        "learn" => learn_command(&args[1..]),
+        "interactive" => interactive_command(&args[1..]),
+        "stats" => stats_command(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const HELP: &str = "\
+pathlearn — learning path queries on graph databases (EDBT 2015)
+
+USAGE:
+  pathlearn eval <graph.txt> --query <REGEX>
+  pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N]
+  pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N]
+  pathlearn stats <graph.txt>
+";
+
+struct Options {
+    graph_path: String,
+    flags: Vec<(String, String)>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut graph_path = None;
+    let mut flags = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+        } else if graph_path.is_none() {
+            graph_path = Some(arg.clone());
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    Ok(Options {
+        graph_path: graph_path.ok_or("missing graph file argument")?,
+        flags,
+    })
+}
+
+impl Options {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn load_graph(&self) -> Result<GraphDb, String> {
+        let text = std::fs::read_to_string(&self.graph_path)
+            .map_err(|e| format!("cannot read {}: {e}", self.graph_path))?;
+        parse_graph(&text).map_err(|e| e.to_string())
+    }
+
+    fn node_list(&self, graph: &GraphDb, name: &str) -> Result<Vec<NodeId>, String> {
+        let Some(list) = self.flag(name) else {
+            return Ok(Vec::new());
+        };
+        list.split(',')
+            .filter(|s| !s.is_empty())
+            .map(|n| {
+                graph
+                    .node_id(n.trim())
+                    .ok_or_else(|| format!("unknown node `{n}`"))
+            })
+            .collect()
+    }
+}
+
+fn eval_command(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let graph = options.load_graph()?;
+    let expr = options.flag("query").ok_or("missing --query")?;
+    let query = PathQuery::parse(expr, graph.alphabet()).map_err(|e| e.to_string())?;
+    let selected = query.eval(&graph);
+    println!(
+        "query {} selects {} of {} nodes ({:.2}%):",
+        query.display(graph.alphabet()),
+        selected.len(),
+        graph.num_nodes(),
+        100.0 * query.selectivity(&graph)
+    );
+    let mut names: Vec<&str> = selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+    names.sort();
+    for name in names {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn learn_command(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let graph = options.load_graph()?;
+    let pos = options.node_list(&graph, "pos")?;
+    let neg = options.node_list(&graph, "neg")?;
+    if pos.is_empty() && neg.is_empty() {
+        return Err("need at least one of --pos/--neg".into());
+    }
+    let sample = Sample::from_parts(pos, neg);
+    let learner = match options.flag("k") {
+        Some(k) => Learner::with_fixed_k(k.parse().map_err(|_| "--k needs an integer")?),
+        None => Learner::default(),
+    };
+    let outcome = learner.learn(&graph, &sample);
+    match outcome.query {
+        Some(query) => {
+            println!("learned: {}", query.display(graph.alphabet()));
+            println!("size:    {} states (canonical DFA)", query.size());
+            let selected = query.eval(&graph);
+            let mut names: Vec<&str> =
+                selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+            names.sort();
+            println!("selects: {}", names.join(", "));
+            for (node, path) in &outcome.stats.scps {
+                println!(
+                    "SCP {}: {}",
+                    graph.node_name(*node),
+                    pathlearn::automata::word::format_word(path, graph.alphabet())
+                );
+            }
+            Ok(())
+        }
+        None => Err("learner abstained (null): the sample is inconsistent or needs \
+                     longer SCPs — label more nodes or raise --k"
+            .into()),
+    }
+}
+
+fn stats_command(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let graph = options.load_graph()?;
+    println!("nodes:  {}", graph.num_nodes());
+    println!("edges:  {}", graph.num_edges());
+    println!("labels: {}", graph.alphabet().len());
+    let mut label_counts: Vec<(usize, &str)> = graph
+        .alphabet()
+        .entries()
+        .map(|(sym, name)| {
+            let count = graph
+                .edges()
+                .filter(|&(_, s, _)| s == sym)
+                .count();
+            (count, name)
+        })
+        .collect();
+    label_counts.sort_unstable_by(|a, b| b.cmp(a));
+    for (count, name) in label_counts.iter().take(10) {
+        println!("  {name}: {count} edges");
+    }
+    let max_out = graph.nodes().map(|n| graph.out_degree(n)).max().unwrap_or(0);
+    println!("max out-degree: {max_out}");
+    Ok(())
+}
+
+/// Oracle that asks the human at the terminal.
+struct StdinOracle<'g> {
+    graph: &'g GraphDb,
+    radius: usize,
+}
+
+impl LabelOracle for StdinOracle<'_> {
+    fn label(&mut self, node: NodeId) -> bool {
+        let hood = neighborhood(self.graph, node, self.radius, true);
+        println!(
+            "\n── proposed node: {} ── ({} nodes / {} edges within distance {})",
+            self.graph.node_name(node),
+            hood.fragment.num_nodes(),
+            hood.fragment.num_edges(),
+            self.radius
+        );
+        for (src, sym, dst) in hood.fragment.edges() {
+            println!(
+                "    {} --{}--> {}",
+                hood.fragment.node_name(src),
+                hood.fragment.alphabet().name(sym),
+                hood.fragment.node_name(dst)
+            );
+        }
+        loop {
+            print!("label {} [+/-]: ", self.graph.node_name(node));
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if std::io::stdin().lock().read_line(&mut line).is_err() {
+                return false;
+            }
+            match line.trim() {
+                "+" | "y" | "yes" => return true,
+                "-" | "n" | "no" => return false,
+                other => println!("  (got `{other}`; answer + or -)"),
+            }
+        }
+    }
+}
+
+fn interactive_command(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let graph = options.load_graph()?;
+    let strategy = match options.flag("strategy").unwrap_or("kR") {
+        "kR" | "kr" => StrategyKind::KRandom,
+        "kS" | "ks" => StrategyKind::KSmallest,
+        "exact" => StrategyKind::ExactInformative,
+        other => return Err(format!("unknown strategy `{other}` (kR/kS/exact)")),
+    };
+    let seed = options
+        .flag("seed")
+        .map(|s| s.parse().map_err(|_| "--seed needs an integer"))
+        .transpose()?
+        .unwrap_or(42);
+    let config = InteractiveConfig {
+        strategy,
+        seed,
+        ..InteractiveConfig::default()
+    };
+    let session = InteractiveSession::new(&graph, config);
+
+    let result = match options.flag("goal") {
+        Some(expr) => {
+            let goal = PathQuery::parse(expr, graph.alphabet()).map_err(|e| e.to_string())?;
+            println!(
+                "simulating a user with goal {} …",
+                goal.display(graph.alphabet())
+            );
+            session.run_against_goal(&goal)
+        }
+        None => {
+            println!("you are the user: label proposed nodes with + or -.");
+            println!("(the session stops when no informative node remains)");
+            let mut oracle = StdinOracle { graph: &graph, radius: 2 };
+            session.run(&mut oracle, |_, _| false)
+        }
+    };
+
+    println!(
+        "\nsession over after {} labels ({:?})",
+        result.labels_used(),
+        result.halt
+    );
+    match &result.query {
+        Some(query) => {
+            println!("learned query: {}", query.display(graph.alphabet()));
+            let selected = query.eval(&graph);
+            let mut names: Vec<&str> =
+                selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+            names.sort();
+            println!("selects: {}", names.join(", "));
+        }
+        None => println!("no query learned"),
+    }
+    Ok(())
+}

@@ -1,0 +1,217 @@
+//! Integration tests for the `pathlearn` command-line interface, driving
+//! the real binary through `std::process::Command`.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn pathlearn_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_pathlearn")
+}
+
+fn g0_file() -> tempfile::TempPath {
+    let mut file = tempfile::Builder::new()
+        .prefix("g0")
+        .suffix(".txt")
+        .tempfile()
+        .expect("tempfile");
+    let edges = [
+        ("v1", "a", "v2"),
+        ("v1", "b", "v7"),
+        ("v2", "a", "v3"),
+        ("v2", "b", "v3"),
+        ("v3", "a", "v2"),
+        ("v3", "a", "v3"),
+        ("v3", "a", "v4"),
+        ("v3", "c", "v4"),
+        ("v5", "a", "v4"),
+        ("v5", "b", "v4"),
+        ("v6", "a", "v5"),
+        ("v6", "a", "v4"),
+        ("v6", "b", "v7"),
+        ("v7", "a", "v6"),
+        ("v7", "b", "v5"),
+    ];
+    for (s, l, d) in edges {
+        writeln!(file, "{s} {l} {d}").unwrap();
+    }
+    file.into_temp_path()
+}
+
+mod tempfile {
+    //! Minimal temp-file helper (no external dependency): creates a file
+    //! under `std::env::temp_dir()` that is removed on drop.
+    use std::path::{Path, PathBuf};
+
+    pub struct Builder {
+        prefix: String,
+        suffix: String,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder {
+                prefix: String::new(),
+                suffix: String::new(),
+            }
+        }
+        pub fn prefix(mut self, p: &str) -> Self {
+            self.prefix = p.to_owned();
+            self
+        }
+        pub fn suffix(mut self, s: &str) -> Self {
+            self.suffix = s.to_owned();
+            self
+        }
+        pub fn tempfile(self) -> std::io::Result<TempFile> {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos();
+            let path = std::env::temp_dir().join(format!(
+                "{}-{}-{}{}",
+                self.prefix,
+                std::process::id(),
+                nanos,
+                self.suffix
+            ));
+            let file = std::fs::File::create(&path)?;
+            Ok(TempFile { file, path })
+        }
+    }
+
+    pub struct TempFile {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    impl TempFile {
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath { path: self.path }
+        }
+    }
+
+    impl std::io::Write for TempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.file.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.file.flush()
+        }
+    }
+
+    pub struct TempPath {
+        path: PathBuf,
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(pathlearn_binary())
+        .args(args)
+        .output()
+        .expect("spawn pathlearn");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("interactive"));
+}
+
+#[test]
+fn stats_reports_graph_shape() {
+    let path = g0_file();
+    let (stdout, _, ok) = run(&["stats", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("nodes:  7"));
+    assert!(stdout.contains("edges:  15"));
+    assert!(stdout.contains("labels: 3"));
+}
+
+#[test]
+fn eval_lists_selected_nodes() {
+    let path = g0_file();
+    let (stdout, _, ok) = run(&["eval", path.to_str().unwrap(), "--query", "(a.b)*.c"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("selects 2 of 7 nodes"));
+    assert!(stdout.contains("v1"));
+    assert!(stdout.contains("v3"));
+}
+
+#[test]
+fn learn_reproduces_paper_example() {
+    let path = g0_file();
+    let (stdout, _, ok) = run(&[
+        "learn",
+        path.to_str().unwrap(),
+        "--pos",
+        "v1,v3",
+        "--neg",
+        "v2,v7",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("learned: (a·b)*·c"), "{stdout}");
+    assert!(stdout.contains("SCP v1: a·b·c"));
+    assert!(stdout.contains("SCP v3: c"));
+}
+
+#[test]
+fn learn_abstains_politely_on_inconsistency() {
+    // v4 positive but all its paths ({ε}) covered by any negative.
+    let path = g0_file();
+    let (_, stderr, ok) = run(&[
+        "learn",
+        path.to_str().unwrap(),
+        "--pos",
+        "v4",
+        "--neg",
+        "v5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("abstained"), "{stderr}");
+}
+
+#[test]
+fn interactive_with_simulated_goal() {
+    let path = g0_file();
+    let (stdout, _, ok) = run(&[
+        "interactive",
+        path.to_str().unwrap(),
+        "--goal",
+        "(a.b)*.c",
+        "--strategy",
+        "kS",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("learned query: (a·b)*·c"), "{stdout}");
+    assert!(stdout.contains("selects: v1, v3"));
+}
+
+#[test]
+fn unknown_flags_and_files_error_cleanly() {
+    let (_, stderr, ok) = run(&["learn", "/nonexistent/graph.txt", "--pos", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for the graph and learning layers: SCP minimality,
+//! evaluation correctness, learner soundness, RPNI identification, and the
+//! certain-node lemmas, all on randomly generated graphs and samples.
+
+use pathlearn::automata::char_sample::characteristic_sample;
+use pathlearn::automata::rpni::rpni;
+use pathlearn::automata::word::canonical_cmp;
+use pathlearn::core::consistency::is_consistent;
+use pathlearn::core::theory::characteristic_instance;
+use pathlearn::graph::eval::{eval_monadic, eval_monadic_naive};
+use pathlearn::graph::scp::scp_naive;
+use pathlearn::graph::ScpFinder;
+use pathlearn::interactive::certain::{is_certain_negative, is_informative};
+use pathlearn::prelude::*;
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+/// Strategy: a random small graph over {a, b, c}.
+fn arb_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        2usize..8,
+        proptest::collection::vec((0u32..8, 0usize..3, 0u32..8), 1..18),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder =
+                GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            for i in 0..n {
+                builder.add_node(&format!("n{i}"));
+            }
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a labeling of up to `n` nodes (node, is_positive).
+fn arb_labels() -> impl Strategy<Value = Vec<(u32, bool)>> {
+    proptest::collection::vec((0u32..8, any::<bool>()), 0..6)
+}
+
+fn build_sample(graph: &GraphDb, labels: &[(u32, bool)]) -> Sample {
+    let mut sample = Sample::new();
+    for &(node, positive) in labels {
+        let node = node % graph.num_nodes() as u32;
+        if !sample.is_labeled(node) {
+            sample.add(node, positive);
+        }
+    }
+    sample
+}
+
+/// Strategy: a random prefix-free-able regex over {a, b, c}.
+fn arb_query_regex() -> impl Strategy<Value = Regex> {
+    let leaf = (0usize..3).prop_map(|i| Regex::Symbol(Symbol::from_index(i)));
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.prop_map(|r| Regex::concat(vec![Regex::star(r.clone()), r])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SCP search agrees with naive canonical enumeration.
+    #[test]
+    fn scp_matches_naive(graph in arb_graph(), labels in arb_labels(), k in 0usize..4) {
+        let sample = build_sample(&graph, &labels);
+        let mut finder = ScpFinder::new(&graph, sample.neg());
+        for node in graph.nodes() {
+            let fast = finder.scp(node, k);
+            let slow = scp_naive(&graph, node, sample.neg(), k);
+            match (fast, slow) {
+                (Some(f), Some(s)) => {
+                    prop_assert_eq!(canonical_cmp(&f, &s), std::cmp::Ordering::Equal)
+                }
+                (None, None) => {}
+                (f, s) => prop_assert!(false, "node {}: {:?} vs {:?}", node, f, s),
+            }
+        }
+    }
+
+    /// Backward product evaluation agrees with per-node forward search.
+    #[test]
+    fn eval_matches_naive(graph in arb_graph(), regex in arb_query_regex()) {
+        let dfa = regex.to_dfa(3);
+        prop_assert_eq!(eval_monadic(&dfa, &graph), eval_monadic_naive(&dfa, &graph));
+    }
+
+    /// Soundness with abstain (Definition 3.4(1)): whatever the learner
+    /// returns is consistent with the sample.
+    #[test]
+    fn learner_is_sound(graph in arb_graph(), labels in arb_labels()) {
+        let sample = build_sample(&graph, &labels);
+        let outcome = Learner::default().learn(&graph, &sample);
+        if let Some(query) = outcome.query {
+            let selected = query.eval(&graph);
+            for &p in sample.pos() {
+                prop_assert!(selected.contains(p as usize));
+            }
+            for &n in sample.neg() {
+                prop_assert!(!selected.contains(n as usize));
+            }
+        }
+    }
+
+    /// When the user labels consistently with a goal query and every node
+    /// is labeled, the learner (if it answers) returns a query that
+    /// selects exactly the goal's set — the Figure 8 guarantee.
+    #[test]
+    fn fully_labeled_goal_yields_equivalent_selection(
+        graph in arb_graph(),
+        regex in arb_query_regex(),
+    ) {
+        let goal = PathQuery::from_regex(&regex, 3);
+        let selection = goal.eval(&graph);
+        let mut sample = Sample::new();
+        for node in graph.nodes() {
+            sample.add(node, selection.contains(node as usize));
+        }
+        let outcome = Learner::default().learn(&graph, &sample);
+        if let Some(query) = outcome.query {
+            prop_assert_eq!(query.eval(&graph), selection);
+        }
+    }
+
+    /// RPNI identifies random targets from their characteristic samples
+    /// (the [35] guarantee our Theorem 3.5 reduction relies on).
+    #[test]
+    fn rpni_identifies_random_targets(regex in arb_query_regex()) {
+        let target = regex.to_dfa(3);
+        prop_assume!(!target.language_is_empty());
+        let words = characteristic_sample(&target);
+        let learned = rpni(&words.pos, &words.neg, 3);
+        prop_assert!(
+            learned.equivalent(&target),
+            "target {:?}", regex
+        );
+    }
+
+    /// Theorem 3.5 on random prefix-free targets: the characteristic
+    /// instance makes the graph learner identify the target.
+    #[test]
+    fn theorem_3_5_random_targets(regex in arb_query_regex()) {
+        let alphabet = Alphabet::from_labels(LABELS);
+        let target = PathQuery::from_regex(&regex, 3).prefix_free();
+        prop_assume!(!target.dfa().language_is_empty());
+        prop_assume!(!target.dfa().accepts(&[]));
+        let instance = characteristic_instance(&target, &alphabet).unwrap();
+        let learned = Learner::with_fixed_k(instance.required_k)
+            .learn(&instance.graph, &instance.sample)
+            .query;
+        match learned {
+            Some(q) => prop_assert!(
+                q.equivalent_language(&target),
+                "learned {} for target {}",
+                q.display(&alphabet),
+                target.display(&alphabet)
+            ),
+            None => prop_assert!(false, "abstained on characteristic instance"),
+        }
+    }
+
+    /// Lemma 4.1 coherence: a certain-negative node is never k-informative,
+    /// and informative nodes can always be labeled either way while keeping
+    /// the sample consistent.
+    #[test]
+    fn certain_nodes_coherence(graph in arb_graph(), labels in arb_labels()) {
+        let sample = build_sample(&graph, &labels);
+        prop_assume!(is_consistent(&graph, &sample));
+        let mut finder = ScpFinder::new(&graph, sample.neg());
+        for node in graph.nodes() {
+            if sample.is_labeled(node) {
+                continue;
+            }
+            if is_certain_negative(&graph, &sample, node) {
+                for k in 0..4 {
+                    prop_assert!(!finder.is_k_informative(node, k));
+                }
+            }
+            if is_informative(&graph, &sample, node) {
+                // Both extensions stay consistent (Lemma A.1 split).
+                let as_pos = sample.clone().positive(node);
+                let as_neg = sample.clone().negative(node);
+                prop_assert!(is_consistent(&graph, &as_pos), "node {}", node);
+                prop_assert!(is_consistent(&graph, &as_neg), "node {}", node);
+            }
+        }
+    }
+
+    /// The interactive session terminates and, when it halts on the
+    /// condition, the learned query matches the goal's selection.
+    #[test]
+    fn interactive_session_terminates(graph in arb_graph(), regex in arb_query_regex()) {
+        let goal = PathQuery::from_regex(&regex, 3);
+        let session = InteractiveSession::new(&graph, InteractiveConfig::default());
+        let result = session.run_against_goal(&goal);
+        prop_assert!(result.labels_used() <= graph.num_nodes());
+        if result.halt == pathlearn::interactive::HaltReason::ConditionMet {
+            let learned = result.query.expect("condition met implies a query");
+            prop_assert_eq!(learned.eval(&graph), goal.eval(&graph));
+        }
+    }
+}
