@@ -131,6 +131,33 @@ impl BitSet {
         }
     }
 
+    /// In-place union that records which indices were new: every index of
+    /// `other` absent from `self` is inserted into both `self` and
+    /// `newly` (`newly` is OR-accumulated, not cleared). Returns `true`
+    /// iff at least one index was new. One pass of word-level operations;
+    /// this is the frontier-merge kernel of the level-synchronous BFS in
+    /// `pathlearn-graph`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn union_with_recording_new(&mut self, other: &BitSet, newly: &mut BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert_eq!(self.capacity, newly.capacity, "capacity mismatch");
+        let mut any = 0u64;
+        for ((a, &b), n) in self
+            .blocks
+            .iter_mut()
+            .zip(&other.blocks)
+            .zip(&mut newly.blocks)
+        {
+            let fresh = b & !*a;
+            *a |= fresh;
+            *n |= fresh;
+            any |= fresh;
+        }
+        any != 0
+    }
+
     /// `true` iff `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
@@ -143,7 +170,10 @@ impl BitSet {
     /// `true` iff the sets share at least one index.
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Iterates over present indices in increasing order.
@@ -262,6 +292,20 @@ mod tests {
         let mut diff = a.clone();
         diff.difference_with(&b);
         assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn union_with_recording_new_tracks_fresh_indices() {
+        let mut reached = BitSet::from_indices(130, [1, 64]);
+        let incoming = BitSet::from_indices(130, [1, 64, 65, 129]);
+        let mut newly = BitSet::from_indices(130, [3]); // pre-existing bit kept
+        assert!(reached.union_with_recording_new(&incoming, &mut newly));
+        assert_eq!(reached.iter().collect::<Vec<_>>(), vec![1, 64, 65, 129]);
+        assert_eq!(newly.iter().collect::<Vec<_>>(), vec![3, 65, 129]);
+        // A second merge of the same set adds nothing.
+        let mut newly2 = BitSet::new(130);
+        assert!(!reached.union_with_recording_new(&incoming, &mut newly2));
+        assert!(newly2.is_empty());
     }
 
     #[test]

@@ -176,11 +176,7 @@ pub fn shortest_accepting_suffix(dfa: &Dfa, state: StateId) -> Word {
 
 /// `≤`-minimal word `e` with `final(δ(p,e)) ≠ final(δ(q,e))` in a
 /// **complete** DFA, or `None` if `p` and `q` are equivalent.
-pub fn shortest_distinguishing_suffix(
-    complete: &Dfa,
-    p: StateId,
-    q: StateId,
-) -> Option<Word> {
+pub fn shortest_distinguishing_suffix(complete: &Dfa, p: StateId, q: StateId) -> Option<Word> {
     if complete.is_final(p) != complete.is_final(q) {
         return Some(Vec::new());
     }
@@ -226,7 +222,9 @@ mod tests {
 
     fn target(expr: &str, labels: &[&str]) -> (Dfa, Alphabet) {
         let alphabet = Alphabet::from_labels(labels.iter().copied());
-        let dfa = Regex::parse(expr, &alphabet).unwrap().to_dfa(alphabet.len());
+        let dfa = Regex::parse(expr, &alphabet)
+            .unwrap()
+            .to_dfa(alphabet.len());
         (dfa, alphabet)
     }
 
@@ -275,8 +273,7 @@ mod tests {
             assert!(
                 learned.equivalent(&dfa),
                 "failed to identify {expr}: learned {}",
-                crate::state_elim::dfa_to_regex(&learned)
-                    .display(&alphabet)
+                crate::state_elim::dfa_to_regex(&learned).display(&alphabet)
             );
         }
     }

@@ -34,7 +34,10 @@ impl Dfa {
     /// Creates a DFA with `num_states` states, no transitions and no
     /// accepting states, starting in `initial`.
     pub fn new(num_states: usize, alphabet_len: usize, initial: StateId) -> Self {
-        assert!((initial as usize) < num_states.max(1), "initial out of range");
+        assert!(
+            (initial as usize) < num_states.max(1),
+            "initial out of range"
+        );
         Dfa {
             alphabet_len,
             num_states,

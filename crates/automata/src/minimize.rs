@@ -60,9 +60,7 @@ fn hopcroft_partition(dfa: &Dfa) -> Vec<u32> {
     let mut blocks: Vec<Vec<StateId>> = Vec::new();
     let mut block_of: Vec<u32> = vec![0; n];
     let finals: Vec<StateId> = dfa.finals().iter().map(|s| s as StateId).collect();
-    let non_finals: Vec<StateId> = (0..n as StateId)
-        .filter(|&s| !dfa.is_final(s))
-        .collect();
+    let non_finals: Vec<StateId> = (0..n as StateId).filter(|&s| !dfa.is_final(s)).collect();
     for group in [finals, non_finals] {
         if group.is_empty() {
             continue;
@@ -83,8 +81,7 @@ fn hopcroft_partition(dfa: &Dfa) -> Vec<u32> {
     } else {
         0u32
     };
-    let mut worklist: VecDeque<(u32, usize)> =
-        (0..alphabet).map(|a| (smaller, a)).collect();
+    let mut worklist: VecDeque<(u32, usize)> = (0..alphabet).map(|a| (smaller, a)).collect();
     let mut in_worklist: Vec<Vec<bool>> = vec![vec![false; alphabet]; blocks.len()];
     for a in 0..alphabet {
         in_worklist[smaller as usize][a] = true;
@@ -157,12 +154,11 @@ fn hopcroft_partition(dfa: &Dfa) -> Vec<u32> {
                     in_worklist[new_id as usize][c] = true;
                     worklist.push_back((new_id, c));
                 } else {
-                    let pick =
-                        if blocks[new_id as usize].len() < blocks[b as usize].len() {
-                            new_id
-                        } else {
-                            b
-                        };
+                    let pick = if blocks[new_id as usize].len() < blocks[b as usize].len() {
+                        new_id
+                    } else {
+                        b
+                    };
                     if !in_worklist[pick as usize][c] {
                         in_worklist[pick as usize][c] = true;
                         worklist.push_back((pick, c));

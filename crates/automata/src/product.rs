@@ -81,8 +81,7 @@ pub fn nfa_intersection_shortest(a: &Nfa, b: &Nfa) -> Option<Word> {
         return None;
     }
     let alphabet = a.alphabet_len();
-    let mut seen: std::collections::HashSet<(BitSet, BitSet)> =
-        std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(BitSet, BitSet)> = std::collections::HashSet::new();
     let mut queue: VecDeque<(BitSet, BitSet, Word)> = VecDeque::new();
     seen.insert((init_a.clone(), init_b.clone()));
     queue.push_back((init_a, init_b, Vec::new()));
@@ -160,11 +159,7 @@ pub fn nfa_product(a: &Nfa, b: &Nfa) -> Nfa {
         for &(sym, ta) in a.transitions_from(sa) {
             for sb in 0..bn as StateId {
                 for &(_, tb) in b.successors(sb, sym) {
-                    edges.push((
-                        sa * bn as StateId + sb,
-                        sym,
-                        ta * bn as StateId + tb,
-                    ));
+                    edges.push((sa * bn as StateId + sb, sym, ta * bn as StateId + tb));
                 }
             }
         }

@@ -119,8 +119,7 @@ mod tests {
         let c = sym(2);
         let pta = build_pta(&[vec![a, b, c], vec![c]], 3);
         // Expected order: ε < a < c < ab < abc.
-        let expected: Vec<Word> =
-            vec![vec![], vec![a], vec![c], vec![a, b], vec![a, b, c]];
+        let expected: Vec<Word> = vec![vec![], vec![a], vec![c], vec![a, b], vec![a, b, c]];
         for (id, word) in expected.iter().enumerate() {
             assert_eq!(access_word(&pta, id as StateId).as_ref(), Some(word));
         }

@@ -304,7 +304,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -450,8 +454,8 @@ impl<'a> Parser<'a> {
                 while self.pos < self.input.len() && is_ident_continue(self.input[self.pos]) {
                     self.pos += 1;
                 }
-                let name = std::str::from_utf8(&self.input[start..self.pos])
-                    .expect("ascii identifier");
+                let name =
+                    std::str::from_utf8(&self.input[start..self.pos]).expect("ascii identifier");
                 if name == "eps" {
                     return Ok(Regex::Epsilon);
                 }
@@ -591,8 +595,7 @@ mod tests {
     #[test]
     fn parse_epsilon_and_multichar_labels() {
         let mut alphabet = Alphabet::new();
-        let regex =
-            Regex::parse_interning("tram (bus + eps) cinema*", &mut alphabet).unwrap();
+        let regex = Regex::parse_interning("tram (bus + eps) cinema*", &mut alphabet).unwrap();
         assert!(!regex.nullable());
         assert_eq!(alphabet.len(), 3);
         let dfa = regex.to_dfa(alphabet.len());
@@ -649,10 +652,7 @@ mod tests {
         assert_eq!(Regex::alt(vec![a.clone(), a.clone()]), a);
         assert_eq!(Regex::alt(vec![]), Regex::Empty);
         assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
-        assert_eq!(
-            Regex::star(Regex::star(a.clone())),
-            Regex::star(a.clone())
-        );
+        assert_eq!(Regex::star(Regex::star(a.clone())), Regex::star(a.clone()));
     }
 
     #[test]
@@ -672,8 +672,7 @@ mod tests {
             let regex = Regex::parse(text, &alphabet).unwrap();
             let printed = regex.display(&alphabet).to_string();
             // `ε` prints but does not lex; replace for re-parsing.
-            let reparsed =
-                Regex::parse(&printed.replace('ε', "eps"), &alphabet).unwrap();
+            let reparsed = Regex::parse(&printed.replace('ε', "eps"), &alphabet).unwrap();
             assert!(
                 regex.to_dfa(3).equivalent(&reparsed.to_dfa(3)),
                 "{text} -> {printed}"

@@ -269,13 +269,7 @@ mod tests {
         let b = sym(1);
         let c = sym(2);
         let pos = vec![vec![a, b, c], vec![c]];
-        let neg = vec![
-            vec![],
-            vec![a],
-            vec![a, b],
-            vec![a, c],
-            vec![b, c],
-        ];
+        let neg = vec![vec![], vec![a], vec![a, b], vec![a, c], vec![b, c]];
         let learned = rpni(&pos, &neg, 3);
         let alphabet = Alphabet::from_labels(["a", "b", "c"]);
         let target = crate::regex::Regex::parse("(a·b)*·c", &alphabet)
@@ -284,7 +278,9 @@ mod tests {
         assert!(
             learned.equivalent(&target),
             "learned {:?}",
-            crate::state_elim::dfa_to_regex(&learned).display(&alphabet).to_string()
+            crate::state_elim::dfa_to_regex(&learned)
+                .display(&alphabet)
+                .to_string()
         );
     }
 

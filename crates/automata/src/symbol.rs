@@ -60,8 +60,7 @@ impl Alphabet {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut names: Vec<String> =
-            labels.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut names: Vec<String> = labels.into_iter().map(|s| s.as_ref().to_owned()).collect();
         names.sort();
         names.dedup();
         let mut alphabet = Self::new();

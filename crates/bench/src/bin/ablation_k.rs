@@ -67,7 +67,7 @@ fn main() {
     );
     let headers = ["k policy", "query", "mean F1", "abstain", "time (s)"];
     println!("{}", ascii_table(&headers, &rows));
-    let path = write_results_file("ablation_k.csv", &csv(&headers, &csv_rows))
-        .expect("write results");
+    let path =
+        write_results_file("ablation_k.csv", &csv(&headers, &csv_rows)).expect("write results");
     println!("CSV written to {}", path.display());
 }

@@ -1,0 +1,235 @@
+//! Old-vs-new RPQ evaluation benchmark, the perf artifact of the
+//! label-partitioned CSR + frontier-kernel rework.
+//!
+//! Generates a scale-free graph (paper §5.1 configuration: 3× edges,
+//! 30-label Zipf(1.0) alphabet), calibrates the full paper query mix on
+//! it (Table 1 structures bio1–bio6 plus syn1–syn3), and times
+//!
+//! * `eval_monadic` — the frontier-batched level-synchronous evaluator;
+//! * `eval_monadic_queued` — the seed algorithm (node-at-a-time backward
+//!   BFS over packed product states), kept verbatim as the baseline;
+//!
+//! checking the two agree on every query before timing. Results go to
+//! stdout (table) and to a JSON file (default `BENCH_eval.json`) so the
+//! repository keeps a perf trajectory across PRs.
+//!
+//! ```text
+//! bench_eval [--nodes N] [--seed S] [--runs R] [--out PATH]
+//! ```
+
+use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
+use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
+use pathlearn_eval::report::ascii_table;
+use pathlearn_graph::eval::{eval_monadic, eval_monadic_queued};
+use pathlearn_graph::GraphDb;
+use std::time::Instant;
+
+struct QueryResult {
+    name: String,
+    template: String,
+    dfa_states: usize,
+    selectivity: f64,
+    new_ns: u128,
+    seed_ns: u128,
+}
+
+impl QueryResult {
+    fn speedup(&self) -> f64 {
+        self.seed_ns.max(1) as f64 / self.new_ns.max(1) as f64
+    }
+}
+
+/// Median of `runs` wall-clock timings of `f`, after one warm-up call.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u128 {
+    f(); // warm-up
+    let mut times: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn bench_query(graph: &GraphDb, q: &CalibratedQuery, runs: usize) -> QueryResult {
+    let dfa = q.query.dfa();
+    // Correctness gate: the evaluators must agree before we time them.
+    let new = eval_monadic(dfa, graph);
+    let seed = eval_monadic_queued(dfa, graph);
+    assert_eq!(new, seed, "{}: evaluators disagree", q.name);
+
+    let new_ns = median_ns(runs, || {
+        std::hint::black_box(eval_monadic(dfa, graph));
+    });
+    let seed_ns = median_ns(runs, || {
+        std::hint::black_box(eval_monadic_queued(dfa, graph));
+    });
+    QueryResult {
+        name: q.name.clone(),
+        template: q.template.clone(),
+        dfa_states: dfa.num_states(),
+        selectivity: q.achieved_selectivity,
+        new_ns,
+        seed_ns,
+    }
+}
+
+fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = values.fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
+    if count == 0 {
+        return 1.0;
+    }
+    (sum / count as f64).exp()
+}
+
+fn json_escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json(
+    path: &str,
+    graph: &GraphDb,
+    seed: u64,
+    runs: usize,
+    results: &[QueryResult],
+    geomean: f64,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"benchmark\": \"eval_monadic: frontier-batched vs seed queued backward BFS\",\n",
+    );
+    out.push_str(&format!(
+        "  \"graph\": {{\"generator\": \"scale_free paper_synthetic\", \"nodes\": {}, \"edges\": {}, \"labels\": {}, \"seed\": {}}},\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.alphabet().len(),
+        seed
+    ));
+    out.push_str(&format!("  \"runs_per_query\": {runs},\n"));
+    out.push_str("  \"timer\": \"median of wall-clock runs after one warm-up\",\n");
+    out.push_str("  \"queries\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"template\": \"{}\", \"dfa_states\": {}, \"selectivity\": {:.6}, \"new_ns\": {}, \"seed_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.template),
+            r.dfa_states,
+            r.selectivity,
+            r.new_ns,
+            r.seed_ns,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut nodes = 10_000usize;
+    let mut runs = 9usize;
+    let mut out_path = "BENCH_eval.json".to_owned();
+    fn usage(problem: &str) -> ! {
+        eprintln!("error: {problem}");
+        eprintln!("usage: bench_eval [--nodes N] [--seed S] [--runs R] [--out PATH]");
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--nodes" => {
+                nodes = value("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--nodes needs an integer"));
+            }
+            "--runs" => {
+                runs = value("--runs")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--runs needs an integer"))
+                    .max(1);
+            }
+            "--out" => out_path = value("--out"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    eprintln!("generating scale-free graph: {nodes} nodes, seed {seed} ...");
+    let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(nodes, seed));
+    eprintln!(
+        "graph ready: {} nodes, {} edges, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.alphabet().len()
+    );
+
+    eprintln!("calibrating paper query mix (bio1-6, syn1-3) ...");
+    let mut queries = bio_workload(&graph).queries;
+    queries.extend(syn_workload(&graph).queries);
+
+    let results: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| {
+            let r = bench_query(&graph, q, runs);
+            eprintln!(
+                "  {:<5} {:>12} ns (new) {:>12} ns (seed)  {:>6.2}x",
+                r.name,
+                r.new_ns,
+                r.seed_ns,
+                r.speedup()
+            );
+            r
+        })
+        .collect();
+
+    let geomean = geometric_mean(results.iter().map(QueryResult::speedup));
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.template.clone(),
+                format!("{}", r.dfa_states),
+                format!("{:.4}", r.selectivity),
+                format!("{:.3}", r.new_ns as f64 / 1e6),
+                format!("{:.3}", r.seed_ns as f64 / 1e6),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["query", "template", "|Q|", "sel", "new ms", "seed ms", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "geomean speedup: {geomean:.2}x over {} queries",
+        results.len()
+    );
+
+    write_json(&out_path, &graph, seed, runs, &results, geomean).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -29,7 +29,10 @@ fn main() {
             q.template.clone(),
             fmt_pct(q.target_selectivity),
             fmt_pct(q.achieved_selectivity),
-            format!("{}", (q.achieved_selectivity * nodes as f64).round() as usize),
+            format!(
+                "{}",
+                (q.achieved_selectivity * nodes as f64).round() as usize
+            ),
             format!("{}", q.query.size()),
         ]);
     }
@@ -43,7 +46,7 @@ fn main() {
     ];
     println!("{}", ascii_table(&headers, &rows));
 
-    let path = write_results_file("table1_selectivity.csv", &csv(&headers, &rows))
-        .expect("write results");
+    let path =
+        write_results_file("table1_selectivity.csv", &csv(&headers, &rows)).expect("write results");
     println!("CSV written to {}", path.display());
 }

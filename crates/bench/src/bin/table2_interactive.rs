@@ -39,7 +39,10 @@ fn main() {
                 None => "—".to_owned(),
             };
             for strategy in [StrategyKind::KRandom, StrategyKind::KSmallest] {
-                eprintln!("[table2] {}/{}: interactive {strategy}…", dataset.name, name);
+                eprintln!(
+                    "[table2] {}/{}: interactive {strategy}…",
+                    dataset.name, name
+                );
                 let row = run_interactive(
                     &dataset.graph,
                     &name,

@@ -248,8 +248,8 @@ mod tests {
         // v1 -a→ v2 -b→ v3: positive; (v5, v4, v1): negative (no v4→v1).
         sample.add(vec![v1, v2, v3], true);
         sample.add(vec![v5, v4, v1], false);
-        let query = learnern(&graph, &sample, &BinaryLearnerConfig::default())
-            .expect("n-ary query");
+        let query =
+            learnern(&graph, &sample, &BinaryLearnerConfig::default()).expect("n-ary query");
         assert_eq!(query.arity(), 3);
         assert!(query.selects_tuple(&graph, &[v1, v2, v3]));
         assert!(!query.selects_tuple(&graph, &[v5, v4, v1]));

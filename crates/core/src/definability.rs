@@ -78,11 +78,7 @@ mod tests {
         let graph = figure3_g0();
         for expr in ["a", "(a·b)*·c", "c"] {
             let goal = PathQuery::parse(expr, graph.alphabet()).unwrap();
-            let target: Vec<NodeId> = goal
-                .eval(&graph)
-                .iter()
-                .map(|n| n as NodeId)
-                .collect();
+            let target: Vec<NodeId> = goal.eval(&graph).iter().map(|n| n as NodeId).collect();
             match define_set(&graph, &target, LearnerConfig::default()) {
                 Definability::Definable(query) => {
                     assert_eq!(query.eval(&graph), goal.eval(&graph), "{expr}");

@@ -181,10 +181,7 @@ impl Learner {
             }
         }
         stats.duration = start_time.elapsed();
-        LearnOutcome {
-            query: None,
-            stats,
-        }
+        LearnOutcome { query: None, stats }
     }
 
     /// One attempt with a fixed `k`; returns the query on success.
@@ -253,14 +250,8 @@ impl Learner {
 /// positives, no negatives) — the soundness condition of Definition 3.4.
 pub fn is_consistent_with(query: &PathQuery, graph: &GraphDb, sample: &Sample) -> bool {
     let selected = query.eval(graph);
-    sample
-        .pos()
-        .iter()
-        .all(|&n| selected.contains(n as usize))
-        && sample
-            .neg()
-            .iter()
-            .all(|&n| !selected.contains(n as usize))
+    sample.pos().iter().all(|&n| selected.contains(n as usize))
+        && sample.neg().iter().all(|&n| !selected.contains(n as usize))
 }
 
 #[cfg(test)]

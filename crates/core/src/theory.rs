@@ -119,7 +119,9 @@ pub fn characteristic_instance(
         }
     }
     for s in 0..complete.num_states() as u32 {
-        let Some(from) = state_node[s as usize] else { continue };
+        let Some(from) = state_node[s as usize] else {
+            continue;
+        };
         for a in 0..alphabet.len() {
             let sym = Symbol::from_index(a);
             if let Some(t) = complete.step(s, sym) {
@@ -137,10 +139,7 @@ pub fn characteristic_instance(
     let required_k = 2 * target.size() + 1;
 
     debug_assert!(
-        words
-            .neg
-            .iter()
-            .all(|w| graph.covers(w, &[negative_node])),
+        words.neg.iter().all(|w| graph.covers(w, &[negative_node])),
         "negative component must cover every P⁻ word"
     );
 
@@ -163,9 +162,9 @@ mod tests {
         let instance = characteristic_instance(&target, &alphabet).unwrap();
         let learner = Learner::with_fixed_k(instance.required_k);
         let outcome = learner.learn(&instance.graph, &instance.sample);
-        let learned = outcome.query.unwrap_or_else(|| {
-            panic!("learner abstained on characteristic instance for {expr}")
-        });
+        let learned = outcome
+            .query
+            .unwrap_or_else(|| panic!("learner abstained on characteristic instance for {expr}"));
         assert!(
             learned.equivalent_language(&target.prefix_free()),
             "{expr}: learned {} instead",
@@ -209,12 +208,8 @@ mod tests {
                 sample.add(node, selected.contains(node as usize));
             }
         }
-        let outcome =
-            Learner::with_fixed_k(instance.required_k).learn(&instance.graph, &sample);
-        assert!(outcome
-            .query
-            .unwrap()
-            .equivalent_language(&target));
+        let outcome = Learner::with_fixed_k(instance.required_k).learn(&instance.graph, &sample);
+        assert!(outcome.query.unwrap().equivalent_language(&target));
     }
 
     #[test]
@@ -222,8 +217,8 @@ mod tests {
         let alphabet = Alphabet::from_labels(["a", "b", "c"]);
         let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap();
         let instance = characteristic_instance(&target, &alphabet).unwrap();
-        let outcome = Learner::with_fixed_k(instance.required_k)
-            .learn(&instance.graph, &instance.sample);
+        let outcome =
+            Learner::with_fixed_k(instance.required_k).learn(&instance.graph, &instance.sample);
         let mut scps: Vec<_> = outcome.stats.scps.iter().map(|(_, w)| w.clone()).collect();
         pathlearn_automata::word::sort_canonical(&mut scps);
         assert_eq!(scps, instance.words.pos);

@@ -9,18 +9,34 @@ fn main() {
     let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(600, 42));
     let workload = syn_workload(&graph);
     let goal = &workload.queries[2];
-    println!("goal {} sel {:.2}% size {}", goal.name, goal.achieved_selectivity*100.0, goal.query.size());
+    println!(
+        "goal {} sel {:.2}% size {}",
+        goal.name,
+        goal.achieved_selectivity * 100.0,
+        goal.query.size()
+    );
     let goal_sel = goal.query.eval(&graph);
     let mut sample = pathlearn_core::Sample::new();
     // label everything
-    for node in graph.nodes() { sample.add(node, goal_sel.contains(node as usize)); }
+    for node in graph.nodes() {
+        sample.add(node, goal_sel.contains(node as usize));
+    }
     let out = pathlearn_core::Learner::default().learn(&graph, &sample);
     match out.query {
         Some(q) => {
             let sel = q.eval(&graph);
-            println!("full-label learn: k={} equal={} |learned|={} |goal|={}",
-                out.stats.k_used, sel == goal_sel, sel.len(), goal_sel.len());
+            println!(
+                "full-label learn: k={} equal={} |learned|={} |goal|={}",
+                out.stats.k_used,
+                sel == goal_sel,
+                sel.len(),
+                goal_sel.len()
+            );
         }
-        None => println!("full-label learn: ABSTAIN k={} no_scp={}", out.stats.k_used, out.stats.nodes_without_scp.len()),
+        None => println!(
+            "full-label learn: ABSTAIN k={} no_scp={}",
+            out.stats.k_used,
+            out.stats.nodes_without_scp.len()
+        ),
     }
 }

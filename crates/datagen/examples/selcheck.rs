@@ -6,8 +6,12 @@ fn main() {
     let graph = pathlearn_datagen::alibaba_like(42);
     let wl = pathlearn_datagen::bio_workload(&graph);
     for q in &wl.queries {
-        println!("{}: target {:.4}% achieved {:.4}% ({} nodes)", q.name,
-            q.target_selectivity*100.0, q.achieved_selectivity*100.0,
-            (q.achieved_selectivity*graph.num_nodes() as f64).round());
+        println!(
+            "{}: target {:.4}% achieved {:.4}% ({} nodes)",
+            q.name,
+            q.target_selectivity * 100.0,
+            q.achieved_selectivity * 100.0,
+            (q.achieved_selectivity * graph.num_nodes() as f64).round()
+        );
     }
 }

@@ -12,9 +12,16 @@ fn main() {
             let sample = pathlearn_datagen::sampling::random_sample(&dataset_graph, &sel, frac, 7);
             let t = Instant::now();
             let out = pathlearn_core::Learner::default().learn(&dataset_graph, &sample);
-            println!("{} frac={frac}: {:?} k={} pta={} gen={} pos={} learned={}",
-                q.name, t.elapsed(), out.stats.k_used, out.stats.pta_states,
-                out.stats.generalized_states, sample.pos().len(), out.query.is_some());
+            println!(
+                "{} frac={frac}: {:?} k={} pta={} gen={} pos={} learned={}",
+                q.name,
+                t.elapsed(),
+                out.stats.k_used,
+                out.stats.pta_states,
+                out.stats.generalized_states,
+                sample.pos().len(),
+                out.query.is_some()
+            );
         }
     }
 }

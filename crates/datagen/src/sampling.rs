@@ -20,12 +20,7 @@ use rand::SeedableRng;
 ///
 /// `goal_selection` must be the goal query's selected node set
 /// (`goal.eval(graph)`); labels follow it. Deterministic given `seed`.
-pub fn random_sample(
-    graph: &GraphDb,
-    goal_selection: &BitSet,
-    fraction: f64,
-    seed: u64,
-) -> Sample {
+pub fn random_sample(graph: &GraphDb, goal_selection: &BitSet, fraction: f64, seed: u64) -> Sample {
     let total = graph.num_nodes();
     let want = ((fraction * total as f64).ceil() as usize).min(total);
     let mut nodes: Vec<NodeId> = graph.nodes().collect();
@@ -34,9 +29,7 @@ pub fn random_sample(
 
     let mut drawn: Vec<NodeId> = nodes[..want].to_vec();
     // Ensure at least one positive when the goal selects anything.
-    let has_positive = drawn
-        .iter()
-        .any(|&n| goal_selection.contains(n as usize));
+    let has_positive = drawn.iter().any(|&n| goal_selection.contains(n as usize));
     if !has_positive && !goal_selection.is_empty() && want > 0 {
         if let Some(&replacement) = nodes[want..]
             .iter()
@@ -126,10 +119,7 @@ mod tests {
         let selection = goal.eval(&graph);
         for seed in 0..30 {
             let sample = random_sample(&graph, &selection, 0.2, seed);
-            assert!(
-                !sample.pos().is_empty(),
-                "seed {seed}: no positive drawn"
-            );
+            assert!(!sample.pos().is_empty(), "seed {seed}: no positive drawn");
         }
     }
 

@@ -131,7 +131,11 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // Hubs: the top node has far more than the median degree.
         let median = degrees[degrees.len() / 2];
-        assert!(degrees[0] >= median * 5, "top {} median {median}", degrees[0]);
+        assert!(
+            degrees[0] >= median * 5,
+            "top {} median {median}",
+            degrees[0]
+        );
     }
 
     #[test]

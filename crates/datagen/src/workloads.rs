@@ -122,8 +122,7 @@ fn calibrate_symbol(
             best = Some((distance, candidate));
         }
     }
-    best.map(|(_, s)| s)
-        .unwrap_or_else(|| candidates[0]) // degenerate graphs: any label
+    best.map(|(_, s)| s).unwrap_or_else(|| candidates[0]) // degenerate graphs: any label
 }
 
 fn class_regex(class: &[Symbol]) -> Regex {
@@ -181,12 +180,15 @@ pub fn bio_workload(graph: &GraphDb) -> BioWorkload {
 
     // C is shared by bio2 and bio3; calibrate it alone to an intermediate
     // 15%, then E on bio3 = C·E (3%).
-    let class_c = calibrate_class(graph, &|class: &[Symbol]| class_regex(class), 0.15, &by_freq);
+    let class_c = calibrate_class(
+        graph,
+        &|class: &[Symbol]| class_regex(class),
+        0.15,
+        &by_freq,
+    );
     let class_e = calibrate_class(
         graph,
-        &|class: &[Symbol]| {
-            Regex::concat(vec![class_regex(&class_c), class_regex(class)])
-        },
+        &|class: &[Symbol]| Regex::concat(vec![class_regex(&class_c), class_regex(class)]),
         BIO_TARGETS[2],
         &by_freq,
     );
@@ -231,7 +233,11 @@ pub fn bio_workload(graph: &GraphDb) -> BioWorkload {
             graph,
             "bio1",
             "b·A·A*",
-            Regex::concat(vec![Regex::Symbol(label_b), a.clone(), Regex::star(a.clone())]),
+            Regex::concat(vec![
+                Regex::Symbol(label_b),
+                a.clone(),
+                Regex::star(a.clone()),
+            ]),
             BIO_TARGETS[0],
         ),
         record(
@@ -310,11 +316,7 @@ pub fn syn_workload(graph: &GraphDb) -> SynWorkload {
         let class_a = calibrate_class(
             graph,
             &|class: &[Symbol]| {
-                Regex::concat(vec![
-                    class_regex(class),
-                    Regex::star(b.clone()),
-                    c.clone(),
-                ])
+                Regex::concat(vec![class_regex(class), Regex::star(b.clone()), c.clone()])
             },
             target,
             &by_freq,
@@ -345,11 +347,7 @@ mod tests {
         for q in &workload.queries {
             // Every query selects at least one node (the paper retained
             // only such queries) …
-            assert!(
-                q.achieved_selectivity > 0.0,
-                "{} selects nothing",
-                q.name
-            );
+            assert!(q.achieved_selectivity > 0.0, "{} selects nothing", q.name);
             // … and no query flips to the wrong order of magnitude:
             // within a factor bracket of its target (shape, not identity).
             assert!(

@@ -103,7 +103,9 @@ mod tests {
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);
         // All lines equally wide.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert!(lines[0].contains("query"));
         assert!(lines[2].contains("bio1"));
     }

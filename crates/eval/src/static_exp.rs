@@ -8,10 +8,10 @@
 //! learner output a query selecting exactly the goal's node set.
 
 use crate::metrics::Confusion;
+use pathlearn_core::PathQuery;
 use pathlearn_core::{Learner, LearnerConfig, Sample};
 use pathlearn_datagen::sampling::{random_sample, LabelingOrder};
 use pathlearn_graph::GraphDb;
-use pathlearn_core::PathQuery;
 use std::time::Duration;
 
 /// Configuration of a static experiment sweep.
@@ -74,8 +74,7 @@ pub fn run_static(graph: &GraphDb, goal: &PathQuery, config: &StaticConfig) -> V
             total_time += outcome.stats.duration;
             match outcome.query {
                 Some(query) => {
-                    let confusion =
-                        Confusion::from_selections(&goal_selection, &query.eval(graph));
+                    let confusion = Confusion::from_selections(&goal_selection, &query.eval(graph));
                     f1s.push(confusion.f1());
                 }
                 None => {
@@ -162,14 +161,9 @@ mod tests {
     fn labels_needed_reaches_exactness_on_g0() {
         let graph = figure3_g0();
         let goal = PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
-        let fraction = labels_needed_without_interactions(
-            &graph,
-            &goal,
-            LearnerConfig::default(),
-            42,
-            1,
-        )
-        .expect("G0 admits exact learning");
+        let fraction =
+            labels_needed_without_interactions(&graph, &goal, LearnerConfig::default(), 42, 1)
+                .expect("G0 admits exact learning");
         assert!(fraction > 0.0 && fraction <= 1.0);
     }
 

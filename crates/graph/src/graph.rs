@@ -2,10 +2,30 @@
 //!
 //! A graph database `G = (V, E)` with `E ⊆ V × Σ × V` (paper §2). Nodes
 //! are dense `u32` ids with optional string names; edges are stored twice
-//! in CSR-style sorted arrays (forward sorted by `(src, label, dst)`,
-//! backward by `(dst, label, src)`) so that per-symbol successor and
-//! predecessor ranges are binary-searched slices — the access pattern of
-//! every simulation and product loop in the workspace.
+//! in a **label-partitioned CSR**: forward edges sorted by
+//! `(src, label, dst)`, backward edges by `(dst, label, src)`, each with a
+//! per-`(node, symbol)` offset table of `|V|·|Σ| + 1` entries frozen at
+//! [`GraphBuilder::build`] time. `successors(node, sym)` and
+//! `predecessors(node, sym)` are therefore **two array reads** (offsets
+//! `idx` and `idx + 1` into the edge array) instead of the two binary
+//! searches a mixed-label row would need — the access pattern of every
+//! simulation and product loop in the workspace.
+//!
+//! On top of the partitioned layout sit the **frontier-batched step
+//! kernels** ([`GraphDb::step_frontier_into`] and friends): one
+//! simulation step for a whole node *set* per call, deduplicating through
+//! word-level [`BitSet`] operations with caller-provided scratch buffers
+//! so the hot loops (RPQ evaluation, SCP search, on-the-fly
+//! determinization) run allocation-free.
+//!
+//! ## Complexity
+//!
+//! * build: `O(|E| log |E|)` sort + `O(|V|·|Σ| + |E|)` offset scan;
+//! * memory: `2·|E|` edge entries + `2·(|V|·|Σ| + 1)` offsets — the
+//!   offsets trade `O(|V|·|Σ|)` space for `O(1)` per-symbol lookup, the
+//!   PathFinder-style label-indexed adjacency choice;
+//! * `step_frontier(F, a)`: `O(|F| + Σ_{ν∈F} deg_a(ν) + |V|/64)`;
+//! * `successors` / `predecessors`: `O(1)` to produce the slice.
 
 use pathlearn_automata::{Alphabet, BitSet, Symbol};
 use std::collections::HashMap;
@@ -33,9 +53,15 @@ pub struct GraphDb {
     alphabet: Alphabet,
     node_names: Vec<String>,
     name_index: HashMap<String, NodeId>,
+    /// Per-node offsets into `out_edges` (`|V| + 1` entries).
     out_offsets: Vec<u32>,
+    /// Per-`(node, symbol)` offsets into `out_edges` (`|V|·|Σ| + 1`).
+    out_sym_offsets: Vec<u32>,
     out_edges: Vec<(Symbol, NodeId)>,
+    /// Per-node offsets into `in_edges` (`|V| + 1` entries).
     in_offsets: Vec<u32>,
+    /// Per-`(node, symbol)` offsets into `in_edges` (`|V|·|Σ| + 1`).
+    in_sym_offsets: Vec<u32>,
     in_edges: Vec<(Symbol, NodeId)>,
 }
 
@@ -85,13 +111,27 @@ impl GraphDb {
     }
 
     /// `sym`-successors of `node`, as the `(label, target)` sub-slice.
+    /// Two array reads into the label-partitioned offset table.
+    #[inline]
     pub fn successors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
-        symbol_range(self.out_edges(node), sym)
+        let sigma = self.alphabet.len();
+        if sym.index() >= sigma {
+            return &[];
+        }
+        let idx = node as usize * sigma + sym.index();
+        &self.out_edges[self.out_sym_offsets[idx] as usize..self.out_sym_offsets[idx + 1] as usize]
     }
 
     /// `sym`-predecessors of `node`, as the `(label, source)` sub-slice.
+    /// Two array reads into the label-partitioned offset table.
+    #[inline]
     pub fn predecessors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
-        symbol_range(self.in_edges(node), sym)
+        let sigma = self.alphabet.len();
+        if sym.index() >= sigma {
+            return &[];
+        }
+        let idx = node as usize * sigma + sym.index();
+        &self.in_edges[self.in_sym_offsets[idx] as usize..self.in_sym_offsets[idx + 1] as usize]
     }
 
     /// Out-degree of `node`.
@@ -100,14 +140,59 @@ impl GraphDb {
     }
 
     /// One forward simulation step on a node set.
+    ///
+    /// Kept for API stability; internally routed to
+    /// [`GraphDb::step_frontier`]. Prefer [`GraphDb::step_frontier_into`]
+    /// with a reused scratch buffer in hot loops.
     pub fn step_set(&self, set: &BitSet, sym: Symbol) -> BitSet {
-        let mut next = BitSet::new(self.num_nodes());
-        for node in set.iter() {
-            for &(_, t) in self.successors(node as NodeId, sym) {
-                next.insert(t as usize);
+        self.step_frontier(set, sym)
+    }
+
+    /// One forward simulation step on a frontier: the set of
+    /// `sym`-successors of every node in `frontier`.
+    pub fn step_frontier(&self, frontier: &BitSet, sym: Symbol) -> BitSet {
+        let mut out = BitSet::new(self.num_nodes());
+        self.step_frontier_into(frontier, sym, &mut out);
+        out
+    }
+
+    /// Allocation-free forward frontier step: clears `out`, then inserts
+    /// the `sym`-successors of every node in `frontier`. `out` must have
+    /// capacity `num_nodes()`. The frontier is consumed word-by-word (the
+    /// [`BitSet`] iterator walks `u64` blocks with trailing-zero scans)
+    /// and every successor range is a contiguous slice of the partitioned
+    /// CSR, so the kernel is a linear pass over frontier-adjacent edges.
+    pub fn step_frontier_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
+        debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
+        out.clear();
+        for node in frontier.iter() {
+            for &(_, target) in self.successors(node as NodeId, sym) {
+                out.insert(target as usize);
             }
         }
-        next
+    }
+
+    /// One backward frontier step: the set of `sym`-predecessors of every
+    /// node in `frontier`.
+    pub fn step_frontier_back(&self, frontier: &BitSet, sym: Symbol) -> BitSet {
+        let mut out = BitSet::new(self.num_nodes());
+        self.step_frontier_back_into(frontier, sym, &mut out);
+        out
+    }
+
+    /// Allocation-free backward frontier step: clears `out`, then inserts
+    /// the `sym`-predecessors of every node in `frontier`. The backward
+    /// analogue of [`GraphDb::step_frontier_into`]; this is the inner
+    /// kernel of the level-synchronous backward product BFS in
+    /// [`crate::eval::eval_monadic`].
+    pub fn step_frontier_back_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
+        debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
+        out.clear();
+        for node in frontier.iter() {
+            for &(_, source) in self.predecessors(node as NodeId, sym) {
+                out.insert(source as usize);
+            }
+        }
     }
 
     /// One forward simulation step on a **sparse** node set (sorted,
@@ -116,13 +201,23 @@ impl GraphDb {
     /// the graph — the common case for the positive side of SCP searches,
     /// which start from a single node.
     pub fn step_sparse(&self, set: &[NodeId], sym: Symbol) -> Vec<NodeId> {
-        let mut next: Vec<NodeId> = Vec::with_capacity(set.len());
-        for &node in set {
-            next.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
-        }
-        next.sort_unstable();
-        next.dedup();
+        let mut next = Vec::with_capacity(set.len());
+        self.step_sparse_into(set, sym, &mut next);
         next
+    }
+
+    /// Allocation-free sparse step: clears `out`, then writes the sorted,
+    /// deduplicated `sym`-successors of `set` into it. Reusing `out`
+    /// across calls keeps the SCP search's per-expansion cost free of
+    /// heap traffic (the buffer only grows, never reallocates at steady
+    /// state).
+    pub fn step_sparse_into(&self, set: &[NodeId], sym: Symbol, out: &mut Vec<NodeId>) {
+        out.clear();
+        for &node in set {
+            out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Iterates over all edges as `(src, label, dst)`.
@@ -130,12 +225,6 @@ impl GraphDb {
         self.nodes()
             .flat_map(move |n| self.out_edges(n).iter().map(move |&(s, t)| (n, s, t)))
     }
-}
-
-fn symbol_range(row: &[(Symbol, NodeId)], sym: Symbol) -> &[(Symbol, NodeId)] {
-    let start = row.partition_point(|&(s, _)| s < sym);
-    let end = row.partition_point(|&(s, _)| s <= sym);
-    &row[start..end]
 }
 
 /// Incremental builder for [`GraphDb`].
@@ -177,12 +266,25 @@ impl GraphBuilder {
         id
     }
 
-    /// Adds `count` anonymous nodes named `prefix0..prefixN`; returns the
-    /// id of the first.
+    /// Adds `count` anonymous nodes named after their **node ids**
+    /// (`prefix{first}` through `prefix{first + count - 1}`, which is
+    /// `prefix0..` only when the builder is empty); returns the id of the
+    /// first. Id-based naming keeps names collision-free across repeated
+    /// calls with the same prefix.
+    ///
+    /// Unlike [`GraphBuilder::add_node`], this bulk-reserves both the
+    /// name table and the name index and pushes directly — no per-node
+    /// re-probe of the index.
     pub fn add_nodes(&mut self, prefix: &str, count: usize) -> NodeId {
         let first = self.node_names.len() as NodeId;
-        for i in 0..count {
-            self.add_node(&format!("{prefix}{}", first as usize + i));
+        self.node_names.reserve(count);
+        self.name_index.reserve(count);
+        for id in first as usize..first as usize + count {
+            let name = format!("{prefix}{id}");
+            if self.name_index.insert(name.clone(), id as NodeId).is_some() {
+                panic!("bulk node name {name} collides with an existing node");
+            }
+            self.node_names.push(name);
         }
         first
     }
@@ -215,35 +317,48 @@ impl GraphBuilder {
         self.node_names.len()
     }
 
-    /// Finalizes the graph: deduplicates edges and freezes the CSR arrays.
+    /// Finalizes the graph: deduplicates edges, freezes the CSR arrays,
+    /// and precomputes the per-`(node, symbol)` offset tables of the
+    /// label-partitioned layout (one counting pass + one prefix sum per
+    /// direction).
     pub fn build(self) -> GraphDb {
         let n = self.node_names.len();
+        let sigma = self.alphabet.len();
         let mut forward = self.edges;
         forward.sort_unstable_by_key(|&(s, sym, d)| (s, sym, d));
         forward.dedup();
 
-        let mut out_offsets = vec![0u32; n + 1];
-        for &(s, _, _) in &forward {
-            out_offsets[s as usize + 1] += 1;
+        // Sorting by (node, symbol, endpoint) makes each (node, symbol)
+        // partition a contiguous slice; both offset granularities are
+        // prefix sums over the same counting pass.
+        fn offsets(
+            edges: &[(NodeId, Symbol, NodeId)],
+            n: usize,
+            sigma: usize,
+        ) -> (Vec<u32>, Vec<u32>) {
+            let mut node_offsets = vec![0u32; n + 1];
+            let mut sym_offsets = vec![0u32; n * sigma + 1];
+            for &(node, sym, _) in edges {
+                node_offsets[node as usize + 1] += 1;
+                sym_offsets[node as usize * sigma + sym.index() + 1] += 1;
+            }
+            for i in 0..n {
+                node_offsets[i + 1] += node_offsets[i];
+            }
+            for i in 0..n * sigma {
+                sym_offsets[i + 1] += sym_offsets[i];
+            }
+            (node_offsets, sym_offsets)
         }
-        for i in 0..n {
-            out_offsets[i + 1] += out_offsets[i];
-        }
+
+        let (out_offsets, out_sym_offsets) = offsets(&forward, n, sigma);
         let out_edges: Vec<(Symbol, NodeId)> =
             forward.iter().map(|&(_, sym, d)| (sym, d)).collect();
 
-        let mut backward: Vec<(NodeId, Symbol, NodeId)> = forward
-            .iter()
-            .map(|&(s, sym, d)| (d, sym, s))
-            .collect();
+        let mut backward: Vec<(NodeId, Symbol, NodeId)> =
+            forward.iter().map(|&(s, sym, d)| (d, sym, s)).collect();
         backward.sort_unstable_by_key(|&(d, sym, s)| (d, sym, s));
-        let mut in_offsets = vec![0u32; n + 1];
-        for &(d, _, _) in &backward {
-            in_offsets[d as usize + 1] += 1;
-        }
-        for i in 0..n {
-            in_offsets[i + 1] += in_offsets[i];
-        }
+        let (in_offsets, in_sym_offsets) = offsets(&backward, n, sigma);
         let in_edges: Vec<(Symbol, NodeId)> =
             backward.iter().map(|&(_, sym, s)| (sym, s)).collect();
 
@@ -252,8 +367,10 @@ impl GraphBuilder {
             node_names: self.node_names,
             name_index: self.name_index,
             out_offsets,
+            out_sym_offsets,
             out_edges,
             in_offsets,
+            in_sym_offsets,
             in_edges,
         }
     }
@@ -369,5 +486,79 @@ mod tests {
         assert_eq!(builder.num_nodes(), 5);
         let graph = builder.build();
         assert_eq!(graph.node_name(3), "n3");
+    }
+
+    #[test]
+    fn add_nodes_names_by_id_across_calls() {
+        let mut builder = GraphBuilder::new();
+        builder.add_node("seed");
+        let first = builder.add_nodes("n", 3); // ids 1..=3 → n1..n3
+        assert_eq!(first, 1);
+        let second = builder.add_nodes("n", 2); // ids 4..=5 → n4, n5
+        assert_eq!(second, 4);
+        let graph = builder.build();
+        assert_eq!(graph.num_nodes(), 6);
+        assert_eq!(graph.node_name(1), "n1");
+        assert_eq!(graph.node_name(5), "n5");
+        assert_eq!(graph.node_id("n4"), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn add_nodes_rejects_name_collisions() {
+        let mut builder = GraphBuilder::new();
+        builder.add_node("n1");
+        builder.add_nodes("n", 3); // would produce a second "n1"
+    }
+
+    #[test]
+    fn frontier_kernels_match_per_node_adjacency() {
+        let graph = figure3_g0();
+        let n = graph.num_nodes();
+        for sym in graph.alphabet().symbols() {
+            // Every subset of a 7-node graph, forward and backward.
+            for mask in 0u32..(1 << n) {
+                let frontier = BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+                let mut forward = BitSet::new(n);
+                let mut backward = BitSet::new(n);
+                for node in frontier.iter() {
+                    for &(_, t) in graph.successors(node as NodeId, sym) {
+                        forward.insert(t as usize);
+                    }
+                    for &(_, s) in graph.predecessors(node as NodeId, sym) {
+                        backward.insert(s as usize);
+                    }
+                }
+                assert_eq!(graph.step_frontier(&frontier, sym), forward);
+                assert_eq!(graph.step_frontier_back(&frontier, sym), backward);
+            }
+        }
+    }
+
+    #[test]
+    fn step_into_kernels_clear_their_scratch() {
+        let graph = figure3_g0();
+        let a = graph.alphabet().symbol("a").unwrap();
+        let c = graph.alphabet().symbol("c").unwrap();
+        let v3 = graph.node_id("v3").unwrap();
+        let frontier = BitSet::from_indices(graph.num_nodes(), [v3 as usize]);
+        let mut scratch = BitSet::full(graph.num_nodes()); // stale content
+        let v4 = graph.node_id("v4").unwrap();
+        graph.step_frontier_into(&frontier, c, &mut scratch);
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![v4 as usize]);
+        let mut sparse = vec![99, 98]; // stale content
+        graph.step_sparse_into(&[v3], a, &mut sparse);
+        let mut expected = vec![graph.node_id("v2").unwrap(), v3, v4];
+        expected.sort_unstable();
+        assert_eq!(sparse, expected);
+        assert_eq!(graph.step_sparse(&[v3], a), sparse);
+    }
+
+    #[test]
+    fn successors_of_out_of_alphabet_symbol_is_empty() {
+        let graph = figure3_g0();
+        let foreign = Symbol::from_index(17);
+        assert!(graph.successors(0, foreign).is_empty());
+        assert!(graph.predecessors(0, foreign).is_empty());
     }
 }

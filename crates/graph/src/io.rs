@@ -18,7 +18,11 @@ pub struct GraphParseError {
 
 impl std::fmt::Display for GraphParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "graph parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -8,7 +8,7 @@
 //! node names and labels.
 
 use crate::graph::{GraphBuilder, GraphDb, NodeId};
-use std::collections::VecDeque;
+use pathlearn_automata::BitSet;
 
 /// A extracted neighborhood fragment.
 #[derive(Clone, Debug)]
@@ -23,41 +23,49 @@ pub struct Neighborhood {
 
 /// Extracts the subgraph induced by all nodes within **forward** distance
 /// `radius` of `center`, plus (optionally) backward distance for context.
+///
+/// Level-synchronous **sparse** BFS: neighborhoods are tiny fragments of
+/// large graphs, so the frontier is a node vector expanded one adjacency
+/// row at a time (the label-partitioned CSR keeps each node's full
+/// forward/backward row contiguous) with a [`BitSet`] for O(1) dedup —
+/// cost proportional to the edges actually touched, never to `|V|·|Σ|`.
 pub fn neighborhood(
     graph: &GraphDb,
     center: NodeId,
     radius: usize,
     include_backward: bool,
 ) -> Neighborhood {
-    let mut keep: Vec<bool> = vec![false; graph.num_nodes()];
-    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
-    keep[center as usize] = true;
-    queue.push_back((center, 0));
-    while let Some((node, depth)) = queue.pop_front() {
-        if depth >= radius {
-            continue;
+    let n = graph.num_nodes();
+    let mut keep = BitSet::from_indices(n, [center as usize]);
+    let mut frontier: Vec<NodeId> = vec![center];
+    let mut next_frontier: Vec<NodeId> = Vec::new();
+    for _ in 0..radius {
+        if frontier.is_empty() {
+            break;
         }
-        for &(_, t) in graph.out_edges(node) {
-            if !keep[t as usize] {
-                keep[t as usize] = true;
-                queue.push_back((t, depth + 1));
+        next_frontier.clear();
+        for &node in &frontier {
+            for &(_, t) in graph.out_edges(node) {
+                if keep.insert(t as usize) {
+                    next_frontier.push(t);
+                }
             }
-        }
-        if include_backward {
-            for &(_, s) in graph.in_edges(node) {
-                if !keep[s as usize] {
-                    keep[s as usize] = true;
-                    queue.push_back((s, depth + 1));
+            if include_backward {
+                for &(_, s) in graph.in_edges(node) {
+                    if keep.insert(s as usize) {
+                        next_frontier.push(s);
+                    }
                 }
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
     }
 
     let mut builder = GraphBuilder::with_alphabet(graph.alphabet().clone());
     let mut original_ids = Vec::new();
     let mut fragment_id: Vec<Option<NodeId>> = vec![None; graph.num_nodes()];
     for node in graph.nodes() {
-        if keep[node as usize] {
+        if keep.contains(node as usize) {
             let id = builder.add_node(graph.node_name(node));
             fragment_id[node as usize] = Some(id);
             original_ids.push(node);

@@ -31,14 +31,19 @@ impl GraphDb {
 
     /// `true` iff `word ∈ paths_G(sources)` (a node sequence matching
     /// `word` starts at some source).
+    ///
+    /// Double-buffered frontier simulation: two [`BitSet`]s total for the
+    /// whole word, regardless of length.
     pub fn covers(&self, word: &[Symbol], sources: &[NodeId]) -> bool {
         let mut current =
             BitSet::from_indices(self.num_nodes(), sources.iter().map(|&s| s as usize));
+        let mut next = BitSet::new(self.num_nodes());
         for &sym in word {
             if current.is_empty() {
                 return false;
             }
-            current = self.step_set(&current, sym);
+            self.step_frontier_into(&current, sym, &mut next);
+            std::mem::swap(&mut current, &mut next);
         }
         !current.is_empty()
     }
@@ -55,6 +60,7 @@ impl GraphDb {
         let mut out = Vec::new();
         let start = BitSet::from_indices(self.num_nodes(), [node as usize]);
         let mut frontier: Vec<(Word, BitSet)> = vec![(Vec::new(), start)];
+        let mut scratch = BitSet::new(self.num_nodes());
         out.push(Vec::new()); // ε is always a path
         for _ in 0..max_len {
             if out.len() >= limit {
@@ -63,8 +69,9 @@ impl GraphDb {
             let mut next = Vec::new();
             for (word, set) in &frontier {
                 for sym in self.alphabet().symbols() {
-                    let stepped = self.step_set(set, sym);
-                    if stepped.is_empty() {
+                    // Step into the scratch buffer; clone only survivors.
+                    self.step_frontier_into(set, sym, &mut scratch);
+                    if scratch.is_empty() {
                         continue;
                     }
                     let mut extended = word.clone();
@@ -73,7 +80,7 @@ impl GraphDb {
                     if out.len() >= limit {
                         return out;
                     }
-                    next.push((extended, stepped));
+                    next.push((extended, scratch.clone()));
                 }
             }
             if next.is_empty() {
@@ -122,7 +129,7 @@ impl GraphDb {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::graph::figure3_g0;
     use pathlearn_automata::word::{canonical_cmp, format_word};
 
@@ -166,8 +173,8 @@ mod tests {
         let v2 = graph.node_id("v2").unwrap();
         let v7 = graph.node_id("v7").unwrap();
         for text in [
-            "", "a", "b", "a a", "a b", "a c", "b a", "b b", "b c", "a a a", "a a b",
-            "a a c", "a b a", "a b b",
+            "", "a", "b", "a a", "a b", "a c", "b a", "b b", "b c", "a a a", "a a b", "a a c",
+            "a b a", "a b b",
         ] {
             let word = alphabet.parse_word(text).unwrap();
             assert!(

@@ -10,6 +10,7 @@
 //! the full graph.
 
 use crate::graph::{GraphBuilder, GraphDb, NodeId};
+use pathlearn_automata::BitSet;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -56,12 +57,14 @@ pub fn sample_subgraph(
     assert!(graph.num_nodes() > 0, "cannot sample an empty graph");
     let target = target_nodes.min(graph.num_nodes()).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut keep = vec![false; graph.num_nodes()];
+    // Kept nodes live in a BitSet so membership tests, the kept counter,
+    // and the induced-subgraph pass below share the word-level machinery
+    // of the frontier kernels.
+    let mut keep = BitSet::new(graph.num_nodes());
     let mut kept = 0usize;
 
-    let mark = |node: NodeId, keep: &mut Vec<bool>, kept: &mut usize| {
-        if !keep[node as usize] {
-            keep[node as usize] = true;
+    let mark = |node: NodeId, keep: &mut BitSet, kept: &mut usize| {
+        if keep.insert(node as usize) {
             *kept += 1;
         }
     };
@@ -115,7 +118,7 @@ pub fn sample_subgraph(
                         if kept >= target {
                             break;
                         }
-                        if !keep[next as usize] && rng.gen_bool(forward_probability) {
+                        if !keep.contains(next as usize) && rng.gen_bool(forward_probability) {
                             mark(next, &mut keep, &mut kept);
                             queue.push_back(next);
                         }
@@ -129,12 +132,10 @@ pub fn sample_subgraph(
     let mut builder = GraphBuilder::with_alphabet(graph.alphabet().clone());
     let mut original_ids = Vec::with_capacity(kept);
     let mut sample_id: Vec<Option<NodeId>> = vec![None; graph.num_nodes()];
-    for node in graph.nodes() {
-        if keep[node as usize] {
-            let id = builder.add_node(graph.node_name(node));
-            sample_id[node as usize] = Some(id);
-            original_ids.push(node);
-        }
+    for node in keep.iter() {
+        let id = builder.add_node(graph.node_name(node as NodeId));
+        sample_id[node] = Some(id);
+        original_ids.push(node as NodeId);
     }
     for (src, sym, dst) in graph.edges() {
         if let (Some(s), Some(d)) = (sample_id[src as usize], sample_id[dst as usize]) {
@@ -167,10 +168,7 @@ mod tests {
             // Names preserved and mapping coherent.
             for node in sampled.graph.nodes() {
                 let original = sampled.original_of(node);
-                assert_eq!(
-                    sampled.graph.node_name(node),
-                    graph.node_name(original)
-                );
+                assert_eq!(sampled.graph.node_name(node), graph.node_name(original));
             }
         }
     }
@@ -189,10 +187,7 @@ mod tests {
         for (src, sym, dst) in sampled.graph.edges() {
             let osrc = sampled.original_of(src);
             let odst = sampled.original_of(dst);
-            assert!(graph
-                .successors(osrc, sym)
-                .iter()
-                .any(|&(_, t)| t == odst));
+            assert!(graph.successors(osrc, sym).iter().any(|&(_, t)| t == odst));
         }
     }
 

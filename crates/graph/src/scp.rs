@@ -26,6 +26,7 @@
 use crate::graph::{GraphDb, NodeId};
 use pathlearn_automata::{BitSet, Symbol, Word};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 /// Memoized deterministic view of the negative side: maps reach-sets of
 /// `S⁻` to dense state ids and caches per-symbol successors.
@@ -37,20 +38,21 @@ pub struct NegCache<'g> {
     /// successor set is empty (word leaves `paths_G(S⁻)`);
     /// `Some(Some(id))` = successor state.
     succ: Vec<Vec<Option<Option<u32>>>>,
+    /// Reusable step buffer: uncached steps land here first and are only
+    /// cloned into `states` when the reach-set is genuinely new.
+    scratch: BitSet,
 }
 
 impl<'g> NegCache<'g> {
     /// Creates the cache rooted at the reach-set `S⁻`.
     pub fn new(graph: &'g GraphDb, negatives: &[NodeId]) -> Self {
-        let root = BitSet::from_indices(
-            graph.num_nodes(),
-            negatives.iter().map(|&n| n as usize),
-        );
+        let root = BitSet::from_indices(graph.num_nodes(), negatives.iter().map(|&n| n as usize));
         let mut cache = NegCache {
             graph,
             states: Vec::new(),
             index: HashMap::new(),
             succ: Vec::new(),
+            scratch: BitSet::new(graph.num_nodes()),
         };
         cache.intern(root);
         cache
@@ -83,15 +85,23 @@ impl<'g> NegCache<'g> {
     }
 
     /// Deterministic step; `None` means the word has left `paths_G(S⁻)`.
+    ///
+    /// Uncached steps run the frontier kernel into the reusable scratch
+    /// buffer; the result is cloned only when it is a reach-set never
+    /// seen before (cache hits on the *set*, not just the transition,
+    /// stay allocation-free).
     pub fn step(&mut self, state: u32, sym: Symbol) -> Option<u32> {
         if let Some(cached) = self.succ[state as usize][sym.index()] {
             return cached;
         }
-        let next = self.graph.step_set(&self.states[state as usize], sym);
-        let result = if next.is_empty() {
+        self.graph
+            .step_frontier_into(&self.states[state as usize], sym, &mut self.scratch);
+        let result = if self.scratch.is_empty() {
             None
+        } else if let Some(&id) = self.index.get(&self.scratch) {
+            Some(id)
         } else {
-            Some(self.intern(next))
+            Some(self.intern(self.scratch.clone()))
         };
         self.succ[state as usize][sym.index()] = Some(result);
         result
@@ -104,9 +114,24 @@ pub const SCP_STATE_BUDGET: usize = 250_000;
 
 /// Finds smallest consistent paths for the positive nodes of a sample,
 /// sharing the negative-side cache across calls.
+///
+/// The positive side's sparse reach-sets are **interned**: each distinct
+/// sorted node vector is stored once in an arena and addressed by a dense
+/// `u32` id, so the BFS `seen` set holds hashed `(pos-id, neg-id)` pairs
+/// packed into a `u64` instead of cloning node vectors per visited state.
+/// The arena persists across [`ScpFinder::scp`] calls, so reach-sets
+/// shared between positive nodes of the same sample are stored (and
+/// hashed at full length) only once.
 pub struct ScpFinder<'g> {
     graph: &'g GraphDb,
     neg: NegCache<'g>,
+    /// Arena of interned sparse positive reach-sets, addressed by id;
+    /// the `Rc` is shared with the index map, so each distinct set is
+    /// stored exactly once.
+    pos_sets: Vec<Rc<[NodeId]>>,
+    pos_index: HashMap<Rc<[NodeId]>, u32>,
+    /// Reusable sparse-step buffer (cloned only when interned as new).
+    scratch: Vec<NodeId>,
 }
 
 impl<'g> ScpFinder<'g> {
@@ -115,7 +140,23 @@ impl<'g> ScpFinder<'g> {
         ScpFinder {
             graph,
             neg: NegCache::new(graph, negatives),
+            pos_sets: Vec::new(),
+            pos_index: HashMap::new(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Interns the scratch buffer's current contents, cloning only when
+    /// the set was never seen before.
+    fn intern_scratch(&mut self) -> u32 {
+        if let Some(&id) = self.pos_index.get(self.scratch.as_slice()) {
+            return id;
+        }
+        let id = self.pos_sets.len() as u32;
+        let set: Rc<[NodeId]> = Rc::from(self.scratch.as_slice());
+        self.pos_index.insert(Rc::clone(&set), id);
+        self.pos_sets.push(set);
+        id
     }
 
     /// The SCP of `node` among paths of length ≤ `max_len`, or `None` if
@@ -131,11 +172,15 @@ impl<'g> ScpFinder<'g> {
             return Some(Vec::new()); // S⁻ = ∅: ε is consistent
         };
         // The positive side is sparse (starts from one node); the negative
-        // side is the memoized dense cache.
-        let start: Vec<NodeId> = vec![node];
-        let mut seen: HashSet<(Vec<NodeId>, u32)> = HashSet::new();
-        let mut queue: VecDeque<(Vec<NodeId>, u32, Word)> = VecDeque::new();
-        seen.insert((start.clone(), neg_root));
+        // side is the memoized dense cache. States are (pos-id, neg-id)
+        // pairs packed into u64 keys.
+        self.scratch.clear();
+        self.scratch.push(node);
+        let start = self.intern_scratch();
+        let key = |pos: u32, neg: u32| (u64::from(pos) << 32) | u64::from(neg);
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut queue: VecDeque<(u32, u32, Word)> = VecDeque::new();
+        seen.insert(key(start, neg_root));
         queue.push_back((start, neg_root, Vec::new()));
 
         while let Some((pos, neg, word)) = queue.pop_front() {
@@ -146,8 +191,9 @@ impl<'g> ScpFinder<'g> {
                 continue;
             }
             for sym in self.graph.alphabet().symbols() {
-                let pos_next = self.graph.step_sparse(&pos, sym);
-                if pos_next.is_empty() {
+                self.graph
+                    .step_sparse_into(&self.pos_sets[pos as usize], sym, &mut self.scratch);
+                if self.scratch.is_empty() {
                     continue; // word·sym ∉ paths_G(node)
                 }
                 let mut next_word = word.clone();
@@ -155,10 +201,9 @@ impl<'g> ScpFinder<'g> {
                 match self.neg.step(neg, sym) {
                     None => return Some(next_word), // uncovered: SCP found
                     Some(neg_next) => {
-                        let key = (pos_next, neg_next);
-                        if !seen.contains(&key) {
-                            seen.insert(key.clone());
-                            queue.push_back((key.0, neg_next, next_word));
+                        let pos_next = self.intern_scratch();
+                        if seen.insert(key(pos_next, neg_next)) {
+                            queue.push_back((pos_next, neg_next, next_word));
                         }
                     }
                 }
@@ -189,14 +234,26 @@ impl<'g> ScpFinder<'g> {
                 return count;
             }
         }
-        // Trie frontier: (sparse pos-set, neg-state or dead).
-        let mut frontier: Vec<(Vec<NodeId>, Option<u32>)> = vec![(vec![node], root)];
+        // Trie frontier: (interned pos-set id, neg-state or dead). Two
+        // words reaching the same pair stay as distinct entries — the
+        // walk counts words, not states — but interning still keeps one
+        // copy of each distinct reach-set.
+        self.scratch.clear();
+        self.scratch.push(node);
+        let start = self.intern_scratch();
+        let mut frontier: Vec<(u32, Option<u32>)> = vec![(start, root)];
+        let mut next: Vec<(u32, Option<u32>)> = Vec::new();
         for _ in 0..k {
-            let mut next = Vec::new();
-            for (pos, neg) in &frontier {
+            next.clear();
+            for index in 0..frontier.len() {
+                let (pos, neg) = frontier[index];
                 for sym in self.graph.alphabet().symbols() {
-                    let pos_next = self.graph.step_sparse(pos, sym);
-                    if pos_next.is_empty() {
+                    self.graph.step_sparse_into(
+                        &self.pos_sets[pos as usize],
+                        sym,
+                        &mut self.scratch,
+                    );
+                    if self.scratch.is_empty() {
                         continue;
                     }
                     let neg_next = neg.and_then(|s| self.neg.step(s, sym));
@@ -206,13 +263,13 @@ impl<'g> ScpFinder<'g> {
                             return count;
                         }
                     }
-                    next.push((pos_next, neg_next));
+                    next.push((self.intern_scratch(), neg_next));
                 }
             }
             if next.is_empty() {
                 break;
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
         }
         count
     }
@@ -279,8 +336,7 @@ mod tests {
         // Figure 5: a positive node whose every path is covered by the two
         // negatives: + --a--> x --b--> y with negatives covering a·b* ...
         // Reconstruction: positive p with edges matching the negatives'.
-        let mut builder =
-            GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b"]));
+        let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b"]));
         // positive node: a-loop into b-loop structure
         builder.add_edge("p", "a", "p2");
         builder.add_edge("p2", "b", "p2");

@@ -360,10 +360,8 @@ mod tests {
             },
         );
         // Halt condition that never fires.
-        let mut oracle = QueryOracle::new(
-            &PathQuery::parse("a", graph.alphabet()).unwrap(),
-            &graph,
-        );
+        let mut oracle =
+            QueryOracle::new(&PathQuery::parse("a", graph.alphabet()).unwrap(), &graph);
         let result = session.run(&mut oracle, |_, _| false);
         assert_eq!(result.halt, HaltReason::MaxInteractions);
         assert_eq!(result.labels_used(), 2);

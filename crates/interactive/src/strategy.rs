@@ -193,7 +193,10 @@ mod tests {
         for &other in &candidates {
             let count = finder.count_uncovered(other, k, 10_000);
             if count > 0 {
-                assert!(chosen <= count, "node {node} ({chosen}) vs {other} ({count})");
+                assert!(
+                    chosen <= count,
+                    "node {node} ({chosen}) vs {other} ({count})"
+                );
             }
         }
     }

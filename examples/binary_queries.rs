@@ -49,10 +49,7 @@ fn main() {
 
     let query = learner2(&graph, &sample, &BinaryLearnerConfig::default())
         .expect("consistent binary query exists");
-    println!(
-        "Learned binary query: {}",
-        query.display(graph.alphabet())
-    );
+    println!("Learned binary query: {}", query.display(graph.alphabet()));
     for (src, dst) in [("N2", "C1"), ("N6", "C2"), ("N3", "R1"), ("N1", "C1")] {
         println!(
             "  selects ({src} → {dst})? {}",

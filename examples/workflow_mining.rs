@@ -59,8 +59,15 @@ fn main() {
         v.sort();
         v.join(", ")
     };
-    println!("Workflow graph: {} steps, {} module executions", graph.num_nodes(), graph.num_edges());
-    println!("Goal pattern selects start steps: {}", names(&goal_selection));
+    println!(
+        "Workflow graph: {} steps, {} module executions",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "Goal pattern selects start steps: {}",
+        names(&goal_selection)
+    );
 
     // The biologist labels workflow starting points.
     let sample = Sample::new()

@@ -133,7 +133,10 @@ fn eval_command(args: &[String]) -> Result<(), String> {
         graph.num_nodes(),
         100.0 * query.selectivity(&graph)
     );
-    let mut names: Vec<&str> = selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+    let mut names: Vec<&str> = selected
+        .iter()
+        .map(|n| graph.node_name(n as NodeId))
+        .collect();
     names.sort();
     for name in names {
         println!("  {name}");
@@ -160,8 +163,10 @@ fn learn_command(args: &[String]) -> Result<(), String> {
             println!("learned: {}", query.display(graph.alphabet()));
             println!("size:    {} states (canonical DFA)", query.size());
             let selected = query.eval(&graph);
-            let mut names: Vec<&str> =
-                selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+            let mut names: Vec<&str> = selected
+                .iter()
+                .map(|n| graph.node_name(n as NodeId))
+                .collect();
             names.sort();
             println!("selects: {}", names.join(", "));
             for (node, path) in &outcome.stats.scps {
@@ -173,9 +178,11 @@ fn learn_command(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        None => Err("learner abstained (null): the sample is inconsistent or needs \
+        None => Err(
+            "learner abstained (null): the sample is inconsistent or needs \
                      longer SCPs — label more nodes or raise --k"
-            .into()),
+                .into(),
+        ),
     }
 }
 
@@ -189,10 +196,7 @@ fn stats_command(args: &[String]) -> Result<(), String> {
         .alphabet()
         .entries()
         .map(|(sym, name)| {
-            let count = graph
-                .edges()
-                .filter(|&(_, s, _)| s == sym)
-                .count();
+            let count = graph.edges().filter(|&(_, s, _)| s == sym).count();
             (count, name)
         })
         .collect();
@@ -200,7 +204,11 @@ fn stats_command(args: &[String]) -> Result<(), String> {
     for (count, name) in label_counts.iter().take(10) {
         println!("  {name}: {count} edges");
     }
-    let max_out = graph.nodes().map(|n| graph.out_degree(n)).max().unwrap_or(0);
+    let max_out = graph
+        .nodes()
+        .map(|n| graph.out_degree(n))
+        .max()
+        .unwrap_or(0);
     println!("max out-degree: {max_out}");
     Ok(())
 }
@@ -278,7 +286,10 @@ fn interactive_command(args: &[String]) -> Result<(), String> {
         None => {
             println!("you are the user: label proposed nodes with + or -.");
             println!("(the session stops when no informative node remains)");
-            let mut oracle = StdinOracle { graph: &graph, radius: 2 };
+            let mut oracle = StdinOracle {
+                graph: &graph,
+                radius: 2,
+            };
             session.run(&mut oracle, |_, _| false)
         }
     };
@@ -292,8 +303,10 @@ fn interactive_command(args: &[String]) -> Result<(), String> {
         Some(query) => {
             println!("learned query: {}", query.display(graph.alphabet()));
             let selected = query.eval(&graph);
-            let mut names: Vec<&str> =
-                selected.iter().map(|n| graph.node_name(n as NodeId)).collect();
+            let mut names: Vec<&str> = selected
+                .iter()
+                .map(|n| graph.node_name(n as NodeId))
+                .collect();
             names.sort();
             println!("selects: {}", names.join(", "));
         }

@@ -9,9 +9,7 @@ use pathlearn::datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn::datagen::workloads::syn_workload;
 use pathlearn::eval::interactive_exp::run_interactive;
 use pathlearn::eval::metrics::Confusion;
-use pathlearn::eval::static_exp::{
-    labels_needed_without_interactions, run_static, StaticConfig,
-};
+use pathlearn::eval::static_exp::{labels_needed_without_interactions, run_static, StaticConfig};
 use pathlearn::prelude::*;
 
 fn small_synthetic() -> GraphDb {
@@ -38,7 +36,12 @@ fn static_f1_increases_with_labels() {
             points[0].mean_f1,
             points[1].mean_f1
         );
-        assert!(points[1].mean_f1 > 0.5, "{}: {:.3}", q.name, points[1].mean_f1);
+        assert!(
+            points[1].mean_f1 > 0.5,
+            "{}: {:.3}",
+            q.name,
+            points[1].mean_f1
+        );
     }
 }
 
@@ -131,7 +134,9 @@ fn pipeline_is_deterministic_end_to_end() {
         let selection = goal.eval(&graph);
         let sample = random_sample(&graph, &selection, 0.05, 9);
         let outcome = Learner::default().learn(&graph, &sample);
-        outcome.query.map(|q| format!("{}", q.display(graph.alphabet())))
+        outcome
+            .query
+            .map(|q| format!("{}", q.display(graph.alphabet())))
     };
     assert_eq!(run(), run());
 }
@@ -149,8 +154,7 @@ fn graph_io_roundtrip_preserves_learning() {
     let goal = &workload.queries[1];
     // Transfer the query onto the reparsed graph's alphabet by regex text.
     let printed = goal.query.display(graph.alphabet()).to_string();
-    let transferred =
-        PathQuery::parse(&printed.replace('ε', "eps"), reparsed.alphabet()).unwrap();
+    let transferred = PathQuery::parse(&printed.replace('ε', "eps"), reparsed.alphabet()).unwrap();
     // Node names are preserved, so selections must correspond 1:1.
     let original = goal.query.eval(&graph);
     let roundtrip = transferred.eval(&reparsed);

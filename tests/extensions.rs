@@ -119,10 +119,8 @@ fn learning_on_representative_sample_transfers() {
     // Evaluate on the FULL graph and compare against the goal.
     let goal_selection = goal.eval(&graph);
     let learned_selection = learned.eval(&graph);
-    let confusion = pathlearn::eval::metrics::Confusion::from_selections(
-        &goal_selection,
-        &learned_selection,
-    );
+    let confusion =
+        pathlearn::eval::metrics::Confusion::from_selections(&goal_selection, &learned_selection);
     // Transfer quality: well above chance. (Exactness is not implied —
     // the sample may miss distinguishing structure; that is the paper's
     // open question, we assert the pipeline works and carries signal.)

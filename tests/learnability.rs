@@ -27,9 +27,7 @@ const CORPUS: &[(&str, &[&str])] = &[
 fn theorem_3_5_corpus_identification() {
     for (expr, labels) in CORPUS {
         let alphabet = Alphabet::from_labels(labels.iter().copied());
-        let target = PathQuery::parse(expr, &alphabet)
-            .unwrap()
-            .prefix_free();
+        let target = PathQuery::parse(expr, &alphabet).unwrap().prefix_free();
         let instance = characteristic_instance(&target, &alphabet).unwrap();
         let learner = Learner::with_fixed_k(instance.required_k);
         let outcome = learner.learn(&instance.graph, &instance.sample);
@@ -77,7 +75,9 @@ fn identification_from_fully_labeled_characteristic_graph() {
 #[test]
 fn characteristic_subgraph_embedding() {
     let alphabet = Alphabet::from_labels(["a", "b", "c"]);
-    let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap().prefix_free();
+    let target = PathQuery::parse("(a·b)*·c", &alphabet)
+        .unwrap()
+        .prefix_free();
     let instance = characteristic_instance(&target, &alphabet).unwrap();
 
     // Rebuild the instance inside a bigger graph with decoy components.
@@ -101,16 +101,10 @@ fn characteristic_subgraph_embedding() {
     let goal_selection = target.eval(&big);
     let mut sample = Sample::new();
     for &node in instance.sample.pos() {
-        sample.add(
-            big.node_id(instance.graph.node_name(node)).unwrap(),
-            true,
-        );
+        sample.add(big.node_id(instance.graph.node_name(node)).unwrap(), true);
     }
     for &node in instance.sample.neg() {
-        sample.add(
-            big.node_id(instance.graph.node_name(node)).unwrap(),
-            false,
-        );
+        sample.add(big.node_id(instance.graph.node_name(node)).unwrap(), false);
     }
     for name in ["decoy1", "decoy2", "decoy3"] {
         let node = big.node_id(name).unwrap();
@@ -130,7 +124,9 @@ fn characteristic_subgraph_embedding() {
 #[test]
 fn soundness_under_small_k() {
     let alphabet = Alphabet::from_labels(["a", "b", "c"]);
-    let target = PathQuery::parse("(a·b)*·c", &alphabet).unwrap().prefix_free();
+    let target = PathQuery::parse("(a·b)*·c", &alphabet)
+        .unwrap()
+        .prefix_free();
     let instance = characteristic_instance(&target, &alphabet).unwrap();
     for k in 0..instance.required_k {
         let outcome = Learner::with_fixed_k(k).learn(&instance.graph, &instance.sample);

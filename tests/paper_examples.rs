@@ -64,7 +64,10 @@ fn section31_consistency_example() {
             assert!(selected.contains(p as usize), "{expr} must select ν{p}");
         }
         for &n in sample.neg() {
-            assert!(!selected.contains(n as usize), "{expr} must not select ν{n}");
+            assert!(
+                !selected.contains(n as usize),
+                "{expr} must not select ν{n}"
+            );
         }
     }
 }
@@ -218,8 +221,5 @@ fn figure1_geographical_example() {
 
     let session = InteractiveSession::new(&graph, InteractiveConfig::default());
     let result = session.run_against_goal(&goal);
-    assert_eq!(
-        result.query.expect("goal reachable").eval(&graph),
-        selected
-    );
+    assert_eq!(result.query.expect("goal reachable").eval(&graph), selected);
 }

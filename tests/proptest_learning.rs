@@ -23,8 +23,7 @@ fn arb_graph() -> impl Strategy<Value = GraphDb> {
         proptest::collection::vec((0u32..8, 0usize..3, 0u32..8), 1..18),
     )
         .prop_map(|(n, edges)| {
-            let mut builder =
-                GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
             for i in 0..n {
                 builder.add_node(&format!("n{i}"));
             }

@@ -1,0 +1,260 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment is offline, so the real `criterion` cannot be
+//! fetched; this crate implements the subset of its API the workspace's
+//! benches use (`criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`measurement_time`/`warm_up_time`, `Bencher::iter`
+//! and `iter_batched`) with a simple warm-up + timed-samples measurement
+//! loop that prints mean/min per-iteration times. It intentionally skips
+//! criterion's statistical machinery (outlier analysis, HTML reports);
+//! swapping the real crate back in later is a one-line manifest change.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this harness always runs one input per routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Measurement settings shared by groups and standalone bench functions.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Parses command-line configuration (a no-op here; accepted so the
+    /// expansion of `criterion_group!` matches the real crate).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&self.settings, &name.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_bench(&self.settings, &label, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; collects iteration timings.
+pub struct Bencher {
+    iters_per_sample: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    fn time_per_iter(&self) -> Duration {
+        self.elapsed / self.iters_per_sample.max(1) as u32
+    }
+}
+
+fn run_bench(settings: &Settings, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // which also yields a per-iteration time estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut per_iter = Duration::ZERO;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter = bencher.time_per_iter();
+        warm_iters += 1;
+        if per_iter > settings.measurement_time {
+            break; // a single iteration blows the budget; measure once
+        }
+    }
+
+    // Size samples so that `sample_size` samples fit the measurement time.
+    let budget_per_sample =
+        settings.measurement_time.as_nanos() / settings.sample_size.max(1) as u128;
+    let iters_per_sample =
+        (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(settings.sample_size);
+    let measure_start = Instant::now();
+    for _ in 0..settings.sample_size {
+        let mut bencher = Bencher {
+            iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        times.push(bencher.time_per_iter());
+        if measure_start.elapsed() > settings.measurement_time * 4 {
+            break; // hard stop: never run 4x over budget
+        }
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / times.len().max(1) as u32;
+    println!(
+        "bench {label:<50} mean {mean:>12?}  min {min:>12?}  ({} samples x {} iters)",
+        times.len(),
+        iters_per_sample
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_sample_size() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("batched");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(2));
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
