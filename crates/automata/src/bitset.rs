@@ -94,6 +94,13 @@ impl BitSet {
         self.blocks.fill(0);
     }
 
+    /// Inserts every index in `0..capacity` (the in-place analogue of
+    /// [`BitSet::full`], for reusable scratch buffers).
+    pub fn insert_all(&mut self) {
+        self.blocks.fill(u64::MAX);
+        self.mask_tail();
+    }
+
     /// `true` iff no index is present.
     pub fn is_empty(&self) -> bool {
         self.blocks.iter().all(|&b| b == 0)
@@ -192,6 +199,14 @@ impl BitSet {
     }
 }
 
+impl Default for BitSet {
+    /// The empty set with capacity `0` (resized on first real use; lets
+    /// scratch structs derive `Default`).
+    fn default() -> Self {
+        BitSet::new(0)
+    }
+}
+
 impl Hash for BitSet {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Capacity is fixed per use site; hashing blocks suffices.
@@ -277,6 +292,15 @@ mod tests {
         assert!(set.contains(66));
         let empty = BitSet::full(0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn insert_all_matches_full() {
+        for capacity in [0usize, 1, 63, 64, 65, 130] {
+            let mut set = BitSet::from_indices(capacity, (0..capacity).filter(|i| i % 3 == 0));
+            set.insert_all();
+            assert_eq!(set, BitSet::full(capacity), "capacity {capacity}");
+        }
     }
 
     #[test]

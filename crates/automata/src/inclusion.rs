@@ -1,6 +1,6 @@
 //! Antichain-based language inclusion for NFAs.
 //!
-//! Deciding `L(A) ⊆ L(B)` for NFAs is PSPACE-complete ([39] in the paper,
+//! Deciding `L(A) ⊆ L(B)` for NFAs is PSPACE-complete (\[39\] in the paper,
 //! Stockmeyer & Meyer); it is the computational core of both consistency
 //! checking (Lemma 3.1 / 3.2) and certain-node detection (Lemma 4.1 / 4.2).
 //! The paper proves these problems intractable and then *approximates* them

@@ -2,7 +2,7 @@
 //!
 //! Two operations from the paper's complexity toolbox live here:
 //!
-//! * **emptiness of the intersection of two NFAs** — PTIME ([29] in the
+//! * **emptiness of the intersection of two NFAs** — PTIME (\[29\] in the
 //!   paper) — used by Algorithm 1 both for the merge-consistency test
 //!   (line 4: `L(A_{s'→s}) ∩ paths_G(S⁻) = ∅`) and for the final
 //!   positive-coverage test (line 6);

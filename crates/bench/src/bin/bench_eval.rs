@@ -1,27 +1,45 @@
-//! Old-vs-new RPQ evaluation benchmark, the perf artifact of the
-//! label-partitioned CSR + frontier-kernel rework.
+//! RPQ evaluation benchmark: the perf artifact of the label-partitioned
+//! CSR + frontier-kernel rework (PR 1) and the parallel multi-source
+//! evaluation layer (`par_eval`).
 //!
-//! Generates a scale-free graph (paper §5.1 configuration: 3× edges,
+//! Per scale (default 10k nodes; `--full` adds the paper's 20k and 30k),
+//! generates a scale-free graph (paper §5.1 configuration: 3× edges,
 //! 30-label Zipf(1.0) alphabet), calibrates the full paper query mix on
 //! it (Table 1 structures bio1–bio6 plus syn1–syn3), and times
 //!
-//! * `eval_monadic` — the frontier-batched level-synchronous evaluator;
-//! * `eval_monadic_queued` — the seed algorithm (node-at-a-time backward
-//!   BFS over packed product states), kept verbatim as the baseline;
+//! * **monadic, per query**: `eval_monadic` (frontier-batched
+//!   level-synchronous evaluator) vs `eval_monadic_queued` (the seed
+//!   algorithm, kept verbatim as the baseline);
+//! * **multi-source batch**: one binary query evaluated from a seeded
+//!   random source batch, sequentially vs fanned out over an
+//!   [`EvalPool`] at each `--par-threads` count;
+//! * **multi-query batch**: the whole calibrated query mix evaluated
+//!   monadically, sequential loop vs pool fan-out.
 //!
-//! checking the two agree on every query before timing. Results go to
-//! stdout (table) and to a JSON file (default `BENCH_eval.json`) so the
-//! repository keeps a perf trajectory across PRs.
+//! Every parallel configuration is checked **bit-identical** to the
+//! sequential results before being timed. Results go to stdout (tables)
+//! and to a JSON file (default `BENCH_eval.json`) so the repository
+//! keeps a perf trajectory across PRs; `BENCHMARKS.md` documents the
+//! methodology and how to read the JSON. The detected core count is
+//! recorded in the JSON — parallel speedups are only meaningful when the
+//! machine actually has the threads.
 //!
 //! ```text
-//! bench_eval [--nodes N] [--seed S] [--runs R] [--out PATH]
+//! bench_eval [--nodes N[,N,...]] [--full] [--seed S] [--runs R]
+//!            [--sources K] [--par-threads T[,T,...]] [--out PATH]
 //! ```
 
+use pathlearn_automata::{BitSet, Dfa};
 use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
 use pathlearn_eval::report::ascii_table;
-use pathlearn_graph::eval::{eval_monadic, eval_monadic_queued};
-use pathlearn_graph::GraphDb;
+use pathlearn_graph::eval::{
+    eval_binary_from_with, eval_monadic, eval_monadic_queued, EvalScratch,
+};
+use pathlearn_graph::par_eval::EvalPool;
+use pathlearn_graph::{GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 struct QueryResult {
@@ -37,6 +55,30 @@ impl QueryResult {
     fn speedup(&self) -> f64 {
         self.seed_ns.max(1) as f64 / self.new_ns.max(1) as f64
     }
+}
+
+/// One parallel timing next to its thread count.
+struct ParPoint {
+    threads: usize,
+    ns: u128,
+}
+
+/// A sequential-vs-parallel batch measurement.
+struct BatchResult {
+    label: String,
+    items: usize,
+    seq_ns: u128,
+    par: Vec<ParPoint>,
+}
+
+struct ScaleResult {
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+    queries: Vec<QueryResult>,
+    geomean: f64,
+    multi_source: BatchResult,
+    multi_query: BatchResult,
 }
 
 /// Median of `runs` wall-clock timings of `f`, after one warm-up call.
@@ -76,6 +118,85 @@ fn bench_query(graph: &GraphDb, q: &CalibratedQuery, runs: usize) -> QueryResult
     }
 }
 
+/// Times the multi-source binary batch: `query` from `sources`,
+/// sequential (shared scratch, no pool) vs each thread count. Asserts
+/// bit-identity first.
+fn bench_multi_source(
+    graph: &GraphDb,
+    query: &CalibratedQuery,
+    sources: &[NodeId],
+    par_threads: &[usize],
+    runs: usize,
+) -> BatchResult {
+    let dfa = query.query.dfa();
+    let sequential = EvalPool::sequential();
+    let expected = sequential.eval_binary_batch(dfa, graph, sources);
+    let seq_ns = median_ns(runs, || {
+        let mut scratch = EvalScratch::new();
+        for &source in sources {
+            std::hint::black_box(eval_binary_from_with(&mut scratch, dfa, graph, source));
+        }
+    });
+    let par = par_threads
+        .iter()
+        .map(|&threads| {
+            let pool = EvalPool::new(threads);
+            assert_eq!(
+                pool.eval_binary_batch(dfa, graph, sources),
+                expected,
+                "{}: parallel batch differs at {threads} threads",
+                query.name
+            );
+            let ns = median_ns(runs, || {
+                std::hint::black_box(pool.eval_binary_batch(dfa, graph, sources));
+            });
+            ParPoint { threads, ns }
+        })
+        .collect();
+    BatchResult {
+        label: format!("binary {} x {} sources", query.name, sources.len()),
+        items: sources.len(),
+        seq_ns,
+        par,
+    }
+}
+
+/// Times the multi-query monadic batch: the whole calibrated mix,
+/// sequential loop vs pool fan-out. Asserts bit-identity first.
+fn bench_multi_query(
+    graph: &GraphDb,
+    dfas: &[Dfa],
+    par_threads: &[usize],
+    runs: usize,
+) -> BatchResult {
+    let expected: Vec<BitSet> = dfas.iter().map(|dfa| eval_monadic(dfa, graph)).collect();
+    let seq_ns = median_ns(runs, || {
+        let sequential = EvalPool::sequential();
+        std::hint::black_box(sequential.eval_monadic_batch(dfas, graph));
+    });
+    let par = par_threads
+        .iter()
+        .map(|&threads| {
+            let pool = EvalPool::new(threads);
+            assert_eq!(
+                pool.eval_monadic_batch(dfas, graph),
+                expected,
+                "parallel monadic batch differs at {threads} threads"
+            );
+            let ns = median_ns(runs, || {
+                std::hint::black_box(pool.eval_monadic_batch(dfas, graph));
+            });
+            ParPoint { threads, ns }
+        })
+        .collect();
+    BatchResult {
+        label: format!("monadic query mix x {}", dfas.len()),
+        items: dfas.len(),
+        seq_ns,
+        par,
+    }
+}
+
 fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, count) = values.fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
     if count == 0 {
@@ -96,58 +217,134 @@ fn json_escape(text: &str) -> String {
         .collect()
 }
 
-fn write_json(
-    path: &str,
-    graph: &GraphDb,
-    seed: u64,
-    runs: usize,
-    results: &[QueryResult],
-    geomean: f64,
-) -> std::io::Result<()> {
+fn batch_json(batch: &BatchResult, indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"label\": \"{}\", \"items\": {}, \"seq_ns\": {}, \"par\": [",
+        json_escape(&batch.label),
+        batch.items,
+        batch.seq_ns
+    ));
+    for (i, point) in batch.par.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\n{indent}  {{\"threads\": {}, \"ns\": {}, \"speedup\": {:.3}}}",
+            point.threads,
+            point.ns,
+            batch.seq_ns.max(1) as f64 / point.ns.max(1) as f64
+        ));
+    }
+    out.push_str(&format!("\n{indent}]}}"));
+    out
+}
+
+fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"benchmark\": \"eval_monadic: frontier-batched vs seed queued backward BFS\",\n",
+        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, plus par_eval batches\",\n",
     );
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
-        "  \"graph\": {{\"generator\": \"scale_free paper_synthetic\", \"nodes\": {}, \"edges\": {}, \"labels\": {}, \"seed\": {}}},\n",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.alphabet().len(),
-        seed
+        "  \"hardware\": {{\"available_cores\": {}}},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
     ));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"runs_per_query\": {runs},\n"));
     out.push_str("  \"timer\": \"median of wall-clock runs after one warm-up\",\n");
-    out.push_str("  \"queries\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    out.push_str("  \"scales\": [\n");
+    for (si, scale) in scales.iter().enumerate() {
+        out.push_str("    {\n");
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"template\": \"{}\", \"dfa_states\": {}, \"selectivity\": {:.6}, \"new_ns\": {}, \"seed_ns\": {}, \"speedup\": {:.3}}}{}\n",
-            json_escape(&r.name),
-            json_escape(&r.template),
-            r.dfa_states,
-            r.selectivity,
-            r.new_ns,
-            r.seed_ns,
-            r.speedup(),
-            if i + 1 < results.len() { "," } else { "" }
+            "      \"graph\": {{\"generator\": \"scale_free paper_synthetic\", \"nodes\": {}, \"edges\": {}, \"labels\": {}}},\n",
+            scale.nodes, scale.edges, scale.labels
+        ));
+        out.push_str("      \"queries\": [\n");
+        for (i, r) in scale.queries.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"template\": \"{}\", \"dfa_states\": {}, \"selectivity\": {:.6}, \"new_ns\": {}, \"seed_ns\": {}, \"speedup\": {:.3}}}{}\n",
+                json_escape(&r.name),
+                json_escape(&r.template),
+                r.dfa_states,
+                r.selectivity,
+                r.new_ns,
+                r.seed_ns,
+                r.speedup(),
+                if i + 1 < scale.queries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"geomean_speedup\": {:.3},\n",
+            scale.geomean
+        ));
+        out.push_str(&format!(
+            "      \"multi_source\": {},\n",
+            batch_json(&scale.multi_source, "      ")
+        ));
+        out.push_str(&format!(
+            "      \"multi_query\": {}\n",
+            batch_json(&scale.multi_query, "      ")
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if si + 1 < scales.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n"));
+    out.push_str("  ]\n");
     out.push_str("}\n");
     std::fs::write(path, out)
 }
 
+fn print_batch(batch: &BatchResult) {
+    let mut rows = vec![vec![
+        "seq".to_owned(),
+        format!("{:.3}", batch.seq_ns as f64 / 1e6),
+        "1.00x".to_owned(),
+    ]];
+    for point in &batch.par {
+        rows.push(vec![
+            format!("{} threads", point.threads),
+            format!("{:.3}", point.ns as f64 / 1e6),
+            format!(
+                "{:.2}x",
+                batch.seq_ns.max(1) as f64 / point.ns.max(1) as f64
+            ),
+        ]);
+    }
+    println!("{}:", batch.label);
+    println!("{}", ascii_table(&["config", "ms", "speedup"], &rows));
+}
+
+fn parse_list(value: &str, flag: &str) -> Vec<usize> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| usage(&format!("{flag} needs comma-separated integers")))
+        })
+        .collect()
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: bench_eval [--nodes N[,N,...]] [--full] [--seed S] [--runs R] \
+         [--sources K] [--par-threads T[,T,...]] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let mut seed = 42u64;
-    let mut nodes = 10_000usize;
+    let mut node_scales: Vec<usize> = vec![10_000];
     let mut runs = 9usize;
+    let mut num_sources = 256usize;
+    let mut par_threads: Vec<usize> = vec![2, 4];
     let mut out_path = "BENCH_eval.json".to_owned();
-    fn usage(problem: &str) -> ! {
-        eprintln!("error: {problem}");
-        eprintln!("usage: bench_eval [--nodes N] [--seed S] [--runs R] [--out PATH]");
-        std::process::exit(2);
-    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -160,76 +357,126 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
-            "--nodes" => {
-                nodes = value("--nodes")
-                    .parse()
-                    .unwrap_or_else(|_| usage("--nodes needs an integer"));
-            }
+            "--nodes" => node_scales = parse_list(&value("--nodes"), "--nodes"),
+            "--full" => node_scales = vec![10_000, 20_000, 30_000],
             "--runs" => {
                 runs = value("--runs")
                     .parse::<usize>()
                     .unwrap_or_else(|_| usage("--runs needs an integer"))
                     .max(1);
             }
+            "--sources" => {
+                num_sources = value("--sources")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--sources needs an integer"))
+                    .max(1);
+            }
+            "--par-threads" => par_threads = parse_list(&value("--par-threads"), "--par-threads"),
             "--out" => out_path = value("--out"),
             other => usage(&format!("unknown flag {other}")),
         }
     }
-    eprintln!("generating scale-free graph: {nodes} nodes, seed {seed} ...");
-    let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(nodes, seed));
+    if node_scales.is_empty() {
+        usage("--nodes needs at least one scale");
+    }
     eprintln!(
-        "graph ready: {} nodes, {} edges, {} labels",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.alphabet().len()
+        "available cores: {} (parallel speedups need real cores)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
     );
 
-    eprintln!("calibrating paper query mix (bio1-6, syn1-3) ...");
-    let mut queries = bio_workload(&graph).queries;
-    queries.extend(syn_workload(&graph).queries);
+    let mut scales = Vec::new();
+    for &nodes in &node_scales {
+        eprintln!("generating scale-free graph: {nodes} nodes, seed {seed} ...");
+        let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(nodes, seed));
+        eprintln!(
+            "graph ready: {} nodes, {} edges, {} labels",
+            graph.num_nodes(),
+            graph.num_edges(),
+            graph.alphabet().len()
+        );
 
-    let results: Vec<QueryResult> = queries
-        .iter()
-        .map(|q| {
-            let r = bench_query(&graph, q, runs);
-            eprintln!(
-                "  {:<5} {:>12} ns (new) {:>12} ns (seed)  {:>6.2}x",
-                r.name,
-                r.new_ns,
-                r.seed_ns,
-                r.speedup()
-            );
-            r
-        })
-        .collect();
+        eprintln!("calibrating paper query mix (bio1-6, syn1-3) ...");
+        let mut queries = bio_workload(&graph).queries;
+        queries.extend(syn_workload(&graph).queries);
 
-    let geomean = geometric_mean(results.iter().map(QueryResult::speedup));
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.template.clone(),
-                format!("{}", r.dfa_states),
-                format!("{:.4}", r.selectivity),
-                format!("{:.3}", r.new_ns as f64 / 1e6),
-                format!("{:.3}", r.seed_ns as f64 / 1e6),
-                format!("{:.2}x", r.speedup()),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &["query", "template", "|Q|", "sel", "new ms", "seed ms", "speedup"],
-            &rows
-        )
-    );
-    println!(
-        "geomean speedup: {geomean:.2}x over {} queries",
-        results.len()
-    );
+        let results: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| {
+                let r = bench_query(&graph, q, runs);
+                eprintln!(
+                    "  {:<5} {:>12} ns (new) {:>12} ns (seed)  {:>6.2}x",
+                    r.name,
+                    r.new_ns,
+                    r.seed_ns,
+                    r.speedup()
+                );
+                r
+            })
+            .collect();
+        let geomean = geometric_mean(results.iter().map(QueryResult::speedup));
 
-    write_json(&out_path, &graph, seed, runs, &results, geomean).expect("write benchmark JSON");
+        // Multi-source batch: a seeded random source set over the
+        // mid-selectivity synthetic query (syn2), the paper's "same
+        // candidate from many sources" workload shape.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x736f_7572);
+        let sources: Vec<NodeId> = (0..num_sources)
+            .map(|_| rng.gen_range(0..graph.num_nodes() as NodeId))
+            .collect();
+        let syn2 = queries
+            .iter()
+            .find(|q| q.name == "syn2")
+            .expect("syn2 in mix");
+        eprintln!(
+            "multi-source batch: {} sources of {} ...",
+            sources.len(),
+            syn2.name
+        );
+        let multi_source = bench_multi_source(&graph, syn2, &sources, &par_threads, runs);
+
+        let dfas: Vec<Dfa> = queries.iter().map(|q| q.query.dfa().clone()).collect();
+        eprintln!("multi-query batch: {} monadic queries ...", dfas.len());
+        let multi_query = bench_multi_query(&graph, &dfas, &par_threads, runs);
+
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.template.clone(),
+                    format!("{}", r.dfa_states),
+                    format!("{:.4}", r.selectivity),
+                    format!("{:.3}", r.new_ns as f64 / 1e6),
+                    format!("{:.3}", r.seed_ns as f64 / 1e6),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect();
+        println!("== scale: {nodes} nodes ==");
+        println!(
+            "{}",
+            ascii_table(
+                &["query", "template", "|Q|", "sel", "new ms", "seed ms", "speedup"],
+                &rows
+            )
+        );
+        println!(
+            "geomean monadic speedup: {geomean:.2}x over {} queries",
+            results.len()
+        );
+        print_batch(&multi_source);
+        print_batch(&multi_query);
+
+        scales.push(ScaleResult {
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            labels: graph.alphabet().len(),
+            queries: results,
+            geomean,
+            multi_source,
+            multi_query,
+        });
+    }
+
+    write_json(&out_path, seed, runs, &scales).expect("write benchmark JSON");
     eprintln!("wrote {out_path}");
 }

@@ -28,7 +28,8 @@ use crate::sample::Sample;
 use pathlearn_automata::product::dfa_nfa_intersection_is_empty;
 use pathlearn_automata::rpni::{generalize, MergeOracle};
 use pathlearn_automata::{Dfa, Nfa, Word};
-use pathlearn_graph::{GraphDb, NodeId, ScpFinder};
+use pathlearn_graph::{EvalPool, GraphDb, NodeId, ScpFinder};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Policy for the SCP length bound `k`.
@@ -99,6 +100,9 @@ impl Default for LearnerConfig {
 pub struct Learner {
     /// Configuration used by [`Learner::learn`].
     pub config: LearnerConfig,
+    /// Thread pool for the SCP fan-out (lines 1–2); sequential by
+    /// default. See [`Learner::with_pool`].
+    pool: EvalPool,
 }
 
 /// Statistics reported alongside a learning run.
@@ -144,17 +148,34 @@ impl MergeOracle for GraphNegativesOracle {
 impl Learner {
     /// Creates a learner with an explicit configuration.
     pub fn with_config(config: LearnerConfig) -> Self {
-        Learner { config }
+        Learner {
+            config,
+            pool: EvalPool::sequential(),
+        }
     }
 
     /// Creates a learner with a fixed `k` (formal Algorithm 1).
     pub fn with_fixed_k(k: usize) -> Self {
-        Learner {
-            config: LearnerConfig {
-                k: KPolicy::Fixed(k),
-                ..LearnerConfig::default()
-            },
-        }
+        Self::with_config(LearnerConfig {
+            k: KPolicy::Fixed(k),
+            ..LearnerConfig::default()
+        })
+    }
+
+    /// Fans the per-positive-node SCP searches (Algorithm 1 lines 1–2)
+    /// out over `pool`. Each thread gets its **own** [`ScpFinder`] (the
+    /// memo caches are not shared across threads), and the outcome —
+    /// learned query and statistics — is bit-identical to the sequential
+    /// learner: SCPs are a pure function of `(graph, S⁻, node, k)`, and
+    /// results are reassembled in sample order.
+    pub fn with_pool(mut self, pool: EvalPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The configured evaluation pool.
+    pub fn pool(&self) -> &EvalPool {
+        &self.pool
     }
 
     /// Runs Algorithm 1 on `(graph, sample)`.
@@ -166,13 +187,21 @@ impl Learner {
         let start_time = Instant::now();
         let mut stats = LearnStats::default();
 
-        // The negative-side determinization cache depends only on S⁻, so
-        // it is shared across all k attempts (and across the positives
-        // within each attempt).
-        let mut finder = ScpFinder::new(graph, sample.neg());
+        // The negative-side determinization caches depend only on S⁻, so
+        // they are shared across all k attempts (and across the positives
+        // within each attempt). One finder per fan-out thread; the
+        // sequential path keeps exactly one.
+        let fan_out = if self.pool.is_parallel() {
+            self.pool.threads().min(sample.pos().len()).max(1)
+        } else {
+            1
+        };
+        let mut finders: Vec<ScpFinder<'_>> = (0..fan_out)
+            .map(|_| ScpFinder::new(graph, sample.neg()))
+            .collect();
         for k in self.config.k.candidates() {
             stats.k_used = k;
-            if let Some(query) = self.attempt(graph, sample, k, &mut finder, &mut stats) {
+            if let Some(query) = self.attempt(graph, sample, k, &mut finders, &mut stats) {
                 stats.duration = start_time.elapsed();
                 return LearnOutcome {
                     query: Some(query),
@@ -184,21 +213,75 @@ impl Learner {
         LearnOutcome { query: None, stats }
     }
 
+    /// Algorithm 1 lines 1–2 for every positive node: SCPs in sample
+    /// order, fanned out over the pool when parallel. Each thread owns
+    /// one of `finders` and claims positives **one at a time** from an
+    /// atomic cursor — SCP searches vary wildly in cost (a node near the
+    /// state budget can dwarf its neighbors), so dynamic claiming keeps
+    /// every thread busy where static chunks would serialize a chunk
+    /// behind its slowest node. Results carry their index and are
+    /// reassembled in sample order; `scp(node, k)` is a pure function of
+    /// `(graph, S⁻, node, k)` — the per-finder memo caches only change
+    /// how fast it returns — so the fan-out is bit-identical to the
+    /// sequential loop.
+    fn find_scps(
+        &self,
+        positives: &[NodeId],
+        k: usize,
+        finders: &mut [ScpFinder<'_>],
+    ) -> Vec<Option<Word>> {
+        match self.pool.pool() {
+            Some(pool) if finders.len() > 1 && positives.len() > 1 => {
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let mut parts: Vec<Vec<(usize, Option<Word>)>> =
+                    (0..finders.len()).map(|_| Vec::new()).collect();
+                pool.scope(|scope| {
+                    for (finder, part) in finders.iter_mut().zip(parts.iter_mut()) {
+                        scope.spawn(move |_| loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&node) = positives.get(index) else {
+                                break;
+                            };
+                            part.push((index, finder.scp(node, k)));
+                        });
+                    }
+                });
+                let mut slots: Vec<Option<Option<Word>>> = vec![None; positives.len()];
+                for (index, result) in parts.into_iter().flatten() {
+                    slots[index] = Some(result);
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every positive claimed exactly once"))
+                    .collect()
+            }
+            _ => {
+                let finder = &mut finders[0];
+                positives.iter().map(|&node| finder.scp(node, k)).collect()
+            }
+        }
+    }
+
     /// One attempt with a fixed `k`; returns the query on success.
     fn attempt(
         &self,
         graph: &GraphDb,
         sample: &Sample,
         k: usize,
-        finder: &mut ScpFinder<'_>,
+        finders: &mut [ScpFinder<'_>],
         stats: &mut LearnStats,
     ) -> Option<PathQuery> {
-        // Lines 1–2: select SCPs against the shared negative-side cache.
+        // Lines 1–2: select SCPs against the shared negative-side caches.
         let mut scps: Vec<Word> = Vec::new();
         stats.scps.clear();
         stats.nodes_without_scp.clear();
-        for &node in sample.pos() {
-            match finder.scp(node, k) {
+        for (&node, path) in sample
+            .pos()
+            .iter()
+            .zip(self.find_scps(sample.pos(), k, finders))
+        {
+            match path {
                 Some(path) => {
                     stats.scps.push((node, path.clone()));
                     scps.push(path);
@@ -398,6 +481,49 @@ mod tests {
         let sample = g0_sample(&graph);
         let outcome = Learner::default().learn(&graph, &sample);
         assert!(outcome.query.unwrap().is_prefix_free());
+    }
+
+    #[test]
+    fn parallel_scp_fanout_matches_sequential_learner() {
+        // The same samples through sequential and {2, 4}-thread learners:
+        // learned query, SCP list, and every other stat must be
+        // bit-identical (duration aside).
+        let graph = figure3_g0();
+        let samples = [
+            g0_sample(&graph),
+            Sample::new()
+                .positive(graph.node_id("v1").unwrap())
+                .positive(graph.node_id("v3").unwrap())
+                .positive(graph.node_id("v5").unwrap())
+                .positive(graph.node_id("v6").unwrap())
+                .negative(graph.node_id("v2").unwrap()),
+            Sample::new().positive(graph.node_id("v5").unwrap()),
+            Sample::new(),
+        ];
+        for sample in &samples {
+            let sequential = Learner::default().learn(&graph, sample);
+            for threads in [2, 4] {
+                let parallel = Learner::default()
+                    .with_pool(EvalPool::new(threads))
+                    .learn(&graph, sample);
+                assert_eq!(
+                    parallel.query.as_ref().map(|q| q.eval(&graph)),
+                    sequential.query.as_ref().map(|q| q.eval(&graph)),
+                    "{threads} threads"
+                );
+                assert_eq!(parallel.stats.scps, sequential.stats.scps);
+                assert_eq!(
+                    parallel.stats.nodes_without_scp,
+                    sequential.stats.nodes_without_scp
+                );
+                assert_eq!(parallel.stats.k_used, sequential.stats.k_used);
+                assert_eq!(parallel.stats.pta_states, sequential.stats.pta_states);
+                assert_eq!(
+                    parallel.stats.generalized_states,
+                    sequential.stats.generalized_states
+                );
+            }
+        }
     }
 
     #[test]

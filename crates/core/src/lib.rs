@@ -31,5 +31,6 @@ pub mod sample;
 pub mod theory;
 
 pub use learner::{KPolicy, LearnOutcome, LearnStats, Learner, LearnerConfig};
+pub use pathlearn_graph::EvalPool;
 pub use query::PathQuery;
 pub use sample::{Sample, Sample2, SampleN};

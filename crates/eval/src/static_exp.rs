@@ -9,7 +9,7 @@
 
 use crate::metrics::Confusion;
 use pathlearn_core::PathQuery;
-use pathlearn_core::{Learner, LearnerConfig, Sample};
+use pathlearn_core::{EvalPool, Learner, LearnerConfig, Sample};
 use pathlearn_datagen::sampling::{random_sample, LabelingOrder};
 use pathlearn_graph::GraphDb;
 use std::time::Duration;
@@ -25,6 +25,9 @@ pub struct StaticConfig {
     pub seed: u64,
     /// Learner configuration.
     pub learner: LearnerConfig,
+    /// Threads for the learner's SCP fan-out (`1` = sequential; results
+    /// are identical at every thread count).
+    pub threads: usize,
 }
 
 impl Default for StaticConfig {
@@ -34,6 +37,7 @@ impl Default for StaticConfig {
             trials: 3,
             seed: 42,
             learner: LearnerConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -58,7 +62,7 @@ pub struct StaticPoint {
 /// Runs the sweep for one goal query on one graph.
 pub fn run_static(graph: &GraphDb, goal: &PathQuery, config: &StaticConfig) -> Vec<StaticPoint> {
     let goal_selection = goal.eval(graph);
-    let learner = Learner::with_config(config.learner);
+    let learner = Learner::with_config(config.learner).with_pool(EvalPool::new(config.threads));
     let mut points = Vec::with_capacity(config.fractions.len());
     for (fi, &fraction) in config.fractions.iter().enumerate() {
         let mut f1s = Vec::with_capacity(config.trials);
@@ -143,6 +147,7 @@ mod tests {
             trials: 3,
             seed: 42,
             learner: LearnerConfig::default(),
+            threads: 1,
         };
         let points = run_static(&graph, &goal, &config);
         assert_eq!(points.len(), 2);
@@ -176,6 +181,7 @@ mod tests {
             trials: 2,
             seed: 7,
             learner: LearnerConfig::default(),
+            threads: 2,
         };
         let a = run_static(&graph, &goal, &config);
         let b = run_static(&graph, &goal, &config);

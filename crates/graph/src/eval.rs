@@ -74,13 +74,107 @@ impl RevIndex {
     }
 }
 
+/// Reusable buffers for the frontier evaluators.
+///
+/// One evaluation of a `|Q|`-state query on a `|V|`-node graph needs
+/// `3·|Q| + 1` node bitsets; batch workloads (the learner's candidate
+/// scoring, multi-source binary evaluation, the parallel fan-out in
+/// [`crate::par_eval`]) would otherwise allocate and free them per call.
+/// An `EvalScratch` owns the buffers and re-fits them lazily: reuse
+/// across calls on the same graph is allocation-free, and a scratch can
+/// move between graphs or queries of different sizes at the cost of a
+/// re-allocation.
+///
+/// Scratch reuse never changes results — every buffer is cleared before
+/// use (asserted by the equivalence proptests):
+///
+/// ```
+/// use pathlearn_graph::eval::{eval_monadic, eval_monadic_with, EvalScratch};
+/// use pathlearn_graph::graph::figure3_g0;
+/// use pathlearn_automata::Regex;
+///
+/// let graph = figure3_g0();
+/// let mut scratch = EvalScratch::new();
+/// for expr in ["a", "(a·b)*·c", "b·b·c·c"] {
+///     let query = Regex::parse(expr, graph.alphabet()).unwrap().to_dfa(3);
+///     assert_eq!(
+///         eval_monadic_with(&mut scratch, &query, &graph),
+///         eval_monadic(&query, &graph),
+///     );
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// `reached[q]` / `frontier[q]` / `next_frontier[q]` per DFA state.
+    reached: Vec<BitSet>,
+    frontier: Vec<BitSet>,
+    next_frontier: Vec<BitSet>,
+    /// Graph-step output buffer.
+    step: BitSet,
+    active: Vec<StateId>,
+    next_active: Vec<StateId>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fits the buffers to a `|V| = v`, `|Q| = q_states` evaluation and
+    /// clears them. Entries whose capacity already matches are reused.
+    fn prepare(&mut self, v: usize, q_states: usize) {
+        fn fit(sets: &mut Vec<BitSet>, v: usize, q_states: usize) {
+            sets.retain(|set| set.capacity() == v);
+            sets.truncate(q_states);
+            for set in sets.iter_mut() {
+                set.clear();
+            }
+            while sets.len() < q_states {
+                sets.push(BitSet::new(v));
+            }
+        }
+        fit(&mut self.reached, v, q_states);
+        fit(&mut self.frontier, v, q_states);
+        fit(&mut self.next_frontier, v, q_states);
+        if self.step.capacity() != v {
+            self.step = BitSet::new(v);
+        }
+        self.active.clear();
+        self.next_active.clear();
+    }
+}
+
 /// Evaluates a (monadic) path query on a graph: the set of selected nodes.
 ///
 /// Level-synchronous backward BFS: one node-set frontier per automaton
 /// state, stepped per symbol through the label-partitioned CSR (see the
 /// module docs). Equivalent to [`eval_monadic_queued`] and
 /// [`eval_monadic_naive`] (asserted by tests and proptests).
+///
+/// Allocates fresh buffers per call; batch callers should reuse an
+/// [`EvalScratch`] through [`eval_monadic_with`], and multi-query batches
+/// can fan out across threads with
+/// [`crate::par_eval::EvalPool::eval_monadic_batch`].
+///
+/// ```
+/// use pathlearn_graph::eval::eval_monadic;
+/// use pathlearn_graph::graph::figure3_g0;
+/// use pathlearn_automata::Regex;
+///
+/// let graph = figure3_g0();
+/// // Paper §2: (a·b)*·c selects exactly {ν1, ν3} on G0.
+/// let query = Regex::parse("(a·b)*·c", graph.alphabet()).unwrap().to_dfa(3);
+/// let selected = eval_monadic(&query, &graph);
+/// let names: Vec<&str> = selected.iter().map(|n| graph.node_name(n as u32)).collect();
+/// assert_eq!(names, ["v1", "v3"]);
+/// ```
 pub fn eval_monadic(query: &Dfa, graph: &GraphDb) -> BitSet {
+    eval_monadic_with(&mut EvalScratch::new(), query, graph)
+}
+
+/// [`eval_monadic`] with caller-provided buffers (see [`EvalScratch`]).
+pub fn eval_monadic_with(scratch: &mut EvalScratch, query: &Dfa, graph: &GraphDb) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     if v == 0 || q_states == 0 {
@@ -95,50 +189,48 @@ pub fn eval_monadic(query: &Dfa, graph: &GraphDb) -> BitSet {
 
     // reached[q] = nodes ν with (ν, q) able to reach acceptance;
     // frontier[q] = the subset discovered in the previous level.
-    let mut reached: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
-    let mut frontier: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
-    let mut next_frontier: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
-    let mut active: Vec<StateId> = Vec::with_capacity(q_states);
+    scratch.prepare(v, q_states);
+    let EvalScratch {
+        reached,
+        frontier,
+        next_frontier,
+        step,
+        active,
+        next_active,
+    } = scratch;
     for f in query.finals().iter() {
         // Accepting product states (·, q_f) reach acceptance trivially.
-        reached[f] = BitSet::full(v);
-        frontier[f] = BitSet::full(v);
+        reached[f].insert_all();
+        frontier[f].insert_all();
         active.push(f as StateId);
     }
 
-    let mut scratch = BitSet::new(v);
-    let mut next_active: Vec<StateId> = Vec::with_capacity(q_states);
     while !active.is_empty() {
-        for &q in &active {
+        for &q in active.iter() {
             for sym in 0..rev.sigma {
                 let dfa_preds = rev.predecessors(q, sym);
                 if dfa_preds.is_empty() {
                     continue;
                 }
-                graph.step_frontier_back_into(
-                    &frontier[q as usize],
-                    Symbol::from_index(sym),
-                    &mut scratch,
-                );
-                if scratch.is_empty() {
+                graph.step_frontier_back_into(&frontier[q as usize], Symbol::from_index(sym), step);
+                if step.is_empty() {
                     continue;
                 }
                 for &p in dfa_preds {
                     let p = p as usize;
                     let was_empty = next_frontier[p].is_empty();
-                    if reached[p].union_with_recording_new(&scratch, &mut next_frontier[p])
-                        && was_empty
+                    if reached[p].union_with_recording_new(step, &mut next_frontier[p]) && was_empty
                     {
                         next_active.push(p as StateId);
                     }
                 }
             }
         }
-        for &q in &active {
+        for &q in active.iter() {
             frontier[q as usize].clear();
         }
-        std::mem::swap(&mut frontier, &mut next_frontier);
-        std::mem::swap(&mut active, &mut next_active);
+        std::mem::swap(frontier, next_frontier);
+        std::mem::swap(active, next_active);
         next_active.clear();
         // Early exit: every node already selected.
         if reached[q0 as usize].len() == v {
@@ -246,7 +338,35 @@ pub fn selectivity(query: &Dfa, graph: &GraphDb) -> f64 {
 /// through the forward kernel [`GraphDb::step_frontier_into`]. The DFA is
 /// deterministic, so each `(state, symbol)` pair feeds exactly one
 /// successor state's frontier.
+///
+/// Allocates fresh buffers per call; multi-source batches should reuse an
+/// [`EvalScratch`] through [`eval_binary_from_with`] or fan out across
+/// threads with [`crate::par_eval::EvalPool::eval_binary_batch`].
+///
+/// ```
+/// use pathlearn_graph::eval::eval_binary_from;
+/// use pathlearn_graph::graph::figure3_g0;
+/// use pathlearn_automata::Regex;
+///
+/// let graph = figure3_g0();
+/// let query = Regex::parse("(a·b)*·c", graph.alphabet()).unwrap().to_dfa(3);
+/// let v1 = graph.node_id("v1").unwrap();
+/// // From ν1 the only (a·b)*·c path ends in ν4 (a b c: v1→v2→v3→v4).
+/// let ends = eval_binary_from(&query, &graph, v1);
+/// assert_eq!(ends.len(), 1);
+/// assert!(ends.contains(graph.node_id("v4").unwrap() as usize));
+/// ```
 pub fn eval_binary_from(query: &Dfa, graph: &GraphDb, source: NodeId) -> BitSet {
+    eval_binary_from_with(&mut EvalScratch::new(), query, graph, source)
+}
+
+/// [`eval_binary_from`] with caller-provided buffers (see [`EvalScratch`]).
+pub fn eval_binary_from_with(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     let mut result = BitSet::new(v);
@@ -259,42 +379,45 @@ pub fn eval_binary_from(query: &Dfa, graph: &GraphDb, source: NodeId) -> BitSet 
     // them would read out of its transition table).
     let sigma = graph.alphabet().len().min(query.alphabet_len());
 
-    let mut reached: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
-    let mut frontier: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
-    let mut next_frontier: Vec<BitSet> = (0..q_states).map(|_| BitSet::new(v)).collect();
+    scratch.prepare(v, q_states);
+    let EvalScratch {
+        reached,
+        frontier,
+        next_frontier,
+        step,
+        active,
+        next_active,
+    } = scratch;
     reached[q0 as usize].insert(source as usize);
     frontier[q0 as usize].insert(source as usize);
-    let mut active: Vec<StateId> = vec![q0];
+    active.push(q0);
     if query.is_final(q0) {
         result.insert(source as usize);
     }
 
-    let mut scratch = BitSet::new(v);
-    let mut next_active: Vec<StateId> = Vec::with_capacity(q_states);
     while !active.is_empty() {
-        for &q in &active {
+        for &q in active.iter() {
             for sym in 0..sigma {
                 let symbol = Symbol::from_index(sym);
                 let Some(next_state) = query.step(q, symbol) else {
                     continue;
                 };
-                graph.step_frontier_into(&frontier[q as usize], symbol, &mut scratch);
-                if scratch.is_empty() {
+                graph.step_frontier_into(&frontier[q as usize], symbol, step);
+                if step.is_empty() {
                     continue;
                 }
                 let p = next_state as usize;
                 let was_empty = next_frontier[p].is_empty();
-                if reached[p].union_with_recording_new(&scratch, &mut next_frontier[p]) && was_empty
-                {
+                if reached[p].union_with_recording_new(step, &mut next_frontier[p]) && was_empty {
                     next_active.push(next_state);
                 }
             }
         }
-        for &q in &active {
+        for &q in active.iter() {
             frontier[q as usize].clear();
         }
-        std::mem::swap(&mut frontier, &mut next_frontier);
-        std::mem::swap(&mut active, &mut next_active);
+        std::mem::swap(frontier, next_frontier);
+        std::mem::swap(active, next_active);
         next_active.clear();
     }
 
@@ -429,6 +552,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_across_mixed_calls() {
+        // One scratch driven through monadic and binary evaluations of
+        // different |Q| (and a degenerate empty query) must keep agreeing
+        // with the allocating entry points.
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        for expr in ["(a+b)*·c", "a", "b·(a·a)*·c", "eps", "c·a*"] {
+            let q = query(&graph, expr);
+            assert_eq!(
+                eval_monadic_with(&mut scratch, &q, &graph),
+                eval_monadic(&q, &graph),
+                "monadic {expr}"
+            );
+            for source in graph.nodes() {
+                assert_eq!(
+                    eval_binary_from_with(&mut scratch, &q, &graph, source),
+                    eval_binary_from(&q, &graph, source),
+                    "binary {expr} from {source}"
+                );
+            }
+        }
+        let empty = Dfa::empty_language(3);
+        assert!(eval_monadic_with(&mut scratch, &empty, &graph).is_empty());
+        assert!(eval_binary_from_with(&mut scratch, &empty, &graph, 0).is_empty());
     }
 
     #[test]

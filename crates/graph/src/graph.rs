@@ -162,6 +162,21 @@ impl GraphDb {
     /// [`BitSet`] iterator walks `u64` blocks with trailing-zero scans)
     /// and every successor range is a contiguous slice of the partitioned
     /// CSR, so the kernel is a linear pass over frontier-adjacent edges.
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    /// use pathlearn_automata::BitSet;
+    ///
+    /// let graph = figure3_g0();
+    /// let a = graph.alphabet().symbol("a").unwrap();
+    /// let v1 = graph.node_id("v1").unwrap() as usize;
+    /// let frontier = BitSet::from_indices(graph.num_nodes(), [v1]);
+    /// let mut out = BitSet::new(graph.num_nodes());
+    /// graph.step_frontier_into(&frontier, a, &mut out);
+    /// // v1 --a--> v2 is the only a-edge out of v1.
+    /// assert_eq!(out.len(), 1);
+    /// assert!(out.contains(graph.node_id("v2").unwrap() as usize));
+    /// ```
     pub fn step_frontier_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
         debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
         out.clear();

@@ -13,7 +13,10 @@
 //!   a determinized product BFS with a shared negative-side cache;
 //! * [`eval`] — monadic RPQ evaluation `q(G)` by backward product
 //!   reachability in `O(|E|·|Q|)`, plus binary-semantics evaluation
-//!   (Appendix B);
+//!   (Appendix B) and the reusable [`eval::EvalScratch`] buffers;
+//! * [`par_eval`] — multi-source / multi-query batch evaluation fanned
+//!   out over a thread pool ([`par_eval::EvalPool`]), bit-identical to
+//!   the sequential evaluators;
 //! * [`binary`] — `paths2_G(ν,ν′)` and the binary SCP search used by
 //!   Algorithm 2;
 //! * [`neighborhood`] — k-neighborhood extraction (interactive scenario,
@@ -32,9 +35,11 @@ pub mod explain;
 pub mod graph;
 pub mod io;
 pub mod neighborhood;
+pub mod par_eval;
 pub mod paths;
 pub mod sampling;
 pub mod scp;
 
 pub use graph::{GraphBuilder, GraphDb, NodeId};
+pub use par_eval::EvalPool;
 pub use scp::ScpFinder;

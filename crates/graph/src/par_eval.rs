@@ -1,0 +1,374 @@
+//! Parallel multi-source / multi-query RPQ evaluation.
+//!
+//! The paper's learning loop evaluates the **same candidate query from
+//! many source nodes** (binary semantics, Appendix B) and **many
+//! candidate queries over the same graph** (the F1 scoring of §5 and the
+//! interactive loop of §4) — embarrassingly parallel workloads over the
+//! read-only [`GraphDb`]. This module fans the sequential evaluators of
+//! [`crate::eval`] out over a [`rayon`]-style thread pool:
+//!
+//! * one **work item** = one `eval_monadic` / `eval_binary_from` call;
+//! * items are claimed in **chunks from an atomic cursor**, so a slow
+//!   item (a high-selectivity source) occupies one thread while the
+//!   others keep draining the batch — dynamic load balancing without
+//!   per-thread deques;
+//! * every thread owns an [`EvalScratch`] **bitset pool**, so steady-state
+//!   evaluation stays allocation-free per item;
+//! * per-source results land in their batch slot; union results are
+//!   merged with **word-level ORs** ([`BitSet::union_with`]) of
+//!   per-thread partials.
+//!
+//! ## Determinism
+//!
+//! Results are **bit-identical to sequential evaluation** at every thread
+//! count (asserted by proptests across threads {1, 2, 4}): batch slots
+//! are written by index, and the union merge is an OR-reduction, which is
+//! order-independent. The sequential path (`threads <= 1`) never touches
+//! the pool at all.
+//!
+//! ## Knobs
+//!
+//! Thread count comes from [`EvalPool::new`] (e.g. a `--threads` flag) or
+//! [`EvalPool::from_env`], which reads the `PATHLEARN_THREADS` environment
+//! variable and falls back to [`std::thread::available_parallelism`].
+
+use crate::eval::{eval_binary_from_with, eval_monadic_with, EvalScratch};
+use crate::graph::{GraphDb, NodeId};
+use pathlearn_automata::{BitSet, Dfa};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Environment variable consulted by [`EvalPool::from_env`].
+pub const THREADS_ENV: &str = "PATHLEARN_THREADS";
+
+/// A shareable handle to a thread pool for batch RPQ evaluation.
+///
+/// Cloning is cheap (the pool is reference-counted) and clones share the
+/// worker threads. `threads == 1` means strictly sequential: no pool is
+/// built and no worker thread ever exists.
+///
+/// ```
+/// use pathlearn_graph::graph::figure3_g0;
+/// use pathlearn_graph::par_eval::EvalPool;
+/// use pathlearn_graph::eval::eval_binary_from;
+/// use pathlearn_automata::Regex;
+///
+/// let graph = figure3_g0();
+/// let query = Regex::parse("(a+b)*·c", graph.alphabet()).unwrap().to_dfa(3);
+/// let sources: Vec<u32> = graph.nodes().collect();
+///
+/// let parallel = EvalPool::new(2).eval_binary_batch(&query, &graph, &sources);
+/// // Bit-identical to the sequential evaluator, source by source.
+/// for (&source, ends) in sources.iter().zip(&parallel) {
+///     assert_eq!(ends, &eval_binary_from(&query, &graph, source));
+/// }
+/// ```
+#[derive(Clone)]
+pub struct EvalPool {
+    threads: usize,
+    /// `None` iff `threads == 1` (the sequential path).
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl Default for EvalPool {
+    /// Defaults to the sequential pool, so embedding an `EvalPool` in a
+    /// config struct never spawns threads unless asked to.
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl EvalPool {
+    /// Creates a pool with `threads` worker threads (`0` and `1` both
+    /// mean sequential).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = (threads > 1).then(|| {
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("build evaluation thread pool"),
+            )
+        });
+        EvalPool { threads, pool }
+    }
+
+    /// The strictly sequential pool (no worker threads).
+    pub fn sequential() -> Self {
+        EvalPool {
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// Creates a pool sized by the `PATHLEARN_THREADS` environment
+    /// variable, falling back to [`std::thread::available_parallelism`]
+    /// when unset or unparsable.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|value| value.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// Number of threads evaluation fans out over (`1` = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` iff batches are evaluated on worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The underlying thread pool, when parallel. Exposed so higher
+    /// layers (the learner's SCP fan-out) can schedule their own scoped
+    /// tasks next to evaluation batches.
+    pub fn pool(&self) -> Option<&rayon::ThreadPool> {
+        self.pool.as_deref()
+    }
+
+    /// The chunked-claiming kernel shared by every batch entry point:
+    /// one scoped task per accumulator in `parts`, each with its own
+    /// [`EvalScratch`], claiming chunks of `0..len` from an atomic
+    /// cursor and folding every claimed index into its accumulator.
+    fn claim_chunks<A, S>(pool: &rayon::ThreadPool, parts: &mut [A], len: usize, step: S)
+    where
+        A: Send,
+        S: Fn(&mut A, &mut EvalScratch, usize) + Sync,
+    {
+        // Small chunks relative to len/threads give dynamic balancing;
+        // the floor bounds per-claim overhead for tiny batches.
+        let chunk = (len / (parts.len() * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let step = &step;
+        pool.scope(|scope| {
+            for part in parts.iter_mut() {
+                scope.spawn(move |_| {
+                    let mut scratch = EvalScratch::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        for index in start..(start + chunk).min(len) {
+                            step(part, &mut scratch, index);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Fans `task(scratch, index)` out over `0..len`, one [`EvalScratch`]
+    /// per thread, collecting results in index order.
+    fn fan_out<T, F>(&self, len: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut EvalScratch, usize) -> T + Sync,
+    {
+        match &self.pool {
+            Some(pool) if len > 1 => {
+                let threads = self.threads.min(len);
+                let mut parts: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+                Self::claim_chunks(pool, &mut parts, len, |part, scratch, index| {
+                    part.push((index, task(scratch, index)));
+                });
+                let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+                for (index, value) in parts.into_iter().flatten() {
+                    slots[index] = Some(value);
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every batch index evaluated exactly once"))
+                    .collect()
+            }
+            _ => {
+                let mut scratch = EvalScratch::new();
+                (0..len).map(|index| task(&mut scratch, index)).collect()
+            }
+        }
+    }
+
+    /// Evaluates a batch of monadic queries on one graph — the fan-out
+    /// behind candidate scoring, where the learner re-evaluates many
+    /// hypothesis queries per example batch. `result[i]` is exactly
+    /// [`crate::eval::eval_monadic`]`(&queries[i], graph)`.
+    pub fn eval_monadic_batch(&self, queries: &[Dfa], graph: &GraphDb) -> Vec<BitSet> {
+        self.fan_out(queries.len(), |scratch, index| {
+            eval_monadic_with(scratch, &queries[index], graph)
+        })
+    }
+
+    /// Evaluates one binary query from many source nodes. `result[i]` is
+    /// exactly [`crate::eval::eval_binary_from`]`(query, graph, sources[i])`.
+    pub fn eval_binary_batch(
+        &self,
+        query: &Dfa,
+        graph: &GraphDb,
+        sources: &[NodeId],
+    ) -> Vec<BitSet> {
+        self.fan_out(sources.len(), |scratch, index| {
+            eval_binary_from_with(scratch, query, graph, sources[index])
+        })
+    }
+
+    /// The set of end nodes reachable from **any** of `sources` along a
+    /// path in `L(query)` — a multi-source binary evaluation merged with
+    /// word-level ORs. Equal to the union of
+    /// [`crate::eval::eval_binary_from`] over `sources`, at any thread
+    /// count.
+    pub fn eval_binary_union(&self, query: &Dfa, graph: &GraphDb, sources: &[NodeId]) -> BitSet {
+        let v = graph.num_nodes();
+        match &self.pool {
+            Some(pool) if sources.len() > 1 => {
+                let threads = self.threads.min(sources.len());
+                let mut parts: Vec<BitSet> = (0..threads).map(|_| BitSet::new(v)).collect();
+                Self::claim_chunks(pool, &mut parts, sources.len(), |part, scratch, index| {
+                    part.union_with(&eval_binary_from_with(
+                        scratch,
+                        query,
+                        graph,
+                        sources[index],
+                    ));
+                });
+                let mut union = BitSet::new(v);
+                for part in &parts {
+                    union.union_with(part);
+                }
+                union
+            }
+            _ => {
+                let mut scratch = EvalScratch::new();
+                let mut union = BitSet::new(v);
+                for &source in sources {
+                    union.union_with(&eval_binary_from_with(&mut scratch, query, graph, source));
+                }
+                union
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_binary_from, eval_monadic};
+    use crate::graph::figure3_g0;
+    use pathlearn_automata::Regex;
+
+    const EXPRS: [&str; 5] = ["a", "(a·b)*·c", "(a+b)*·c", "c·a*", "eps"];
+
+    fn queries(graph: &GraphDb) -> Vec<Dfa> {
+        EXPRS
+            .iter()
+            .map(|expr| {
+                Regex::parse(expr, graph.alphabet())
+                    .unwrap()
+                    .to_dfa(graph.alphabet().len())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn monadic_batch_matches_sequential_at_all_thread_counts() {
+        let graph = figure3_g0();
+        let queries = queries(&graph);
+        let expected: Vec<BitSet> = queries.iter().map(|q| eval_monadic(q, &graph)).collect();
+        for threads in [1, 2, 4] {
+            let pool = EvalPool::new(threads);
+            assert_eq!(
+                pool.eval_monadic_batch(&queries, &graph),
+                expected,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_batch_and_union_match_sequential() {
+        let graph = figure3_g0();
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        for query in &queries(&graph) {
+            let expected: Vec<BitSet> = sources
+                .iter()
+                .map(|&s| eval_binary_from(query, &graph, s))
+                .collect();
+            let mut expected_union = BitSet::new(graph.num_nodes());
+            for ends in &expected {
+                expected_union.union_with(ends);
+            }
+            for threads in [1, 2, 4] {
+                let pool = EvalPool::new(threads);
+                assert_eq!(pool.eval_binary_batch(query, &graph, &sources), expected);
+                assert_eq!(
+                    pool.eval_binary_union(query, &graph, &sources),
+                    expected_union
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let graph = figure3_g0();
+        let pool = EvalPool::new(2);
+        assert!(pool.eval_monadic_batch(&[], &graph).is_empty());
+        let query = &queries(&graph)[0];
+        assert!(pool.eval_binary_batch(query, &graph, &[]).is_empty());
+        assert!(pool.eval_binary_union(query, &graph, &[]).is_empty());
+    }
+
+    #[test]
+    fn pool_accessors() {
+        assert_eq!(EvalPool::sequential().threads(), 1);
+        assert!(!EvalPool::sequential().is_parallel());
+        assert!(EvalPool::sequential().pool().is_none());
+        assert_eq!(EvalPool::new(0).threads(), 1);
+        let four = EvalPool::new(4);
+        assert_eq!(four.threads(), 4);
+        assert!(four.is_parallel());
+        assert_eq!(four.pool().unwrap().current_num_threads(), 4);
+        assert_eq!(format!("{:?}", four), "EvalPool { threads: 4 }");
+        // Clones share the pool.
+        let clone = four.clone();
+        assert!(std::ptr::eq(clone.pool().unwrap(), four.pool().unwrap()));
+        assert_eq!(
+            format!("{:?}", EvalPool::default()),
+            "EvalPool { threads: 1 }"
+        );
+    }
+
+    #[test]
+    fn batches_larger_than_chunking_granularity() {
+        // A batch much larger than threads*chunks exercises the cursor
+        // wrap-around and slot placement.
+        let graph = figure3_g0();
+        let query = &queries(&graph)[2];
+        let sources: Vec<NodeId> = (0..200)
+            .map(|i| (i % graph.num_nodes()) as NodeId)
+            .collect();
+        let pool = EvalPool::new(4);
+        let expected: Vec<BitSet> = sources
+            .iter()
+            .map(|&s| eval_binary_from(query, &graph, s))
+            .collect();
+        assert_eq!(pool.eval_binary_batch(query, &graph, &sources), expected);
+    }
+}

@@ -26,7 +26,7 @@
 use crate::graph::{GraphDb, NodeId};
 use pathlearn_automata::{BitSet, Symbol, Word};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Memoized deterministic view of the negative side: maps reach-sets of
 /// `S⁻` to dense state ids and caches per-symbol successors.
@@ -122,14 +122,19 @@ pub const SCP_STATE_BUDGET: usize = 250_000;
 /// The arena persists across [`ScpFinder::scp`] calls, so reach-sets
 /// shared between positive nodes of the same sample are stored (and
 /// hashed at full length) only once.
+///
+/// The interned store uses `Arc` (not `Rc`), so a finder is `Send`: the
+/// learner's parallel SCP fan-out moves per-thread finders into pool
+/// tasks (caches are per-finder — threads share the graph, not the
+/// memo tables).
 pub struct ScpFinder<'g> {
     graph: &'g GraphDb,
     neg: NegCache<'g>,
     /// Arena of interned sparse positive reach-sets, addressed by id;
-    /// the `Rc` is shared with the index map, so each distinct set is
+    /// the `Arc` is shared with the index map, so each distinct set is
     /// stored exactly once.
-    pos_sets: Vec<Rc<[NodeId]>>,
-    pos_index: HashMap<Rc<[NodeId]>, u32>,
+    pos_sets: Vec<Arc<[NodeId]>>,
+    pos_index: HashMap<Arc<[NodeId]>, u32>,
     /// Reusable sparse-step buffer (cloned only when interned as new).
     scratch: Vec<NodeId>,
 }
@@ -153,8 +158,8 @@ impl<'g> ScpFinder<'g> {
             return id;
         }
         let id = self.pos_sets.len() as u32;
-        let set: Rc<[NodeId]> = Rc::from(self.scratch.as_slice());
-        self.pos_index.insert(Rc::clone(&set), id);
+        let set: Arc<[NodeId]> = Arc::from(self.scratch.as_slice());
+        self.pos_index.insert(Arc::clone(&set), id);
         self.pos_sets.push(set);
         id
     }
@@ -167,6 +172,18 @@ impl<'g> ScpFinder<'g> {
     /// `None`, exactly like an exceeded `k` bound — the state space is
     /// `O(|Σ|^k)` in the worst case and the paper's practical `k ≤ 4`
     /// keeps real searches far below the budget (asserted by benches).
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    /// use pathlearn_graph::ScpFinder;
+    ///
+    /// // Paper §3.2: with S⁻ = {ν2, ν7}, the SCP of ν3 is the path c.
+    /// let graph = figure3_g0();
+    /// let negatives = [graph.node_id("v2").unwrap(), graph.node_id("v7").unwrap()];
+    /// let mut finder = ScpFinder::new(&graph, &negatives);
+    /// let scp = finder.scp(graph.node_id("v3").unwrap(), 3).unwrap();
+    /// assert_eq!(scp, graph.alphabet().parse_word("c").unwrap());
+    /// ```
     pub fn scp(&mut self, node: NodeId, max_len: usize) -> Option<Word> {
         let Some(neg_root) = self.neg.root() else {
             return Some(Vec::new()); // S⁻ = ∅: ε is consistent
@@ -409,6 +426,15 @@ mod tests {
         let v3 = graph.node_id("v3").unwrap();
         let mut finder = ScpFinder::new(&graph, &[]);
         assert_eq!(finder.count_uncovered(v3, 4, 5), 5);
+    }
+
+    #[test]
+    fn finder_is_send() {
+        // The learner's parallel fan-out moves finders into pool tasks;
+        // this is a compile-time property (Arc-interned store, no Rc).
+        fn assert_send<T: Send>() {}
+        assert_send::<ScpFinder<'static>>();
+        assert_send::<NegCache<'static>>();
     }
 
     #[test]

@@ -300,7 +300,29 @@ impl Arbitrary for bool {
     }
 }
 
-/// The canonical strategy for `T` (only `bool` is needed here).
+/// Strategy for a uniformly random `u64` over the full domain (a plain
+/// range strategy cannot express the inclusive upper bound).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = AnyU64;
+
+    fn arbitrary() -> AnyU64 {
+        AnyU64
+    }
+}
+
+/// The canonical strategy for `T` (only the types this workspace's tests
+/// call `any` with).
 pub fn any<T: Arbitrary>() -> T::Strategy {
     T::arbitrary()
 }

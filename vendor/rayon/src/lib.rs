@@ -1,0 +1,603 @@
+//! Minimal stand-in for the `rayon` thread-pool crate.
+//!
+//! The build environment is offline, so the real `rayon` cannot be
+//! fetched. This crate implements the subset of its API the workspace's
+//! parallel evaluation layer uses:
+//!
+//! * [`ThreadPoolBuilder`] with `num_threads` and `build`;
+//! * [`ThreadPool`] with [`ThreadPool::scope`], [`ThreadPool::install`]
+//!   and [`ThreadPool::current_num_threads`];
+//! * scoped task spawning ([`Scope::spawn`]) with panic propagation;
+//! * the free functions [`scope`], [`join`] and
+//!   [`current_num_threads`] backed by a lazily-built global pool;
+//! * [`ThreadPool::for_each_index`], a **parallel-iterator-lite** over
+//!   index ranges (a stand-in extension: with the real crate it becomes
+//!   `(0..len).into_par_iter().for_each(...)`; full parallel iterators
+//!   are intentionally out of scope here).
+//!
+//! ## Design
+//!
+//! Workers are OS threads parked on a condition variable around one
+//! shared FIFO injector queue. Scoped tasks are lifetime-erased into
+//! `'static` jobs (the one `unsafe` block in the crate, sound because
+//! [`ThreadPool::scope`] does not return until every spawned task has
+//! finished — see the safety comment) and pushed to the injector. The
+//! thread that opened a scope **helps**: while waiting for its tasks it
+//! pops and runs queued jobs, so nested scopes cannot deadlock and a
+//! saturated pool still makes progress. Dynamic load balancing for index
+//! ranges comes from chunked atomic-counter claiming in
+//! [`ThreadPool::for_each_index`] rather than per-thread deques — the
+//! work-stealing effect (idle threads take work items that would
+//! otherwise queue behind a slow thread) without the machinery.
+//!
+//! Panics inside a task are caught, the first payload is stored, the
+//! remaining tasks still run to completion, and the panic is resumed on
+//! the scope caller — matching real rayon's observable behavior.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued unit of work. Scoped tasks are transmuted to `'static`
+/// before entering the queue; the scope latch guarantees they run (and
+/// their borrows are used) only while the scope is alive.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a pool's owner, its workers, and live scopes.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is pushed or shutdown begins.
+    job_available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.job_available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Completion latch and panic slot for one scope.
+struct ScopeLatch {
+    /// Tasks spawned but not yet finished.
+    remaining: Mutex<usize>,
+    /// Signaled whenever `remaining` reaches zero.
+    done: Condvar,
+    /// First panic payload from any task of this scope.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeLatch {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeLatch {
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn task_finished(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in never
+/// actually fails to build; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads. `0` (the default) means
+    /// [`std::thread::available_parallelism`].
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_parallelism()
+        } else {
+            self.num_threads
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            job_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-standin-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(ThreadPool { shared, workers })
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.job_available.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// A pool of worker threads executing scoped tasks, mirroring
+/// `rayon::ThreadPool`.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `op` and returns its result. The real crate executes `op` on
+    /// a pool thread so that nested `rayon::*` free calls use this pool;
+    /// the stand-in runs it on the caller (nested calls here always name
+    /// their pool explicitly, so the distinction is unobservable).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Creates a scope in which tasks borrowing non-`'static` data can be
+    /// spawned onto the pool. Does not return until `op` and every task
+    /// spawned (transitively) inside the scope have completed. If any
+    /// task panicked, the first panic is resumed on the caller after all
+    /// tasks finished.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let latch = ScopeLatch::new();
+        let scope = Scope {
+            latch: Arc::clone(&latch),
+            shared: Arc::clone(&self.shared),
+            _marker: PhantomData,
+        };
+        // If `op` itself panics we must still wait for already-spawned
+        // tasks before unwinding: their borrows die with our caller.
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+
+        // Help-and-wait: run queued jobs (ours or another scope's — both
+        // advance global progress) until every task of this scope is done.
+        loop {
+            if let Some(job) = self.shared.try_pop() {
+                job();
+                continue;
+            }
+            let remaining = latch.remaining.lock().unwrap();
+            if *remaining == 0 {
+                break;
+            }
+            // Woken when the last task finishes; queued-job wake-ups are
+            // handled by the workers, which are never parked while jobs
+            // are queued.
+            drop(latch.done.wait(remaining).unwrap());
+        }
+
+        if let Some(payload) = latch.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Parallel-iterator-lite: calls `op(i)` for every `i in 0..len`,
+    /// fanning the range out over the pool. **Stand-in extension** — with
+    /// the real crate this is `(0..len).into_par_iter().for_each(op)`.
+    ///
+    /// Load balancing is dynamic: threads claim chunks of the range from
+    /// an atomic cursor, so a thread that lands on cheap items keeps
+    /// claiming more while a slow item occupies only its own thread.
+    /// `op` must tolerate running on any thread in any order.
+    pub fn for_each_index<OP>(&self, len: usize, op: OP)
+    where
+        OP: Fn(usize) + Sync,
+    {
+        let threads = self.current_num_threads().min(len);
+        if threads <= 1 {
+            for index in 0..len {
+                op(index);
+            }
+            return;
+        }
+        // Small chunks relative to len/threads give dynamic balancing;
+        // the floor keeps per-claim overhead bounded for tiny ranges.
+        let chunk = (len / (threads * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let op = &op;
+        self.scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move |_| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    for index in start..(start + chunk).min(len) {
+                        op(index);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // No scope can be alive here (scopes borrow the pool), so the
+        // queue drains before workers observe the shutdown flag.
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.job_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A scope in which tasks borrowing stack data can be spawned; created by
+/// [`ThreadPool::scope`] or the free [`scope`].
+pub struct Scope<'scope> {
+    latch: Arc<ScopeLatch>,
+    shared: Arc<Shared>,
+    /// Invariant in `'scope`, like real rayon's scope.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task onto the pool. The task may borrow anything that
+    /// outlives the scope and may itself spawn further tasks through the
+    /// `&Scope` it receives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.latch.remaining.lock().unwrap() += 1;
+        let child = Scope {
+            latch: Arc::clone(&self.latch),
+            shared: Arc::clone(&self.shared),
+            _marker: PhantomData,
+        };
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f(&child)));
+            if let Err(payload) = result {
+                let mut slot = latch.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            latch.task_finished();
+        });
+        // SAFETY: the job runs only while the scope is alive —
+        // `ThreadPool::scope` does not return (and thus `'scope` borrows
+        // cannot end) until the latch incremented above reaches zero,
+        // which happens strictly after this closure (and every borrow it
+        // holds) has been dropped. Panics are caught inside the closure,
+        // so the latch decrement always runs. The transmute only erases
+        // the lifetime; the vtable and layout are unchanged.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.shared.push(task);
+    }
+}
+
+/// The lazily-built global pool used by the free functions, sized by
+/// [`std::thread::available_parallelism`].
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("build global thread pool")
+    })
+}
+
+/// Number of threads in the global pool.
+pub fn current_num_threads() -> usize {
+    global_pool().current_num_threads()
+}
+
+/// Scope on the global pool; see [`ThreadPool::scope`].
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    global_pool().scope(op)
+}
+
+/// Runs `a` and `b`, potentially in parallel (on the global pool), and
+/// returns both results. Mirrors `rayon::join`; panics in either closure
+/// propagate after both have settled.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let mut result_b = None;
+    let slot = &mut result_b;
+    let result_a = global_pool().scope(move |scope| {
+        scope.spawn(move |_| {
+            *slot = Some(b());
+        });
+        a()
+    });
+    (result_a, result_b.expect("join task completed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool(threads: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_reports_thread_count() {
+        assert_eq!(pool(3).current_num_threads(), 3);
+        assert!(
+            ThreadPoolBuilder::new()
+                .build()
+                .unwrap()
+                .current_num_threads()
+                .clamp(1, 4096)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn scope_tasks_borrow_disjoint_mutable_slots() {
+        let pool = pool(4);
+        let mut values = vec![0u64; 64];
+        pool.scope(|scope| {
+            for (index, slot) in values.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = index as u64 + 1;
+                });
+            }
+        });
+        assert!(values.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn scope_returns_op_result_after_tasks() {
+        let pool = pool(2);
+        let counter = AtomicU64::new(0);
+        let answer = pool.scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(answer, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let pool = pool(2);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..4 {
+                let counter = &counter;
+                scope.spawn(move |inner| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        inner.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4 + 4 * 3);
+    }
+
+    #[test]
+    fn scope_inside_task_does_not_deadlock() {
+        // A task that opens its own scope on the same (1-thread) pool:
+        // the help-and-wait loop must keep making progress.
+        let pool = pool(1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            let counter = &counter;
+            let pool_ref = &pool;
+            scope.spawn(move |_| {
+                pool_ref.scope(|inner| {
+                    for _ in 0..4 {
+                        inner.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = pool(2);
+        let finished = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+                for _ in 0..8 {
+                    let finished = &finished;
+                    scope.spawn(move |_| {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+        // The pool survives a panicked scope.
+        assert_eq!(pool.scope(|_| 7), 7);
+    }
+
+    #[test]
+    fn for_each_index_visits_every_index_once() {
+        let pool = pool(4);
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            let visits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+            pool.for_each_index(len, |i| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                visits.iter().all(|v| v.load(Ordering::Relaxed) == 1),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_index_balances_uneven_work() {
+        // One slow item must not serialize the rest behind it.
+        let pool = pool(4);
+        let sum = AtomicU64::new(0);
+        pool.for_each_index(256, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..256u64).sum());
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_owned());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn global_scope_works() {
+        let mut value = 0u64;
+        scope(|s| {
+            let value = &mut value;
+            s.spawn(move |_| *value = 9);
+        });
+        assert_eq!(value, 9);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_passes_through() {
+        assert_eq!(pool(2).install(|| 5), 5);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = pool(3);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..32 {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn many_scopes_reuse_the_pool() {
+        let pool = pool(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.scope(|scope| {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+}
