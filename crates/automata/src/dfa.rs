@@ -101,16 +101,23 @@ impl Dfa {
     }
 
     /// The successor of `state` on `sym`, if defined.
+    ///
+    /// `sym` must be within the DFA's alphabet: the table is dense, so a
+    /// larger index would alias into another state's row. Callers joining
+    /// against a bigger alphabet (graph NFAs) must skip foreign symbols —
+    /// they cannot occur in `L(self)` anyway.
     #[inline]
     pub fn step(&self, state: StateId, sym: Symbol) -> Option<StateId> {
+        debug_assert!(sym.index() < self.alphabet_len, "symbol out of alphabet");
         let t = self.table[state as usize * self.alphabet_len + sym.index()];
         (t != DEAD).then_some(t)
     }
 
     /// Raw table entry ([`DEAD`] when undefined); hot-loop variant of
-    /// [`Dfa::step`].
+    /// [`Dfa::step`] with the same alphabet precondition.
     #[inline]
     pub fn step_raw(&self, state: StateId, sym: Symbol) -> StateId {
+        debug_assert!(sym.index() < self.alphabet_len, "symbol out of alphabet");
         self.table[state as usize * self.alphabet_len + sym.index()]
     }
 

@@ -136,6 +136,12 @@ pub fn dfa_nfa_intersection_is_empty(dfa: &Dfa, nfa: &Nfa) -> bool {
     }
     while let Some((q, s)) = queue.pop_front() {
         for &(sym, t) in nfa.transitions_from(s) {
+            // Symbols beyond the DFA's alphabet cannot occur in L(dfa);
+            // stepping with them would also read out of (or alias into
+            // the wrong row of) its dense transition table.
+            if sym.index() >= dfa.alphabet_len() {
+                continue;
+            }
             if let Some(qt) = dfa.step(q, sym) {
                 if dfa.is_final(qt) && nfa.is_final(t) {
                     return false;
@@ -271,6 +277,27 @@ mod tests {
         only_b.add_transition(0, sym(1), 1);
         only_b.set_final(1);
         assert!(dfa_nfa_intersection_is_empty(&dfa, &only_b));
+    }
+
+    #[test]
+    fn dfa_nfa_emptiness_with_smaller_dfa_alphabet() {
+        // Regression (found by the cross-engine differential suite): an
+        // NFA symbol beyond the DFA's alphabet must be treated as dead,
+        // not index into the dense table (which aliases into the next
+        // state's row, or panics on the last row).
+        // DFA over {a} accepting {a}; NFA over {a, b, c} whose only
+        // accepting runs use c — the intersection is empty.
+        let mut dfa = Dfa::new(2, 1, 0);
+        dfa.set_transition(0, sym(0), 1);
+        dfa.set_final(1);
+        let mut nfa = Nfa::new(2, 3);
+        nfa.set_initial(0);
+        nfa.add_transition(0, sym(2), 1);
+        nfa.set_final(1);
+        assert!(dfa_nfa_intersection_is_empty(&dfa, &nfa));
+        // And with an accepting a-run the intersection is non-empty.
+        nfa.add_transition(0, sym(0), 1);
+        assert!(!dfa_nfa_intersection_is_empty(&dfa, &nfa));
     }
 
     #[test]

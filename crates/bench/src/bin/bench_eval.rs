@@ -14,7 +14,13 @@
 //!   random source batch, sequentially vs fanned out over an
 //!   [`EvalPool`] at each `--par-threads` count;
 //! * **multi-query batch**: the whole calibrated query mix evaluated
-//!   monadically, sequential loop vs pool fan-out.
+//!   monadically, sequential loop vs pool fan-out;
+//! * **intra-query** (schema v3): every query of the mix evaluated
+//!   monadically with per-label frontier pruning **on vs off**
+//!   (`eval_monadic_pruning`) and through the intra-query parallel
+//!   evaluator ([`EvalPool::eval_monadic`]) at each `--intra-threads`
+//!   count — the single-huge-query shape the batch sections do not
+//!   cover.
 //!
 //! Every parallel configuration is checked **bit-identical** to the
 //! sequential results before being timed. Results go to stdout (tables)
@@ -26,7 +32,8 @@
 //!
 //! ```text
 //! bench_eval [--nodes N[,N,...]] [--full] [--seed S] [--runs R]
-//!            [--sources K] [--par-threads T[,T,...]] [--out PATH]
+//!            [--sources K] [--par-threads T[,T,...]]
+//!            [--intra-threads T[,T,...]] [--out PATH]
 //! ```
 
 use pathlearn_automata::{BitSet, Dfa};
@@ -34,9 +41,9 @@ use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
 use pathlearn_eval::report::ascii_table;
 use pathlearn_graph::eval::{
-    eval_binary_from_with, eval_monadic, eval_monadic_queued, EvalScratch,
+    eval_binary_from_with, eval_monadic, eval_monadic_pruning, eval_monadic_queued, EvalScratch,
 };
-use pathlearn_graph::par_eval::EvalPool;
+use pathlearn_graph::par_eval::{EvalPool, IntraScratch};
 use pathlearn_graph::{GraphDb, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +78,28 @@ struct BatchResult {
     par: Vec<ParPoint>,
 }
 
+/// One query's intra-query measurements: sequential with pruning on and
+/// off, and the parallel evaluator at each thread count.
+struct IntraResult {
+    name: String,
+    pruned_ns: u128,
+    unpruned_ns: u128,
+    par: Vec<ParPoint>,
+}
+
+impl IntraResult {
+    fn prune_speedup(&self) -> f64 {
+        self.unpruned_ns.max(1) as f64 / self.pruned_ns.max(1) as f64
+    }
+
+    /// Parallel speedup of one thread-count point over the pruned
+    /// sequential baseline — the one formula both the JSON writer and
+    /// the stdout table use.
+    fn par_speedup(&self, point: &ParPoint) -> f64 {
+        self.pruned_ns.max(1) as f64 / point.ns.max(1) as f64
+    }
+}
+
 struct ScaleResult {
     nodes: usize,
     edges: usize,
@@ -79,6 +108,8 @@ struct ScaleResult {
     geomean: f64,
     multi_source: BatchResult,
     multi_query: BatchResult,
+    intra_query: Vec<IntraResult>,
+    prune_geomean: f64,
 }
 
 /// Median of `runs` wall-clock timings of `f`, after one warm-up call.
@@ -197,6 +228,56 @@ fn bench_multi_query(
     }
 }
 
+/// Times one query's intra-query configurations: sequential monadic
+/// evaluation with per-label pruning on and off, then the intra-query
+/// parallel evaluator at each thread count. Asserts every configuration
+/// bit-identical to the pruned sequential result before timing.
+fn bench_intra_query(
+    graph: &GraphDb,
+    query: &CalibratedQuery,
+    intra_threads: &[usize],
+    runs: usize,
+) -> IntraResult {
+    let dfa = query.query.dfa();
+    let expected = eval_monadic(dfa, graph);
+    let mut scratch = EvalScratch::new();
+    assert_eq!(
+        eval_monadic_pruning(&mut scratch, dfa, graph, false),
+        expected,
+        "{}: unpruned evaluator differs",
+        query.name
+    );
+    let pruned_ns = median_ns(runs, || {
+        std::hint::black_box(eval_monadic_pruning(&mut scratch, dfa, graph, true));
+    });
+    let unpruned_ns = median_ns(runs, || {
+        std::hint::black_box(eval_monadic_pruning(&mut scratch, dfa, graph, false));
+    });
+    let par = intra_threads
+        .iter()
+        .map(|&threads| {
+            let pool = EvalPool::new(threads);
+            assert_eq!(
+                pool.eval_monadic(dfa, graph),
+                expected,
+                "{}: intra-query parallel differs at {threads} threads",
+                query.name
+            );
+            let mut intra = IntraScratch::new();
+            let ns = median_ns(runs, || {
+                std::hint::black_box(pool.eval_monadic_with(&mut intra, dfa, graph));
+            });
+            ParPoint { threads, ns }
+        })
+        .collect();
+    IntraResult {
+        name: query.name.clone(),
+        pruned_ns,
+        unpruned_ns,
+        par,
+    }
+}
+
 fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, count) = values.fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
     if count == 0 {
@@ -244,9 +325,9 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, plus par_eval batches\",\n",
+        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, par_eval batches, intra-query parallel + per-label pruning\",\n",
     );
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -285,8 +366,42 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
             batch_json(&scale.multi_source, "      ")
         ));
         out.push_str(&format!(
-            "      \"multi_query\": {}\n",
+            "      \"multi_query\": {},\n",
             batch_json(&scale.multi_query, "      ")
+        ));
+        out.push_str("      \"intra_query\": [\n");
+        for (i, r) in scale.intra_query.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"pruned_ns\": {}, \"unpruned_ns\": {}, \"prune_speedup\": {:.3}, \"par\": [",
+                json_escape(&r.name),
+                r.pruned_ns,
+                r.unpruned_ns,
+                r.prune_speedup(),
+            ));
+            for (pi, point) in r.par.iter().enumerate() {
+                if pi > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"threads\": {}, \"ns\": {}, \"speedup\": {:.3}}}",
+                    point.threads,
+                    point.ns,
+                    r.par_speedup(point)
+                ));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < scale.intra_query.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"prune_geomean_speedup\": {:.3}\n",
+            scale.prune_geomean
         ));
         out.push_str(&format!(
             "    }}{}\n",
@@ -318,6 +433,43 @@ fn print_batch(batch: &BatchResult) {
     println!("{}", ascii_table(&["config", "ms", "speedup"], &rows));
 }
 
+fn print_intra(results: &[IntraResult], prune_geomean: f64) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.name.clone(),
+                format!("{:.3}", r.pruned_ns as f64 / 1e6),
+                format!("{:.3}", r.unpruned_ns as f64 / 1e6),
+                format!("{:.2}x", r.prune_speedup()),
+            ];
+            for point in &r.par {
+                row.push(format!(
+                    "{:.3} ({:.2}x)",
+                    point.ns as f64 / 1e6,
+                    r.par_speedup(point)
+                ));
+            }
+            row
+        })
+        .collect();
+    let mut headers = vec![
+        "query".to_owned(),
+        "seq ms".to_owned(),
+        "noprune ms".to_owned(),
+        "prune gain".to_owned(),
+    ];
+    if let Some(first) = results.first() {
+        for point in &first.par {
+            headers.push(format!("{}T ms (x)", point.threads));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("intra-query (monadic, single query at a time):");
+    println!("{}", ascii_table(&header_refs, &rows));
+    println!("geomean per-label pruning speedup: {prune_geomean:.2}x");
+}
+
 fn parse_list(value: &str, flag: &str) -> Vec<usize> {
     value
         .split(',')
@@ -333,7 +485,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench_eval [--nodes N[,N,...]] [--full] [--seed S] [--runs R] \
-         [--sources K] [--par-threads T[,T,...]] [--out PATH]"
+         [--sources K] [--par-threads T[,T,...]] [--intra-threads T[,T,...]] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -344,6 +496,7 @@ fn main() {
     let mut runs = 9usize;
     let mut num_sources = 256usize;
     let mut par_threads: Vec<usize> = vec![2, 4];
+    let mut intra_threads: Vec<usize> = vec![2, 4];
     let mut out_path = "BENCH_eval.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -372,6 +525,9 @@ fn main() {
                     .max(1);
             }
             "--par-threads" => par_threads = parse_list(&value("--par-threads"), "--par-threads"),
+            "--intra-threads" => {
+                intra_threads = parse_list(&value("--intra-threads"), "--intra-threads")
+            }
             "--out" => out_path = value("--out"),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -437,6 +593,17 @@ fn main() {
         eprintln!("multi-query batch: {} monadic queries ...", dfas.len());
         let multi_query = bench_multi_query(&graph, &dfas, &par_threads, runs);
 
+        eprintln!(
+            "intra-query: {} queries, pruning on/off + threads {:?} ...",
+            queries.len(),
+            intra_threads
+        );
+        let intra_query: Vec<IntraResult> = queries
+            .iter()
+            .map(|q| bench_intra_query(&graph, q, &intra_threads, runs))
+            .collect();
+        let prune_geomean = geometric_mean(intra_query.iter().map(IntraResult::prune_speedup));
+
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {
@@ -465,6 +632,7 @@ fn main() {
         );
         print_batch(&multi_source);
         print_batch(&multi_query);
+        print_intra(&intra_query, prune_geomean);
 
         scales.push(ScaleResult {
             nodes: graph.num_nodes(),
@@ -474,6 +642,8 @@ fn main() {
             geomean,
             multi_source,
             multi_query,
+            intra_query,
+            prune_geomean,
         });
     }
 

@@ -28,7 +28,7 @@ use crate::sample::Sample;
 use pathlearn_automata::product::dfa_nfa_intersection_is_empty;
 use pathlearn_automata::rpni::{generalize, MergeOracle};
 use pathlearn_automata::{Dfa, Nfa, Word};
-use pathlearn_graph::{EvalPool, GraphDb, NodeId, ScpFinder};
+use pathlearn_graph::{EvalPool, GraphDb, IntraScratch, NodeId, ScpFinder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -163,11 +163,15 @@ impl Learner {
     }
 
     /// Fans the per-positive-node SCP searches (Algorithm 1 lines 1–2)
-    /// out over `pool`. Each thread gets its **own** [`ScpFinder`] (the
-    /// memo caches are not shared across threads), and the outcome —
-    /// learned query and statistics — is bit-identical to the sequential
-    /// learner: SCPs are a pure function of `(graph, S⁻, node, k)`, and
-    /// results are reassembled in sample order.
+    /// out over `pool`, and routes the line-6 whole-graph evaluation
+    /// through the pool's intra-query parallel evaluator
+    /// ([`EvalPool::eval_monadic`]). Each SCP thread gets its **own**
+    /// [`ScpFinder`] (the memo caches are not shared across threads), and
+    /// the outcome — learned query and statistics — is bit-identical to
+    /// the sequential learner: SCPs are a pure function of
+    /// `(graph, S⁻, node, k)`, results are reassembled in sample order,
+    /// and the intra-query evaluator's level merges are deterministic
+    /// OR-reductions.
     pub fn with_pool(mut self, pool: EvalPool) -> Self {
         self.pool = pool;
         self
@@ -199,9 +203,19 @@ impl Learner {
         let mut finders: Vec<ScpFinder<'_>> = (0..fan_out)
             .map(|_| ScpFinder::new(graph, sample.neg()))
             .collect();
+        // One line-6 evaluation scratch for the whole run: attempts across
+        // k share the buffers, so only the first evaluation allocates.
+        let mut eval_scratch = IntraScratch::new();
         for k in self.config.k.candidates() {
             stats.k_used = k;
-            if let Some(query) = self.attempt(graph, sample, k, &mut finders, &mut stats) {
+            if let Some(query) = self.attempt(
+                graph,
+                sample,
+                k,
+                &mut finders,
+                &mut eval_scratch,
+                &mut stats,
+            ) {
                 stats.duration = start_time.elapsed();
                 return LearnOutcome {
                     query: Some(query),
@@ -270,6 +284,7 @@ impl Learner {
         sample: &Sample,
         k: usize,
         finders: &mut [ScpFinder<'_>],
+        eval_scratch: &mut IntraScratch,
         stats: &mut LearnStats,
     ) -> Option<PathQuery> {
         // Lines 1–2: select SCPs against the shared negative-side caches.
@@ -306,8 +321,14 @@ impl Learner {
         let generalized = generalize(&pta, &mut oracle);
         stats.generalized_states = generalized.num_states();
 
-        // Line 6: does the query select every positive node?
-        let selected = pathlearn_graph::eval::eval_monadic(&generalized, graph);
+        // Line 6: does the query select every positive node? One whole-
+        // graph monadic evaluation — the single-huge-query shape — so it
+        // goes through the pool's intra-query parallel evaluator (the
+        // sequential evaluator when the pool is sequential; results are
+        // bit-identical either way), with the run's reused scratch.
+        let selected = self
+            .pool
+            .eval_monadic_with(eval_scratch, &generalized, graph);
         if sample
             .pos()
             .iter()

@@ -12,6 +12,7 @@ use pathlearn_core::PathQuery;
 use pathlearn_core::{EvalPool, Learner, LearnerConfig, Sample};
 use pathlearn_datagen::sampling::{random_sample, LabelingOrder};
 use pathlearn_graph::GraphDb;
+use pathlearn_graph::IntraScratch;
 use std::time::Duration;
 
 /// Configuration of a static experiment sweep.
@@ -25,8 +26,10 @@ pub struct StaticConfig {
     pub seed: u64,
     /// Learner configuration.
     pub learner: LearnerConfig,
-    /// Threads for the learner's SCP fan-out (`1` = sequential; results
-    /// are identical at every thread count).
+    /// Threads for the evaluation pool: the learner's SCP fan-out, its
+    /// intra-query parallel line-6 evaluation, and the goal-selection
+    /// evaluations of the sweep (`1` = sequential; results are identical
+    /// at every thread count).
     pub threads: usize,
 }
 
@@ -61,8 +64,12 @@ pub struct StaticPoint {
 
 /// Runs the sweep for one goal query on one graph.
 pub fn run_static(graph: &GraphDb, goal: &PathQuery, config: &StaticConfig) -> Vec<StaticPoint> {
-    let goal_selection = goal.eval(graph);
-    let learner = Learner::with_config(config.learner).with_pool(EvalPool::new(config.threads));
+    let pool = EvalPool::new(config.threads);
+    // One evaluation scratch for the whole sweep: the goal selection and
+    // every trial's F1 scoring reuse the same buffers.
+    let mut scratch = IntraScratch::new();
+    let goal_selection = pool.eval_monadic_with(&mut scratch, goal.dfa(), graph);
+    let learner = Learner::with_config(config.learner).with_pool(pool.clone());
     let mut points = Vec::with_capacity(config.fractions.len());
     for (fi, &fraction) in config.fractions.iter().enumerate() {
         let mut f1s = Vec::with_capacity(config.trials);
@@ -78,7 +85,9 @@ pub fn run_static(graph: &GraphDb, goal: &PathQuery, config: &StaticConfig) -> V
             total_time += outcome.stats.duration;
             match outcome.query {
                 Some(query) => {
-                    let confusion = Confusion::from_selections(&goal_selection, &query.eval(graph));
+                    let learned_selection =
+                        pool.eval_monadic_with(&mut scratch, query.dfa(), graph);
+                    let confusion = Confusion::from_selections(&goal_selection, &learned_selection);
                     f1s.push(confusion.f1());
                 }
                 None => {

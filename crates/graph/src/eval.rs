@@ -25,6 +25,29 @@
 //! — just contiguous slice scans and 64-bit OR/AND-NOT block operations.
 //! The reverse transition table is flattened to a dense CSR index
 //! (`rev_offsets`/`rev_states`) instead of nested `Vec<Vec<Vec<_>>>`.
+//!
+//! ## Per-label frontier pruning
+//!
+//! Before stepping a frontier over a symbol, the evaluators test it
+//! against the graph's per-label active-node bitmaps
+//! ([`GraphDb::label_targets`] backward, [`GraphDb::label_sources`]
+//! forward): if no frontier node has an edge of that label in the step
+//! direction, the graph step is provably empty and the symbol is skipped
+//! with a single word-level AND scan. The scan itself is gated on the
+//! label being **sparse** (`GraphDb::label_*_sparse`, fewer than `|V|/4`
+//! active nodes): against a dense label the intersection is almost never
+//! empty and the scan is pure overhead, while sparse labels — rare edge
+//! types in Zipf alphabets, labels whose support a BFS has left behind —
+//! are exactly where empty steps happen. [`eval_monadic_pruning`] /
+//! [`eval_binary_from_pruning`] expose the on/off knob for benchmarking;
+//! results are bit-identical either way.
+//!
+//! For the single-huge-query shape, [`crate::par_eval::EvalPool`] offers
+//! **intra-query parallel** twins of both evaluators
+//! ([`crate::par_eval::EvalPool::eval_monadic`] and
+//! [`crate::par_eval::EvalPool::eval_binary_from`]) that fan each BFS
+//! level's `(state, symbol)` step kernels out over worker threads and
+//! OR-merge per-worker partial frontiers deterministically.
 
 use crate::graph::{GraphDb, NodeId};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
@@ -32,15 +55,16 @@ use std::collections::VecDeque;
 
 /// Reverse DFA transition table flattened to a dense CSR index over
 /// `(state, symbol)`: `states[offsets[q·|Σ|+a] .. offsets[q·|Σ|+a+1]]`
-/// are the states `p` with `δ(p, a) = q`.
-struct RevIndex {
+/// are the states `p` with `δ(p, a) = q`. Shared with the intra-query
+/// parallel twin in [`crate::par_eval`].
+pub(crate) struct RevIndex {
     offsets: Vec<u32>,
     states: Vec<StateId>,
-    sigma: usize,
+    pub(crate) sigma: usize,
 }
 
 impl RevIndex {
-    fn new(query: &Dfa, sigma: usize) -> Self {
+    pub(crate) fn new(query: &Dfa, sigma: usize) -> Self {
         let q_states = query.num_states();
         let mut offsets = vec![0u32; q_states * sigma + 1];
         for (_, sym, q) in query.transitions() {
@@ -68,7 +92,7 @@ impl RevIndex {
     }
 
     #[inline]
-    fn predecessors(&self, q: StateId, sym: usize) -> &[StateId] {
+    pub(crate) fn predecessors(&self, q: StateId, sym: usize) -> &[StateId] {
         let idx = q as usize * self.sigma + sym;
         &self.states[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
     }
@@ -106,13 +130,15 @@ impl RevIndex {
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     /// `reached[q]` / `frontier[q]` / `next_frontier[q]` per DFA state.
-    reached: Vec<BitSet>,
-    frontier: Vec<BitSet>,
-    next_frontier: Vec<BitSet>,
+    /// `pub(crate)` so the intra-query parallel evaluators in
+    /// [`crate::par_eval`] can drive the same level-synchronous buffers.
+    pub(crate) reached: Vec<BitSet>,
+    pub(crate) frontier: Vec<BitSet>,
+    pub(crate) next_frontier: Vec<BitSet>,
     /// Graph-step output buffer.
-    step: BitSet,
-    active: Vec<StateId>,
-    next_active: Vec<StateId>,
+    pub(crate) step: BitSet,
+    pub(crate) active: Vec<StateId>,
+    pub(crate) next_active: Vec<StateId>,
 }
 
 impl EvalScratch {
@@ -123,7 +149,7 @@ impl EvalScratch {
 
     /// Fits the buffers to a `|V| = v`, `|Q| = q_states` evaluation and
     /// clears them. Entries whose capacity already matches are reused.
-    fn prepare(&mut self, v: usize, q_states: usize) {
+    pub(crate) fn prepare(&mut self, v: usize, q_states: usize) {
         fn fit(sets: &mut Vec<BitSet>, v: usize, q_states: usize) {
             sets.retain(|set| set.capacity() == v);
             sets.truncate(q_states);
@@ -175,6 +201,23 @@ pub fn eval_monadic(query: &Dfa, graph: &GraphDb) -> BitSet {
 
 /// [`eval_monadic`] with caller-provided buffers (see [`EvalScratch`]).
 pub fn eval_monadic_with(scratch: &mut EvalScratch, query: &Dfa, graph: &GraphDb) -> BitSet {
+    eval_monadic_pruning(scratch, query, graph, true)
+}
+
+/// [`eval_monadic_with`] with the per-label frontier pruning made
+/// explicit. `prune = true` (the default everywhere) skips every symbol
+/// whose frontier has no node in [`GraphDb::label_targets`] — no
+/// frontier node has an in-edge of that label, so the graph step would
+/// return empty. `prune = false` keeps the exhaustive per-symbol loop;
+/// it exists for the benchmark ablation (`bench_eval`'s pruning on/off
+/// comparison) and for differential testing — results are identical
+/// either way.
+pub fn eval_monadic_pruning(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    prune: bool,
+) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     if v == 0 || q_states == 0 {
@@ -212,7 +255,17 @@ pub fn eval_monadic_with(scratch: &mut EvalScratch, query: &Dfa, graph: &GraphDb
                 if dfa_preds.is_empty() {
                     continue;
                 }
-                graph.step_frontier_back_into(&frontier[q as usize], Symbol::from_index(sym), step);
+                let symbol = Symbol::from_index(sym);
+                // Per-label pruning: no frontier node has a sym-in-edge
+                // ⇒ the backward step is empty. The AND scan only runs
+                // for sparse labels, where it can actually come up empty.
+                if prune
+                    && graph.label_targets_sparse(symbol)
+                    && !frontier[q as usize].intersects(graph.label_targets(symbol))
+                {
+                    continue;
+                }
+                graph.step_frontier_back_into(&frontier[q as usize], symbol, step);
                 if step.is_empty() {
                     continue;
                 }
@@ -367,6 +420,21 @@ pub fn eval_binary_from_with(
     graph: &GraphDb,
     source: NodeId,
 ) -> BitSet {
+    eval_binary_from_pruning(scratch, query, graph, source, true)
+}
+
+/// [`eval_binary_from_with`] with the per-label frontier pruning made
+/// explicit — the forward analogue of [`eval_monadic_pruning`], checking
+/// [`GraphDb::label_sources`] (frontier nodes with an out-edge of the
+/// symbol). Results are identical at either setting; `prune = false`
+/// exists for benchmark ablation and differential testing.
+pub fn eval_binary_from_pruning(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+    prune: bool,
+) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     let mut result = BitSet::new(v);
@@ -402,6 +470,15 @@ pub fn eval_binary_from_with(
                 let Some(next_state) = query.step(q, symbol) else {
                     continue;
                 };
+                // Per-label pruning: no frontier node has a sym-out-edge
+                // ⇒ the forward step is empty (sparse labels only, as in
+                // the monadic evaluator).
+                if prune
+                    && graph.label_sources_sparse(symbol)
+                    && !frontier[q as usize].intersects(graph.label_sources(symbol))
+                {
+                    continue;
+                }
                 graph.step_frontier_into(&frontier[q as usize], symbol, step);
                 if step.is_empty() {
                     continue;
@@ -579,6 +656,39 @@ mod tests {
         let empty = Dfa::empty_language(3);
         assert!(eval_monadic_with(&mut scratch, &empty, &graph).is_empty());
         assert!(eval_binary_from_with(&mut scratch, &empty, &graph, 0).is_empty());
+    }
+
+    #[test]
+    fn pruning_on_and_off_agree() {
+        // The per-label frontier pruning is a pure skip of provably-empty
+        // steps: disabling it must not change any result, monadic or
+        // binary, including shapes where whole labels are dead (b·b·c·c)
+        // or the query alphabet is smaller than the graph's.
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        for expr in [
+            "a",
+            "eps",
+            "(a·b)*·c",
+            "b·b·c·c",
+            "(a+b)*·c",
+            "c·a*",
+            "a*·b*·c*",
+        ] {
+            let q = query(&graph, expr);
+            assert_eq!(
+                eval_monadic_pruning(&mut scratch, &q, &graph, false),
+                eval_monadic_pruning(&mut scratch, &q, &graph, true),
+                "monadic {expr}"
+            );
+            for source in graph.nodes() {
+                assert_eq!(
+                    eval_binary_from_pruning(&mut scratch, &q, &graph, source, false),
+                    eval_binary_from_pruning(&mut scratch, &q, &graph, source, true),
+                    "binary {expr} from {source}"
+                );
+            }
+        }
     }
 
     #[test]

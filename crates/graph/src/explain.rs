@@ -22,7 +22,11 @@ pub fn explain_selection(query: &Dfa, graph: &GraphDb, node: NodeId) -> Option<W
     if query.is_final(q0) {
         return Some(Vec::new()); // ε witnesses every node
     }
-    let alphabet = graph.alphabet().len();
+    // Only symbols the DFA knows can advance the product; graph symbols
+    // beyond the query's alphabet are dead (and stepping the DFA with
+    // them would read out of its transition table) — same clamp as
+    // `eval_binary_from`.
+    let alphabet = graph.alphabet().len().min(query.alphabet_len());
     let start: Vec<NodeId> = vec![node];
     let mut seen: std::collections::HashSet<(Vec<NodeId>, StateId)> =
         std::collections::HashSet::new();
@@ -128,6 +132,28 @@ mod tests {
         let q = query(&graph, "eps + a·b");
         for node in graph.nodes() {
             assert_eq!(explain_selection(&q, &graph, node), Some(vec![]));
+        }
+    }
+
+    #[test]
+    fn witness_with_smaller_query_alphabet() {
+        // A DFA over fewer symbols than the graph must not index out of
+        // its transition table (regression: same out-of-alphabet aliasing
+        // class as `dfa_nfa_intersection_is_empty`); symbols it does not
+        // know are dead.
+        let graph = figure3_g0(); // 3 labels
+        let mut only_a = Dfa::new(2, 1, 0); // L = {a} over a 1-symbol alphabet
+        only_a.set_transition(0, Symbol::from_index(0), 1);
+        only_a.set_final(1);
+        let a = graph.alphabet().symbol("a").unwrap();
+        let v1 = graph.node_id("v1").unwrap();
+        assert_eq!(explain_selection(&only_a, &graph, v1), Some(vec![a]));
+        let v4 = graph.node_id("v4").unwrap(); // no out-edges at all
+        assert_eq!(explain_selection(&only_a, &graph, v4), None);
+        let selected = crate::eval::eval_monadic(&only_a, &graph);
+        for (node, witness) in explain_all(&only_a, &graph) {
+            assert!(selected.contains(node as usize));
+            assert_eq!(witness, vec![a]);
         }
     }
 

@@ -18,6 +18,15 @@
 //! so the hot loops (RPQ evaluation, SCP search, on-the-fly
 //! determinization) run allocation-free.
 //!
+//! Alongside the offsets, `build` freezes **per-label active-node
+//! bitmaps** ([`GraphDb::label_sources`] / [`GraphDb::label_targets`]):
+//! for each symbol, the set of nodes with at least one out- (resp. in-)
+//! edge of that label. A frontier step over a symbol can only produce
+//! output from frontier nodes in the matching bitmap, so the evaluators
+//! in [`crate::eval`] and [`crate::par_eval`] test
+//! `frontier ∩ label-active ≠ ∅` (one word-level AND scan) and skip dead
+//! symbols without touching the edge arrays.
+//!
 //! ## Complexity
 //!
 //! * build: `O(|E| log |E|)` sort + `O(|V|·|Σ| + |E|)` offset scan;
@@ -32,6 +41,15 @@ use std::collections::HashMap;
 
 /// Numeric identifier of a graph node.
 pub type NodeId = u32;
+
+/// A label is **sparse** when fewer than `|V| / SPARSE_LABEL_DIVISOR`
+/// nodes carry an edge of it (per direction). The per-label frontier
+/// pruning in the evaluators only runs its `frontier ∩ label-active`
+/// emptiness scan for sparse labels: against a dense label the
+/// intersection is almost never empty, so the scan is pure overhead
+/// (measured ≈ 8% on the calibrated 10k-node workload before this gate),
+/// while for genuinely sparse labels it is where the pruning wins live.
+const SPARSE_LABEL_DIVISOR: usize = 4;
 
 /// An immutable, query-ready graph database. Build with [`GraphBuilder`].
 ///
@@ -63,6 +81,19 @@ pub struct GraphDb {
     /// Per-`(node, symbol)` offsets into `in_edges` (`|V|·|Σ| + 1`).
     in_sym_offsets: Vec<u32>,
     in_edges: Vec<(Symbol, NodeId)>,
+    /// Per-symbol bitmap of nodes with ≥ 1 outgoing edge of that label.
+    label_sources: Vec<BitSet>,
+    /// Per-symbol bitmap of nodes with ≥ 1 incoming edge of that label.
+    label_targets: Vec<BitSet>,
+    /// `label_sources_sparse[a]` ⇔ fewer than `|V| / SPARSE_LABEL_DIVISOR`
+    /// nodes have an out-edge labeled `a` — the gate for the per-label
+    /// frontier pruning (see [`GraphDb::label_sources_sparse`]).
+    label_sources_sparse: Vec<bool>,
+    /// The in-edge twin of `label_sources_sparse`.
+    label_targets_sparse: Vec<bool>,
+    /// Empty `|V|`-capacity set returned for out-of-alphabet symbols, so
+    /// the label bitmaps stay total without an `Option` in the hot path.
+    no_label_nodes: BitSet,
 }
 
 impl GraphDb {
@@ -132,6 +163,65 @@ impl GraphDb {
         }
         let idx = node as usize * sigma + sym.index();
         &self.in_edges[self.in_sym_offsets[idx] as usize..self.in_sym_offsets[idx + 1] as usize]
+    }
+
+    /// Nodes with at least one **outgoing** `sym`-labeled edge, as a
+    /// `|V|`-capacity bitmap. A forward frontier step
+    /// ([`GraphDb::step_frontier_into`]) can only produce output from
+    /// frontier nodes in this set, so evaluators skip any symbol whose
+    /// frontier∩`label_sources` intersection is empty — one word-level
+    /// AND scan instead of a full edge-slice walk. Out-of-alphabet
+    /// symbols yield the (correctly empty) all-zeros set.
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    ///
+    /// let graph = figure3_g0();
+    /// let c = graph.alphabet().symbol("c").unwrap();
+    /// // v3 is the only node with an outgoing c-edge in G0.
+    /// let v3 = graph.node_id("v3").unwrap() as usize;
+    /// assert_eq!(graph.label_sources(c).iter().collect::<Vec<_>>(), [v3]);
+    /// ```
+    #[inline]
+    pub fn label_sources(&self, sym: Symbol) -> &BitSet {
+        self.label_sources
+            .get(sym.index())
+            .unwrap_or(&self.no_label_nodes)
+    }
+
+    /// Nodes with at least one **incoming** `sym`-labeled edge — the
+    /// reverse-direction twin of [`GraphDb::label_sources`], consulted by
+    /// the backward frontier step ([`GraphDb::step_frontier_back_into`]):
+    /// predecessors exist only for frontier nodes in this set.
+    #[inline]
+    pub fn label_targets(&self, sym: Symbol) -> &BitSet {
+        self.label_targets
+            .get(sym.index())
+            .unwrap_or(&self.no_label_nodes)
+    }
+
+    /// `true` iff fewer than `|V| / 4` nodes have an outgoing
+    /// `sym`-labeled edge — the precomputed gate deciding whether a
+    /// forward frontier-pruning scan against [`GraphDb::label_sources`]
+    /// is worth running (see [`SPARSE_LABEL_DIVISOR`]). `false` for
+    /// out-of-alphabet symbols: their (empty) steps are already skipped
+    /// by the evaluators' transition checks.
+    #[inline]
+    pub fn label_sources_sparse(&self, sym: Symbol) -> bool {
+        self.label_sources_sparse
+            .get(sym.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The in-edge twin of [`GraphDb::label_sources_sparse`], gating
+    /// backward pruning scans against [`GraphDb::label_targets`].
+    #[inline]
+    pub fn label_targets_sparse(&self, sym: Symbol) -> bool {
+        self.label_targets_sparse
+            .get(sym.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Out-degree of `node`.
@@ -377,6 +467,23 @@ impl GraphBuilder {
         let in_edges: Vec<(Symbol, NodeId)> =
             backward.iter().map(|&(_, sym, s)| (sym, s)).collect();
 
+        // Per-label active-node bitmaps: one pass over each edge list.
+        let mut label_sources: Vec<BitSet> = (0..sigma).map(|_| BitSet::new(n)).collect();
+        for &(src, sym, _) in &forward {
+            label_sources[sym.index()].insert(src as usize);
+        }
+        let mut label_targets: Vec<BitSet> = (0..sigma).map(|_| BitSet::new(n)).collect();
+        for &(dst, sym, _) in &backward {
+            label_targets[sym.index()].insert(dst as usize);
+        }
+        let sparse = |sets: &[BitSet]| -> Vec<bool> {
+            sets.iter()
+                .map(|set| set.len() * SPARSE_LABEL_DIVISOR < n)
+                .collect()
+        };
+        let label_sources_sparse = sparse(&label_sources);
+        let label_targets_sparse = sparse(&label_targets);
+
         GraphDb {
             alphabet: self.alphabet,
             node_names: self.node_names,
@@ -387,6 +494,11 @@ impl GraphBuilder {
             in_offsets,
             in_sym_offsets,
             in_edges,
+            label_sources,
+            label_targets,
+            label_sources_sparse,
+            label_targets_sparse,
+            no_label_nodes: BitSet::new(n),
         }
     }
 }
@@ -575,5 +687,111 @@ mod tests {
         let foreign = Symbol::from_index(17);
         assert!(graph.successors(0, foreign).is_empty());
         assert!(graph.predecessors(0, foreign).is_empty());
+    }
+
+    /// The bitmap invariant: membership in `label_sources(sym)` /
+    /// `label_targets(sym)` is exactly "has ≥ 1 out- / in-edge labeled
+    /// `sym`", checked against the per-node adjacency slices.
+    fn assert_label_bitmaps_match_adjacency(graph: &GraphDb) {
+        for sym in graph.alphabet().symbols() {
+            for node in graph.nodes() {
+                assert_eq!(
+                    graph.label_sources(sym).contains(node as usize),
+                    !graph.successors(node, sym).is_empty(),
+                    "label_sources({sym:?}) vs successors of {node}"
+                );
+                assert_eq!(
+                    graph.label_targets(sym).contains(node as usize),
+                    !graph.predecessors(node, sym).is_empty(),
+                    "label_targets({sym:?}) vs predecessors of {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_bitmaps_match_adjacency_on_g0() {
+        let graph = figure3_g0();
+        assert_label_bitmaps_match_adjacency(&graph);
+        // Spot-check against the figure: only v3 has an out c-edge, and
+        // only v4 has an in c-edge.
+        let c = graph.alphabet().symbol("c").unwrap();
+        let v3 = graph.node_id("v3").unwrap() as usize;
+        let v4 = graph.node_id("v4").unwrap() as usize;
+        assert_eq!(graph.label_sources(c).iter().collect::<Vec<_>>(), [v3]);
+        assert_eq!(graph.label_targets(c).iter().collect::<Vec<_>>(), [v4]);
+    }
+
+    #[test]
+    fn label_sparsity_flags_match_bitmap_population() {
+        // On G0 (7 nodes): a has 6 out-sources (dense), c has 1 (sparse:
+        // 1·4 < 7). The flags must agree with the |V|/4 rule per
+        // direction, and foreign symbols are never sparse (no scan).
+        let graph = figure3_g0();
+        for sym in graph.alphabet().symbols() {
+            assert_eq!(
+                graph.label_sources_sparse(sym),
+                graph.label_sources(sym).len() * 4 < graph.num_nodes(),
+                "sources {sym:?}"
+            );
+            assert_eq!(
+                graph.label_targets_sparse(sym),
+                graph.label_targets(sym).len() * 4 < graph.num_nodes(),
+                "targets {sym:?}"
+            );
+        }
+        let a = graph.alphabet().symbol("a").unwrap();
+        let c = graph.alphabet().symbol("c").unwrap();
+        assert!(!graph.label_sources_sparse(a));
+        assert!(graph.label_sources_sparse(c));
+        assert!(!graph.label_sources_sparse(Symbol::from_index(17)));
+        assert!(!graph.label_targets_sparse(Symbol::from_index(17)));
+    }
+
+    #[test]
+    fn label_bitmaps_of_foreign_symbol_are_empty_with_full_capacity() {
+        let graph = figure3_g0();
+        let foreign = Symbol::from_index(17);
+        assert!(graph.label_sources(foreign).is_empty());
+        assert!(graph.label_targets(foreign).is_empty());
+        // Capacity |V| so frontier.intersects(bitmap) stays well-typed.
+        assert_eq!(graph.label_sources(foreign).capacity(), graph.num_nodes());
+        assert_eq!(graph.label_targets(foreign).capacity(), graph.num_nodes());
+    }
+
+    #[test]
+    fn label_bitmaps_track_incremental_construction() {
+        // Interleave every builder entry point — named nodes, bulk node
+        // reservation, name-based and id-based edges, duplicates, an
+        // isolated node, a label interned late — and check the frozen
+        // bitmaps still match the adjacency exactly.
+        let mut builder = GraphBuilder::new();
+        builder.add_edge("x", "a", "y");
+        let first = builder.add_nodes("bulk", 3);
+        let b = builder.intern("b");
+        builder.add_edge_ids(first, b, first + 2);
+        builder.add_edge("y", "a", "bulk3");
+        builder.add_edge("x", "a", "y"); // duplicate, deduplicated at build
+        builder.add_node("isolated");
+        let c = builder.intern("c"); // label with exactly one edge, added last
+        let x = builder.add_node("x");
+        builder.add_edge_ids(x, c, x); // self-loop
+        let graph = builder.build();
+        assert_label_bitmaps_match_adjacency(&graph);
+        // The isolated node is in no bitmap.
+        let isolated = graph.node_id("isolated").unwrap() as usize;
+        for sym in graph.alphabet().symbols() {
+            assert!(!graph.label_sources(sym).contains(isolated));
+            assert!(!graph.label_targets(sym).contains(isolated));
+        }
+        // The c self-loop puts x in both directions.
+        assert_eq!(
+            graph.label_sources(c).iter().collect::<Vec<_>>(),
+            [x as usize]
+        );
+        assert_eq!(
+            graph.label_targets(c).iter().collect::<Vec<_>>(),
+            [x as usize]
+        );
     }
 }

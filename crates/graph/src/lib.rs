@@ -15,8 +15,10 @@
 //!   reachability in `O(|E|·|Q|)`, plus binary-semantics evaluation
 //!   (Appendix B) and the reusable [`eval::EvalScratch`] buffers;
 //! * [`par_eval`] — multi-source / multi-query batch evaluation fanned
-//!   out over a thread pool ([`par_eval::EvalPool`]), bit-identical to
-//!   the sequential evaluators;
+//!   out over a thread pool ([`par_eval::EvalPool`]), plus **intra-query
+//!   parallel** twins of both evaluators (per-BFS-level `(state, symbol)`
+//!   task fan-out with deterministic OR-merge), all bit-identical to the
+//!   sequential evaluators;
 //! * [`binary`] — `paths2_G(ν,ν′)` and the binary SCP search used by
 //!   Algorithm 2;
 //! * [`neighborhood`] — k-neighborhood extraction (interactive scenario,
@@ -41,5 +43,5 @@ pub mod sampling;
 pub mod scp;
 
 pub use graph::{GraphBuilder, GraphDb, NodeId};
-pub use par_eval::EvalPool;
+pub use par_eval::{EvalPool, IntraScratch};
 pub use scp::ScpFinder;

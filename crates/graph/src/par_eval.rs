@@ -18,13 +18,32 @@
 //!   merged with **word-level ORs** ([`BitSet::union_with`]) of
 //!   per-thread partials.
 //!
+//! ## Intra-query parallelism
+//!
+//! Batches do not help the **single-huge-query** shape — one candidate
+//! DFA evaluated over the whole graph, the call the learner's line-6
+//! check issues once per generalization and the dominant cost of a
+//! large-graph interactive round. For that shape the pool offers
+//! intra-query twins of the sequential evaluators,
+//! [`EvalPool::eval_monadic`] and [`EvalPool::eval_binary_from`]: at
+//! each BFS level the `(state, symbol)` step kernels — one batched graph
+//! step each — are claimed by worker threads from an atomic cursor, with
+//! per-worker [`IntraScratch`] accumulators, and the per-worker partial
+//! frontiers are **OR-merged deterministically** (states scanned in
+//! index order, merges against `reached` being order-independent
+//! set-unions) after every level. Per-label frontier pruning
+//! ([`GraphDb::label_targets`] / [`GraphDb::label_sources`]) drops dead
+//! symbols before tasks are even created, in both the sequential and
+//! the fanned-out path.
+//!
 //! ## Determinism
 //!
 //! Results are **bit-identical to sequential evaluation** at every thread
 //! count (asserted by proptests across threads {1, 2, 4}): batch slots
-//! are written by index, and the union merge is an OR-reduction, which is
-//! order-independent. The sequential path (`threads <= 1`) never touches
-//! the pool at all.
+//! are written by index, and every merge — batch unions and intra-query
+//! level merges alike — is an OR-reduction over sets deduplicated
+//! against `reached`, which is order-independent. The sequential path
+//! (`threads <= 1`) never touches the pool at all.
 //!
 //! ## Knobs
 //!
@@ -32,9 +51,9 @@
 //! [`EvalPool::from_env`], which reads the `PATHLEARN_THREADS` environment
 //! variable and falls back to [`std::thread::available_parallelism`].
 
-use crate::eval::{eval_binary_from_with, eval_monadic_with, EvalScratch};
+use crate::eval::{eval_binary_from_with, eval_monadic_with, EvalScratch, RevIndex};
 use crate::graph::{GraphDb, NodeId};
-use pathlearn_automata::{BitSet, Dfa};
+use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -264,6 +283,385 @@ impl EvalPool {
             }
         }
     }
+
+    /// **Intra-query parallel** monadic evaluation: one query, one graph,
+    /// the BFS levels themselves fanned out. Exactly equal to
+    /// [`crate::eval::eval_monadic`] at any thread count (asserted by the
+    /// differential suite); on a sequential pool it *is* the sequential
+    /// evaluator.
+    ///
+    /// Allocates fresh buffers per call; repeated callers (the learner's
+    /// per-generalization line-6 check, the interactive loop) should
+    /// reuse an [`IntraScratch`] through [`EvalPool::eval_monadic_with`].
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    /// use pathlearn_graph::par_eval::EvalPool;
+    /// use pathlearn_graph::eval::eval_monadic;
+    /// use pathlearn_automata::Regex;
+    ///
+    /// let graph = figure3_g0();
+    /// let query = Regex::parse("(a·b)*·c", graph.alphabet()).unwrap().to_dfa(3);
+    /// let pool = EvalPool::new(2);
+    /// assert_eq!(pool.eval_monadic(&query, &graph), eval_monadic(&query, &graph));
+    /// ```
+    pub fn eval_monadic(&self, query: &Dfa, graph: &GraphDb) -> BitSet {
+        self.eval_monadic_with(&mut IntraScratch::new(), query, graph)
+    }
+
+    /// [`EvalPool::eval_monadic`] with caller-provided buffers.
+    ///
+    /// The backward level-synchronous product BFS of
+    /// [`crate::eval::eval_monadic_with`], with each level's work split
+    /// into `(state, symbol)` **step tasks** — pairs with reverse DFA
+    /// transitions and a frontier intersecting the symbol's active-node
+    /// bitmap. Workers claim tasks from an atomic cursor, step the
+    /// frontier through the label-partitioned CSR into their own
+    /// buffers, and OR the result into per-worker per-state accumulators;
+    /// the caller then merges accumulators into `reached`/`next_frontier`
+    /// in state-index order. The merged level outcome is
+    /// `(⋃ steps into p) \ reached[p]` regardless of which worker
+    /// produced which piece, so results are bit-identical to sequential
+    /// scheduling at any thread count. Levels with at most one task run
+    /// inline without touching the pool.
+    pub fn eval_monadic_with(
+        &self,
+        scratch: &mut IntraScratch,
+        query: &Dfa,
+        graph: &GraphDb,
+    ) -> BitSet {
+        let Some(pool) = self.pool.as_deref() else {
+            return eval_monadic_with(&mut scratch.eval, query, graph);
+        };
+        let v = graph.num_nodes();
+        let q_states = query.num_states();
+        if v == 0 || q_states == 0 {
+            return BitSet::new(v);
+        }
+        let q0 = query.initial();
+        if query.is_final(q0) {
+            // ε ∈ L(q): every node has the empty path.
+            return BitSet::full(v);
+        }
+        let rev = RevIndex::new(query, graph.alphabet().len());
+
+        scratch.prepare(v, q_states, self.threads);
+        let IntraScratch { eval, parts, tasks } = scratch;
+        let EvalScratch {
+            reached,
+            frontier,
+            next_frontier,
+            step,
+            active,
+            next_active,
+        } = eval;
+        for f in query.finals().iter() {
+            reached[f].insert_all();
+            frontier[f].insert_all();
+            active.push(f as StateId);
+        }
+
+        while !active.is_empty() {
+            // Task list for this level: (state, symbol) pairs that can
+            // actually produce predecessors — reverse DFA transitions
+            // exist and the frontier intersects the label's target set.
+            tasks.clear();
+            for &q in active.iter() {
+                for sym in 0..rev.sigma {
+                    if rev.predecessors(q, sym).is_empty() {
+                        continue;
+                    }
+                    let symbol = Symbol::from_index(sym);
+                    if graph.label_targets_sparse(symbol)
+                        && !frontier[q as usize].intersects(graph.label_targets(symbol))
+                    {
+                        continue;
+                    }
+                    tasks.push((q, sym as u32));
+                }
+            }
+            if tasks.len() > 1 {
+                let live = self.threads.min(tasks.len());
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let tasks = &*tasks;
+                let frontier = &*frontier;
+                let rev = &rev;
+                pool.scope(|scope| {
+                    for part in parts[..live].iter_mut() {
+                        scope.spawn(move |_| loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(q, sym)) = tasks.get(index) else {
+                                break;
+                            };
+                            let symbol = Symbol::from_index(sym as usize);
+                            graph.step_frontier_back_into(
+                                &frontier[q as usize],
+                                symbol,
+                                &mut part.step,
+                            );
+                            if part.step.is_empty() {
+                                continue;
+                            }
+                            for &p in rev.predecessors(q, sym as usize) {
+                                part.acc[p as usize].union_with(&part.step);
+                                part.touched.insert(p as usize);
+                            }
+                        });
+                    }
+                });
+                merge_level(reached, next_frontier, next_active, &mut parts[..live]);
+            } else if let Some(&(q, sym)) = tasks.first() {
+                // One live task: stepping inline costs nothing extra and
+                // skips the scope round-trip.
+                let symbol = Symbol::from_index(sym as usize);
+                graph.step_frontier_back_into(&frontier[q as usize], symbol, step);
+                if !step.is_empty() {
+                    for &p in rev.predecessors(q, sym as usize) {
+                        let p = p as usize;
+                        let was_empty = next_frontier[p].is_empty();
+                        if reached[p].union_with_recording_new(step, &mut next_frontier[p])
+                            && was_empty
+                        {
+                            next_active.push(p as StateId);
+                        }
+                    }
+                }
+            }
+            for &q in active.iter() {
+                frontier[q as usize].clear();
+            }
+            std::mem::swap(frontier, next_frontier);
+            std::mem::swap(active, next_active);
+            next_active.clear();
+            // Early exit: every node already selected.
+            if reached[q0 as usize].len() == v {
+                break;
+            }
+        }
+        std::mem::replace(&mut reached[q0 as usize], BitSet::new(0))
+    }
+
+    /// **Intra-query parallel** binary evaluation from one source — the
+    /// forward analogue of [`EvalPool::eval_monadic`]. Exactly equal to
+    /// [`crate::eval::eval_binary_from`] at any thread count; on a
+    /// sequential pool it *is* the sequential evaluator.
+    pub fn eval_binary_from(&self, query: &Dfa, graph: &GraphDb, source: NodeId) -> BitSet {
+        self.eval_binary_from_with(&mut IntraScratch::new(), query, graph, source)
+    }
+
+    /// [`EvalPool::eval_binary_from`] with caller-provided buffers. Same
+    /// level fan-out and deterministic merge as
+    /// [`EvalPool::eval_monadic_with`], running forward: each task's step
+    /// set feeds the single DFA successor `δ(state, symbol)`, and the
+    /// per-label pruning consults [`GraphDb::label_sources`].
+    ///
+    /// Each twin deliberately mirrors its own sequential engine
+    /// line-for-line, **including their asymmetries** — the monadic pair
+    /// has an all-nodes-selected early exit (`reached[q0]` full) that the
+    /// binary pair lacks, exactly as in [`crate::eval`]. When changing
+    /// the shared level scaffolding (task harvest, cursor loop,
+    /// single-task fast path, frontier swap), change all four engines
+    /// together; the differential suite asserts they stay bit-identical.
+    pub fn eval_binary_from_with(
+        &self,
+        scratch: &mut IntraScratch,
+        query: &Dfa,
+        graph: &GraphDb,
+        source: NodeId,
+    ) -> BitSet {
+        let Some(pool) = self.pool.as_deref() else {
+            return eval_binary_from_with(&mut scratch.eval, query, graph, source);
+        };
+        let v = graph.num_nodes();
+        let q_states = query.num_states();
+        let mut result = BitSet::new(v);
+        if q_states == 0 || v == 0 {
+            return result;
+        }
+        let q0 = query.initial();
+        // Only symbols the DFA knows can advance the product (see the
+        // sequential evaluator).
+        let sigma = graph.alphabet().len().min(query.alphabet_len());
+
+        scratch.prepare(v, q_states, self.threads);
+        let IntraScratch { eval, parts, tasks } = scratch;
+        let EvalScratch {
+            reached,
+            frontier,
+            next_frontier,
+            step,
+            active,
+            next_active,
+        } = eval;
+        reached[q0 as usize].insert(source as usize);
+        frontier[q0 as usize].insert(source as usize);
+        active.push(q0);
+
+        while !active.is_empty() {
+            tasks.clear();
+            for &q in active.iter() {
+                for sym in 0..sigma {
+                    let symbol = Symbol::from_index(sym);
+                    if query.step(q, symbol).is_none() {
+                        continue;
+                    }
+                    if graph.label_sources_sparse(symbol)
+                        && !frontier[q as usize].intersects(graph.label_sources(symbol))
+                    {
+                        continue;
+                    }
+                    tasks.push((q, sym as u32));
+                }
+            }
+            if tasks.len() > 1 {
+                let live = self.threads.min(tasks.len());
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let tasks = &*tasks;
+                let frontier = &*frontier;
+                pool.scope(|scope| {
+                    for part in parts[..live].iter_mut() {
+                        scope.spawn(move |_| loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(q, sym)) = tasks.get(index) else {
+                                break;
+                            };
+                            let symbol = Symbol::from_index(sym as usize);
+                            let Some(next_state) = query.step(q, symbol) else {
+                                continue;
+                            };
+                            graph.step_frontier_into(&frontier[q as usize], symbol, &mut part.step);
+                            if part.step.is_empty() {
+                                continue;
+                            }
+                            part.acc[next_state as usize].union_with(&part.step);
+                            part.touched.insert(next_state as usize);
+                        });
+                    }
+                });
+                merge_level(reached, next_frontier, next_active, &mut parts[..live]);
+            } else if let Some(&(q, sym)) = tasks.first() {
+                let symbol = Symbol::from_index(sym as usize);
+                if let Some(next_state) = query.step(q, symbol) {
+                    graph.step_frontier_into(&frontier[q as usize], symbol, step);
+                    if !step.is_empty() {
+                        let p = next_state as usize;
+                        let was_empty = next_frontier[p].is_empty();
+                        if reached[p].union_with_recording_new(step, &mut next_frontier[p])
+                            && was_empty
+                        {
+                            next_active.push(next_state);
+                        }
+                    }
+                }
+            }
+            for &q in active.iter() {
+                frontier[q as usize].clear();
+            }
+            std::mem::swap(frontier, next_frontier);
+            std::mem::swap(active, next_active);
+            next_active.clear();
+        }
+
+        for f in query.finals().iter() {
+            result.union_with(&reached[f]);
+        }
+        result
+    }
+}
+
+/// Deterministic end-of-level merge for the intra-query evaluators:
+/// scans DFA states in index order and, for every worker that touched a
+/// state, folds its accumulator into `reached`/`next_frontier` via
+/// [`BitSet::union_with_recording_new`]. The outcome per state is
+/// `(⋃ worker accumulators) \ reached-before-level` — a set expression
+/// independent of worker scheduling and merge order — and states are
+/// pushed to `next_active` in index order, so the whole level is
+/// reproducible bit-for-bit. Accumulators and touched sets are cleared
+/// on the way out, restoring the level invariant.
+fn merge_level(
+    reached: &mut [BitSet],
+    next_frontier: &mut [BitSet],
+    next_active: &mut Vec<StateId>,
+    parts: &mut [LevelPart],
+) {
+    for p in 0..reached.len() {
+        let was_empty = next_frontier[p].is_empty();
+        let mut got_new = false;
+        for part in parts.iter_mut() {
+            if part.touched.contains(p) {
+                got_new |= reached[p].union_with_recording_new(&part.acc[p], &mut next_frontier[p]);
+                part.acc[p].clear();
+            }
+        }
+        if got_new && was_empty {
+            next_active.push(p as StateId);
+        }
+    }
+    for part in parts {
+        part.touched.clear();
+    }
+}
+
+/// Per-worker buffers for one intra-query evaluation level: a graph-step
+/// output set, one accumulator per DFA state, and the set of states this
+/// worker touched (so merge and clear visit only live accumulators).
+#[derive(Debug, Default)]
+struct LevelPart {
+    step: BitSet,
+    acc: Vec<BitSet>,
+    touched: BitSet,
+}
+
+/// Reusable buffers for the intra-query parallel evaluators
+/// ([`EvalPool::eval_monadic_with`] /
+/// [`EvalPool::eval_binary_from_with`]): the sequential [`EvalScratch`]
+/// plus one per-worker accumulator set. Like `EvalScratch`, buffers are
+/// fitted lazily and reuse across calls on the same graph/pool is
+/// allocation-free; reuse never changes results.
+#[derive(Debug, Default)]
+pub struct IntraScratch {
+    eval: EvalScratch,
+    parts: Vec<LevelPart>,
+    /// `(state, symbol)` step tasks of the current level.
+    tasks: Vec<(StateId, u32)>,
+}
+
+impl IntraScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fits the buffers to a `|V| = v`, `|Q| = q_states` evaluation with
+    /// `workers` fan-out threads, and clears them.
+    fn prepare(&mut self, v: usize, q_states: usize, workers: usize) {
+        self.eval.prepare(v, q_states);
+        self.parts.truncate(workers);
+        while self.parts.len() < workers {
+            self.parts.push(LevelPart::default());
+        }
+        for part in &mut self.parts {
+            if part.step.capacity() != v {
+                part.step = BitSet::new(v);
+            }
+            part.acc.retain(|set| set.capacity() == v);
+            part.acc.truncate(q_states);
+            for set in &mut part.acc {
+                set.clear();
+            }
+            while part.acc.len() < q_states {
+                part.acc.push(BitSet::new(v));
+            }
+            if part.touched.capacity() != q_states {
+                part.touched = BitSet::new(q_states);
+            } else {
+                part.touched.clear();
+            }
+        }
+        self.tasks.clear();
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +751,92 @@ mod tests {
             format!("{:?}", EvalPool::default()),
             "EvalPool { threads: 1 }"
         );
+    }
+
+    /// A denser multi-label graph than G0 so intra-query levels carry
+    /// several live (state, symbol) tasks.
+    fn ladder_graph(n: usize) -> GraphDb {
+        let mut builder =
+            crate::GraphBuilder::with_alphabet(pathlearn_automata::Alphabet::from_labels([
+                "a", "b", "c",
+            ]));
+        let first = builder.add_nodes("n", n);
+        for i in 0..n as u32 {
+            let next = first + (i + 1) % n as u32;
+            builder.add_edge_ids(first + i, Symbol::from_index(i as usize % 3), next);
+            builder.add_edge_ids(first + i, Symbol::from_index((i as usize + 1) % 3), next);
+            if i % 7 == 0 {
+                builder.add_edge_ids(next, Symbol::from_index(2), first + i);
+            }
+        }
+        builder.build()
+    }
+
+    use pathlearn_automata::Symbol;
+
+    #[test]
+    fn intra_query_monadic_matches_sequential_at_all_thread_counts() {
+        for graph in [figure3_g0(), ladder_graph(100)] {
+            for (i, query) in queries(&graph).iter().enumerate() {
+                let expected = eval_monadic(query, &graph);
+                let mut scratch = IntraScratch::new();
+                for threads in [1, 2, 4] {
+                    let pool = EvalPool::new(threads);
+                    assert_eq!(
+                        pool.eval_monadic(query, &graph),
+                        expected,
+                        "query {i} at {threads} threads"
+                    );
+                    // Scratch reuse across thread counts and queries.
+                    assert_eq!(
+                        pool.eval_monadic_with(&mut scratch, query, &graph),
+                        expected,
+                        "query {i} at {threads} threads (reused scratch)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_query_binary_matches_sequential_at_all_thread_counts() {
+        for graph in [figure3_g0(), ladder_graph(60)] {
+            for query in &queries(&graph) {
+                let mut scratch = IntraScratch::new();
+                for source in graph.nodes().step_by(7) {
+                    let expected = eval_binary_from(query, &graph, source);
+                    for threads in [1, 2, 4] {
+                        let pool = EvalPool::new(threads);
+                        assert_eq!(
+                            pool.eval_binary_from(query, &graph, source),
+                            expected,
+                            "source {source} at {threads} threads"
+                        );
+                        assert_eq!(
+                            pool.eval_binary_from_with(&mut scratch, query, &graph, source),
+                            expected,
+                            "source {source} at {threads} threads (reused scratch)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_query_degenerate_inputs() {
+        let graph = figure3_g0();
+        let pool = EvalPool::new(2);
+        // Empty-language query: no state reaches acceptance.
+        let empty = Dfa::empty_language(3);
+        assert!(pool.eval_monadic(&empty, &graph).is_empty());
+        assert!(pool.eval_binary_from(&empty, &graph, 0).is_empty());
+        // ε-accepting query selects everything monadically.
+        let eps = Dfa::epsilon_language(3);
+        assert_eq!(pool.eval_monadic(&eps, &graph).len(), graph.num_nodes());
+        // Empty graph.
+        let no_nodes = crate::GraphBuilder::new().build();
+        assert!(pool.eval_monadic(&queries(&graph)[0], &no_nodes).is_empty());
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Cross-engine differential suite for RPQ evaluation.
+//!
+//! Five evaluation engines coexist in this crate — the frontier-batched
+//! [`eval_monadic`], the seed queue-based [`eval_monadic_queued`], the
+//! per-node product-search [`eval_monadic_naive`], the intra-query
+//! parallel [`EvalPool::eval_monadic`], and the per-label-pruned /
+//! unpruned variants of each sequential path. On random graphs and
+//! random queries (both regex-derived DFAs and *raw* random DFAs with
+//! partial transition tables, dead states, and unreachable states) all
+//! engines must select **exactly** the same node sets, and the parallel
+//! twins must stay bit-identical at every thread count in {1, 2, 4}.
+//! The per-label active-node bitmaps feeding the pruning are checked
+//! against a from-scratch recomputation on the same random graphs.
+
+use pathlearn_automata::{Alphabet, BitSet, Dfa, Regex, Symbol};
+use pathlearn_graph::eval::{
+    eval_binary_from, eval_binary_from_pruning, eval_monadic, eval_monadic_naive,
+    eval_monadic_pruning, eval_monadic_queued, EvalScratch,
+};
+use pathlearn_graph::par_eval::{EvalPool, IntraScratch};
+use pathlearn_graph::{GraphBuilder, GraphDb};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Strategy: a random small graph over {a, b, c}, possibly disconnected,
+/// with self-loops and parallel labels.
+fn arb_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        1usize..12,
+        proptest::collection::vec((0u32..12, 0usize..3, 0u32..12), 0..36),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            for i in 0..n {
+                builder.add_node(&format!("n{i}"));
+            }
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a random regex AST over {a, b, c} including ε and stars,
+/// determinized — the query shape the learner actually produces.
+fn arb_regex_dfa() -> impl Strategy<Value = Dfa> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0usize..3).prop_map(|i| Regex::Symbol(Symbol::from_index(i))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    .prop_map(|regex| regex.to_dfa(3))
+}
+
+/// Strategy: a **raw** random DFA — partial transition table, arbitrary
+/// finals, possibly dead or unreachable states, possibly a smaller
+/// alphabet than the graph's. Regex-derived DFAs are always trim; this
+/// covers the shapes they cannot produce.
+fn arb_raw_dfa() -> impl Strategy<Value = Dfa> {
+    (
+        1usize..6,
+        1usize..4,
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 0..24),
+        proptest::collection::vec(0usize..6, 0..6),
+    )
+        .prop_map(|(states, sigma, transitions, finals)| {
+            let mut dfa = Dfa::new(states, sigma, 0);
+            for (p, sym, q) in transitions {
+                dfa.set_transition(
+                    (p % states) as u32,
+                    Symbol::from_index(sym % sigma),
+                    (q % states) as u32,
+                );
+            }
+            for f in finals {
+                dfa.set_final((f % states) as u32);
+            }
+            dfa
+        })
+}
+
+/// Either query shape: learner-realistic regex DFAs or raw random DFAs.
+fn arb_query() -> impl Strategy<Value = Dfa> {
+    prop_oneof![arb_regex_dfa(), arb_raw_dfa()]
+}
+
+/// All monadic engines against the frontier evaluator's result.
+fn assert_monadic_engines_agree(graph: &GraphDb, query: &Dfa) -> Result<(), TestCaseError> {
+    let expected = eval_monadic(query, graph);
+    prop_assert_eq!(
+        &eval_monadic_queued(query, graph),
+        &expected,
+        "queued (seed) engine disagrees"
+    );
+    prop_assert_eq!(
+        &eval_monadic_naive(query, graph),
+        &expected,
+        "naive product engine disagrees"
+    );
+    let mut scratch = EvalScratch::new();
+    prop_assert_eq!(
+        &eval_monadic_pruning(&mut scratch, query, graph, false),
+        &expected,
+        "unpruned frontier engine disagrees"
+    );
+    let mut intra = IntraScratch::new();
+    for threads in THREAD_COUNTS {
+        let pool = EvalPool::new(threads);
+        prop_assert_eq!(
+            &pool.eval_monadic(query, graph),
+            &expected,
+            "intra-query parallel engine disagrees at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            &pool.eval_monadic_with(&mut intra, query, graph),
+            &expected,
+            "intra-query parallel engine (reused scratch) disagrees at {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monadic semantics: frontier ≡ queued ≡ naive ≡ unpruned ≡
+    /// intra-query parallel at threads {1, 2, 4}, for regex-derived and
+    /// raw random DFAs alike.
+    #[test]
+    fn monadic_engines_agree(graph in arb_graph(), query in arb_query()) {
+        assert_monadic_engines_agree(&graph, &query)?;
+    }
+
+    /// Binary semantics from every source node: the sequential engine ≡
+    /// its unpruned variant ≡ the intra-query parallel twin at threads
+    /// {1, 2, 4}.
+    #[test]
+    fn binary_engines_agree(graph in arb_graph(), query in arb_query()) {
+        let mut scratch = EvalScratch::new();
+        let mut intra = IntraScratch::new();
+        for source in graph.nodes() {
+            let expected = eval_binary_from(&query, &graph, source);
+            prop_assert_eq!(
+                &eval_binary_from_pruning(&mut scratch, &query, &graph, source, false),
+                &expected,
+                "unpruned binary engine disagrees from {}", source
+            );
+            for threads in THREAD_COUNTS {
+                let pool = EvalPool::new(threads);
+                prop_assert_eq!(
+                    &pool.eval_binary_from(&query, &graph, source),
+                    &expected,
+                    "intra-query parallel binary engine disagrees from {} at {} threads",
+                    source, threads
+                );
+                prop_assert_eq!(
+                    &pool.eval_binary_from_with(&mut intra, &query, &graph, source),
+                    &expected,
+                    "intra-query parallel binary engine (reused scratch) disagrees from {} at {} threads",
+                    source, threads
+                );
+            }
+        }
+    }
+
+    /// One pool and one scratch driven through a mixed monadic/binary
+    /// call sequence of differently-shaped queries — the learner's usage
+    /// pattern — keeps matching the allocating sequential entry points.
+    #[test]
+    fn mixed_reuse_stays_equivalent(
+        graph in arb_graph(),
+        queries in proptest::collection::vec(arb_query(), 1..5),
+    ) {
+        let pool = EvalPool::new(4);
+        let mut intra = IntraScratch::new();
+        for query in &queries {
+            prop_assert_eq!(
+                &pool.eval_monadic_with(&mut intra, query, &graph),
+                &eval_monadic(query, &graph),
+                "monadic after mixed reuse"
+            );
+            let source = 0;
+            prop_assert_eq!(
+                &pool.eval_binary_from_with(&mut intra, query, &graph, source),
+                &eval_binary_from(query, &graph, source),
+                "binary after mixed reuse"
+            );
+        }
+    }
+
+    /// Per-label bitmap invariant on random graphs: membership in
+    /// `label_sources(sym)` / `label_targets(sym)` is exactly "has ≥ 1
+    /// out- / in-edge labeled sym", forward and reverse, for every node
+    /// and symbol — i.e. the bitmaps the pruning relies on are precisely
+    /// the recomputation from the adjacency.
+    #[test]
+    fn label_bitmaps_match_recomputation(graph in arb_graph()) {
+        for sym in graph.alphabet().symbols() {
+            let mut sources = BitSet::new(graph.num_nodes());
+            let mut targets = BitSet::new(graph.num_nodes());
+            for (src, edge_sym, dst) in graph.edges() {
+                if edge_sym == sym {
+                    sources.insert(src as usize);
+                    targets.insert(dst as usize);
+                }
+            }
+            prop_assert_eq!(
+                graph.label_sources(sym),
+                &sources,
+                "label_sources({:?})", sym
+            );
+            prop_assert_eq!(
+                graph.label_targets(sym),
+                &targets,
+                "label_targets({:?})", sym
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The environment-configured pool (`PATHLEARN_THREADS`, the knob the
+    /// CI thread matrix varies) agrees with sequential evaluation on both
+    /// the batch and the intra-query paths. This is the test that makes
+    /// `PATHLEARN_THREADS=N cargo test` a real determinism gate: under
+    /// the 4-thread CI leg the pool here is genuinely parallel.
+    #[test]
+    fn env_configured_pool_matches_sequential(
+        graph in arb_graph(),
+        query in arb_query(),
+    ) {
+        let pool = EvalPool::from_env();
+        let expected = eval_monadic(&query, &graph);
+        prop_assert_eq!(
+            &pool.eval_monadic(&query, &graph),
+            &expected,
+            "intra-query at {} env threads", pool.threads()
+        );
+        prop_assert_eq!(
+            &pool.eval_monadic_batch(std::slice::from_ref(&query), &graph)[0],
+            &expected,
+            "batch at {} env threads", pool.threads()
+        );
+        for source in graph.nodes() {
+            prop_assert_eq!(
+                &pool.eval_binary_from(&query, &graph, source),
+                &eval_binary_from(&query, &graph, source),
+                "binary from {} at {} env threads", source, pool.threads()
+            );
+        }
+    }
+}
+
+/// Regression shapes that once mattered for at least one engine: ε in
+/// the language, empty language, dead labels, query alphabet smaller
+/// than the graph's, single node with self-loops.
+#[test]
+fn fixed_regression_shapes() {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+    builder.add_edge("x", "a", "x");
+    builder.add_edge("x", "b", "y");
+    builder.add_node("lonely");
+    let graph = builder.build();
+    let shapes = [
+        Dfa::empty_language(3),
+        Dfa::epsilon_language(3),
+        Regex::parse("(a·b)*·c", graph.alphabet())
+            .unwrap()
+            .to_dfa(3),
+        {
+            let mut only_a = Dfa::new(2, 1, 0); // 1-symbol alphabet < graph's 3
+            only_a.set_transition(0, Symbol::from_index(0), 1);
+            only_a.set_final(1);
+            only_a
+        },
+    ];
+    for query in &shapes {
+        let expected = eval_monadic(query, &graph);
+        assert_eq!(eval_monadic_queued(query, &graph), expected);
+        assert_eq!(eval_monadic_naive(query, &graph), expected);
+        for threads in THREAD_COUNTS {
+            let pool = EvalPool::new(threads);
+            assert_eq!(pool.eval_monadic(query, &graph), expected);
+            for source in graph.nodes() {
+                assert_eq!(
+                    pool.eval_binary_from(query, &graph, source),
+                    eval_binary_from(query, &graph, source)
+                );
+            }
+        }
+    }
+}

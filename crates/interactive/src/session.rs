@@ -18,7 +18,7 @@
 
 use crate::strategy::{propose, Proposal, StrategyKind};
 use pathlearn_automata::BitSet;
-use pathlearn_core::{KPolicy, Learner, LearnerConfig, PathQuery, Sample};
+use pathlearn_core::{EvalPool, KPolicy, Learner, LearnerConfig, PathQuery, Sample};
 use pathlearn_graph::{GraphDb, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,6 +76,12 @@ pub struct InteractiveConfig {
     pub seed: u64,
     /// Learner configuration used after every label.
     pub learner: LearnerConfig,
+    /// Worker threads for the per-interaction relearning: the learner's
+    /// SCP fan-out and the intra-query parallel line-6 evaluation both
+    /// run on an [`EvalPool`] of this size. `1` (the default) is strictly
+    /// sequential — no thread is ever spawned — and results are
+    /// bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for InteractiveConfig {
@@ -91,6 +97,7 @@ impl Default for InteractiveConfig {
                 k: KPolicy::Dynamic { start: 2, max: 5 },
                 prefix_free_output: true,
             },
+            threads: 1,
         }
     }
 }
@@ -173,12 +180,22 @@ impl SessionResult {
 pub struct InteractiveSession<'g> {
     graph: &'g GraphDb,
     config: InteractiveConfig,
+    /// Built once from [`InteractiveConfig::threads`] and shared by every
+    /// relearning round of this session.
+    pool: EvalPool,
 }
 
 impl<'g> InteractiveSession<'g> {
-    /// Creates a session on a graph.
+    /// Creates a session on a graph. A [`InteractiveConfig::threads`] > 1
+    /// spawns the session's evaluation pool here, once, rather than per
+    /// interaction.
     pub fn new(graph: &'g GraphDb, config: InteractiveConfig) -> Self {
-        InteractiveSession { graph, config }
+        let pool = EvalPool::new(config.threads);
+        InteractiveSession {
+            graph,
+            config,
+            pool,
+        }
     }
 
     /// Runs until `halt(learned, sample)` returns `true`, the strategy is
@@ -193,7 +210,7 @@ impl<'g> InteractiveSession<'g> {
         } else {
             self.config.max_interactions
         };
-        let learner = Learner::with_config(self.config.learner);
+        let learner = Learner::with_config(self.config.learner).with_pool(self.pool.clone());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut sample = Sample::new();
         let mut query: Option<PathQuery> = None;
@@ -336,6 +353,38 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn session_is_identical_at_every_thread_count() {
+        // The pool only accelerates relearning (SCP fan-out + intra-query
+        // line-6 eval); proposals, labels, and the learned query must be
+        // bit-identical across thread counts.
+        let graph = figure3_g0();
+        let goal = PathQuery::parse("(a·b)*·c", graph.alphabet()).unwrap();
+        let run = |threads: usize| {
+            let session = InteractiveSession::new(
+                &graph,
+                InteractiveConfig {
+                    threads,
+                    ..InteractiveConfig::default()
+                },
+            );
+            let result = session.run_against_goal(&goal);
+            (
+                result
+                    .interactions
+                    .iter()
+                    .map(|r| (r.node, r.label, r.k))
+                    .collect::<Vec<_>>(),
+                result.query.map(|q| q.eval(&graph)),
+                result.halt,
+            )
+        };
+        let sequential = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), sequential, "{threads} threads");
+        }
     }
 
     #[test]

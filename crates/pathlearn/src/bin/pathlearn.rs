@@ -4,13 +4,17 @@
 //! pathlearn eval <graph.txt> --query "(a·b)*·c"
 //!     Evaluate a path query; prints the selected nodes.
 //!
-//! pathlearn learn <graph.txt> --pos v1,v3 --neg v2,v7 [--k N]
+//! pathlearn learn <graph.txt> --pos v1,v3 --neg v2,v7 [--k N] [--threads T]
 //!     Learn a query from labeled nodes (Algorithm 1); prints the regex.
 //!
 //! pathlearn interactive <graph.txt> [--goal "(a·b)*·c"] [--strategy kR|kS]
+//!                       [--threads T]
 //!     Run the Figure 9 loop. With --goal, a simulated user answers; without,
 //!     *you* are the user: the tool shows each proposed node's neighborhood
 //!     and asks for +/-.
+//!
+//! `--threads` sizes the evaluation pool (SCP fan-out + intra-query
+//! parallel evaluation); results are identical at every thread count.
 //!
 //! pathlearn stats <graph.txt>
 //!     Graph statistics (nodes, edges, labels, degree distribution).
@@ -58,8 +62,8 @@ pathlearn — learning path queries on graph databases (EDBT 2015)
 
 USAGE:
   pathlearn eval <graph.txt> --query <REGEX>
-  pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N]
-  pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N]
+  pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
+  pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
   pathlearn stats <graph.txt>
 ";
 
@@ -103,6 +107,18 @@ impl Options {
         let text = std::fs::read_to_string(&self.graph_path)
             .map_err(|e| format!("cannot read {}: {e}", self.graph_path))?;
         parse_graph(&text).map_err(|e| e.to_string())
+    }
+
+    /// The `--threads` flag, defaulting to `default` (the evaluation-pool
+    /// size; 1 = sequential).
+    fn threads(&self, default: usize) -> Result<usize, String> {
+        self.flag("threads")
+            .map(|t| {
+                t.parse::<usize>()
+                    .map_err(|_| "--threads needs an integer".to_owned())
+            })
+            .transpose()
+            .map(|t| t.unwrap_or(default).max(1))
     }
 
     fn node_list(&self, graph: &GraphDb, name: &str) -> Result<Vec<NodeId>, String> {
@@ -157,6 +173,7 @@ fn learn_command(args: &[String]) -> Result<(), String> {
         Some(k) => Learner::with_fixed_k(k.parse().map_err(|_| "--k needs an integer")?),
         None => Learner::default(),
     };
+    let learner = learner.with_pool(EvalPool::new(options.threads(1)?));
     let outcome = learner.learn(&graph, &sample);
     match outcome.query {
         Some(query) => {
@@ -270,6 +287,7 @@ fn interactive_command(args: &[String]) -> Result<(), String> {
     let config = InteractiveConfig {
         strategy,
         seed,
+        threads: options.threads(InteractiveConfig::default().threads)?,
         ..InteractiveConfig::default()
     };
     let session = InteractiveSession::new(&graph, config);

@@ -61,7 +61,7 @@ pub mod prelude {
         sample::{Sample, Sample2},
         Learner, LearnerConfig,
     };
-    pub use pathlearn_graph::{GraphBuilder, GraphDb, NodeId};
+    pub use pathlearn_graph::{EvalPool, GraphBuilder, GraphDb, NodeId};
     pub use pathlearn_interactive::{
         session::{InteractiveConfig, InteractiveSession},
         strategy::StrategyKind,
