@@ -19,6 +19,10 @@ pub struct BitSet {
 const BITS: usize = 64;
 
 impl BitSet {
+    /// Bits per storage block (the granularity of [`BitSet::as_blocks`]
+    /// and of the word-aligned ranged step kernels in `pathlearn-graph`).
+    pub const BLOCK_BITS: usize = BITS;
+
     /// Creates an empty set able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         BitSet {
@@ -183,6 +187,34 @@ impl BitSet {
             .any(|(a, b)| a & b != 0)
     }
 
+    /// `|self ∩ other|` in one fused pass (AND + popcount per block),
+    /// without materializing the intersection. This is the measurement
+    /// behind the step-kernel cost model in `pathlearn-graph`: comparing
+    /// it against [`BitSet::len`] tells an evaluator how many frontier
+    /// nodes a masked kernel would skip.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The raw `u64` storage blocks, least-significant block first; index
+    /// `i` lives at bit `i % 64` of block `i / 64`. Bits at and above
+    /// `capacity` in the last block are always zero (every mutator masks
+    /// the tail), so word-level consumers — the masked step kernels of
+    /// `pathlearn-graph` iterate `frontier_block & label_block` directly —
+    /// can AND blocks of equal-capacity sets without re-masking.
+    #[inline]
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Iterates over present indices in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -343,6 +375,34 @@ mod tests {
         assert!(small.intersects(&big));
         assert!(!small.intersects(&other));
         assert!(BitSet::new(100).is_subset(&other));
+    }
+
+    #[test]
+    fn intersection_len_matches_materialized_intersection() {
+        for capacity in [0usize, 1, 63, 64, 65, 130, 200] {
+            let a = BitSet::from_indices(capacity, (0..capacity).filter(|i| i % 3 == 0));
+            let b = BitSet::from_indices(capacity, (0..capacity).filter(|i| i % 2 == 0));
+            let mut inter = a.clone();
+            inter.intersect_with(&b);
+            assert_eq!(a.intersection_len(&b), inter.len(), "capacity {capacity}");
+            assert_eq!(b.intersection_len(&a), inter.len(), "capacity {capacity}");
+            assert_eq!(a.intersection_len(&a), a.len(), "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn blocks_expose_layout_with_masked_tail() {
+        let set = BitSet::from_indices(130, [0, 63, 64, 129]);
+        let blocks = set.as_blocks();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], 1 | (1 << 63));
+        assert_eq!(blocks[1], 1);
+        assert_eq!(blocks[2], 2);
+        // Tail bits above capacity stay zero even after insert_all.
+        let mut full = BitSet::new(130);
+        full.insert_all();
+        assert_eq!(full.as_blocks()[2], 3);
+        assert_eq!(BitSet::BLOCK_BITS, 64);
     }
 
     #[test]

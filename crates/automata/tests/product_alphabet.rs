@@ -1,0 +1,84 @@
+//! Release-mode regression for the alphabet bound in
+//! [`pathlearn_automata::product::dfa_nfa_intersection_is_empty`].
+//!
+//! PR 3's differential suite found the product search stepping the DFA
+//! with NFA symbols **beyond the DFA's alphabet**: the dense transition
+//! table is row-major (`table[state · |Σ| + sym]`), so an out-of-range
+//! symbol index aliases into the *next state's row* instead of panicking
+//! — a silently wrong verdict. The fix guards the symbol in the search
+//! loop, and `Dfa::step`/`step_raw` got debug-asserts on the bound. But
+//! debug-asserts vanish in release builds: if the guard were dropped,
+//! `cargo test` would still catch it (the assert fires) while release
+//! binaries — the benchmarks and every production consumer — would
+//! silently alias again. This file constructs the aliasing shape so that
+//! the **verdict itself** is wrong if the guard regresses, making the
+//! failure visible in both profiles; CI runs it under
+//! `--release` explicitly.
+
+use pathlearn_automata::product::dfa_nfa_intersection_is_empty;
+use pathlearn_automata::{Dfa, Nfa, Symbol};
+
+fn sym(i: usize) -> Symbol {
+    Symbol::from_index(i)
+}
+
+/// DFA over the 1-symbol alphabet {a} accepting {a}. Its dense table is
+/// `[δ(0,a)=1, δ(1,a)=1]`: exactly the layout where stepping state 0
+/// with the out-of-alphabet symbol index 1 would alias into state 1's
+/// `a`-row (yielding the accepting state 1) instead of being dead.
+fn accepts_a() -> Dfa {
+    let mut dfa = Dfa::new(2, 1, 0);
+    dfa.set_transition(0, sym(0), 1);
+    dfa.set_transition(1, sym(0), 1);
+    dfa.set_final(1);
+    dfa
+}
+
+#[test]
+fn foreign_nfa_symbol_does_not_alias_into_the_next_row() {
+    let dfa = accepts_a();
+    // NFA over {a, b} whose only accepting run is the single word "b".
+    // L(dfa) ∩ L(nfa) = {a} ∩ {b} = ∅ — but an unguarded product search
+    // would read table[0·1 + 1] = δ(1, a) = 1 (accepting) for the b-edge
+    // and report the intersection non-empty.
+    let mut nfa = Nfa::new(2, 2);
+    nfa.set_initial(0);
+    nfa.add_transition(0, sym(1), 1);
+    nfa.set_final(1);
+    assert!(
+        dfa_nfa_intersection_is_empty(&dfa, &nfa),
+        "foreign symbol b aliased into the DFA's next table row"
+    );
+}
+
+#[test]
+fn last_row_foreign_symbol_does_not_read_out_of_bounds() {
+    let dfa = accepts_a();
+    // Reach DFA state 1 (the last table row) via "a", then offer only a
+    // foreign symbol: an unguarded step would index table[1·1 + 1] = 2,
+    // past the end of the table. The guarded search must treat the edge
+    // as dead and report emptiness ({a} ∩ {ab} = ∅).
+    let mut nfa = Nfa::new(3, 2);
+    nfa.set_initial(0);
+    nfa.add_transition(0, sym(0), 1);
+    nfa.add_transition(1, sym(1), 2);
+    nfa.set_final(2);
+    assert!(
+        dfa_nfa_intersection_is_empty(&dfa, &nfa),
+        "foreign symbol at the last DFA row must be dead, not out-of-bounds"
+    );
+}
+
+#[test]
+fn in_alphabet_runs_still_join() {
+    // Control: with an accepting a-run present alongside the foreign
+    // edges, the intersection is genuinely non-empty — the guard must
+    // skip foreign symbols only, not whole states.
+    let dfa = accepts_a();
+    let mut nfa = Nfa::new(2, 2);
+    nfa.set_initial(0);
+    nfa.add_transition(0, sym(1), 1); // foreign (dead for the DFA)
+    nfa.add_transition(0, sym(0), 1); // the joining a-edge
+    nfa.set_final(1);
+    assert!(!dfa_nfa_intersection_is_empty(&dfa, &nfa));
+}

@@ -15,15 +15,26 @@
 //!   [`EvalPool`] at each `--par-threads` count;
 //! * **multi-query batch**: the whole calibrated query mix evaluated
 //!   monadically, sequential loop vs pool fan-out;
-//! * **intra-query** (schema v3): every query of the mix evaluated
-//!   monadically with per-label frontier pruning **on vs off**
-//!   (`eval_monadic_pruning`) and through the intra-query parallel
+//! * **intra-query / masked-kernel ablation** (schema v4): every query
+//!   of the mix evaluated monadically under three step policies —
+//!   `Plain` (exhaustive baseline), `Pruned` (the PR 3 sparsity-gated
+//!   emptiness scan) and `Auto` (the masked-kernel cost model, the
+//!   default everywhere) — and through the intra-query parallel
 //!   evaluator ([`EvalPool::eval_monadic`]) at each `--intra-threads`
-//!   count — the single-huge-query shape the batch sections do not
-//!   cover.
+//!   count. The headline `prune_speedup` compares `Plain` against
+//!   `Auto`.
+//! * **task granularity** (schema v4): a 2-state single-label query on
+//!   the graph's most frequent label — the paper's common query shape,
+//!   whose BFS levels carry at most **one** `(state, symbol)` task — is
+//!   evaluated through the intra-query evaluator with the node-range
+//!   fan-out disabled (chunk = `usize::MAX`), pinned to 1-word and
+//!   4-word chunks, and on auto sizing, at each `--intra-threads`
+//!   count.
 //!
-//! Every parallel configuration is checked **bit-identical** to the
-//! sequential results before being timed. Results go to stdout (tables)
+//! Every parallel configuration and every policy is checked
+//! **bit-identical** to the sequential results before being timed — a
+//! masked/plain divergence aborts the benchmark (and the CI smoke runs
+//! turn that abort into a build failure). Results go to stdout (tables)
 //! and to a JSON file (default `BENCH_eval.json`) so the repository
 //! keeps a perf trajectory across PRs; `BENCHMARKS.md` documents the
 //! methodology and how to read the JSON. The detected core count is
@@ -36,15 +47,15 @@
 //!            [--intra-threads T[,T,...]] [--out PATH]
 //! ```
 
-use pathlearn_automata::{BitSet, Dfa};
+use pathlearn_automata::{BitSet, Dfa, Symbol};
 use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
 use pathlearn_eval::report::ascii_table;
 use pathlearn_graph::eval::{
-    eval_binary_from_with, eval_monadic, eval_monadic_pruning, eval_monadic_queued, EvalScratch,
+    eval_binary_from_with, eval_monadic, eval_monadic_policy, eval_monadic_queued, EvalScratch,
 };
 use pathlearn_graph::par_eval::{EvalPool, IntraScratch};
-use pathlearn_graph::{GraphDb, NodeId};
+use pathlearn_graph::{GraphDb, NodeId, StepPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -78,26 +89,66 @@ struct BatchResult {
     par: Vec<ParPoint>,
 }
 
-/// One query's intra-query measurements: sequential with pruning on and
-/// off, and the parallel evaluator at each thread count.
+/// One query's intra-query measurements — the masked-kernel ablation:
+/// the sequential evaluator under `Plain` (exhaustive), `Pruned` (the
+/// legacy sparsity-gated scan) and `Auto` (the masked cost model, the
+/// default), and the parallel evaluator at each thread count.
 struct IntraResult {
     name: String,
+    plain_ns: u128,
     pruned_ns: u128,
-    unpruned_ns: u128,
+    masked_ns: u128,
     par: Vec<ParPoint>,
 }
 
 impl IntraResult {
-    fn prune_speedup(&self) -> f64 {
-        self.unpruned_ns.max(1) as f64 / self.pruned_ns.max(1) as f64
+    /// The headline ablation: the masked cost-model default against the
+    /// exhaustive baseline (recorded as `prune_speedup` in the JSON for
+    /// cross-PR continuity).
+    fn masked_speedup(&self) -> f64 {
+        self.plain_ns.max(1) as f64 / self.masked_ns.max(1) as f64
     }
 
-    /// Parallel speedup of one thread-count point over the pruned
+    /// The PR 3-era sparsity-gated pruning against the same baseline.
+    fn legacy_prune_speedup(&self) -> f64 {
+        self.plain_ns.max(1) as f64 / self.pruned_ns.max(1) as f64
+    }
+
+    /// Parallel speedup of one thread-count point over the masked
     /// sequential baseline — the one formula both the JSON writer and
     /// the stdout table use.
     fn par_speedup(&self, point: &ParPoint) -> f64 {
-        self.pruned_ns.max(1) as f64 / point.ns.max(1) as f64
+        self.masked_ns.max(1) as f64 / point.ns.max(1) as f64
     }
+}
+
+/// One timing of the 2-state single-label query through the intra-query
+/// evaluator at a `(threads, chunk mode)` configuration.
+struct GranularityPoint {
+    threads: usize,
+    /// `None` = auto sizing, `Some(usize::MAX)` = splitting disabled,
+    /// otherwise the pinned chunk width in frontier words.
+    chunk_words: Option<usize>,
+    ns: u128,
+}
+
+impl GranularityPoint {
+    fn chunk_label(&self) -> String {
+        match self.chunk_words {
+            None => "auto".to_owned(),
+            Some(usize::MAX) => "off".to_owned(),
+            Some(words) => format!("{words}"),
+        }
+    }
+}
+
+/// The task-granularity section: the ≤ 1-task-per-level query shape
+/// where only the node-range fan-out can parallelize anything.
+struct GranularityResult {
+    query: String,
+    label_count: usize,
+    seq_ns: u128,
+    points: Vec<GranularityPoint>,
 }
 
 struct ScaleResult {
@@ -110,6 +161,8 @@ struct ScaleResult {
     multi_query: BatchResult,
     intra_query: Vec<IntraResult>,
     prune_geomean: f64,
+    legacy_prune_geomean: f64,
+    granularity: GranularityResult,
 }
 
 /// Median of `runs` wall-clock timings of `f`, after one warm-up call.
@@ -228,10 +281,11 @@ fn bench_multi_query(
     }
 }
 
-/// Times one query's intra-query configurations: sequential monadic
-/// evaluation with per-label pruning on and off, then the intra-query
-/// parallel evaluator at each thread count. Asserts every configuration
-/// bit-identical to the pruned sequential result before timing.
+/// Times one query's intra-query configurations — the masked-kernel
+/// ablation (`Plain` vs `Pruned` vs `Auto`), then the intra-query
+/// parallel evaluator at each thread count. Asserts every policy and
+/// every parallel configuration bit-identical to the default sequential
+/// result before timing, so a masked/plain divergence aborts the run.
 fn bench_intra_query(
     graph: &GraphDb,
     query: &CalibratedQuery,
@@ -241,18 +295,22 @@ fn bench_intra_query(
     let dfa = query.query.dfa();
     let expected = eval_monadic(dfa, graph);
     let mut scratch = EvalScratch::new();
-    assert_eq!(
-        eval_monadic_pruning(&mut scratch, dfa, graph, false),
-        expected,
-        "{}: unpruned evaluator differs",
-        query.name
-    );
-    let pruned_ns = median_ns(runs, || {
-        std::hint::black_box(eval_monadic_pruning(&mut scratch, dfa, graph, true));
-    });
-    let unpruned_ns = median_ns(runs, || {
-        std::hint::black_box(eval_monadic_pruning(&mut scratch, dfa, graph, false));
-    });
+    for policy in StepPolicy::ALL {
+        assert_eq!(
+            eval_monadic_policy(&mut scratch, dfa, graph, policy),
+            expected,
+            "{}: {policy:?} evaluator differs",
+            query.name
+        );
+    }
+    let mut time_policy = |policy: StepPolicy| {
+        median_ns(runs, || {
+            std::hint::black_box(eval_monadic_policy(&mut scratch, dfa, graph, policy));
+        })
+    };
+    let plain_ns = time_policy(StepPolicy::Plain);
+    let pruned_ns = time_policy(StepPolicy::Pruned);
+    let masked_ns = time_policy(StepPolicy::Auto);
     let par = intra_threads
         .iter()
         .map(|&threads| {
@@ -272,9 +330,76 @@ fn bench_intra_query(
         .collect();
     IntraResult {
         name: query.name.clone(),
+        plain_ns,
         pruned_ns,
-        unpruned_ns,
+        masked_ns,
         par,
+    }
+}
+
+/// The 2-state single-label probe query `ℓ·ℓ*` over the graph's most
+/// frequent label: every BFS level harvests at most one
+/// `(state, symbol)` step task, the regime where `(state, symbol)`
+/// fan-out alone parallelizes nothing.
+fn most_frequent_label_query(graph: &GraphDb) -> (Dfa, Symbol) {
+    let label = graph
+        .alphabet()
+        .symbols()
+        .max_by_key(|&sym| graph.label_source_count(sym))
+        .expect("graph has labels");
+    let mut dfa = Dfa::new(2, graph.alphabet().len(), 0);
+    dfa.set_transition(0, label, 1);
+    dfa.set_transition(1, label, 1);
+    dfa.set_final(1);
+    (dfa, label)
+}
+
+/// Times the task-granularity ablation: the probe query through the
+/// intra-query evaluator with node-range splitting disabled
+/// (`chunk = usize::MAX` → one chunk per task), pinned to 1- and 4-word
+/// chunks, and on auto sizing, at each thread count. Every configuration
+/// is asserted bit-identical to sequential before timing.
+fn bench_granularity(graph: &GraphDb, intra_threads: &[usize], runs: usize) -> GranularityResult {
+    let (dfa, label) = most_frequent_label_query(graph);
+    let expected = eval_monadic(&dfa, graph);
+    let mut scratch = EvalScratch::new();
+    let seq_ns = median_ns(runs, || {
+        std::hint::black_box(eval_monadic_policy(
+            &mut scratch,
+            &dfa,
+            graph,
+            StepPolicy::Auto,
+        ));
+    });
+    let chunk_modes: [Option<usize>; 4] = [Some(usize::MAX), Some(1), Some(4), None];
+    let mut points = Vec::new();
+    for &threads in intra_threads {
+        for chunk_words in chunk_modes {
+            let pool = match chunk_words {
+                Some(words) => EvalPool::new(threads).with_intra_chunk_words(words),
+                None => EvalPool::new(threads),
+            };
+            assert_eq!(
+                pool.eval_monadic(&dfa, graph),
+                expected,
+                "granularity probe differs at {threads} threads, chunk {chunk_words:?}"
+            );
+            let mut intra = IntraScratch::new();
+            let ns = median_ns(runs, || {
+                std::hint::black_box(pool.eval_monadic_with(&mut intra, &dfa, graph));
+            });
+            points.push(GranularityPoint {
+                threads,
+                chunk_words,
+                ns,
+            });
+        }
+    }
+    GranularityResult {
+        query: format!("{0}·{0}*", graph.alphabet().name(label)),
+        label_count: graph.label_source_count(label),
+        seq_ns,
+        points,
     }
 }
 
@@ -325,9 +450,9 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, par_eval batches, intra-query parallel + per-label pruning\",\n",
+        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, par_eval batches, masked step kernels + cost-model gate, intra-query parallel + node-range fan-out\",\n",
     );
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -372,11 +497,13 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
         out.push_str("      \"intra_query\": [\n");
         for (i, r) in scale.intra_query.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"name\": \"{}\", \"pruned_ns\": {}, \"unpruned_ns\": {}, \"prune_speedup\": {:.3}, \"par\": [",
+                "        {{\"name\": \"{}\", \"plain_ns\": {}, \"pruned_ns\": {}, \"masked_ns\": {}, \"prune_speedup\": {:.3}, \"legacy_prune_speedup\": {:.3}, \"par\": [",
                 json_escape(&r.name),
+                r.plain_ns,
                 r.pruned_ns,
-                r.unpruned_ns,
-                r.prune_speedup(),
+                r.masked_ns,
+                r.masked_speedup(),
+                r.legacy_prune_speedup(),
             ));
             for (pi, point) in r.par.iter().enumerate() {
                 if pi > 0 {
@@ -399,9 +526,33 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
             ));
         }
         out.push_str("      ],\n");
+        let g = &scale.granularity;
         out.push_str(&format!(
-            "      \"prune_geomean_speedup\": {:.3}\n",
+            "      \"granularity\": {{\"query\": \"{}\", \"label_sources\": {}, \"seq_ns\": {}, \"points\": [",
+            json_escape(&g.query),
+            g.label_count,
+            g.seq_ns
+        ));
+        for (pi, point) in g.points.iter().enumerate() {
+            if pi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\n        {{\"threads\": {}, \"chunk_words\": \"{}\", \"ns\": {}, \"speedup\": {:.3}}}",
+                point.threads,
+                point.chunk_label(),
+                point.ns,
+                g.seq_ns.max(1) as f64 / point.ns.max(1) as f64
+            ));
+        }
+        out.push_str("\n      ]},\n");
+        out.push_str(&format!(
+            "      \"prune_geomean_speedup\": {:.3},\n",
             scale.prune_geomean
+        ));
+        out.push_str(&format!(
+            "      \"legacy_prune_geomean_speedup\": {:.3}\n",
+            scale.legacy_prune_geomean
         ));
         out.push_str(&format!(
             "    }}{}\n",
@@ -433,15 +584,16 @@ fn print_batch(batch: &BatchResult) {
     println!("{}", ascii_table(&["config", "ms", "speedup"], &rows));
 }
 
-fn print_intra(results: &[IntraResult], prune_geomean: f64) {
+fn print_intra(results: &[IntraResult], prune_geomean: f64, legacy_prune_geomean: f64) {
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             let mut row = vec![
                 r.name.clone(),
+                format!("{:.3}", r.plain_ns as f64 / 1e6),
                 format!("{:.3}", r.pruned_ns as f64 / 1e6),
-                format!("{:.3}", r.unpruned_ns as f64 / 1e6),
-                format!("{:.2}x", r.prune_speedup()),
+                format!("{:.3}", r.masked_ns as f64 / 1e6),
+                format!("{:.2}x", r.masked_speedup()),
             ];
             for point in &r.par {
                 row.push(format!(
@@ -455,9 +607,10 @@ fn print_intra(results: &[IntraResult], prune_geomean: f64) {
         .collect();
     let mut headers = vec![
         "query".to_owned(),
-        "seq ms".to_owned(),
-        "noprune ms".to_owned(),
-        "prune gain".to_owned(),
+        "plain ms".to_owned(),
+        "pruned ms".to_owned(),
+        "masked ms".to_owned(),
+        "masked gain".to_owned(),
     ];
     if let Some(first) = results.first() {
         for point in &first.par {
@@ -465,9 +618,36 @@ fn print_intra(results: &[IntraResult], prune_geomean: f64) {
         }
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("intra-query (monadic, single query at a time):");
+    println!("intra-query masked-kernel ablation (monadic, single query at a time):");
     println!("{}", ascii_table(&header_refs, &rows));
-    println!("geomean per-label pruning speedup: {prune_geomean:.2}x");
+    println!(
+        "geomean masked-kernel speedup: {prune_geomean:.2}x (legacy sparse-gated pruning: {legacy_prune_geomean:.2}x)"
+    );
+}
+
+fn print_granularity(g: &GranularityResult) {
+    let rows: Vec<Vec<String>> = g
+        .points
+        .iter()
+        .map(|point| {
+            vec![
+                format!("{} threads", point.threads),
+                point.chunk_label(),
+                format!("{:.3}", point.ns as f64 / 1e6),
+                format!("{:.2}x", g.seq_ns.max(1) as f64 / point.ns.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "task granularity (2-state single-label probe {} over {} active sources, seq {:.3} ms):",
+        g.query,
+        g.label_count,
+        g.seq_ns as f64 / 1e6
+    );
+    println!(
+        "{}",
+        ascii_table(&["config", "chunk words", "ms", "speedup"], &rows)
+    );
 }
 
 fn parse_list(value: &str, flag: &str) -> Vec<usize> {
@@ -594,7 +774,7 @@ fn main() {
         let multi_query = bench_multi_query(&graph, &dfas, &par_threads, runs);
 
         eprintln!(
-            "intra-query: {} queries, pruning on/off + threads {:?} ...",
+            "intra-query: {} queries, plain/pruned/masked ablation + threads {:?} ...",
             queries.len(),
             intra_threads
         );
@@ -602,7 +782,15 @@ fn main() {
             .iter()
             .map(|q| bench_intra_query(&graph, q, &intra_threads, runs))
             .collect();
-        let prune_geomean = geometric_mean(intra_query.iter().map(IntraResult::prune_speedup));
+        let prune_geomean = geometric_mean(intra_query.iter().map(IntraResult::masked_speedup));
+        let legacy_prune_geomean =
+            geometric_mean(intra_query.iter().map(IntraResult::legacy_prune_speedup));
+
+        eprintln!(
+            "task granularity: 2-state single-label probe, chunks off/1/4/auto x threads {:?} ...",
+            intra_threads
+        );
+        let granularity = bench_granularity(&graph, &intra_threads, runs);
 
         let rows: Vec<Vec<String>> = results
             .iter()
@@ -632,7 +820,8 @@ fn main() {
         );
         print_batch(&multi_source);
         print_batch(&multi_query);
-        print_intra(&intra_query, prune_geomean);
+        print_intra(&intra_query, prune_geomean, legacy_prune_geomean);
+        print_granularity(&granularity);
 
         scales.push(ScaleResult {
             nodes: graph.num_nodes(),
@@ -644,6 +833,8 @@ fn main() {
             multi_query,
             intra_query,
             prune_geomean,
+            legacy_prune_geomean,
+            granularity,
         });
     }
 

@@ -28,7 +28,7 @@ use crate::sample::Sample;
 use pathlearn_automata::product::dfa_nfa_intersection_is_empty;
 use pathlearn_automata::rpni::{generalize, MergeOracle};
 use pathlearn_automata::{Dfa, Nfa, Word};
-use pathlearn_graph::{EvalPool, GraphDb, IntraScratch, NodeId, ScpFinder};
+use pathlearn_graph::{EvalPool, GraphDb, IntraScratch, NodeId, ScpFinder, StepPolicy};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,10 @@ pub struct Learner {
     /// Thread pool for the SCP fan-out (lines 1–2); sequential by
     /// default. See [`Learner::with_pool`].
     pool: EvalPool,
+    /// Step-policy override from [`Learner::with_step_policy`], kept
+    /// separately so it survives a later [`Learner::with_pool`] (the
+    /// policy rides on the pool, which `with_pool` replaces).
+    step_policy: Option<StepPolicy>,
 }
 
 /// Statistics reported alongside a learning run.
@@ -151,6 +155,7 @@ impl Learner {
         Learner {
             config,
             pool: EvalPool::sequential(),
+            step_policy: None,
         }
     }
 
@@ -173,7 +178,25 @@ impl Learner {
     /// and the intra-query evaluator's level merges are deterministic
     /// OR-reductions.
     pub fn with_pool(mut self, pool: EvalPool) -> Self {
-        self.pool = pool;
+        self.pool = match self.step_policy {
+            // An explicit with_step_policy survives a later with_pool.
+            Some(policy) => pool.with_step_policy(policy),
+            None => pool,
+        };
+        self
+    }
+
+    /// Sets the step-kernel policy ([`StepPolicy`], default
+    /// [`StepPolicy::Auto`]) applied by every line-6 whole-graph
+    /// evaluation this learner issues — the knob behind the
+    /// masked-kernel ablation. The learned query and statistics are
+    /// bit-identical under every policy; only the per-`(level, symbol)`
+    /// step execution (skip / masked / plain kernel) changes. Order-
+    /// independent with [`Learner::with_pool`]: the policy is re-applied
+    /// to any pool installed later.
+    pub fn with_step_policy(mut self, policy: StepPolicy) -> Self {
+        self.step_policy = Some(policy);
+        self.pool = self.pool.with_step_policy(policy);
         self
     }
 
@@ -371,6 +394,41 @@ mod tests {
             .positive(graph.node_id("v3").unwrap())
             .negative(graph.node_id("v2").unwrap())
             .negative(graph.node_id("v7").unwrap())
+    }
+
+    #[test]
+    fn step_policy_does_not_change_the_learned_query() {
+        // The step-kernel policy is pure execution strategy: the learned
+        // query (and its abstain/accept verdict) must be identical under
+        // every policy, sequential and pooled alike.
+        let graph = figure3_g0();
+        let sample = g0_sample(&graph);
+        let baseline = Learner::with_fixed_k(3).learn(&graph, &sample);
+        let baseline_query = baseline.query.expect("consistent query exists");
+        for policy in StepPolicy::ALL {
+            for threads in [1, 2] {
+                let outcome = Learner::with_fixed_k(3)
+                    .with_pool(EvalPool::new(threads))
+                    .with_step_policy(policy)
+                    .learn(&graph, &sample);
+                let query = outcome.query.expect("consistent query exists");
+                assert!(
+                    query.equivalent_language(&baseline_query),
+                    "{policy:?} at {threads} threads learned {}",
+                    query.display(graph.alphabet())
+                );
+            }
+        }
+        // The policy survives in either builder order: with_pool after
+        // with_step_policy must not silently reset it.
+        let learner = Learner::with_fixed_k(3)
+            .with_step_policy(StepPolicy::Plain)
+            .with_pool(EvalPool::new(2));
+        assert_eq!(learner.pool().step_policy(), StepPolicy::Plain);
+        let learner = Learner::with_fixed_k(3)
+            .with_pool(EvalPool::new(2))
+            .with_step_policy(StepPolicy::Masked);
+        assert_eq!(learner.pool().step_policy(), StepPolicy::Masked);
     }
 
     #[test]

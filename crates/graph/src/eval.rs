@@ -26,21 +26,27 @@
 //! The reverse transition table is flattened to a dense CSR index
 //! (`rev_offsets`/`rev_states`) instead of nested `Vec<Vec<Vec<_>>>`.
 //!
-//! ## Per-label frontier pruning
+//! ## Masked step kernels and the cost-model gate
 //!
-//! Before stepping a frontier over a symbol, the evaluators test it
-//! against the graph's per-label active-node bitmaps
-//! ([`GraphDb::label_targets`] backward, [`GraphDb::label_sources`]
-//! forward): if no frontier node has an edge of that label in the step
-//! direction, the graph step is provably empty and the symbol is skipped
-//! with a single word-level AND scan. The scan itself is gated on the
-//! label being **sparse** (`GraphDb::label_*_sparse`, fewer than `|V|/4`
-//! active nodes): against a dense label the intersection is almost never
-//! empty and the scan is pure overhead, while sparse labels — rare edge
-//! types in Zipf alphabets, labels whose support a BFS has left behind —
-//! are exactly where empty steps happen. [`eval_monadic_pruning`] /
-//! [`eval_binary_from_pruning`] expose the on/off knob for benchmarking;
-//! results are bit-identical either way.
+//! Before stepping a frontier over a symbol, the evaluators **plan** the
+//! step against the graph's per-label active-node bitmaps
+//! ([`GraphDb::plan_step_back`] backward, [`GraphDb::plan_step`]
+//! forward) under a [`StepPolicy`]. Under the default
+//! [`StepPolicy::Auto`], one fused AND+popcount scan per
+//! `(level, symbol)` prices the step: an empty `frontier ∩ label-active`
+//! intersection skips the graph step outright (it is provably empty); an
+//! intersection smaller than the frontier routes to the **masked
+//! kernel** ([`GraphDb::step_frontier_back_masked_into`] /
+//! [`GraphDb::step_frontier_masked_into`]), which iterates the
+//! intersection word-by-word so edge-less frontier nodes never cost an
+//! offset read; an intersection equal to the frontier routes to the
+//! plain kernel. The frontier popcount feeding the comparison is
+//! computed once per `(level, state)` and amortized over the level's
+//! symbols. [`eval_monadic_policy`] / [`eval_binary_from_policy`] expose
+//! the full policy knob ([`StepPolicy::Plain`] baseline, the legacy
+//! sparsity-gated [`StepPolicy::Pruned`], always-on
+//! [`StepPolicy::Masked`], and `Auto`) for benchmarking and differential
+//! testing; results are bit-identical under every policy.
 //!
 //! For the single-huge-query shape, [`crate::par_eval::EvalPool`] offers
 //! **intra-query parallel** twins of both evaluators
@@ -49,7 +55,7 @@
 //! level's `(state, symbol)` step kernels out over worker threads and
 //! OR-merge per-worker partial frontiers deterministically.
 
-use crate::graph::{GraphDb, NodeId};
+use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
 use std::collections::VecDeque;
 
@@ -201,22 +207,38 @@ pub fn eval_monadic(query: &Dfa, graph: &GraphDb) -> BitSet {
 
 /// [`eval_monadic`] with caller-provided buffers (see [`EvalScratch`]).
 pub fn eval_monadic_with(scratch: &mut EvalScratch, query: &Dfa, graph: &GraphDb) -> BitSet {
-    eval_monadic_pruning(scratch, query, graph, true)
+    eval_monadic_policy(scratch, query, graph, StepPolicy::Auto)
 }
 
-/// [`eval_monadic_with`] with the per-label frontier pruning made
-/// explicit. `prune = true` (the default everywhere) skips every symbol
-/// whose frontier has no node in [`GraphDb::label_targets`] — no
-/// frontier node has an in-edge of that label, so the graph step would
-/// return empty. `prune = false` keeps the exhaustive per-symbol loop;
-/// it exists for the benchmark ablation (`bench_eval`'s pruning on/off
-/// comparison) and for differential testing — results are identical
-/// either way.
+/// [`eval_monadic_with`] with the legacy pruning knob: `true` is the
+/// PR 3-era sparsity-gated emptiness pruning ([`StepPolicy::Pruned`]),
+/// `false` the exhaustive baseline ([`StepPolicy::Plain`]). Kept for the
+/// benchmark ablation and differential testing; new callers should use
+/// [`eval_monadic_policy`]. Results are identical under every setting.
 pub fn eval_monadic_pruning(
     scratch: &mut EvalScratch,
     query: &Dfa,
     graph: &GraphDb,
     prune: bool,
+) -> BitSet {
+    let policy = if prune {
+        StepPolicy::Pruned
+    } else {
+        StepPolicy::Plain
+    };
+    eval_monadic_policy(scratch, query, graph, policy)
+}
+
+/// [`eval_monadic_with`] with the step-kernel policy made explicit (see
+/// [`StepPolicy`] and the module docs): how each `(level, symbol)` step
+/// is planned — skip / masked kernel / plain kernel — is the only thing
+/// the policy changes; the selected node set is bit-identical under
+/// every policy (asserted by the cross-engine differential suite).
+pub fn eval_monadic_policy(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    policy: StepPolicy,
 ) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
@@ -250,22 +272,27 @@ pub fn eval_monadic_pruning(
 
     while !active.is_empty() {
         for &q in active.iter() {
+            let state_frontier = &frontier[q as usize];
+            // The frontier popcount feeding Auto's cost model, once per
+            // (level, state) and amortized over the level's symbols.
+            let frontier_len = if policy == StepPolicy::Auto {
+                state_frontier.len()
+            } else {
+                0
+            };
             for sym in 0..rev.sigma {
                 let dfa_preds = rev.predecessors(q, sym);
                 if dfa_preds.is_empty() {
                     continue;
                 }
                 let symbol = Symbol::from_index(sym);
-                // Per-label pruning: no frontier node has a sym-in-edge
-                // ⇒ the backward step is empty. The AND scan only runs
-                // for sparse labels, where it can actually come up empty.
-                if prune
-                    && graph.label_targets_sparse(symbol)
-                    && !frontier[q as usize].intersects(graph.label_targets(symbol))
-                {
-                    continue;
+                match graph.plan_step_back(state_frontier, symbol, frontier_len, policy) {
+                    StepPlan::Skip => continue,
+                    StepPlan::Masked => {
+                        graph.step_frontier_back_masked_into(state_frontier, symbol, step)
+                    }
+                    StepPlan::Plain => graph.step_frontier_back_into(state_frontier, symbol, step),
                 }
-                graph.step_frontier_back_into(&frontier[q as usize], symbol, step);
                 if step.is_empty() {
                     continue;
                 }
@@ -420,20 +447,39 @@ pub fn eval_binary_from_with(
     graph: &GraphDb,
     source: NodeId,
 ) -> BitSet {
-    eval_binary_from_pruning(scratch, query, graph, source, true)
+    eval_binary_from_policy(scratch, query, graph, source, StepPolicy::Auto)
 }
 
-/// [`eval_binary_from_with`] with the per-label frontier pruning made
-/// explicit — the forward analogue of [`eval_monadic_pruning`], checking
-/// [`GraphDb::label_sources`] (frontier nodes with an out-edge of the
-/// symbol). Results are identical at either setting; `prune = false`
-/// exists for benchmark ablation and differential testing.
+/// [`eval_binary_from_with`] with the legacy pruning knob — the forward
+/// analogue of [`eval_monadic_pruning`] (`true` = [`StepPolicy::Pruned`],
+/// `false` = [`StepPolicy::Plain`]). Kept for ablation and differential
+/// testing; new callers should use [`eval_binary_from_policy`].
 pub fn eval_binary_from_pruning(
     scratch: &mut EvalScratch,
     query: &Dfa,
     graph: &GraphDb,
     source: NodeId,
     prune: bool,
+) -> BitSet {
+    let policy = if prune {
+        StepPolicy::Pruned
+    } else {
+        StepPolicy::Plain
+    };
+    eval_binary_from_policy(scratch, query, graph, source, policy)
+}
+
+/// [`eval_binary_from_with`] with the step-kernel policy made explicit —
+/// the forward analogue of [`eval_monadic_policy`], planning each step
+/// through [`GraphDb::plan_step`] (frontier nodes with an out-edge of
+/// the symbol). The selected node set is bit-identical under every
+/// policy.
+pub fn eval_binary_from_policy(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+    policy: StepPolicy,
 ) -> BitSet {
     let v = graph.num_nodes();
     let q_states = query.num_states();
@@ -465,21 +511,24 @@ pub fn eval_binary_from_pruning(
 
     while !active.is_empty() {
         for &q in active.iter() {
+            let state_frontier = &frontier[q as usize];
+            let frontier_len = if policy == StepPolicy::Auto {
+                state_frontier.len()
+            } else {
+                0
+            };
             for sym in 0..sigma {
                 let symbol = Symbol::from_index(sym);
                 let Some(next_state) = query.step(q, symbol) else {
                     continue;
                 };
-                // Per-label pruning: no frontier node has a sym-out-edge
-                // ⇒ the forward step is empty (sparse labels only, as in
-                // the monadic evaluator).
-                if prune
-                    && graph.label_sources_sparse(symbol)
-                    && !frontier[q as usize].intersects(graph.label_sources(symbol))
-                {
-                    continue;
+                match graph.plan_step(state_frontier, symbol, frontier_len, policy) {
+                    StepPlan::Skip => continue,
+                    StepPlan::Masked => {
+                        graph.step_frontier_masked_into(state_frontier, symbol, step)
+                    }
+                    StepPlan::Plain => graph.step_frontier_into(state_frontier, symbol, step),
                 }
-                graph.step_frontier_into(&frontier[q as usize], symbol, step);
                 if step.is_empty() {
                     continue;
                 }
@@ -656,6 +705,34 @@ mod tests {
         let empty = Dfa::empty_language(3);
         assert!(eval_monadic_with(&mut scratch, &empty, &graph).is_empty());
         assert!(eval_binary_from_with(&mut scratch, &empty, &graph, 0).is_empty());
+    }
+
+    #[test]
+    fn every_step_policy_agrees() {
+        // Plain / Pruned / Masked / Auto are pure execution strategies:
+        // the selected sets must be bit-identical for monadic and binary
+        // semantics on every query shape, including dead labels and a
+        // query alphabet smaller than the graph's.
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        for expr in ["a", "eps", "(a·b)*·c", "b·b·c·c", "(a+b)*·c", "c·a*"] {
+            let q = query(&graph, expr);
+            let expected = eval_monadic(&q, &graph);
+            for policy in StepPolicy::ALL {
+                assert_eq!(
+                    eval_monadic_policy(&mut scratch, &q, &graph, policy),
+                    expected,
+                    "monadic {expr} under {policy:?}"
+                );
+                for source in graph.nodes() {
+                    assert_eq!(
+                        eval_binary_from_policy(&mut scratch, &q, &graph, source, policy),
+                        eval_binary_from(&q, &graph, source),
+                        "binary {expr} from {source} under {policy:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

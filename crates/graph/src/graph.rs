@@ -22,10 +22,17 @@
 //! bitmaps** ([`GraphDb::label_sources`] / [`GraphDb::label_targets`]):
 //! for each symbol, the set of nodes with at least one out- (resp. in-)
 //! edge of that label. A frontier step over a symbol can only produce
-//! output from frontier nodes in the matching bitmap, so the evaluators
-//! in [`crate::eval`] and [`crate::par_eval`] test
-//! `frontier ∩ label-active ≠ ∅` (one word-level AND scan) and skip dead
-//! symbols without touching the edge arrays.
+//! output from frontier nodes in the matching bitmap, which the kernels
+//! exploit at two strengths: **masked step kernels**
+//! ([`GraphDb::step_frontier_masked_into`] and twins) iterate
+//! `frontier ∩ label-active` word-by-word so masked-out nodes never cost
+//! an offset read, and the **cost-model gate** ([`GraphDb::plan_step`] /
+//! [`GraphDb::plan_step_back`], driven by a [`StepPolicy`]) prices each
+//! `(level, symbol)` step with one fused AND+popcount scan, choosing
+//! skip / masked / plain for the evaluators in [`crate::eval`] and
+//! [`crate::par_eval`]. Every frontier kernel also has a **ranged**
+//! variant over word-aligned node chunks (`*_range_into`), the unit of
+//! the intra-query node-range fan-out in [`crate::par_eval`].
 //!
 //! ## Complexity
 //!
@@ -43,13 +50,64 @@ use std::collections::HashMap;
 pub type NodeId = u32;
 
 /// A label is **sparse** when fewer than `|V| / SPARSE_LABEL_DIVISOR`
-/// nodes carry an edge of it (per direction). The per-label frontier
-/// pruning in the evaluators only runs its `frontier ∩ label-active`
+/// nodes carry an edge of it (per direction). The legacy
+/// [`StepPolicy::Pruned`] mode only runs its `frontier ∩ label-active`
 /// emptiness scan for sparse labels: against a dense label the
 /// intersection is almost never empty, so the scan is pure overhead
 /// (measured ≈ 8% on the calibrated 10k-node workload before this gate),
 /// while for genuinely sparse labels it is where the pruning wins live.
+/// [`StepPolicy::Auto`] supersedes this heuristic with a popcount cost
+/// model whose scan pays for itself on dense labels too (the masked
+/// kernel it selects skips the skipped nodes' offset reads).
 const SPARSE_LABEL_DIVISOR: usize = 4;
+
+/// How an evaluator executes its frontier step kernels — the knob behind
+/// the masked-kernel ablation in `bench_eval` and the cross-engine
+/// differential suite. Results are **bit-identical** across all policies;
+/// only the work performed per `(level, symbol)` step differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StepPolicy {
+    /// Plain kernels, no label-bitmap consultation — the exhaustive
+    /// baseline (every symbol with DFA transitions is stepped in full).
+    Plain,
+    /// Plain kernels behind the legacy sparsity-gated emptiness scan:
+    /// symbols whose label is sparse (see [`GraphDb::label_sources_sparse`])
+    /// and whose frontier misses the label's active set are skipped.
+    Pruned,
+    /// Masked kernels unconditionally: every step iterates
+    /// `frontier ∩ label-active` word-by-word, never the raw frontier.
+    Masked,
+    /// The cost-model gate (the default everywhere): per `(level, symbol)`
+    /// compare the intersection popcount against the frontier popcount and
+    /// pick the cheaper kernel — see [`GraphDb::plan_step`].
+    #[default]
+    Auto,
+}
+
+impl StepPolicy {
+    /// All policies, in ablation order — for differential tests and the
+    /// benchmark matrix.
+    pub const ALL: [StepPolicy; 4] = [
+        StepPolicy::Plain,
+        StepPolicy::Pruned,
+        StepPolicy::Masked,
+        StepPolicy::Auto,
+    ];
+}
+
+/// The per-`(level, symbol)` decision produced by [`GraphDb::plan_step`] /
+/// [`GraphDb::plan_step_back`] under a [`StepPolicy`]: skip the step
+/// entirely (provably empty), run the masked kernel, or run the plain one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepPlan {
+    /// No frontier node carries an edge of the symbol in the step
+    /// direction — the graph step is provably empty, skip it.
+    Skip,
+    /// Iterate `frontier ∩ label-active` (the masked kernel).
+    Masked,
+    /// Iterate the raw frontier (the plain kernel).
+    Plain,
+}
 
 /// An immutable, query-ready graph database. Build with [`GraphBuilder`].
 ///
@@ -85,6 +143,11 @@ pub struct GraphDb {
     label_sources: Vec<BitSet>,
     /// Per-symbol bitmap of nodes with ≥ 1 incoming edge of that label.
     label_targets: Vec<BitSet>,
+    /// `label_source_counts[a] = |label_sources[a]|`, frozen at build so
+    /// the step-kernel cost model never re-popcounts a label bitmap.
+    label_source_counts: Vec<u32>,
+    /// The in-edge twin of `label_source_counts`.
+    label_target_counts: Vec<u32>,
     /// `label_sources_sparse[a]` ⇔ fewer than `|V| / SPARSE_LABEL_DIVISOR`
     /// nodes have an out-edge labeled `a` — the gate for the per-label
     /// frontier pruning (see [`GraphDb::label_sources_sparse`]).
@@ -203,7 +266,7 @@ impl GraphDb {
     /// `true` iff fewer than `|V| / 4` nodes have an outgoing
     /// `sym`-labeled edge — the precomputed gate deciding whether a
     /// forward frontier-pruning scan against [`GraphDb::label_sources`]
-    /// is worth running (see [`SPARSE_LABEL_DIVISOR`]). `false` for
+    /// is worth running (fewer than `|V| / 4` active nodes). `false` for
     /// out-of-alphabet symbols: their (empty) steps are already skipped
     /// by the evaluators' transition checks.
     #[inline]
@@ -222,6 +285,125 @@ impl GraphDb {
             .get(sym.index())
             .copied()
             .unwrap_or(false)
+    }
+
+    /// `|label_sources(sym)|`, precomputed at build (0 for out-of-alphabet
+    /// symbols). The cost model uses it to shortcut labels active on
+    /// **every** node, where a mask provably cannot skip anything.
+    #[inline]
+    pub fn label_source_count(&self, sym: Symbol) -> usize {
+        self.label_source_counts
+            .get(sym.index())
+            .map_or(0, |&c| c as usize)
+    }
+
+    /// The in-edge twin of [`GraphDb::label_source_count`].
+    #[inline]
+    pub fn label_target_count(&self, sym: Symbol) -> usize {
+        self.label_target_counts
+            .get(sym.index())
+            .map_or(0, |&c| c as usize)
+    }
+
+    /// Number of `u64` words a `|V|`-capacity frontier occupies — the
+    /// granularity of the ranged step kernels and of the node-range
+    /// fan-out in [`crate::par_eval`].
+    #[inline]
+    pub fn num_node_words(&self) -> usize {
+        self.num_nodes().div_ceil(BitSet::BLOCK_BITS)
+    }
+
+    /// Shared cost model of [`GraphDb::plan_step`] /
+    /// [`GraphDb::plan_step_back`].
+    ///
+    /// Under [`StepPolicy::Auto`], one fused AND+popcount scan
+    /// ([`BitSet::intersection_len`]) prices the step: an empty
+    /// intersection skips it outright (for **every** label, not only
+    /// sparse ones as in the legacy `Pruned` mode); an intersection
+    /// strictly smaller than the frontier selects the masked kernel,
+    /// which pays one extra load+AND per word but skips the per-node
+    /// offset reads of every masked-out frontier node; an intersection
+    /// equal to the frontier selects the plain kernel (the mask cannot
+    /// skip anything, so its word loads would be pure overhead). Labels
+    /// active on all `|V|` nodes shortcut to `Plain` without scanning —
+    /// the precomputed count proves the mask is a no-op.
+    #[inline]
+    fn plan(
+        &self,
+        frontier: &BitSet,
+        frontier_len: usize,
+        active: &BitSet,
+        active_count: usize,
+        sparse: bool,
+        policy: StepPolicy,
+    ) -> StepPlan {
+        match policy {
+            StepPolicy::Plain => StepPlan::Plain,
+            StepPolicy::Pruned => {
+                if sparse && !frontier.intersects(active) {
+                    StepPlan::Skip
+                } else {
+                    StepPlan::Plain
+                }
+            }
+            StepPolicy::Masked => StepPlan::Masked,
+            StepPolicy::Auto => {
+                if active_count >= self.num_nodes() {
+                    return StepPlan::Plain;
+                }
+                let inter = frontier.intersection_len(active);
+                if inter == 0 {
+                    StepPlan::Skip
+                } else if inter < frontier_len {
+                    StepPlan::Masked
+                } else {
+                    StepPlan::Plain
+                }
+            }
+        }
+    }
+
+    /// Plans one **forward** step of `frontier` over `sym` under `policy`
+    /// (see [`StepPlan`]). `frontier_len` is the frontier's popcount; the
+    /// caller computes it once per `(level, state)` and amortizes it over
+    /// every symbol of the level (it is only read by
+    /// [`StepPolicy::Auto`], pass 0 otherwise).
+    #[inline]
+    pub fn plan_step(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        frontier_len: usize,
+        policy: StepPolicy,
+    ) -> StepPlan {
+        self.plan(
+            frontier,
+            frontier_len,
+            self.label_sources(sym),
+            self.label_source_count(sym),
+            self.label_sources_sparse(sym),
+            policy,
+        )
+    }
+
+    /// The **backward** twin of [`GraphDb::plan_step`], pricing the step
+    /// against [`GraphDb::label_targets`].
+    #[inline]
+    pub fn plan_step_back(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        frontier_len: usize,
+        policy: StepPolicy,
+    ) -> StepPlan {
+        self.plan(
+            frontier,
+            frontier_len,
+            self.label_targets(sym),
+            self.label_target_count(sym),
+            self.label_targets_sparse(sym),
+            policy,
+        )
     }
 
     /// Out-degree of `node`.
@@ -270,9 +452,114 @@ impl GraphDb {
     pub fn step_frontier_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
         debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
         out.clear();
-        for node in frontier.iter() {
-            for &(_, target) in self.successors(node as NodeId, sym) {
+        self.step_frontier_range_into(frontier, sym, 0..self.num_node_words(), out);
+    }
+
+    /// **Masked** forward frontier step: clears `out`, then inserts the
+    /// `sym`-successors of every node in `frontier ∩ label_sources(sym)`.
+    /// Identical output to [`GraphDb::step_frontier_into`] — nodes outside
+    /// the label's active set have no `sym`-out-edges and contribute
+    /// nothing — but the kernel never reads their offsets: per `u64` word
+    /// it loads the frontier block, ANDs in the label block, and iterates
+    /// only the surviving bits. One extra load+AND per word buys a skipped
+    /// two-offset read per masked-out node; [`GraphDb::plan_step`] prices
+    /// the trade per `(level, symbol)`.
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    /// use pathlearn_automata::BitSet;
+    ///
+    /// let graph = figure3_g0();
+    /// let c = graph.alphabet().symbol("c").unwrap();
+    /// let frontier = BitSet::full(graph.num_nodes());
+    /// let (mut masked, mut plain) = (BitSet::new(7), BitSet::new(7));
+    /// graph.step_frontier_masked_into(&frontier, c, &mut masked);
+    /// graph.step_frontier_into(&frontier, c, &mut plain);
+    /// assert_eq!(masked, plain); // only v3 is iterated by the masked kernel
+    /// ```
+    pub fn step_frontier_masked_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
+        debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
+        out.clear();
+        self.step_frontier_masked_range_into(frontier, sym, 0..self.num_node_words(), out);
+    }
+
+    /// Ranged forward frontier step over the frontier words
+    /// `words.start..words.end` (each word covers 64 node ids): inserts
+    /// the `sym`-successors of every frontier node in the range into
+    /// `out` **without clearing it** — ranged kernels accumulate, so the
+    /// union of any word-aligned partition of `0..num_node_words()`
+    /// equals the full kernel's output bit-for-bit. This is the unit of
+    /// the node-range fan-out in [`crate::par_eval`].
+    pub fn step_frontier_range_into(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        words: std::ops::Range<usize>,
+        out: &mut BitSet,
+    ) {
+        self.for_frontier_words(frontier, None, words, |node| {
+            for &(_, target) in self.successors(node, sym) {
                 out.insert(target as usize);
+            }
+        });
+    }
+
+    /// Ranged **masked** forward frontier step: the word range of
+    /// [`GraphDb::step_frontier_range_into`] with the iteration masked by
+    /// `label_sources(sym)` as in [`GraphDb::step_frontier_masked_into`].
+    /// Accumulates into `out` without clearing.
+    pub fn step_frontier_masked_range_into(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        words: std::ops::Range<usize>,
+        out: &mut BitSet,
+    ) {
+        self.for_frontier_words(frontier, Some(self.label_sources(sym)), words, |node| {
+            for &(_, target) in self.successors(node, sym) {
+                out.insert(target as usize);
+            }
+        });
+    }
+
+    /// Word-by-word frontier walk shared by every frontier kernel: for
+    /// each `u64` word of `frontier` in `words`, AND in the matching mask
+    /// word (when masked), then visit each surviving node id via
+    /// trailing-zero scans. Ranges are clamped to the frontier's block
+    /// count, so callers can pass any word-aligned chunk.
+    #[inline]
+    fn for_frontier_words(
+        &self,
+        frontier: &BitSet,
+        mask: Option<&BitSet>,
+        words: std::ops::Range<usize>,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        debug_assert_eq!(frontier.capacity(), self.num_nodes(), "frontier capacity");
+        let blocks = frontier.as_blocks();
+        let end = words.end.min(blocks.len());
+        let bits_per = BitSet::BLOCK_BITS;
+        match mask {
+            Some(mask) => {
+                let mask_blocks = mask.as_blocks();
+                for word in words.start..end {
+                    let mut bits = blocks[word] & mask_blocks[word];
+                    while bits != 0 {
+                        let node = word * bits_per + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        visit(node as NodeId);
+                    }
+                }
+            }
+            None => {
+                for word in words.start..end {
+                    let mut bits = blocks[word];
+                    while bits != 0 {
+                        let node = word * bits_per + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        visit(node as NodeId);
+                    }
+                }
             }
         }
     }
@@ -293,11 +580,52 @@ impl GraphDb {
     pub fn step_frontier_back_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
         debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
         out.clear();
-        for node in frontier.iter() {
-            for &(_, source) in self.predecessors(node as NodeId, sym) {
+        self.step_frontier_back_range_into(frontier, sym, 0..self.num_node_words(), out);
+    }
+
+    /// **Masked** backward frontier step — the backward twin of
+    /// [`GraphDb::step_frontier_masked_into`], iterating
+    /// `frontier ∩ label_targets(sym)` (only those frontier nodes have
+    /// `sym`-in-edges). Clears `out`; output is identical to
+    /// [`GraphDb::step_frontier_back_into`].
+    pub fn step_frontier_back_masked_into(&self, frontier: &BitSet, sym: Symbol, out: &mut BitSet) {
+        debug_assert_eq!(out.capacity(), self.num_nodes(), "scratch capacity");
+        out.clear();
+        self.step_frontier_back_masked_range_into(frontier, sym, 0..self.num_node_words(), out);
+    }
+
+    /// Ranged backward frontier step — the backward twin of
+    /// [`GraphDb::step_frontier_range_into`]. Accumulates into `out`
+    /// without clearing.
+    pub fn step_frontier_back_range_into(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        words: std::ops::Range<usize>,
+        out: &mut BitSet,
+    ) {
+        self.for_frontier_words(frontier, None, words, |node| {
+            for &(_, source) in self.predecessors(node, sym) {
                 out.insert(source as usize);
             }
-        }
+        });
+    }
+
+    /// Ranged **masked** backward frontier step — the backward twin of
+    /// [`GraphDb::step_frontier_masked_range_into`], masked by
+    /// `label_targets(sym)`. Accumulates into `out` without clearing.
+    pub fn step_frontier_back_masked_range_into(
+        &self,
+        frontier: &BitSet,
+        sym: Symbol,
+        words: std::ops::Range<usize>,
+        out: &mut BitSet,
+    ) {
+        self.for_frontier_words(frontier, Some(self.label_targets(sym)), words, |node| {
+            for &(_, source) in self.predecessors(node, sym) {
+                out.insert(source as usize);
+            }
+        });
     }
 
     /// One forward simulation step on a **sparse** node set (sorted,
@@ -320,6 +648,23 @@ impl GraphDb {
         out.clear();
         for &node in set {
             out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// **Masked** sparse step — the sparse twin of
+    /// [`GraphDb::step_frontier_masked_into`]: skips set members outside
+    /// `label_sources(sym)` with one bitmap probe each, so edge-less
+    /// nodes never touch the offset table. Output is identical to
+    /// [`GraphDb::step_sparse_into`] (sorted, deduplicated).
+    pub fn step_sparse_masked_into(&self, set: &[NodeId], sym: Symbol, out: &mut Vec<NodeId>) {
+        out.clear();
+        let active = self.label_sources(sym);
+        for &node in set {
+            if active.contains(node as usize) {
+                out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+            }
         }
         out.sort_unstable();
         out.dedup();
@@ -476,13 +821,18 @@ impl GraphBuilder {
         for &(dst, sym, _) in &backward {
             label_targets[sym.index()].insert(dst as usize);
         }
-        let sparse = |sets: &[BitSet]| -> Vec<bool> {
-            sets.iter()
-                .map(|set| set.len() * SPARSE_LABEL_DIVISOR < n)
+        let counts =
+            |sets: &[BitSet]| -> Vec<u32> { sets.iter().map(|s| s.len() as u32).collect() };
+        let label_source_counts = counts(&label_sources);
+        let label_target_counts = counts(&label_targets);
+        let sparse = |counts: &[u32]| -> Vec<bool> {
+            counts
+                .iter()
+                .map(|&count| count as usize * SPARSE_LABEL_DIVISOR < n)
                 .collect()
         };
-        let label_sources_sparse = sparse(&label_sources);
-        let label_targets_sparse = sparse(&label_targets);
+        let label_sources_sparse = sparse(&label_source_counts);
+        let label_targets_sparse = sparse(&label_target_counts);
 
         GraphDb {
             alphabet: self.alphabet,
@@ -496,6 +846,8 @@ impl GraphBuilder {
             in_edges,
             label_sources,
             label_targets,
+            label_source_counts,
+            label_target_counts,
             label_sources_sparse,
             label_targets_sparse,
             no_label_nodes: BitSet::new(n),
@@ -746,6 +1098,163 @@ mod tests {
         assert!(graph.label_sources_sparse(c));
         assert!(!graph.label_sources_sparse(Symbol::from_index(17)));
         assert!(!graph.label_targets_sparse(Symbol::from_index(17)));
+    }
+
+    #[test]
+    fn masked_kernels_match_plain_on_every_g0_subset() {
+        let graph = figure3_g0();
+        let n = graph.num_nodes();
+        for sym in graph.alphabet().symbols() {
+            for mask in 0u32..(1 << n) {
+                let frontier = BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+                let mut plain = BitSet::new(n);
+                let mut masked = BitSet::new(n);
+                graph.step_frontier_into(&frontier, sym, &mut plain);
+                graph.step_frontier_masked_into(&frontier, sym, &mut masked);
+                assert_eq!(masked, plain, "forward {sym:?} {mask:b}");
+                graph.step_frontier_back_into(&frontier, sym, &mut plain);
+                graph.step_frontier_back_masked_into(&frontier, sym, &mut masked);
+                assert_eq!(masked, plain, "backward {sym:?} {mask:b}");
+            }
+            let every: Vec<NodeId> = graph.nodes().collect();
+            let mut plain = Vec::new();
+            let mut masked = Vec::new();
+            graph.step_sparse_into(&every, sym, &mut plain);
+            graph.step_sparse_masked_into(&every, sym, &mut masked);
+            assert_eq!(masked, plain, "sparse {sym:?}");
+        }
+    }
+
+    #[test]
+    fn label_counts_match_bitmap_population() {
+        let graph = figure3_g0();
+        for sym in graph.alphabet().symbols() {
+            assert_eq!(
+                graph.label_source_count(sym),
+                graph.label_sources(sym).len()
+            );
+            assert_eq!(
+                graph.label_target_count(sym),
+                graph.label_targets(sym).len()
+            );
+        }
+        assert_eq!(graph.label_source_count(Symbol::from_index(17)), 0);
+        assert_eq!(graph.label_target_count(Symbol::from_index(17)), 0);
+        assert_eq!(graph.num_node_words(), 1);
+    }
+
+    #[test]
+    fn plan_step_cost_model_decisions() {
+        let graph = figure3_g0();
+        let a = graph.alphabet().symbol("a").unwrap();
+        let c = graph.alphabet().symbol("c").unwrap();
+        let v1 = graph.node_id("v1").unwrap() as usize;
+        let v3 = graph.node_id("v3").unwrap() as usize;
+        let full = BitSet::full(graph.num_nodes());
+
+        // Plain policy never consults the bitmaps.
+        assert_eq!(
+            graph.plan_step(&full, c, full.len(), StepPolicy::Plain),
+            StepPlan::Plain
+        );
+        // Masked policy always masks.
+        assert_eq!(
+            graph.plan_step(&full, a, full.len(), StepPolicy::Masked),
+            StepPlan::Masked
+        );
+        // Auto: full frontier over c (1 of 7 nodes active) → masked.
+        assert_eq!(
+            graph.plan_step(&full, c, full.len(), StepPolicy::Auto),
+            StepPlan::Masked
+        );
+        // Auto: frontier ⊆ label-active (v3 has an out c-edge) → plain,
+        // the mask cannot skip anything.
+        let only_v3 = BitSet::from_indices(graph.num_nodes(), [v3]);
+        assert_eq!(
+            graph.plan_step(&only_v3, c, 1, StepPolicy::Auto),
+            StepPlan::Plain
+        );
+        // Auto: frontier disjoint from label-active → skip, dense or not.
+        let only_v1 = BitSet::from_indices(graph.num_nodes(), [v1]);
+        assert_eq!(
+            graph.plan_step(&only_v1, c, 1, StepPolicy::Auto),
+            StepPlan::Skip
+        );
+        // Pruned: c is sparse, so the emptiness scan runs and skips...
+        assert_eq!(
+            graph.plan_step(&only_v1, c, 1, StepPolicy::Pruned),
+            StepPlan::Skip
+        );
+        // ...but a is dense, so Pruned steps it blindly even when the
+        // frontier is dead (v4 has no out-edges at all).
+        let v4 = graph.node_id("v4").unwrap() as usize;
+        let only_v4 = BitSet::from_indices(graph.num_nodes(), [v4]);
+        assert_eq!(
+            graph.plan_step(&only_v4, a, 1, StepPolicy::Pruned),
+            StepPlan::Plain
+        );
+        // Auto skips it: the intersection popcount is 0.
+        assert_eq!(
+            graph.plan_step(&only_v4, a, 1, StepPolicy::Auto),
+            StepPlan::Skip
+        );
+        // Backward twin consults label_targets: only v4 has a c-in-edge.
+        assert_eq!(
+            graph.plan_step_back(&only_v3, c, 1, StepPolicy::Auto),
+            StepPlan::Skip
+        );
+        assert_eq!(
+            graph.plan_step_back(&only_v4, c, 1, StepPolicy::Auto),
+            StepPlan::Plain
+        );
+    }
+
+    #[test]
+    fn ranged_kernels_accumulate_and_partition() {
+        // On a >64-node graph, any word-aligned partition of the range
+        // must reproduce the full kernel, and ranged kernels must NOT
+        // clear their output buffer.
+        let mut builder = GraphBuilder::new();
+        let first = builder.add_nodes("n", 130);
+        let a = builder.intern("a");
+        for i in 0..130u32 {
+            builder.add_edge_ids(first + i, a, first + (i * 7 + 1) % 130);
+        }
+        let graph = builder.build();
+        let frontier = BitSet::from_indices(130, (0..130).filter(|i| i % 3 == 0));
+        let mut full = BitSet::new(130);
+        graph.step_frontier_into(&frontier, a, &mut full);
+        let words = graph.num_node_words();
+        assert_eq!(words, 3);
+        for chunk in 1..=words {
+            let mut acc = BitSet::new(130);
+            let mut start = 0;
+            while start < words {
+                graph.step_frontier_range_into(&frontier, a, start..start + chunk, &mut acc);
+                start += chunk;
+            }
+            assert_eq!(acc, full, "chunk {chunk}");
+            let mut acc_masked = BitSet::new(130);
+            let mut start = 0;
+            while start < words {
+                graph.step_frontier_masked_range_into(
+                    &frontier,
+                    a,
+                    start..start + chunk,
+                    &mut acc_masked,
+                );
+                start += chunk;
+            }
+            assert_eq!(acc_masked, full, "masked chunk {chunk}");
+        }
+        // Accumulation: a pre-existing bit survives a ranged call.
+        let mut acc = BitSet::from_indices(130, [129]);
+        graph.step_frontier_range_into(&frontier, a, 0..1, &mut acc);
+        assert!(acc.contains(129));
+        // Out-of-range word indices are clamped, not panicking.
+        let mut clamped = BitSet::new(130);
+        graph.step_frontier_range_into(&frontier, a, 0..words + 10, &mut clamped);
+        assert_eq!(clamped, full);
     }
 
     #[test]

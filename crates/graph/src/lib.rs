@@ -42,6 +42,6 @@ pub mod paths;
 pub mod sampling;
 pub mod scp;
 
-pub use graph::{GraphBuilder, GraphDb, NodeId};
+pub use graph::{GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
 pub use par_eval::{EvalPool, IntraScratch};
 pub use scp::ScpFinder;

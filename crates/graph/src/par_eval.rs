@@ -27,14 +27,30 @@
 //! intra-query twins of the sequential evaluators,
 //! [`EvalPool::eval_monadic`] and [`EvalPool::eval_binary_from`]: at
 //! each BFS level the `(state, symbol)` step kernels — one batched graph
-//! step each — are claimed by worker threads from an atomic cursor, with
-//! per-worker [`IntraScratch`] accumulators, and the per-worker partial
-//! frontiers are **OR-merged deterministically** (states scanned in
-//! index order, merges against `reached` being order-independent
-//! set-unions) after every level. Per-label frontier pruning
-//! ([`GraphDb::label_targets`] / [`GraphDb::label_sources`]) drops dead
-//! symbols before tasks are even created, in both the sequential and
-//! the fanned-out path.
+//! step each, planned skip/masked/plain by the step cost model
+//! ([`GraphDb::plan_step_back`] / [`GraphDb::plan_step`] under the
+//! pool's [`StepPolicy`]) — are claimed by worker threads from an atomic
+//! cursor, with per-worker [`IntraScratch`] accumulators, and the
+//! per-worker partial frontiers are **OR-merged deterministically**
+//! (states scanned in index order, merges against `reached` being
+//! order-independent set-unions) after every level.
+//!
+//! ## Node-range fan-out (the second level)
+//!
+//! `(state, symbol)` granularity bottoms out at ≤ 1 task per level for
+//! the paper's common 2-state single-label queries — no parallelism at
+//! all. When a level harvests **fewer tasks than workers**, each task's
+//! node range is split into **word-aligned chunks** (`u64` frontier
+//! words, see [`GraphDb::step_frontier_back_masked_range_into`] and
+//! twins) and the workers claim `(task, chunk)` cells from the **same
+//! atomic cursor** over the task × chunk grid. Chunk outputs OR into the
+//! same per-worker accumulators, and since the union of any word-aligned
+//! partition equals the full kernel's output, the per-level merge — and
+//! therefore the final result — stays **bit-identical to sequential at
+//! any thread count and any chunk size** (proptested across threads
+//! {1, 2, 4} × chunk widths {1, 4, auto}). The auto chunk width targets
+//! a few chunks per worker with a floor that bounds per-claim overhead;
+//! [`EvalPool::with_intra_chunk_words`] pins it for tests and benches.
 //!
 //! ## Determinism
 //!
@@ -51,14 +67,25 @@
 //! [`EvalPool::from_env`], which reads the `PATHLEARN_THREADS` environment
 //! variable and falls back to [`std::thread::available_parallelism`].
 
-use crate::eval::{eval_binary_from_with, eval_monadic_with, EvalScratch, RevIndex};
-use crate::graph::{GraphDb, NodeId};
+use crate::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch, RevIndex};
+use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Environment variable consulted by [`EvalPool::from_env`].
 pub const THREADS_ENV: &str = "PATHLEARN_THREADS";
+
+/// Auto chunk sizing for the node-range fan-out: target this many chunks
+/// per worker across a level's tasks (headroom for dynamic balancing
+/// without flooding the cursor)...
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// ...but never chunk finer than this many frontier words (256 nodes),
+/// bounding the per-claim overhead (cursor increment + kernel call) for
+/// small graphs. Explicit [`EvalPool::with_intra_chunk_words`] overrides
+/// may go below the floor (the determinism proptests pin 1-word chunks).
+const MIN_AUTO_CHUNK_WORDS: usize = 4;
 
 /// A shareable handle to a thread pool for batch RPQ evaluation.
 ///
@@ -87,6 +114,11 @@ pub struct EvalPool {
     threads: usize,
     /// `None` iff `threads == 1` (the sequential path).
     pool: Option<Arc<rayon::ThreadPool>>,
+    /// Step-kernel policy applied by every evaluation this pool runs.
+    step_policy: StepPolicy,
+    /// Node-range chunk width (frontier words) for the intra-query
+    /// fan-out; `None` = auto sizing.
+    chunk_words: Option<usize>,
 }
 
 impl Default for EvalPool {
@@ -118,7 +150,12 @@ impl EvalPool {
                     .expect("build evaluation thread pool"),
             )
         });
-        EvalPool { threads, pool }
+        EvalPool {
+            threads,
+            pool,
+            step_policy: StepPolicy::default(),
+            chunk_words: None,
+        }
     }
 
     /// The strictly sequential pool (no worker threads).
@@ -126,7 +163,60 @@ impl EvalPool {
         EvalPool {
             threads: 1,
             pool: None,
+            step_policy: StepPolicy::default(),
+            chunk_words: None,
         }
+    }
+
+    /// Sets the step-kernel policy (see [`StepPolicy`]) applied by every
+    /// evaluation this pool runs, sequential and parallel paths alike.
+    /// Results are bit-identical under every policy; the knob exists for
+    /// the masked-kernel ablation and differential testing.
+    pub fn with_step_policy(mut self, policy: StepPolicy) -> Self {
+        self.step_policy = policy;
+        self
+    }
+
+    /// The configured step-kernel policy ([`StepPolicy::Auto`] unless
+    /// overridden).
+    pub fn step_policy(&self) -> StepPolicy {
+        self.step_policy
+    }
+
+    /// Pins the node-range fan-out's chunk width to `words` frontier
+    /// words (64 nodes each; clamped to ≥ 1). By default the width is
+    /// sized automatically per level; pinning it exists for the
+    /// determinism proptests and the granularity ablation in
+    /// `bench_eval`. Any width yields bit-identical results.
+    pub fn with_intra_chunk_words(mut self, words: usize) -> Self {
+        self.chunk_words = Some(words.max(1));
+        self
+    }
+
+    /// The pinned node-range chunk width, if any (`None` = auto).
+    pub fn intra_chunk_words(&self) -> Option<usize> {
+        self.chunk_words
+    }
+
+    /// The `(chunks_per_task, chunk_words)` grain of one intra-query
+    /// level: `tasks × chunks_per_task` cells claimed from one atomic
+    /// cursor. Node ranges are only split when the level has fewer tasks
+    /// than workers (the ≤ 1-task-per-level regime of 2-state
+    /// single-label queries); otherwise tasks are already ample and each
+    /// keeps its full `0..words` range.
+    fn level_grain(&self, tasks: usize, words: usize) -> (usize, usize) {
+        if tasks == 0 || tasks >= self.threads || words <= 1 {
+            return (1, words.max(1));
+        }
+        let chunk_words = match self.chunk_words {
+            Some(pinned) => pinned,
+            None => {
+                let target_chunks = (self.threads * CHUNKS_PER_WORKER).div_ceil(tasks);
+                words.div_ceil(target_chunks).max(MIN_AUTO_CHUNK_WORDS)
+            }
+        }
+        .clamp(1, words);
+        (words.div_ceil(chunk_words), chunk_words)
     }
 
     /// Creates a pool sized by the `PATHLEARN_THREADS` environment
@@ -230,8 +320,9 @@ impl EvalPool {
     /// hypothesis queries per example batch. `result[i]` is exactly
     /// [`crate::eval::eval_monadic`]`(&queries[i], graph)`.
     pub fn eval_monadic_batch(&self, queries: &[Dfa], graph: &GraphDb) -> Vec<BitSet> {
+        let policy = self.step_policy;
         self.fan_out(queries.len(), |scratch, index| {
-            eval_monadic_with(scratch, &queries[index], graph)
+            eval_monadic_policy(scratch, &queries[index], graph, policy)
         })
     }
 
@@ -243,8 +334,9 @@ impl EvalPool {
         graph: &GraphDb,
         sources: &[NodeId],
     ) -> Vec<BitSet> {
+        let policy = self.step_policy;
         self.fan_out(sources.len(), |scratch, index| {
-            eval_binary_from_with(scratch, query, graph, sources[index])
+            eval_binary_from_policy(scratch, query, graph, sources[index], policy)
         })
     }
 
@@ -255,16 +347,18 @@ impl EvalPool {
     /// count.
     pub fn eval_binary_union(&self, query: &Dfa, graph: &GraphDb, sources: &[NodeId]) -> BitSet {
         let v = graph.num_nodes();
+        let policy = self.step_policy;
         match &self.pool {
             Some(pool) if sources.len() > 1 => {
                 let threads = self.threads.min(sources.len());
                 let mut parts: Vec<BitSet> = (0..threads).map(|_| BitSet::new(v)).collect();
                 Self::claim_chunks(pool, &mut parts, sources.len(), |part, scratch, index| {
-                    part.union_with(&eval_binary_from_with(
+                    part.union_with(&eval_binary_from_policy(
                         scratch,
                         query,
                         graph,
                         sources[index],
+                        policy,
                     ));
                 });
                 let mut union = BitSet::new(v);
@@ -277,7 +371,13 @@ impl EvalPool {
                 let mut scratch = EvalScratch::new();
                 let mut union = BitSet::new(v);
                 for &source in sources {
-                    union.union_with(&eval_binary_from_with(&mut scratch, query, graph, source));
+                    union.union_with(&eval_binary_from_policy(
+                        &mut scratch,
+                        query,
+                        graph,
+                        source,
+                        policy,
+                    ));
                 }
                 union
             }
@@ -314,16 +414,21 @@ impl EvalPool {
     /// The backward level-synchronous product BFS of
     /// [`crate::eval::eval_monadic_with`], with each level's work split
     /// into `(state, symbol)` **step tasks** — pairs with reverse DFA
-    /// transitions and a frontier intersecting the symbol's active-node
-    /// bitmap. Workers claim tasks from an atomic cursor, step the
-    /// frontier through the label-partitioned CSR into their own
-    /// buffers, and OR the result into per-worker per-state accumulators;
-    /// the caller then merges accumulators into `reached`/`next_frontier`
-    /// in state-index order. The merged level outcome is
+    /// transitions whose step the cost model did not prove empty, each
+    /// planned masked or plain ([`GraphDb::plan_step_back`]). Workers
+    /// claim tasks from an atomic cursor, step the frontier through the
+    /// label-partitioned CSR into their own buffers, and OR the result
+    /// into per-worker per-state accumulators; the caller then merges
+    /// accumulators into `reached`/`next_frontier` in state-index order.
+    /// When a level has fewer tasks than workers, each task's node range
+    /// is further split into word-aligned chunks claimed from the same
+    /// cursor (see the module docs). The merged level outcome is
     /// `(⋃ steps into p) \ reached[p]` regardless of which worker
-    /// produced which piece, so results are bit-identical to sequential
-    /// scheduling at any thread count. Levels with at most one task run
-    /// inline without touching the pool.
+    /// produced which piece — and the union over chunks of a
+    /// word-aligned partition is the full step — so results are
+    /// bit-identical to sequential scheduling at any thread count and
+    /// chunk width. Levels with a single grain run inline without
+    /// touching the pool.
     pub fn eval_monadic_with(
         &self,
         scratch: &mut IntraScratch,
@@ -331,8 +436,9 @@ impl EvalPool {
         graph: &GraphDb,
     ) -> BitSet {
         let Some(pool) = self.pool.as_deref() else {
-            return eval_monadic_with(&mut scratch.eval, query, graph);
+            return eval_monadic_policy(&mut scratch.eval, query, graph, self.step_policy);
         };
+        let policy = self.step_policy;
         let v = graph.num_nodes();
         let q_states = query.num_states();
         if v == 0 || q_states == 0 {
@@ -361,27 +467,39 @@ impl EvalPool {
             active.push(f as StateId);
         }
 
+        let words = graph.num_node_words();
         while !active.is_empty() {
             // Task list for this level: (state, symbol) pairs that can
             // actually produce predecessors — reverse DFA transitions
-            // exist and the frontier intersects the label's target set.
+            // exist and the cost model did not prove the step empty —
+            // each carrying its planned kernel (masked or plain).
             tasks.clear();
             for &q in active.iter() {
+                let state_frontier = &frontier[q as usize];
+                let frontier_len = if policy == StepPolicy::Auto {
+                    state_frontier.len()
+                } else {
+                    0
+                };
                 for sym in 0..rev.sigma {
                     if rev.predecessors(q, sym).is_empty() {
                         continue;
                     }
                     let symbol = Symbol::from_index(sym);
-                    if graph.label_targets_sparse(symbol)
-                        && !frontier[q as usize].intersects(graph.label_targets(symbol))
-                    {
-                        continue;
+                    match graph.plan_step_back(state_frontier, symbol, frontier_len, policy) {
+                        StepPlan::Skip => continue,
+                        plan => tasks.push(StepTask {
+                            state: q,
+                            sym: sym as u32,
+                            masked: plan == StepPlan::Masked,
+                        }),
                     }
-                    tasks.push((q, sym as u32));
                 }
             }
-            if tasks.len() > 1 {
-                let live = self.threads.min(tasks.len());
+            let (chunks_per_task, chunk_words) = self.level_grain(tasks.len(), words);
+            let total = tasks.len() * chunks_per_task;
+            if total > 1 {
+                let live = self.threads.min(total);
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
                 let tasks = &*tasks;
@@ -391,19 +509,34 @@ impl EvalPool {
                     for part in parts[..live].iter_mut() {
                         scope.spawn(move |_| loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(q, sym)) = tasks.get(index) else {
+                            if index >= total {
                                 break;
-                            };
-                            let symbol = Symbol::from_index(sym as usize);
-                            graph.step_frontier_back_into(
-                                &frontier[q as usize],
-                                symbol,
-                                &mut part.step,
-                            );
+                            }
+                            let task = &tasks[index / chunks_per_task];
+                            let chunk = index % chunks_per_task;
+                            let range = chunk * chunk_words..((chunk + 1) * chunk_words).min(words);
+                            let symbol = Symbol::from_index(task.sym as usize);
+                            let state_frontier = &frontier[task.state as usize];
+                            part.step.clear();
+                            if task.masked {
+                                graph.step_frontier_back_masked_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            } else {
+                                graph.step_frontier_back_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            }
                             if part.step.is_empty() {
                                 continue;
                             }
-                            for &p in rev.predecessors(q, sym as usize) {
+                            for &p in rev.predecessors(task.state, task.sym as usize) {
                                 part.acc[p as usize].union_with(&part.step);
                                 part.touched.insert(p as usize);
                             }
@@ -411,13 +544,18 @@ impl EvalPool {
                     }
                 });
                 merge_level(reached, next_frontier, next_active, &mut parts[..live]);
-            } else if let Some(&(q, sym)) = tasks.first() {
-                // One live task: stepping inline costs nothing extra and
+            } else if let Some(task) = tasks.first() {
+                // One grain: stepping inline costs nothing extra and
                 // skips the scope round-trip.
-                let symbol = Symbol::from_index(sym as usize);
-                graph.step_frontier_back_into(&frontier[q as usize], symbol, step);
+                let symbol = Symbol::from_index(task.sym as usize);
+                let state_frontier = &frontier[task.state as usize];
+                if task.masked {
+                    graph.step_frontier_back_masked_into(state_frontier, symbol, step);
+                } else {
+                    graph.step_frontier_back_into(state_frontier, symbol, step);
+                }
                 if !step.is_empty() {
-                    for &p in rev.predecessors(q, sym as usize) {
+                    for &p in rev.predecessors(task.state, task.sym as usize) {
                         let p = p as usize;
                         let was_empty = next_frontier[p].is_empty();
                         if reached[p].union_with_recording_new(step, &mut next_frontier[p])
@@ -471,8 +609,15 @@ impl EvalPool {
         source: NodeId,
     ) -> BitSet {
         let Some(pool) = self.pool.as_deref() else {
-            return eval_binary_from_with(&mut scratch.eval, query, graph, source);
+            return eval_binary_from_policy(
+                &mut scratch.eval,
+                query,
+                graph,
+                source,
+                self.step_policy,
+            );
         };
+        let policy = self.step_policy;
         let v = graph.num_nodes();
         let q_states = query.num_states();
         let mut result = BitSet::new(v);
@@ -498,24 +643,35 @@ impl EvalPool {
         frontier[q0 as usize].insert(source as usize);
         active.push(q0);
 
+        let words = graph.num_node_words();
         while !active.is_empty() {
             tasks.clear();
             for &q in active.iter() {
+                let state_frontier = &frontier[q as usize];
+                let frontier_len = if policy == StepPolicy::Auto {
+                    state_frontier.len()
+                } else {
+                    0
+                };
                 for sym in 0..sigma {
                     let symbol = Symbol::from_index(sym);
                     if query.step(q, symbol).is_none() {
                         continue;
                     }
-                    if graph.label_sources_sparse(symbol)
-                        && !frontier[q as usize].intersects(graph.label_sources(symbol))
-                    {
-                        continue;
+                    match graph.plan_step(state_frontier, symbol, frontier_len, policy) {
+                        StepPlan::Skip => continue,
+                        plan => tasks.push(StepTask {
+                            state: q,
+                            sym: sym as u32,
+                            masked: plan == StepPlan::Masked,
+                        }),
                     }
-                    tasks.push((q, sym as u32));
                 }
             }
-            if tasks.len() > 1 {
-                let live = self.threads.min(tasks.len());
+            let (chunks_per_task, chunk_words) = self.level_grain(tasks.len(), words);
+            let total = tasks.len() * chunks_per_task;
+            if total > 1 {
+                let live = self.threads.min(total);
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
                 let tasks = &*tasks;
@@ -524,14 +680,33 @@ impl EvalPool {
                     for part in parts[..live].iter_mut() {
                         scope.spawn(move |_| loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(q, sym)) = tasks.get(index) else {
+                            if index >= total {
                                 break;
-                            };
-                            let symbol = Symbol::from_index(sym as usize);
-                            let Some(next_state) = query.step(q, symbol) else {
+                            }
+                            let task = &tasks[index / chunks_per_task];
+                            let chunk = index % chunks_per_task;
+                            let range = chunk * chunk_words..((chunk + 1) * chunk_words).min(words);
+                            let symbol = Symbol::from_index(task.sym as usize);
+                            let Some(next_state) = query.step(task.state, symbol) else {
                                 continue;
                             };
-                            graph.step_frontier_into(&frontier[q as usize], symbol, &mut part.step);
+                            let state_frontier = &frontier[task.state as usize];
+                            part.step.clear();
+                            if task.masked {
+                                graph.step_frontier_masked_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            } else {
+                                graph.step_frontier_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            }
                             if part.step.is_empty() {
                                 continue;
                             }
@@ -541,10 +716,15 @@ impl EvalPool {
                     }
                 });
                 merge_level(reached, next_frontier, next_active, &mut parts[..live]);
-            } else if let Some(&(q, sym)) = tasks.first() {
-                let symbol = Symbol::from_index(sym as usize);
-                if let Some(next_state) = query.step(q, symbol) {
-                    graph.step_frontier_into(&frontier[q as usize], symbol, step);
+            } else if let Some(task) = tasks.first() {
+                let symbol = Symbol::from_index(task.sym as usize);
+                if let Some(next_state) = query.step(task.state, symbol) {
+                    let state_frontier = &frontier[task.state as usize];
+                    if task.masked {
+                        graph.step_frontier_masked_into(state_frontier, symbol, step);
+                    } else {
+                        graph.step_frontier_into(state_frontier, symbol, step);
+                    }
                     if !step.is_empty() {
                         let p = next_state as usize;
                         let was_empty = next_frontier[p].is_empty();
@@ -604,6 +784,19 @@ fn merge_level(
     }
 }
 
+/// One planned `(state, symbol)` step kernel of an intra-query BFS
+/// level. `masked` carries the cost model's kernel choice
+/// ([`GraphDb::plan_step`] / [`GraphDb::plan_step_back`]) from harvest
+/// time to the workers, so the gate's popcount scan runs once per
+/// `(level, symbol)` no matter how many node-range chunks the task is
+/// split into.
+#[derive(Clone, Copy, Debug)]
+struct StepTask {
+    state: StateId,
+    sym: u32,
+    masked: bool,
+}
+
 /// Per-worker buffers for one intra-query evaluation level: a graph-step
 /// output set, one accumulator per DFA state, and the set of states this
 /// worker touched (so merge and clear visit only live accumulators).
@@ -624,8 +817,8 @@ struct LevelPart {
 pub struct IntraScratch {
     eval: EvalScratch,
     parts: Vec<LevelPart>,
-    /// `(state, symbol)` step tasks of the current level.
-    tasks: Vec<(StateId, u32)>,
+    /// Planned step tasks of the current level.
+    tasks: Vec<StepTask>,
 }
 
 impl IntraScratch {

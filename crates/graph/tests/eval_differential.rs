@@ -3,26 +3,36 @@
 //! Five evaluation engines coexist in this crate — the frontier-batched
 //! [`eval_monadic`], the seed queue-based [`eval_monadic_queued`], the
 //! per-node product-search [`eval_monadic_naive`], the intra-query
-//! parallel [`EvalPool::eval_monadic`], and the per-label-pruned /
-//! unpruned variants of each sequential path. On random graphs and
-//! random queries (both regex-derived DFAs and *raw* random DFAs with
-//! partial transition tables, dead states, and unreachable states) all
-//! engines must select **exactly** the same node sets, and the parallel
-//! twins must stay bit-identical at every thread count in {1, 2, 4}.
-//! The per-label active-node bitmaps feeding the pruning are checked
-//! against a from-scratch recomputation on the same random graphs.
+//! parallel [`EvalPool::eval_monadic`], and the sequential path under
+//! every step-kernel policy ([`StepPolicy`]: plain / legacy-pruned /
+//! masked / cost-model auto). On random graphs and random queries (both
+//! regex-derived DFAs and *raw* random DFAs with partial transition
+//! tables, dead states, and unreachable states) all engines must select
+//! **exactly** the same node sets, and the parallel twins must stay
+//! bit-identical at every thread count in {1, 2, 4} **and every
+//! node-range chunk width in {1 word, 4 words, auto}** — including the
+//! ≤ 1-task-per-level regime of 2-state single-label queries, where the
+//! node-range fan-out is the only parallelism there is. Label-density
+//! extremes (every label active on all nodes / on at most one node) are
+//! generated explicitly so the masked kernels and the cost-model gate
+//! see both of their boundary conditions. The per-label active-node
+//! bitmaps feeding it all are checked against a from-scratch
+//! recomputation on the same random graphs.
 
 use pathlearn_automata::{Alphabet, BitSet, Dfa, Regex, Symbol};
 use pathlearn_graph::eval::{
-    eval_binary_from, eval_binary_from_pruning, eval_monadic, eval_monadic_naive,
-    eval_monadic_pruning, eval_monadic_queued, EvalScratch,
+    eval_binary_from, eval_binary_from_policy, eval_binary_from_pruning, eval_monadic,
+    eval_monadic_naive, eval_monadic_policy, eval_monadic_queued, EvalScratch,
 };
 use pathlearn_graph::par_eval::{EvalPool, IntraScratch};
-use pathlearn_graph::{GraphBuilder, GraphDb};
+use pathlearn_graph::{GraphBuilder, GraphDb, StepPolicy};
 use proptest::prelude::*;
 
 const LABELS: [&str; 3] = ["a", "b", "c"];
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Node-range chunk widths for the intra-query fan-out: 1 word, 4
+/// words, and the auto sizing (`None`).
+const CHUNK_WIDTHS: [Option<usize>; 3] = [Some(1), Some(4), None];
 
 /// Strategy: a random small graph over {a, b, c}, possibly disconnected,
 /// with self-loops and parallel labels.
@@ -93,7 +103,10 @@ fn arb_query() -> impl Strategy<Value = Dfa> {
     prop_oneof![arb_regex_dfa(), arb_raw_dfa()]
 }
 
-/// All monadic engines against the frontier evaluator's result.
+/// All monadic engines against the frontier evaluator's result: the
+/// seed queue engine, the naive product engine, the sequential engine
+/// under every step policy, and the intra-query parallel twin at every
+/// thread count × chunk width.
 fn assert_monadic_engines_agree(graph: &GraphDb, query: &Dfa) -> Result<(), TestCaseError> {
     let expected = eval_monadic(query, graph);
     prop_assert_eq!(
@@ -107,26 +120,36 @@ fn assert_monadic_engines_agree(graph: &GraphDb, query: &Dfa) -> Result<(), Test
         "naive product engine disagrees"
     );
     let mut scratch = EvalScratch::new();
-    prop_assert_eq!(
-        &eval_monadic_pruning(&mut scratch, query, graph, false),
-        &expected,
-        "unpruned frontier engine disagrees"
-    );
+    for policy in StepPolicy::ALL {
+        prop_assert_eq!(
+            &eval_monadic_policy(&mut scratch, query, graph, policy),
+            &expected,
+            "sequential engine disagrees under {:?}",
+            policy
+        );
+    }
     let mut intra = IntraScratch::new();
     for threads in THREAD_COUNTS {
-        let pool = EvalPool::new(threads);
-        prop_assert_eq!(
-            &pool.eval_monadic(query, graph),
-            &expected,
-            "intra-query parallel engine disagrees at {} threads",
-            threads
-        );
-        prop_assert_eq!(
-            &pool.eval_monadic_with(&mut intra, query, graph),
-            &expected,
-            "intra-query parallel engine (reused scratch) disagrees at {} threads",
-            threads
-        );
+        for chunk in CHUNK_WIDTHS {
+            let pool = match chunk {
+                Some(words) => EvalPool::new(threads).with_intra_chunk_words(words),
+                None => EvalPool::new(threads),
+            };
+            prop_assert_eq!(
+                &pool.eval_monadic(query, graph),
+                &expected,
+                "intra-query parallel engine disagrees at {} threads, chunk {:?}",
+                threads,
+                chunk
+            );
+            prop_assert_eq!(
+                &pool.eval_monadic_with(&mut intra, query, graph),
+                &expected,
+                "intra-query parallel engine (reused scratch) disagrees at {} threads, chunk {:?}",
+                threads,
+                chunk
+            );
+        }
     }
     Ok(())
 }
@@ -143,7 +166,7 @@ proptest! {
     }
 
     /// Binary semantics from every source node: the sequential engine ≡
-    /// its unpruned variant ≡ the intra-query parallel twin at threads
+    /// every step policy ≡ the intra-query parallel twin at threads
     /// {1, 2, 4}.
     #[test]
     fn binary_engines_agree(graph in arb_graph(), query in arb_query()) {
@@ -156,6 +179,13 @@ proptest! {
                 &expected,
                 "unpruned binary engine disagrees from {}", source
             );
+            for policy in StepPolicy::ALL {
+                prop_assert_eq!(
+                    &eval_binary_from_policy(&mut scratch, &query, &graph, source, policy),
+                    &expected,
+                    "binary engine disagrees from {} under {:?}", source, policy
+                );
+            }
             for threads in THREAD_COUNTS {
                 let pool = EvalPool::new(threads);
                 prop_assert_eq!(
@@ -225,6 +255,143 @@ proptest! {
                 &targets,
                 "label_targets({:?})", sym
             );
+        }
+    }
+}
+
+/// Strategy: a graph at a **label-density extreme**. All-dense: every
+/// node carries an out- and in-edge of every label (ring per label), so
+/// every `frontier ∩ label-active` intersection equals the frontier and
+/// the cost model must fall back to plain kernels. All-sparse: each
+/// label has exactly one edge, so almost every intersection is empty and
+/// the masked path is where all pruning happens. Both extremes get a few
+/// random extra edges on top so the two regimes are not purely regular.
+fn arb_extreme_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        2usize..90,
+        any::<bool>(),
+        proptest::collection::vec((0u32..90, 0usize..3, 0u32..90), 0..8),
+    )
+        .prop_map(|(n, dense, extra)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            builder.add_nodes("n", n);
+            let n = n as u32;
+            if dense {
+                for i in 0..n {
+                    for sym in 0..3 {
+                        builder.add_edge_ids(i, Symbol::from_index(sym), (i + 1 + sym as u32) % n);
+                    }
+                }
+            } else {
+                for sym in 0..3 {
+                    builder.add_edge_ids(
+                        sym as u32 % n,
+                        Symbol::from_index(sym),
+                        (sym as u32 + 1) % n,
+                    );
+                }
+            }
+            for (src, sym, dst) in extra {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a 2-state DFA over a single symbol — the paper's common
+/// query shape where an intra-query level carries **at most one**
+/// `(state, symbol)` task, so only the node-range fan-out parallelizes
+/// anything. Variants: `a·a*` (both states step) and `{a}` (one step
+/// then done), with the symbol drawn from the 3-label alphabet.
+fn arb_two_state_single_label_dfa() -> impl Strategy<Value = Dfa> {
+    (0usize..3, any::<bool>()).prop_map(|(sym, looping)| {
+        let mut dfa = Dfa::new(2, 3, 0);
+        dfa.set_transition(0, Symbol::from_index(sym), 1);
+        if looping {
+            dfa.set_transition(1, Symbol::from_index(sym), 1);
+        }
+        dfa.set_final(1);
+        dfa
+    })
+}
+
+/// Strategy: a larger random graph (up to ~200 nodes, several frontier
+/// words) so the word-aligned node-range splitting actually produces
+/// multiple chunks per task.
+fn arb_wide_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        65usize..200,
+        proptest::collection::vec((0u32..200, 0usize..3, 0u32..200), 40..240),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            builder.add_nodes("n", n);
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Label-density extremes: masked ≡ plain ≡ pruned ≡ auto ≡ naive ≡
+    /// queued ≡ parallel, monadic and binary, on graphs where every
+    /// label is everywhere-active or nearly nowhere-active — the two
+    /// boundary conditions of the masked kernels and the popcount gate.
+    #[test]
+    fn engines_agree_at_density_extremes(
+        graph in arb_extreme_graph(),
+        query in arb_query(),
+    ) {
+        assert_monadic_engines_agree(&graph, &query)?;
+        let mut scratch = EvalScratch::new();
+        let source = 0;
+        let expected = eval_binary_from(&query, &graph, source);
+        for policy in StepPolicy::ALL {
+            prop_assert_eq!(
+                &eval_binary_from_policy(&mut scratch, &query, &graph, source, policy),
+                &expected,
+                "binary under {:?}", policy
+            );
+        }
+    }
+
+    /// Node-range splitting determinism in the ≤ 1-task-per-level
+    /// regime: a 2-state single-label DFA on a multi-word graph, where
+    /// each BFS level harvests at most one (state, symbol) task and the
+    /// only available parallelism is the word-aligned chunk fan-out.
+    /// Results at threads {1, 2, 4} × chunk widths {1 word, 4 words,
+    /// auto} must all be bit-identical to sequential, monadic and
+    /// binary, with scratch reuse across configurations.
+    #[test]
+    fn node_range_splitting_is_deterministic(
+        graph in arb_wide_graph(),
+        query in arb_two_state_single_label_dfa(),
+    ) {
+        let expected = eval_monadic(&query, &graph);
+        let source = (graph.num_nodes() / 2) as u32;
+        let expected_binary = eval_binary_from(&query, &graph, source);
+        let mut intra = IntraScratch::new();
+        for threads in THREAD_COUNTS {
+            for chunk in CHUNK_WIDTHS {
+                let pool = match chunk {
+                    Some(words) => EvalPool::new(threads).with_intra_chunk_words(words),
+                    None => EvalPool::new(threads),
+                };
+                prop_assert_eq!(
+                    &pool.eval_monadic_with(&mut intra, &query, &graph),
+                    &expected,
+                    "monadic at {} threads, chunk {:?}", threads, chunk
+                );
+                prop_assert_eq!(
+                    &pool.eval_binary_from_with(&mut intra, &query, &graph, source),
+                    &expected_binary,
+                    "binary at {} threads, chunk {:?}", threads, chunk
+                );
+            }
         }
     }
 }

@@ -1,0 +1,241 @@
+//! Kernel-level tests for the frontier step kernels.
+//!
+//! Until this suite, `step_frontier_into` and its masked/ranged twins
+//! were only exercised *through* the evaluators. Here the kernels are
+//! driven directly against a per-node adjacency oracle on adversarial
+//! frontiers — empty, full `|V|`, a single word, word-boundary
+//! straddlers — over graph sizes chosen to hit every block-layout edge
+//! (1, 63, 64, 65, 130 nodes), plus proptest-randomized graphs and
+//! frontiers. The invariants:
+//!
+//! * masked ≡ plain ≡ oracle for full kernels, forward and backward;
+//! * any word-aligned partition of the range reproduces the full
+//!   kernel (ranged kernels accumulate — they must not clear);
+//! * the sparse masked twin ≡ the sparse plain twin ≡ oracle;
+//! * full kernels clear stale scratch, and out-of-alphabet symbols
+//!   yield empty output at every kernel.
+
+use pathlearn_automata::{Alphabet, BitSet, Symbol};
+use pathlearn_graph::{GraphBuilder, GraphDb, NodeId};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+/// Per-node adjacency oracle for one forward step.
+fn oracle_forward(graph: &GraphDb, frontier: &BitSet, sym: Symbol) -> BitSet {
+    let mut out = BitSet::new(graph.num_nodes());
+    for node in frontier.iter() {
+        for &(_, target) in graph.successors(node as NodeId, sym) {
+            out.insert(target as usize);
+        }
+    }
+    out
+}
+
+/// Per-node adjacency oracle for one backward step.
+fn oracle_backward(graph: &GraphDb, frontier: &BitSet, sym: Symbol) -> BitSet {
+    let mut out = BitSet::new(graph.num_nodes());
+    for node in frontier.iter() {
+        for &(_, source) in graph.predecessors(node as NodeId, sym) {
+            out.insert(source as usize);
+        }
+    }
+    out
+}
+
+/// A deterministic n-node graph with edges of all three labels laid out
+/// to cross word boundaries: label `a` is a ring (every node active both
+/// directions), label `b` connects every third node (mixed density),
+/// label `c` has exactly one edge between the last and first node
+/// (sparse extreme; for n == 1 it is a self-loop).
+fn layout_graph(n: usize) -> GraphDb {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+    let first = builder.add_nodes("n", n);
+    let (a, b, c) = (
+        Symbol::from_index(0),
+        Symbol::from_index(1),
+        Symbol::from_index(2),
+    );
+    let n = n as u32;
+    for i in 0..n {
+        builder.add_edge_ids(first + i, a, first + (i + 1) % n);
+        if i % 3 == 0 {
+            builder.add_edge_ids(first + i, b, first + (i / 2) % n);
+        }
+    }
+    builder.add_edge_ids(first + n - 1, c, first);
+    builder.build()
+}
+
+/// The adversarial frontier set for an n-node graph: empty, full,
+/// single nodes at word boundaries (0, 62, 63, 64, 65, n-1), one full
+/// word, a bit pattern straddling the first word boundary, and an
+/// every-other-node comb.
+fn adversarial_frontiers(n: usize) -> Vec<BitSet> {
+    let mut frontiers = vec![
+        BitSet::new(n),
+        BitSet::full(n),
+        BitSet::from_indices(n, (0..n).filter(|i| i % 2 == 0)),
+        BitSet::from_indices(n, 0..n.min(64)),
+    ];
+    for boundary in [0usize, 62, 63, 64, 65, n - 1] {
+        if boundary < n {
+            frontiers.push(BitSet::from_indices(n, [boundary]));
+        }
+    }
+    if n > 64 {
+        // Straddle the first word boundary: bits 60..=67 (clamped).
+        frontiers.push(BitSet::from_indices(n, (60..68).filter(|&i| i < n)));
+    }
+    frontiers
+}
+
+fn assert_kernels_match_oracle(graph: &GraphDb, frontier: &BitSet, sym: Symbol) {
+    let n = graph.num_nodes();
+    let words = graph.num_node_words();
+    let expected_fwd = oracle_forward(graph, frontier, sym);
+    let expected_bwd = oracle_backward(graph, frontier, sym);
+
+    // Full kernels, plain and masked, clearing stale scratch.
+    let mut out = BitSet::full(n);
+    graph.step_frontier_into(frontier, sym, &mut out);
+    assert_eq!(out, expected_fwd, "plain forward");
+    let mut out = BitSet::full(n);
+    graph.step_frontier_masked_into(frontier, sym, &mut out);
+    assert_eq!(out, expected_fwd, "masked forward");
+    let mut out = BitSet::full(n);
+    graph.step_frontier_back_into(frontier, sym, &mut out);
+    assert_eq!(out, expected_bwd, "plain backward");
+    let mut out = BitSet::full(n);
+    graph.step_frontier_back_masked_into(frontier, sym, &mut out);
+    assert_eq!(out, expected_bwd, "masked backward");
+
+    // Ranged kernels: every chunk width partitions back to the full
+    // result, masked and plain, forward and backward.
+    for chunk in [1usize, 2, 4, words] {
+        let mut plain_fwd = BitSet::new(n);
+        let mut masked_fwd = BitSet::new(n);
+        let mut plain_bwd = BitSet::new(n);
+        let mut masked_bwd = BitSet::new(n);
+        let mut start = 0;
+        while start < words {
+            let range = start..(start + chunk).min(words);
+            graph.step_frontier_range_into(frontier, sym, range.clone(), &mut plain_fwd);
+            graph.step_frontier_masked_range_into(frontier, sym, range.clone(), &mut masked_fwd);
+            graph.step_frontier_back_range_into(frontier, sym, range.clone(), &mut plain_bwd);
+            graph.step_frontier_back_masked_range_into(frontier, sym, range, &mut masked_bwd);
+            start += chunk;
+        }
+        assert_eq!(
+            plain_fwd, expected_fwd,
+            "ranged plain forward chunk {chunk}"
+        );
+        assert_eq!(
+            masked_fwd, expected_fwd,
+            "ranged masked forward chunk {chunk}"
+        );
+        assert_eq!(
+            plain_bwd, expected_bwd,
+            "ranged plain backward chunk {chunk}"
+        );
+        assert_eq!(
+            masked_bwd, expected_bwd,
+            "ranged masked backward chunk {chunk}"
+        );
+    }
+
+    // Sparse twins on the frontier's index list.
+    let sparse_set: Vec<NodeId> = frontier.iter().map(|i| i as NodeId).collect();
+    let mut plain_sparse = vec![99 as NodeId]; // stale content
+    let mut masked_sparse = vec![98 as NodeId];
+    graph.step_sparse_into(&sparse_set, sym, &mut plain_sparse);
+    graph.step_sparse_masked_into(&sparse_set, sym, &mut masked_sparse);
+    assert_eq!(masked_sparse, plain_sparse, "sparse twin");
+    assert_eq!(
+        plain_sparse,
+        expected_fwd.iter().map(|i| i as NodeId).collect::<Vec<_>>(),
+        "sparse vs oracle"
+    );
+}
+
+#[test]
+fn adversarial_frontiers_on_layout_graphs() {
+    for n in [1usize, 63, 64, 65, 130] {
+        let graph = layout_graph(n);
+        for frontier in adversarial_frontiers(n) {
+            for sym in graph.alphabet().symbols() {
+                assert_kernels_match_oracle(&graph, &frontier, sym);
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_alphabet_symbol_is_empty_at_every_kernel() {
+    let graph = layout_graph(70);
+    let foreign = Symbol::from_index(17);
+    let frontier = BitSet::full(70);
+    let mut out = BitSet::full(70);
+    graph.step_frontier_into(&frontier, foreign, &mut out);
+    assert!(out.is_empty());
+    out.insert_all();
+    graph.step_frontier_masked_into(&frontier, foreign, &mut out);
+    assert!(out.is_empty());
+    out.insert_all();
+    graph.step_frontier_back_masked_into(&frontier, foreign, &mut out);
+    assert!(out.is_empty());
+    let mut sparse = vec![1];
+    graph.step_sparse_masked_into(&[0, 1, 69], foreign, &mut sparse);
+    assert!(sparse.is_empty());
+}
+
+#[test]
+fn empty_range_is_a_no_op() {
+    let graph = layout_graph(70);
+    let a = Symbol::from_index(0);
+    let frontier = BitSet::full(70);
+    let mut out = BitSet::from_indices(70, [5]);
+    graph.step_frontier_range_into(&frontier, a, 1..1, &mut out);
+    graph.step_frontier_masked_range_into(&frontier, a, 2..2, &mut out);
+    assert_eq!(out.iter().collect::<Vec<_>>(), [5]);
+}
+
+/// Strategy: a random graph over {a, b, c} with 1..=130 nodes (spanning
+/// one to three frontier words) and arbitrary edges, including parallel
+/// labels and self-loops.
+fn arb_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        1usize..130,
+        proptest::collection::vec((0u32..130, 0usize..3, 0u32..130), 0..120),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            builder.add_nodes("n", n);
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random graph × random frontier × every symbol: all kernels agree
+    /// with the per-node oracle (and with each other).
+    #[test]
+    fn kernels_match_oracle_on_random_graphs(
+        graph in arb_graph(),
+        frontier_bits in proptest::collection::vec(any::<bool>(), 130),
+    ) {
+        let n = graph.num_nodes();
+        let frontier = BitSet::from_indices(
+            n,
+            frontier_bits.iter().take(n).enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        );
+        for sym in graph.alphabet().symbols() {
+            assert_kernels_match_oracle(&graph, &frontier, sym);
+        }
+    }
+}
