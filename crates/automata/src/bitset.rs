@@ -152,9 +152,23 @@ impl BitSet {
     /// # Panics
     /// Panics if the capacities differ.
     pub fn union_with_recording_new(&mut self, other: &BitSet, newly: &mut BitSet) -> bool {
+        self.union_with_recording_new_count(other, newly) != 0
+    }
+
+    /// [`BitSet::union_with_recording_new`] that also **counts** the
+    /// fresh indices: returns how many indices of `other` were absent
+    /// from `self` (0 ⇔ nothing new). The popcount rides the same pass
+    /// over the blocks, so callers that need the next frontier's size —
+    /// the step-kernel cost model in `pathlearn-graph` amortizes one
+    /// popcount per `(level, state)` — get it without a separate
+    /// `len()` scan.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn union_with_recording_new_count(&mut self, other: &BitSet, newly: &mut BitSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
         assert_eq!(self.capacity, newly.capacity, "capacity mismatch");
-        let mut any = 0u64;
+        let mut count = 0usize;
         for ((a, &b), n) in self
             .blocks
             .iter_mut()
@@ -164,9 +178,9 @@ impl BitSet {
             let fresh = b & !*a;
             *a |= fresh;
             *n |= fresh;
-            any |= fresh;
+            count += fresh.count_ones() as usize;
         }
-        any != 0
+        count
     }
 
     /// `true` iff `self ⊆ other`.
@@ -362,6 +376,20 @@ mod tests {
         let mut newly2 = BitSet::new(130);
         assert!(!reached.union_with_recording_new(&incoming, &mut newly2));
         assert!(newly2.is_empty());
+    }
+
+    #[test]
+    fn union_with_recording_new_count_matches_fresh_popcount() {
+        let mut reached = BitSet::from_indices(200, [0, 64, 128]);
+        let incoming = BitSet::from_indices(200, [0, 1, 64, 65, 129, 199]);
+        let mut newly = BitSet::new(200);
+        let fresh = reached.union_with_recording_new_count(&incoming, &mut newly);
+        assert_eq!(fresh, 4); // 1, 65, 129, 199
+        assert_eq!(newly.len(), 4);
+        assert_eq!(
+            reached.union_with_recording_new_count(&incoming, &mut newly),
+            0
+        );
     }
 
     #[test]

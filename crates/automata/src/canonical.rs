@@ -1,0 +1,145 @@
+//! Canonical query forms — the unit of result reuse.
+//!
+//! The paper identifies every path query with the **unique minimal DFA**
+//! of its language (§2); [`crate::minimize`] computes exactly that form
+//! (trim → Hopcroft → BFS renumbering), so two syntactically different
+//! but equivalent queries — `a·(b·c)` vs `(a·b)·c`, reordered unions, a
+//! completed DFA vs its trimmed twin — collapse to *structurally
+//! identical* tables. [`CanonicalQuery`] freezes that form behind
+//! `Eq`/`Hash`, turning language equivalence into plain `HashMap` key
+//! equality: the serving layer in `pathlearn-server` canonicalizes every
+//! incoming query once and then shares one cache entry per language.
+//!
+//! ```
+//! use pathlearn_automata::{Alphabet, CanonicalQuery, Regex};
+//!
+//! let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+//! let parse = |expr: &str| {
+//!     CanonicalQuery::new(&Regex::parse(expr, &alphabet).unwrap().to_dfa(3))
+//! };
+//! // Associativity and union order vanish in the canonical form...
+//! assert_eq!(parse("a·(b·c)"), parse("(a·b)·c"));
+//! assert_eq!(parse("a+b+c"), parse("c+b+a"));
+//! // ...but different languages stay different keys.
+//! assert_ne!(parse("a·b"), parse("b·a"));
+//! ```
+
+use crate::dfa::Dfa;
+use std::hash::{Hash, Hasher};
+
+/// A path query in canonical minimal-DFA form, usable as a hash-map key.
+///
+/// Construction minimizes (the `O(|Σ| n log n)` Hopcroft pass — paid
+/// once per *submitted* query, not per evaluation); equality and hashing
+/// are then structural over the canonical table, so
+/// `a == b ⇔ L(a) = L(b)` for queries over the same alphabet.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalQuery {
+    dfa: Dfa,
+}
+
+impl CanonicalQuery {
+    /// Canonicalizes `dfa` (minimize + canonical BFS numbering).
+    pub fn new(dfa: &Dfa) -> Self {
+        CanonicalQuery {
+            dfa: dfa.minimize(),
+        }
+    }
+
+    /// The canonical minimal DFA — evaluate this, not the submitted
+    /// form: it is never larger, so one canonicalization also buys every
+    /// later evaluation the smallest `|Q|`.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The paper's query size: states of the canonical DFA.
+    pub fn num_states(&self) -> usize {
+        self.dfa.num_states()
+    }
+
+    /// A stable 64-bit digest of the canonical form (FNV-1a over the
+    /// table), for logs and stats where a short name for "this language"
+    /// is needed. Equal queries always digest equal; the converse holds
+    /// only up to hash collision — keying storage must use the full
+    /// [`CanonicalQuery`], never the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = Fnv1a(0xcbf2_9ce4_8422_2325);
+        self.dfa.hash(&mut hasher);
+        hasher.0
+    }
+}
+
+/// Minimal FNV-1a so fingerprints are stable across runs and platforms
+/// (`DefaultHasher` seeds are unspecified between std releases).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Alphabet;
+    use crate::Regex;
+    use std::collections::HashMap;
+
+    fn key(expr: &str) -> CanonicalQuery {
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        CanonicalQuery::new(&Regex::parse(expr, &alphabet).unwrap().to_dfa(3))
+    }
+
+    #[test]
+    fn equivalent_forms_share_a_key() {
+        assert_eq!(key("a·(b·c)"), key("(a·b)·c"));
+        assert_eq!(key("a+b"), key("b+a"));
+        assert_eq!(key("(a·b)*·c"), key("c+a·b·(a·b)*·c"));
+        assert_eq!(key("a·a*"), key("a*·a"));
+    }
+
+    #[test]
+    fn different_languages_get_different_keys() {
+        assert_ne!(key("a·b"), key("b·a"));
+        assert_ne!(key("a*"), key("a"));
+        assert_ne!(key("eps"), key("a"));
+    }
+
+    #[test]
+    fn completion_noise_vanishes() {
+        // A completed DFA (extra sink state) is language-equal to the
+        // original and must canonicalize to the same key.
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let dfa = Regex::parse("(a·b)*·c", &alphabet).unwrap().to_dfa(3);
+        let (completed, sink) = dfa.complete();
+        assert!(sink.is_some());
+        assert_eq!(CanonicalQuery::new(&dfa), CanonicalQuery::new(&completed));
+    }
+
+    #[test]
+    fn keys_work_as_hashmap_keys() {
+        let mut cache: HashMap<CanonicalQuery, &str> = HashMap::new();
+        cache.insert(key("a·(b·c)"), "first");
+        assert_eq!(cache.get(&key("(a·b)·c")), Some(&"first"));
+        assert_eq!(cache.get(&key("b·a")), None);
+    }
+
+    #[test]
+    fn fingerprint_consistent_with_equality() {
+        assert_eq!(key("a·(b·c)").fingerprint(), key("(a·b)·c").fingerprint());
+        assert_ne!(key("a").fingerprint(), key("b").fingerprint());
+        // Accessors expose the canonical DFA.
+        let k = key("(a·b)*·c");
+        assert_eq!(k.num_states(), 3);
+        assert!(k.dfa().is_prefix_free());
+    }
+}

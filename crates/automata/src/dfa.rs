@@ -19,7 +19,12 @@ use std::collections::VecDeque;
 pub const DEAD: StateId = StateId::MAX;
 
 /// A (possibly partial) DFA over a dense alphabet `0..alphabet_len`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` is structural (table, initial, finals): two DFAs hash equal iff
+/// they are field-for-field identical, which after
+/// [`Dfa::minimize`] + canonical numbering means *language* equality —
+/// the property [`crate::canonical::CanonicalQuery`] keys caches on.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Dfa {
     alphabet_len: usize,
     num_states: usize,

@@ -15,6 +15,9 @@
 //!   a DFA→regex state-elimination pass — [`regex`], [`state_elim`];
 //! * the antichain language-inclusion algorithm used for the paper's exact
 //!   (PSPACE) consistency and certain-node checks — [`inclusion`];
+//! * canonical query forms behind `Eq`/`Hash` — language equivalence as
+//!   hash-map key equality, the cache-key unit of the serving layer —
+//!   [`canonical`];
 //! * prefix tree acceptors, the classic RPNI state-merging learner
 //!   (generalized over a merge-consistency oracle, so the graph-based
 //!   learner of the paper can reuse it), and characteristic-sample
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bitset;
+pub mod canonical;
 pub mod char_sample;
 pub mod determinize;
 pub mod dfa;
@@ -44,6 +48,7 @@ pub mod symbol;
 pub mod word;
 
 pub use bitset::BitSet;
+pub use canonical::CanonicalQuery;
 pub use dfa::{Dfa, DEAD};
 pub use nfa::Nfa;
 pub use regex::Regex;

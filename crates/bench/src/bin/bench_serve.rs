@@ -1,0 +1,368 @@
+//! Serving-layer benchmark: throughput and hit rate of
+//! `pathlearn-server` on a duplicate-heavy workload — the perf artifact
+//! of the PR 5 serving subsystem, committed as `BENCH_serve.json`.
+//!
+//! Builds a scale-free graph (paper §5.1 configuration), calibrates the
+//! full paper query mix (bio1–bio6 + syn1–syn3), and derives a
+//! **duplicate-heavy workload**: every calibrated query in two
+//! language-equal spellings (the canonical DFA and its completed twin —
+//! structurally different, so only canonicalization can fold them),
+//! the whole set repeated `--repeat` times and deterministically
+//! shuffled. That workload is driven through a fresh
+//! [`QueryService`] at each `--clients` count (evaluation pool sized to
+//! match), timed wall-clock, and compared against evaluating every
+//! submission directly with no cache.
+//!
+//! Before anything is timed, every unique query's served answer is
+//! asserted **bit-identical** to `eval_monadic` — the CI smoke run turns
+//! a divergence into a build failure. The detected core count lands in
+//! the JSON: on a 1-core container the client-scaling numbers are
+//! correctness demonstrations, not scaling (see BENCHMARKS.md); the
+//! cache/coalescing wins are visible regardless because they remove
+//! evaluations entirely.
+//!
+//! ```text
+//! bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K]
+//!             [--clients T[,T,...]] [--cache-mb M] [--out PATH]
+//! ```
+
+use pathlearn_automata::{BitSet, Dfa};
+use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
+use pathlearn_datagen::workloads::{bio_workload, syn_workload};
+use pathlearn_eval::report::ascii_table;
+use pathlearn_graph::eval::{eval_monadic_with, EvalScratch};
+use pathlearn_graph::GraphDb;
+use pathlearn_server::{CacheConfig, QueryService, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ClientPoint {
+    clients: usize,
+    wall_ns: u128,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    hit_rate: f64,
+    eval_ns_total: u64,
+}
+
+/// Deterministic Fisher–Yates over the submission indices.
+fn shuffled_workload(unique: usize, variants: usize, repeat: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..unique * variants * repeat)
+        .map(|i| i % (unique * variants))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7365_7276); // "serv"
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Drives the whole workload through `service` from `clients` threads
+/// claiming submissions off one atomic cursor; returns the wall time.
+fn drive(service: &Arc<QueryService>, submissions: &[&Dfa], clients: usize) -> u128 {
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let service = service.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= submissions.len() {
+                    return;
+                }
+                service.query_monadic(submissions[i]);
+            });
+        }
+    });
+    started.elapsed().as_nanos()
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K] \
+         [--clients T[,T,...]] [--cache-mb M] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    seed: u64,
+    runs: usize,
+    repeat: usize,
+    graph: &GraphDb,
+    unique: usize,
+    variants: usize,
+    submissions: usize,
+    direct_ns: u128,
+    points: &[ClientPoint],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"benchmark\": \"RPQ serving layer: canonical result cache + coalescing over duplicate-heavy paper mix\",\n",
+    );
+    out.push_str(
+        "  \"note\": \"client scaling needs real cores (see BENCHMARKS.md); cache/coalescing wins hold regardless — they remove evaluations\",\n",
+    );
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"hardware\": {{\"available_cores\": {}}},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"runs_per_point\": {runs},\n"));
+    out.push_str(
+        "  \"timer\": \"median wall clock over runs, fresh (cold-cache) service per run\",\n",
+    );
+    out.push_str(&format!(
+        "  \"graph\": {{\"generator\": \"scale_free paper_synthetic\", \"nodes\": {}, \"edges\": {}, \"labels\": {}}},\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.alphabet().len()
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"unique_queries\": {unique}, \"spellings_per_query\": {variants}, \"repeat\": {repeat}, \"submissions\": {submissions}}},\n",
+    ));
+    out.push_str(&format!("  \"direct_no_cache_seq_ns\": {direct_ns},\n"));
+    out.push_str("  \"clients\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"pool_threads\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"hit_rate\": {:.4}, \"eval_ns_total\": {}, \"speedup_vs_direct\": {:.3}}}{}\n",
+            p.clients,
+            p.clients,
+            p.wall_ns,
+            submissions as f64 / (p.wall_ns as f64 / 1e9).max(1e-9),
+            p.hits,
+            p.misses,
+            p.coalesced,
+            p.hit_rate,
+            p.eval_ns_total,
+            direct_ns.max(1) as f64 / p.wall_ns.max(1) as f64,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut nodes = 10_000usize;
+    let mut seed = 42u64;
+    let mut repeat = 8usize;
+    let mut runs = 5usize;
+    let mut clients: Vec<usize> = vec![1, 2, 4];
+    let mut cache_mb = 64usize;
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--nodes" => {
+                nodes = value("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--nodes needs an integer"))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"))
+            }
+            "--repeat" => {
+                repeat = value("--repeat")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--repeat needs an integer"))
+                    .max(1)
+            }
+            "--runs" => {
+                runs = value("--runs")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--runs needs an integer"))
+                    .max(1)
+            }
+            "--clients" => {
+                clients = value("--clients")
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--clients needs comma-separated integers"))
+                    })
+                    .collect()
+            }
+            "--cache-mb" => {
+                cache_mb = value("--cache-mb")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--cache-mb needs an integer"))
+            }
+            "--out" => out_path = value("--out"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    eprintln!(
+        "available cores: {} (client scaling needs real cores)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    eprintln!("generating scale-free graph: {nodes} nodes, seed {seed} ...");
+    let graph = scale_free_graph(&ScaleFreeConfig::paper_synthetic(nodes, seed));
+    eprintln!("calibrating paper query mix (bio1-6, syn1-3) ...");
+    let mut queries = bio_workload(&graph).queries;
+    queries.extend(syn_workload(&graph).queries);
+
+    // Two language-equal spellings per query: the canonical DFA and its
+    // completed twin (extra sink state — same language, different
+    // structure, foldable only by canonicalization).
+    let spellings: Vec<(String, Vec<Dfa>)> = queries
+        .iter()
+        .map(|q| {
+            let dfa = q.query.dfa().clone();
+            let completed = dfa.complete().0;
+            (q.name.clone(), vec![dfa, completed])
+        })
+        .collect();
+    let unique = spellings.len();
+    let variants = 2usize;
+    let flat: Vec<&Dfa> = spellings.iter().flat_map(|(_, v)| v.iter()).collect();
+    let order = shuffled_workload(unique, variants, repeat, seed);
+    let submissions: Vec<&Dfa> = order.iter().map(|&i| flat[i]).collect();
+    eprintln!(
+        "workload: {} unique queries x {variants} spellings x {repeat} = {} submissions",
+        unique,
+        submissions.len()
+    );
+
+    // Bit-identity gate before any timing: served == direct for every
+    // unique query, through a throwaway service.
+    let mut scratch = EvalScratch::new();
+    let direct: Vec<BitSet> = spellings
+        .iter()
+        .map(|(_, v)| eval_monadic_with(&mut scratch, &v[0], &graph))
+        .collect();
+    {
+        let gate = QueryService::new(graph.clone(), ServeConfig::default());
+        for ((name, v), expected) in spellings.iter().zip(&direct) {
+            for dfa in v {
+                assert_eq!(
+                    *gate.query_monadic(dfa).result,
+                    *expected,
+                    "{name}: served result differs from direct eval"
+                );
+            }
+        }
+    }
+    eprintln!("bit-identity gate passed ({unique} queries x {variants} spellings)");
+
+    // Baseline: every submission evaluated directly, no cache, one thread.
+    let direct_ns = {
+        let mut best = u128::MAX;
+        for _ in 0..runs {
+            let started = Instant::now();
+            for dfa in &submissions {
+                std::hint::black_box(eval_monadic_with(&mut scratch, dfa, &graph));
+            }
+            best = best.min(started.elapsed().as_nanos());
+        }
+        best
+    };
+
+    let mut points = Vec::new();
+    for &client_count in &clients {
+        // Fresh (cold) service per run so every run pays the same
+        // misses; median wall over runs.
+        let mut walls = Vec::new();
+        let mut last_stats = None;
+        for _ in 0..runs {
+            let service = Arc::new(QueryService::new(
+                graph.clone(),
+                ServeConfig {
+                    threads: client_count,
+                    cache: CacheConfig {
+                        capacity_bytes: cache_mb << 20,
+                    },
+                    ..ServeConfig::default()
+                },
+            ));
+            walls.push(drive(&service, &submissions, client_count));
+            last_stats = Some(service.stats());
+        }
+        walls.sort_unstable();
+        let wall_ns = walls[walls.len() / 2];
+        let stats = last_stats.expect("at least one run");
+        assert!(
+            stats.hit_rate() > 0.0,
+            "duplicate-heavy workload must produce cache hits"
+        );
+        assert_eq!(
+            stats.reused() + stats.misses,
+            submissions.len() as u64,
+            "every submission accounted"
+        );
+        points.push(ClientPoint {
+            clients: client_count,
+            wall_ns,
+            hits: stats.hits,
+            misses: stats.misses,
+            coalesced: stats.coalesced,
+            hit_rate: stats.hit_rate(),
+            eval_ns_total: stats.eval_ns_total,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = std::iter::once(vec![
+        "direct (no cache)".to_owned(),
+        format!("{:.3}", direct_ns as f64 / 1e6),
+        "-".to_owned(),
+        "-".to_owned(),
+        "1.00x".to_owned(),
+    ])
+    .chain(points.iter().map(|p| {
+        vec![
+            format!("{} client(s)", p.clients),
+            format!("{:.3}", p.wall_ns as f64 / 1e6),
+            format!("{}/{}/{}", p.hits, p.misses, p.coalesced),
+            format!("{:.1}%", 100.0 * p.hit_rate),
+            format!("{:.2}x", direct_ns.max(1) as f64 / p.wall_ns.max(1) as f64),
+        ]
+    }))
+    .collect();
+    println!(
+        "serving {} submissions ({} unique x {} spellings x {repeat}):",
+        submissions.len(),
+        unique,
+        variants
+    );
+    println!(
+        "{}",
+        ascii_table(
+            &["config", "ms", "hit/miss/coalesce", "hit rate", "vs direct"],
+            &rows
+        )
+    );
+
+    write_json(
+        &out_path,
+        seed,
+        runs,
+        repeat,
+        &graph,
+        unique,
+        variants,
+        submissions.len(),
+        direct_ns,
+        &points,
+    )
+    .expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

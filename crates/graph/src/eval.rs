@@ -41,8 +41,12 @@
 //! intersection word-by-word so edge-less frontier nodes never cost an
 //! offset read; an intersection equal to the frontier routes to the
 //! plain kernel. The frontier popcount feeding the comparison is
-//! computed once per `(level, state)` and amortized over the level's
-//! symbols. [`eval_monadic_policy`] / [`eval_binary_from_policy`] expose
+//! **cached in [`EvalScratch`]**: the level merge counts fresh bits as
+//! it ORs them in ([`BitSet::union_with_recording_new_count`]), so the
+//! next level's harvest reads `frontier_len[q]` without any scan — one
+//! count per `(level, state)`, amortized over the level's symbols and
+//! computed for free during the merge.
+//! [`eval_monadic_policy`] / [`eval_binary_from_policy`] expose
 //! the full policy knob ([`StepPolicy::Plain`] baseline, the legacy
 //! sparsity-gated [`StepPolicy::Pruned`], always-on
 //! [`StepPolicy::Masked`], and `Auto`) for benchmarking and differential
@@ -141,6 +145,16 @@ pub struct EvalScratch {
     pub(crate) reached: Vec<BitSet>,
     pub(crate) frontier: Vec<BitSet>,
     pub(crate) next_frontier: Vec<BitSet>,
+    /// `frontier_len[q] = |frontier[q]|`, maintained **incrementally**:
+    /// the level merge counts fresh bits as it ORs them in
+    /// ([`BitSet::union_with_recording_new_count`]), so the popcount
+    /// feeding the step cost model ([`crate::graph::GraphDb::plan_step`])
+    /// costs no separate scan — it is cached across all symbols of a
+    /// level and across levels (ROADMAP item).
+    pub(crate) frontier_len: Vec<usize>,
+    /// The level-merge accumulator swapped into `frontier_len` alongside
+    /// the `frontier`/`next_frontier` swap.
+    pub(crate) next_frontier_len: Vec<usize>,
     /// Graph-step output buffer.
     pub(crate) step: BitSet,
     pub(crate) active: Vec<StateId>,
@@ -169,6 +183,10 @@ impl EvalScratch {
         fit(&mut self.reached, v, q_states);
         fit(&mut self.frontier, v, q_states);
         fit(&mut self.next_frontier, v, q_states);
+        self.frontier_len.clear();
+        self.frontier_len.resize(q_states, 0);
+        self.next_frontier_len.clear();
+        self.next_frontier_len.resize(q_states, 0);
         if self.step.capacity() != v {
             self.step = BitSet::new(v);
         }
@@ -259,6 +277,8 @@ pub fn eval_monadic_policy(
         reached,
         frontier,
         next_frontier,
+        frontier_len,
+        next_frontier_len,
         step,
         active,
         next_active,
@@ -267,26 +287,24 @@ pub fn eval_monadic_policy(
         // Accepting product states (·, q_f) reach acceptance trivially.
         reached[f].insert_all();
         frontier[f].insert_all();
+        frontier_len[f] = v;
         active.push(f as StateId);
     }
 
     while !active.is_empty() {
         for &q in active.iter() {
             let state_frontier = &frontier[q as usize];
-            // The frontier popcount feeding Auto's cost model, once per
-            // (level, state) and amortized over the level's symbols.
-            let frontier_len = if policy == StepPolicy::Auto {
-                state_frontier.len()
-            } else {
-                0
-            };
+            // The frontier popcount feeding Auto's cost model — cached
+            // in the scratch (counted during the previous level's merge,
+            // no scan) and shared by all symbols of the level.
+            let state_frontier_len = frontier_len[q as usize];
             for sym in 0..rev.sigma {
                 let dfa_preds = rev.predecessors(q, sym);
                 if dfa_preds.is_empty() {
                     continue;
                 }
                 let symbol = Symbol::from_index(sym);
-                match graph.plan_step_back(state_frontier, symbol, frontier_len, policy) {
+                match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
                     StepPlan::Skip => continue,
                     StepPlan::Masked => {
                         graph.step_frontier_back_masked_into(state_frontier, symbol, step)
@@ -299,8 +317,10 @@ pub fn eval_monadic_policy(
                 for &p in dfa_preds {
                     let p = p as usize;
                     let was_empty = next_frontier[p].is_empty();
-                    if reached[p].union_with_recording_new(step, &mut next_frontier[p]) && was_empty
-                    {
+                    let fresh =
+                        reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                    next_frontier_len[p] += fresh;
+                    if fresh > 0 && was_empty {
                         next_active.push(p as StateId);
                     }
                 }
@@ -308,8 +328,10 @@ pub fn eval_monadic_policy(
         }
         for &q in active.iter() {
             frontier[q as usize].clear();
+            frontier_len[q as usize] = 0;
         }
         std::mem::swap(frontier, next_frontier);
+        std::mem::swap(frontier_len, next_frontier_len);
         std::mem::swap(active, next_active);
         next_active.clear();
         // Early exit: every node already selected.
@@ -498,12 +520,15 @@ pub fn eval_binary_from_policy(
         reached,
         frontier,
         next_frontier,
+        frontier_len,
+        next_frontier_len,
         step,
         active,
         next_active,
     } = scratch;
     reached[q0 as usize].insert(source as usize);
     frontier[q0 as usize].insert(source as usize);
+    frontier_len[q0 as usize] = 1;
     active.push(q0);
     if query.is_final(q0) {
         result.insert(source as usize);
@@ -512,17 +537,13 @@ pub fn eval_binary_from_policy(
     while !active.is_empty() {
         for &q in active.iter() {
             let state_frontier = &frontier[q as usize];
-            let frontier_len = if policy == StepPolicy::Auto {
-                state_frontier.len()
-            } else {
-                0
-            };
+            let state_frontier_len = frontier_len[q as usize];
             for sym in 0..sigma {
                 let symbol = Symbol::from_index(sym);
                 let Some(next_state) = query.step(q, symbol) else {
                     continue;
                 };
-                match graph.plan_step(state_frontier, symbol, frontier_len, policy) {
+                match graph.plan_step(state_frontier, symbol, state_frontier_len, policy) {
                     StepPlan::Skip => continue,
                     StepPlan::Masked => {
                         graph.step_frontier_masked_into(state_frontier, symbol, step)
@@ -534,15 +555,19 @@ pub fn eval_binary_from_policy(
                 }
                 let p = next_state as usize;
                 let was_empty = next_frontier[p].is_empty();
-                if reached[p].union_with_recording_new(step, &mut next_frontier[p]) && was_empty {
+                let fresh = reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                next_frontier_len[p] += fresh;
+                if fresh > 0 && was_empty {
                     next_active.push(next_state);
                 }
             }
         }
         for &q in active.iter() {
             frontier[q as usize].clear();
+            frontier_len[q as usize] = 0;
         }
         std::mem::swap(frontier, next_frontier);
+        std::mem::swap(frontier_len, next_frontier_len);
         std::mem::swap(active, next_active);
         next_active.clear();
     }

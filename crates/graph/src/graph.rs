@@ -61,6 +61,20 @@ pub type NodeId = u32;
 /// kernel it selects skips the skipped nodes' offset reads).
 const SPARSE_LABEL_DIVISOR: usize = 4;
 
+/// Fixed-point scale of the frozen per-label average degrees consumed by
+/// the step-kernel cost model (×16: quarter-edge resolution is plenty
+/// for a heuristic, and the multiply stays in `u64`).
+const AVG_DEG_FP: u64 = 16;
+
+/// Cost-model weight of one frontier node the masked kernel skips, in
+/// the same ×16 fixed point: the two offset reads the plain kernel
+/// would issue for a node that has no edge of the stepped label.
+const SKIPPED_NODE_COST_X16: u64 = 2 * AVG_DEG_FP;
+
+/// Cost-model weight of one frontier word the masked kernel scans: the
+/// extra label-bitmap load + AND per `u64` block (×16 fixed point).
+const MASK_WORD_COST_X16: u64 = AVG_DEG_FP;
+
 /// How an evaluator executes its frontier step kernels — the knob behind
 /// the masked-kernel ablation in `bench_eval` and the cross-engine
 /// differential suite. Results are **bit-identical** across all policies;
@@ -148,6 +162,13 @@ pub struct GraphDb {
     label_source_counts: Vec<u32>,
     /// The in-edge twin of `label_source_counts`.
     label_target_counts: Vec<u32>,
+    /// Average out-degree of a label over its **active sources**
+    /// (`a`-edges / `|label_sources(a)|`), frozen at build in ×16 fixed
+    /// point — the per-label weight of the degree-weighted step cost
+    /// model (see [`GraphDb::plan_step`]).
+    label_source_avg_deg_x16: Vec<u32>,
+    /// The in-edge twin: average in-degree over active targets.
+    label_target_avg_deg_x16: Vec<u32>,
     /// `label_sources_sparse[a]` ⇔ fewer than `|V| / SPARSE_LABEL_DIVISOR`
     /// nodes have an out-edge labeled `a` — the gate for the per-label
     /// frontier pruning (see [`GraphDb::label_sources_sparse`]).
@@ -305,6 +326,42 @@ impl GraphDb {
             .map_or(0, |&c| c as usize)
     }
 
+    /// Average number of outgoing `sym`-edges per **active source** of
+    /// the label (`sym`-edges / `|label_sources(sym)|`; 0.0 for dead or
+    /// out-of-alphabet symbols) — the frozen degree weight of the step
+    /// cost model, exposed at float precision for tests and diagnostics.
+    /// Internally the model uses the ×16 fixed-point form, so values are
+    /// quantized to sixteenths.
+    pub fn label_source_avg_degree(&self, sym: Symbol) -> f64 {
+        self.label_source_avg_deg_x16
+            .get(sym.index())
+            .map_or(0.0, |&d| d as f64 / AVG_DEG_FP as f64)
+    }
+
+    /// The in-edge twin of [`GraphDb::label_source_avg_degree`]: average
+    /// incoming `sym`-edges per active target.
+    pub fn label_target_avg_degree(&self, sym: Symbol) -> f64 {
+        self.label_target_avg_deg_x16
+            .get(sym.index())
+            .map_or(0.0, |&d| d as f64 / AVG_DEG_FP as f64)
+    }
+
+    /// Heap bytes one monadic/binary **result bitset** on this graph
+    /// occupies (`|V|` bits rounded up to `u64` words) — the unit the
+    /// serving layer's result cache accounts memory in.
+    pub fn result_bytes(&self) -> usize {
+        self.num_node_words() * std::mem::size_of::<u64>()
+    }
+
+    /// The `O(|E|·|Q|)` work bound of evaluating a `q_states`-state
+    /// query on this graph — the serving layer's admission-time cost
+    /// estimate for a query it has never evaluated (replaced by the
+    /// measured wall time once one evaluation lands). The `+ |V|` term
+    /// keeps the bound positive on edge-less graphs.
+    pub fn eval_cost_bound(&self, q_states: usize) -> u64 {
+        (self.num_edges() + self.num_nodes() + 1) as u64 * q_states.max(1) as u64
+    }
+
     /// Number of `u64` words a `|V|`-capacity frontier occupies — the
     /// granularity of the ranged step kernels and of the node-range
     /// fan-out in [`crate::par_eval`].
@@ -319,21 +376,37 @@ impl GraphDb {
     /// Under [`StepPolicy::Auto`], one fused AND+popcount scan
     /// ([`BitSet::intersection_len`]) prices the step: an empty
     /// intersection skips it outright (for **every** label, not only
-    /// sparse ones as in the legacy `Pruned` mode); an intersection
-    /// strictly smaller than the frontier selects the masked kernel,
-    /// which pays one extra load+AND per word but skips the per-node
-    /// offset reads of every masked-out frontier node; an intersection
-    /// equal to the frontier selects the plain kernel (the mask cannot
-    /// skip anything, so its word loads would be pure overhead). Labels
-    /// active on all `|V|` nodes shortcut to `Plain` without scanning —
-    /// the precomputed count proves the mask is a no-op.
+    /// sparse ones as in the legacy `Pruned` mode). A non-empty
+    /// intersection strictly smaller than the frontier is then priced
+    /// **degree-weighted**: the masked kernel pays one extra
+    /// label-bitmap load + AND per frontier word but skips every
+    /// masked-out node's offset reads, so it wins when
+    ///
+    /// ```text
+    /// (frontier − intersection) · (offset cost + avg label degree)
+    ///         >  frontier words · word cost
+    /// ```
+    ///
+    /// The per-label average degree (frozen at build: label edges /
+    /// active nodes, the ROADMAP's "one multiply away" weight) scales a
+    /// skipped node's worth by how heavy the label's steps are — raw
+    /// popcounts weight all nodes equally, under-masking heavy labels on
+    /// big graphs and over-masking feather-weight ones (the pre-weighted
+    /// model masked whenever a single node was skipped, paying a full
+    /// word scan to save two offset reads). The plan is a pure execution
+    /// strategy: results are bit-identical whichever kernel is chosen
+    /// (differential suite). Labels active on all `|V|` nodes shortcut
+    /// to `Plain` without scanning — the precomputed count proves the
+    /// mask is a no-op.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn plan(
         &self,
         frontier: &BitSet,
         frontier_len: usize,
         active: &BitSet,
         active_count: usize,
+        avg_deg_x16: u32,
         sparse: bool,
         policy: StepPolicy,
     ) -> StepPlan {
@@ -353,8 +426,11 @@ impl GraphDb {
                 }
                 let inter = frontier.intersection_len(active);
                 if inter == 0 {
-                    StepPlan::Skip
-                } else if inter < frontier_len {
+                    return StepPlan::Skip;
+                }
+                let skipped = frontier_len.saturating_sub(inter) as u64;
+                let saved_x16 = skipped * (SKIPPED_NODE_COST_X16 + avg_deg_x16 as u64);
+                if saved_x16 > self.num_node_words() as u64 * MASK_WORD_COST_X16 {
                     StepPlan::Masked
                 } else {
                     StepPlan::Plain
@@ -381,6 +457,10 @@ impl GraphDb {
             frontier_len,
             self.label_sources(sym),
             self.label_source_count(sym),
+            self.label_source_avg_deg_x16
+                .get(sym.index())
+                .copied()
+                .unwrap_or(0),
             self.label_sources_sparse(sym),
             policy,
         )
@@ -401,6 +481,10 @@ impl GraphDb {
             frontier_len,
             self.label_targets(sym),
             self.label_target_count(sym),
+            self.label_target_avg_deg_x16
+                .get(sym.index())
+                .copied()
+                .unwrap_or(0),
             self.label_targets_sparse(sym),
             policy,
         )
@@ -825,6 +909,27 @@ impl GraphBuilder {
             |sets: &[BitSet]| -> Vec<u32> { sets.iter().map(|s| s.len() as u32).collect() };
         let label_source_counts = counts(&label_sources);
         let label_target_counts = counts(&label_targets);
+        // Edges per label (identical in both directions) → average
+        // degree over each direction's active nodes, ×16 fixed point.
+        let mut label_edge_counts = vec![0u64; sigma];
+        for &(_, sym, _) in &forward {
+            label_edge_counts[sym.index()] += 1;
+        }
+        let avg_deg = |counts: &[u32]| -> Vec<u32> {
+            label_edge_counts
+                .iter()
+                .zip(counts)
+                .map(|(&edges, &active)| {
+                    if active == 0 {
+                        0
+                    } else {
+                        (edges * AVG_DEG_FP / active as u64) as u32
+                    }
+                })
+                .collect()
+        };
+        let label_source_avg_deg_x16 = avg_deg(&label_source_counts);
+        let label_target_avg_deg_x16 = avg_deg(&label_target_counts);
         let sparse = |counts: &[u32]| -> Vec<bool> {
             counts
                 .iter()
@@ -848,6 +953,8 @@ impl GraphBuilder {
             label_targets,
             label_source_counts,
             label_target_counts,
+            label_source_avg_deg_x16,
+            label_target_avg_deg_x16,
             label_sources_sparse,
             label_targets_sparse,
             no_label_nodes: BitSet::new(n),
@@ -1207,6 +1314,94 @@ mod tests {
             graph.plan_step_back(&only_v4, c, 1, StepPolicy::Auto),
             StepPlan::Plain
         );
+    }
+
+    #[test]
+    fn label_average_degrees_match_adjacency() {
+        let graph = figure3_g0();
+        for sym in graph.alphabet().symbols() {
+            let edges = graph.edges().filter(|&(_, s, _)| s == sym).count() as f64;
+            let sources = graph.label_source_count(sym) as f64;
+            let targets = graph.label_target_count(sym) as f64;
+            // Quantized to sixteenths by the fixed-point storage.
+            let q = |x: f64| (x * 16.0).floor() / 16.0;
+            assert_eq!(
+                graph.label_source_avg_degree(sym),
+                q(edges / sources),
+                "source avg of {sym:?}"
+            );
+            assert_eq!(
+                graph.label_target_avg_degree(sym),
+                q(edges / targets),
+                "target avg of {sym:?}"
+            );
+        }
+        // Spot values: 9 a-edges over 6 sources = 1.5; the single c-edge
+        // over one source = 1.0. Foreign symbols report 0.
+        let a = graph.alphabet().symbol("a").unwrap();
+        let c = graph.alphabet().symbol("c").unwrap();
+        assert_eq!(graph.label_source_avg_degree(a), 1.5);
+        assert_eq!(graph.label_source_avg_degree(c), 1.0);
+        assert_eq!(graph.label_source_avg_degree(Symbol::from_index(17)), 0.0);
+        assert_eq!(graph.label_target_avg_degree(Symbol::from_index(17)), 0.0);
+    }
+
+    #[test]
+    fn degree_weighted_gate_requires_savings_to_beat_word_overhead() {
+        // 640 nodes = 10 frontier words. Two labels with the *same*
+        // active-set shape (one active source each) but opposite
+        // weights: "h" is a 200-edge hub, "t" a single edge. With a
+        // 3-node frontier the popcounts are identical (inter 1,
+        // skipped 2); only the degree weight separates the verdicts.
+        let mut builder = GraphBuilder::new();
+        let first = builder.add_nodes("n", 640);
+        let h = builder.intern("h");
+        let t = builder.intern("t");
+        for i in 0..200u32 {
+            builder.add_edge_ids(first, h, first + 100 + i);
+        }
+        builder.add_edge_ids(first + 1, t, first + 2);
+        let graph = builder.build();
+        assert_eq!(graph.label_source_avg_degree(h), 200.0);
+        assert_eq!(graph.label_source_avg_degree(t), 1.0);
+
+        let frontier = BitSet::from_indices(640, [0, 1, 2]);
+        // Heavy label: 2 skipped nodes × (2 offset reads + deg 200)
+        // dwarfs the 10-word mask scan → Masked.
+        assert_eq!(
+            graph.plan_step(&frontier, h, 3, StepPolicy::Auto),
+            StepPlan::Masked
+        );
+        // Feather-weight label, same popcounts: 2 × (2 + 1) < 10 words
+        // of scan → Plain (the pre-weighted model masked here).
+        assert_eq!(
+            graph.plan_step(&frontier, t, 3, StepPolicy::Auto),
+            StepPlan::Plain
+        );
+        // A big frontier mostly missing the active set masks even the
+        // light label: 639 skipped nodes buy the scan many times over.
+        let full = BitSet::full(640);
+        assert_eq!(
+            graph.plan_step(&full, t, 640, StepPolicy::Auto),
+            StepPlan::Masked
+        );
+        // Disjoint frontiers still skip outright, degree notwithstanding.
+        let disjoint = BitSet::from_indices(640, [5]);
+        assert_eq!(
+            graph.plan_step(&disjoint, h, 1, StepPolicy::Auto),
+            StepPlan::Skip
+        );
+    }
+
+    #[test]
+    fn result_and_cost_hooks() {
+        let graph = figure3_g0();
+        assert_eq!(graph.result_bytes(), 8); // 7 nodes → one u64 word
+                                             // O(|E|·|Q|)-shaped, positive, and monotone in |Q|.
+        assert_eq!(graph.eval_cost_bound(3), (15 + 7 + 1) * 3);
+        assert!(graph.eval_cost_bound(0) > 0);
+        let empty = GraphBuilder::new().build();
+        assert!(empty.eval_cost_bound(5) > 0);
     }
 
     #[test]

@@ -219,11 +219,13 @@ impl EvalPool {
         (words.div_ceil(chunk_words), chunk_words)
     }
 
-    /// Creates a pool sized by the `PATHLEARN_THREADS` environment
-    /// variable, falling back to [`std::thread::available_parallelism`]
-    /// when unset or unparsable.
-    pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
+    /// The thread count [`EvalPool::from_env`] resolves — the
+    /// `PATHLEARN_THREADS` environment variable, falling back to
+    /// [`std::thread::available_parallelism`] — without building a pool.
+    /// Configuration layers (e.g. the serving layer's `ServeConfig`)
+    /// read this to size a pool they construct later.
+    pub fn env_threads() -> usize {
+        std::env::var(THREADS_ENV)
             .ok()
             .and_then(|value| value.trim().parse::<usize>().ok())
             .filter(|&t| t > 0)
@@ -231,8 +233,12 @@ impl EvalPool {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
-            });
-        Self::new(threads)
+            })
+    }
+
+    /// Creates a pool sized by [`EvalPool::env_threads`].
+    pub fn from_env() -> Self {
+        Self::new(Self::env_threads())
     }
 
     /// Number of threads evaluation fans out over (`1` = sequential).
@@ -457,6 +463,8 @@ impl EvalPool {
             reached,
             frontier,
             next_frontier,
+            frontier_len,
+            next_frontier_len,
             step,
             active,
             next_active,
@@ -464,6 +472,7 @@ impl EvalPool {
         for f in query.finals().iter() {
             reached[f].insert_all();
             frontier[f].insert_all();
+            frontier_len[f] = v;
             active.push(f as StateId);
         }
 
@@ -476,17 +485,14 @@ impl EvalPool {
             tasks.clear();
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
-                let frontier_len = if policy == StepPolicy::Auto {
-                    state_frontier.len()
-                } else {
-                    0
-                };
+                // Cached popcount, counted by the previous level's merge.
+                let state_frontier_len = frontier_len[q as usize];
                 for sym in 0..rev.sigma {
                     if rev.predecessors(q, sym).is_empty() {
                         continue;
                     }
                     let symbol = Symbol::from_index(sym);
-                    match graph.plan_step_back(state_frontier, symbol, frontier_len, policy) {
+                    match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
                         StepPlan::Skip => continue,
                         plan => tasks.push(StepTask {
                             state: q,
@@ -543,7 +549,13 @@ impl EvalPool {
                         });
                     }
                 });
-                merge_level(reached, next_frontier, next_active, &mut parts[..live]);
+                merge_level(
+                    reached,
+                    next_frontier,
+                    next_frontier_len,
+                    next_active,
+                    &mut parts[..live],
+                );
             } else if let Some(task) = tasks.first() {
                 // One grain: stepping inline costs nothing extra and
                 // skips the scope round-trip.
@@ -558,9 +570,10 @@ impl EvalPool {
                     for &p in rev.predecessors(task.state, task.sym as usize) {
                         let p = p as usize;
                         let was_empty = next_frontier[p].is_empty();
-                        if reached[p].union_with_recording_new(step, &mut next_frontier[p])
-                            && was_empty
-                        {
+                        let fresh =
+                            reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                        next_frontier_len[p] += fresh;
+                        if fresh > 0 && was_empty {
                             next_active.push(p as StateId);
                         }
                     }
@@ -568,8 +581,10 @@ impl EvalPool {
             }
             for &q in active.iter() {
                 frontier[q as usize].clear();
+                frontier_len[q as usize] = 0;
             }
             std::mem::swap(frontier, next_frontier);
+            std::mem::swap(frontier_len, next_frontier_len);
             std::mem::swap(active, next_active);
             next_active.clear();
             // Early exit: every node already selected.
@@ -635,12 +650,15 @@ impl EvalPool {
             reached,
             frontier,
             next_frontier,
+            frontier_len,
+            next_frontier_len,
             step,
             active,
             next_active,
         } = eval;
         reached[q0 as usize].insert(source as usize);
         frontier[q0 as usize].insert(source as usize);
+        frontier_len[q0 as usize] = 1;
         active.push(q0);
 
         let words = graph.num_node_words();
@@ -648,17 +666,13 @@ impl EvalPool {
             tasks.clear();
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
-                let frontier_len = if policy == StepPolicy::Auto {
-                    state_frontier.len()
-                } else {
-                    0
-                };
+                let state_frontier_len = frontier_len[q as usize];
                 for sym in 0..sigma {
                     let symbol = Symbol::from_index(sym);
                     if query.step(q, symbol).is_none() {
                         continue;
                     }
-                    match graph.plan_step(state_frontier, symbol, frontier_len, policy) {
+                    match graph.plan_step(state_frontier, symbol, state_frontier_len, policy) {
                         StepPlan::Skip => continue,
                         plan => tasks.push(StepTask {
                             state: q,
@@ -715,7 +729,13 @@ impl EvalPool {
                         });
                     }
                 });
-                merge_level(reached, next_frontier, next_active, &mut parts[..live]);
+                merge_level(
+                    reached,
+                    next_frontier,
+                    next_frontier_len,
+                    next_active,
+                    &mut parts[..live],
+                );
             } else if let Some(task) = tasks.first() {
                 let symbol = Symbol::from_index(task.sym as usize);
                 if let Some(next_state) = query.step(task.state, symbol) {
@@ -728,9 +748,10 @@ impl EvalPool {
                     if !step.is_empty() {
                         let p = next_state as usize;
                         let was_empty = next_frontier[p].is_empty();
-                        if reached[p].union_with_recording_new(step, &mut next_frontier[p])
-                            && was_empty
-                        {
+                        let fresh =
+                            reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                        next_frontier_len[p] += fresh;
+                        if fresh > 0 && was_empty {
                             next_active.push(next_state);
                         }
                     }
@@ -738,8 +759,10 @@ impl EvalPool {
             }
             for &q in active.iter() {
                 frontier[q as usize].clear();
+                frontier_len[q as usize] = 0;
             }
             std::mem::swap(frontier, next_frontier);
+            std::mem::swap(frontier_len, next_frontier_len);
             std::mem::swap(active, next_active);
             next_active.clear();
         }
@@ -754,28 +777,34 @@ impl EvalPool {
 /// Deterministic end-of-level merge for the intra-query evaluators:
 /// scans DFA states in index order and, for every worker that touched a
 /// state, folds its accumulator into `reached`/`next_frontier` via
-/// [`BitSet::union_with_recording_new`]. The outcome per state is
+/// [`BitSet::union_with_recording_new_count`], accumulating the fresh-bit
+/// counts into `next_frontier_len` so the next level's cost model reads
+/// the frontier popcount without a scan. The outcome per state is
 /// `(⋃ worker accumulators) \ reached-before-level` — a set expression
-/// independent of worker scheduling and merge order — and states are
-/// pushed to `next_active` in index order, so the whole level is
-/// reproducible bit-for-bit. Accumulators and touched sets are cleared
-/// on the way out, restoring the level invariant.
+/// independent of worker scheduling and merge order (and so is its
+/// cardinality) — and states are pushed to `next_active` in index order,
+/// so the whole level is reproducible bit-for-bit. Accumulators and
+/// touched sets are cleared on the way out, restoring the level
+/// invariant.
 fn merge_level(
     reached: &mut [BitSet],
     next_frontier: &mut [BitSet],
+    next_frontier_len: &mut [usize],
     next_active: &mut Vec<StateId>,
     parts: &mut [LevelPart],
 ) {
     for p in 0..reached.len() {
         let was_empty = next_frontier[p].is_empty();
-        let mut got_new = false;
+        let mut fresh = 0usize;
         for part in parts.iter_mut() {
             if part.touched.contains(p) {
-                got_new |= reached[p].union_with_recording_new(&part.acc[p], &mut next_frontier[p]);
+                fresh +=
+                    reached[p].union_with_recording_new_count(&part.acc[p], &mut next_frontier[p]);
                 part.acc[p].clear();
             }
         }
-        if got_new && was_empty {
+        next_frontier_len[p] += fresh;
+        if fresh > 0 && was_empty {
             next_active.push(p as StateId);
         }
     }

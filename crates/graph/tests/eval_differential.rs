@@ -431,6 +431,62 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The degree-weighted cost model is a pure execution strategy: for
+    /// random graphs, frontiers and symbols, whatever `StepPlan` the
+    /// weighted `Auto` gate picks, executing it is **bit-identical** to
+    /// the exhaustive plain kernel in both directions — a Skip verdict
+    /// really is an empty step, a Masked verdict really loses no node.
+    /// (The engine-level matrices above assert the same through whole
+    /// evaluations; this pins the verdict/kernels contract directly, on
+    /// arbitrary frontiers no BFS needs to reach.)
+    #[test]
+    fn degree_weighted_plans_are_bit_identical_to_plain_steps(
+        graph in arb_graph(),
+        frontier_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        use pathlearn_graph::StepPlan;
+        let n = graph.num_nodes();
+        let frontier = BitSet::from_indices(
+            n,
+            frontier_bits.iter().enumerate().filter(|(i, &b)| b && *i < n).map(|(i, _)| i),
+        );
+        let frontier_len = frontier.len();
+        let mut plain = BitSet::new(n);
+        let mut planned = BitSet::new(n);
+        for sym in graph.alphabet().symbols() {
+            // Forward.
+            graph.step_frontier_into(&frontier, sym, &mut plain);
+            match graph.plan_step(&frontier, sym, frontier_len, StepPolicy::Auto) {
+                StepPlan::Skip => prop_assert!(
+                    plain.is_empty(),
+                    "Skip verdict on a productive forward step ({:?})", sym
+                ),
+                StepPlan::Masked => {
+                    graph.step_frontier_masked_into(&frontier, sym, &mut planned);
+                    prop_assert_eq!(&planned, &plain, "forward masked {:?}", sym);
+                }
+                StepPlan::Plain => {}
+            }
+            // Backward.
+            graph.step_frontier_back_into(&frontier, sym, &mut plain);
+            match graph.plan_step_back(&frontier, sym, frontier_len, StepPolicy::Auto) {
+                StepPlan::Skip => prop_assert!(
+                    plain.is_empty(),
+                    "Skip verdict on a productive backward step ({:?})", sym
+                ),
+                StepPlan::Masked => {
+                    graph.step_frontier_back_masked_into(&frontier, sym, &mut planned);
+                    prop_assert_eq!(&planned, &plain, "backward masked {:?}", sym);
+                }
+                StepPlan::Plain => {}
+            }
+        }
+    }
+}
+
 /// Regression shapes that once mattered for at least one engine: ε in
 /// the language, empty language, dead labels, query alphabet smaller
 /// than the graph's, single node with self-loops.

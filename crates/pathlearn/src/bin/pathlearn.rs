@@ -16,6 +16,13 @@
 //! `--threads` sizes the evaluation pool (SCP fan-out + intra-query
 //! parallel evaluation); results are identical at every thread count.
 //!
+//! pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T]
+//!                 [--repeat R] [--cache-mb M]
+//!     Run the serving layer over a query workload file (one regex per
+//!     line, `#` comments): canonical result cache + coalescing over N
+//!     client threads. Prints per-query selections and cache/throughput
+//!     stats.
+//!
 //! pathlearn stats <graph.txt>
 //!     Graph statistics (nodes, edges, labels, degree distribution).
 //! ```
@@ -52,6 +59,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "eval" => eval_command(&args[1..]),
         "learn" => learn_command(&args[1..]),
         "interactive" => interactive_command(&args[1..]),
+        "serve" => serve_command(&args[1..]),
         "stats" => stats_command(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -64,6 +72,7 @@ USAGE:
   pathlearn eval <graph.txt> --query <REGEX>
   pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
+  pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M]
   pathlearn stats <graph.txt>
 ";
 
@@ -201,6 +210,136 @@ fn learn_command(args: &[String]) -> Result<(), String> {
                 .into(),
         ),
     }
+}
+
+fn serve_command(args: &[String]) -> Result<(), String> {
+    use pathlearn::server::{QueryService, ServeConfig, Served};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let options = parse_options(args)?;
+    let graph = options.load_graph()?;
+    let queries_path = options.flag("queries").ok_or("missing --queries")?;
+    let text = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let query = PathQuery::parse(line, graph.alphabet())
+            .map_err(|e| format!("{queries_path}:{}: {e}", lineno + 1))?;
+        queries.push((line.to_owned(), query.dfa().clone()));
+    }
+    if queries.is_empty() {
+        return Err(format!("{queries_path} contains no queries"));
+    }
+    let clients = options
+        .flag("clients")
+        .map(|c| c.parse::<usize>().map_err(|_| "--clients needs an integer"))
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
+    let repeat = options
+        .flag("repeat")
+        .map(|r| r.parse::<usize>().map_err(|_| "--repeat needs an integer"))
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
+    let cache_mb = options
+        .flag("cache-mb")
+        .map(|m| {
+            m.parse::<usize>()
+                .map_err(|_| "--cache-mb needs an integer")
+        })
+        .transpose()?
+        .unwrap_or(64);
+
+    let config = ServeConfig {
+        threads: options.threads(1)?,
+        cache: pathlearn::server::CacheConfig {
+            capacity_bytes: cache_mb << 20,
+        },
+        ..ServeConfig::default()
+    };
+    let num_nodes = graph.num_nodes();
+    let service = Arc::new(QueryService::new(graph, config));
+
+    // The workload: the query list cycled `repeat` times, drained by the
+    // client threads from one atomic cursor.
+    let total = queries.len() * repeat;
+    println!(
+        "serving {} submissions ({} unique lines x {repeat}) over {clients} client thread(s), {}-wide eval pool",
+        total,
+        queries.len(),
+        service.threads()
+    );
+    println!(
+        "cache budget: {cache_mb} MiB ≈ {} results on this graph",
+        service.cache_capacity_results()
+    );
+    let cursor = AtomicUsize::new(0);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let service = service.clone();
+            let cursor = &cursor;
+            let queries = &queries;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                service.query_monadic(&queries[i % queries.len()].1);
+            });
+        }
+    });
+    let wall = started.elapsed();
+    // Snapshot counters BEFORE the per-query report below, so the
+    // printed hit/miss numbers describe exactly the driven workload
+    // (the report pass issues its own lookups).
+    let stats = service.stats();
+    let (entries, bytes) = service.cache_usage();
+
+    // Per-query report: normally each entry is still a cache hit; with
+    // a tight --cache-mb an evicted one is re-evaluated here.
+    for (line, dfa) in &queries {
+        let response = service.query_monadic(dfa);
+        let marker = match response.served {
+            Served::Hit => "cached",
+            _ => "evaluated",
+        };
+        println!(
+            "  {line}: {} of {} nodes ({marker}, canonical |Q| = {}, key {:016x})",
+            response.result.len(),
+            num_nodes,
+            response.canonical_states,
+            response.fingerprint
+        );
+    }
+    println!(
+        "served {total} in {:.3}s ({:.0} queries/s)",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "cache: {} hits, {} misses, {} coalesced, hit rate {:.1}% ({} entries, {} KiB resident)",
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        100.0 * stats.hit_rate(),
+        entries,
+        bytes / 1024
+    );
+    println!(
+        "evals: {} sequential, {} intra-query, {} batched; {:.3}s total eval time",
+        stats.sequential_evals,
+        stats.intra_evals,
+        stats.batch_evals,
+        stats.eval_ns_total as f64 / 1e9
+    );
+    Ok(())
 }
 
 fn stats_command(args: &[String]) -> Result<(), String> {

@@ -12,7 +12,9 @@
 //! * [`interactive`] — the interactive scenario of §4 (certain nodes,
 //!   `kR`/`kS` strategies, the Figure 9 loop);
 //! * [`datagen`] — synthetic graph generators and the paper's workloads;
-//! * [`eval`] — experiment runners and metrics for §5.
+//! * [`eval`] — experiment runners and metrics for §5;
+//! * [`server`] — the concurrent RPQ serving layer: canonical result
+//!   cache, query coalescing, admission scheduling over the eval pool.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@ pub use pathlearn_datagen as datagen;
 pub use pathlearn_eval as eval;
 pub use pathlearn_graph as graph;
 pub use pathlearn_interactive as interactive;
+pub use pathlearn_server as server;
 
 /// Convenience re-exports of the most common types.
 pub mod prelude {
@@ -66,4 +69,5 @@ pub mod prelude {
         session::{InteractiveConfig, InteractiveSession},
         strategy::StrategyKind,
     };
+    pub use pathlearn_server::{QueryService, ServeConfig, ServeStats, Served};
 }

@@ -207,6 +207,75 @@ fn interactive_with_simulated_goal() {
 }
 
 #[test]
+fn serve_runs_a_duplicate_heavy_workload_with_cache_hits() {
+    let graph = g0_file();
+    let mut queries = tempfile::Builder::new()
+        .prefix("queries")
+        .suffix(".txt")
+        .tempfile()
+        .expect("tempfile");
+    // Duplicate-heavy: two spellings of (a·b)*·c, one of a, a comment.
+    writeln!(queries, "# workload").unwrap();
+    writeln!(queries, "(a.b)*.c").unwrap();
+    writeln!(queries, "c+a.b.(a.b)*.c").unwrap();
+    writeln!(queries, "a").unwrap();
+    let queries = queries.into_temp_path();
+    let (stdout, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--repeat",
+        "4",
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("serving 12 submissions"), "{stdout}");
+    // 2 unique languages → 2 misses; everything else reused.
+    assert!(stdout.contains("2 misses"), "{stdout}");
+    assert!(stdout.contains("(a.b)*.c: 2 of 7 nodes"), "{stdout}");
+    assert!(stdout.contains("a: 6 of 7 nodes"), "{stdout}");
+    // Equivalent spellings share one canonical key.
+    let keys: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("key "))
+        .filter(|l| l.contains("of 7 nodes"))
+        .filter_map(|l| l.split("key ").nth(1))
+        .map(|k| k.trim_end_matches(')'))
+        .collect();
+    assert_eq!(keys.len(), 3, "{stdout}");
+    assert_eq!(keys[0], keys[1], "equivalent spellings share a key");
+    assert_ne!(keys[0], keys[2]);
+}
+
+#[test]
+fn serve_rejects_bad_workloads() {
+    let graph = g0_file();
+    let (_, stderr, ok) = run(&["serve", graph.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("--queries"), "{stderr}");
+    let mut queries = tempfile::Builder::new()
+        .prefix("badq")
+        .suffix(".txt")
+        .tempfile()
+        .expect("tempfile");
+    writeln!(queries, "a·(").unwrap();
+    let queries = queries.into_temp_path();
+    let (_, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains(":1:"),
+        "parse error names the line: {stderr}"
+    );
+}
+
+#[test]
 fn unknown_flags_and_files_error_cleanly() {
     let (_, stderr, ok) = run(&["learn", "/nonexistent/graph.txt", "--pos", "x"]);
     assert!(!ok);

@@ -1,0 +1,387 @@
+//! The canonical **result cache**: evaluated RPQ answers keyed by
+//! canonical query form, with memory accounting and cost-aware eviction.
+//!
+//! ## Keys
+//!
+//! A [`CacheKey`] is a [`CanonicalQuery`] (the minimal DFA — so
+//! syntactically different but equivalent submissions share one entry,
+//! see `pathlearn-automata::canonical`) plus the semantics it was
+//! evaluated under: monadic, or binary from one source node. Keys never
+//! reference the graph: the owning [`crate::QueryService`] clears the
+//! cache whenever the graph is rebuilt, so every resident entry is valid
+//! for the current graph by construction.
+//!
+//! ## Eviction: GDSF (Greedy-Dual-Size-Frequency)
+//!
+//! Every entry carries the **measured evaluation cost** (nanoseconds,
+//! supplied by the service) and its **resident bytes** (the result
+//! bitset's blocks — `GraphDb::result_bytes` per monadic/binary answer).
+//! Priority is the classic GDSF value
+//!
+//! ```text
+//! priority = clock + cost / bytes
+//! ```
+//!
+//! refreshed on every hit (recency/frequency) with the global `clock`
+//! rising to each evicted entry's priority (aging). Eviction removes the
+//! minimum-priority entry until the new insertion fits, so what survives
+//! pressure is what is *expensive to recompute per byte kept* and
+//! recently useful — a cheap one-level query is let go before a deep
+//! product BFS of the same size. Finding the minimum is a linear scan;
+//! entry counts are `capacity / |V|-bits`, small enough that the scan is
+//! noise next to one evaluation.
+
+use pathlearn_automata::{BitSet, CanonicalQuery};
+use pathlearn_graph::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fixed per-entry overhead charged on top of the result bitset's blocks
+/// and the key's DFA table (hash-map slot, `Arc` headers, bookkeeping)
+/// so thousands of tiny results cannot blow past the configured budget
+/// unaccounted.
+const ENTRY_OVERHEAD_BYTES: usize = 256;
+
+/// Accounted resident bytes of one entry: the result's blocks, the
+/// canonical key's dense DFA table and finals bitmap (the key is what
+/// keeps a large submitted query resident — it must count against the
+/// budget), and the fixed overhead.
+fn entry_bytes(key: &CacheKey, value: &BitSet) -> usize {
+    let dfa = key.query.dfa();
+    let table_bytes = dfa.num_states() * dfa.alphabet_len() * std::mem::size_of::<u32>();
+    let finals_bytes = dfa.num_states().div_ceil(BitSet::BLOCK_BITS) * std::mem::size_of::<u64>();
+    std::mem::size_of_val(value.as_blocks()) + table_bytes + finals_bytes + ENTRY_OVERHEAD_BYTES
+}
+
+/// Which evaluation semantics a cached result answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// `q(G)` — the monadic selected-node set.
+    Monadic,
+    /// Binary semantics from one fixed source node.
+    Binary(NodeId),
+}
+
+/// A result-cache key: canonical query form × evaluation semantics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The canonical (minimal-DFA) form of the submitted query.
+    pub query: CanonicalQuery,
+    /// Monadic or binary-from-source semantics.
+    pub kind: QueryKind,
+}
+
+impl CacheKey {
+    /// Key for the monadic result of `query`.
+    pub fn monadic(query: CanonicalQuery) -> Self {
+        CacheKey {
+            query,
+            kind: QueryKind::Monadic,
+        }
+    }
+
+    /// Key for the binary result of `query` from `source`.
+    pub fn binary(query: CanonicalQuery, source: NodeId) -> Self {
+        CacheKey {
+            query,
+            kind: QueryKind::Binary(source),
+        }
+    }
+}
+
+/// Sizing knobs for [`ResultCache`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Resident-byte budget (result blocks + per-entry overhead).
+    /// Entries larger than the whole budget are never admitted.
+    pub capacity_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    /// 64 MiB — roughly 17k cached answers on a 30k-node graph.
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Counters exposed by [`ResultCache::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Successful insertions.
+    pub insertions: u64,
+    /// Entries evicted under memory pressure.
+    pub evictions: u64,
+    /// Insertions rejected because one entry exceeded the whole budget.
+    pub rejected: u64,
+}
+
+struct Entry {
+    value: Arc<BitSet>,
+    bytes: usize,
+    cost_ns: u64,
+    priority: f64,
+}
+
+/// The cost-aware result cache. Single-threaded by design — the owning
+/// [`crate::QueryService`] guards it with its state mutex, keeping every
+/// lookup-or-register decision atomic with the in-flight table.
+pub struct ResultCache {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    capacity_bytes: usize,
+    /// GDSF aging clock: rises to each evicted priority, so long-resident
+    /// entries must keep earning hits to outrank fresh insertions.
+    clock: f64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates an empty cache with `config`'s byte budget.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            bytes: 0,
+            capacity_bytes: config.capacity_bytes,
+            clock: 0.0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn priority(&self, cost_ns: u64, bytes: usize) -> f64 {
+        self.clock + cost_ns as f64 / bytes.max(1) as f64
+    }
+
+    /// Looks `key` up, refreshing its GDSF priority on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<BitSet>> {
+        let clock = self.clock;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.priority = clock + entry.cost_ns as f64 / entry.bytes.max(1) as f64;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an evaluated result with its measured cost, evicting
+    /// minimum-priority entries until it fits. Returns `false` (and
+    /// caches nothing) when the single entry exceeds the whole budget.
+    /// Re-inserting an existing key replaces the entry.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<BitSet>, cost_ns: u64) -> bool {
+        let bytes = entry_bytes(&key, &value);
+        if bytes > self.capacity_bytes {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.capacity_bytes {
+            let victim = self
+                .map
+                .iter()
+                .min_by(|a, b| {
+                    a.1.priority
+                        .total_cmp(&b.1.priority)
+                        // Deterministic tie-break so tests (and replays)
+                        // see one eviction order.
+                        .then_with(|| a.0.query.fingerprint().cmp(&b.0.query.fingerprint()))
+                })
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            let evicted = self.map.remove(&victim).expect("victim resident");
+            self.bytes -= evicted.bytes;
+            self.clock = self.clock.max(evicted.priority);
+            self.stats.evictions += 1;
+        }
+        let priority = self.priority(cost_ns, bytes);
+        self.bytes += bytes;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                cost_ns,
+                priority,
+            },
+        );
+        self.stats.insertions += 1;
+        true
+    }
+
+    /// Drops every entry (graph rebuild invalidation). Stats and the
+    /// aging clock survive — they describe the cache's lifetime, not one
+    /// graph's.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accounted resident bytes (blocks + per-entry overhead).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_automata::{Alphabet, Regex};
+
+    fn key(expr: &str) -> CacheKey {
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        CacheKey::monadic(CanonicalQuery::new(
+            &Regex::parse(expr, &alphabet).unwrap().to_dfa(3),
+        ))
+    }
+
+    fn value(bits: usize) -> Arc<BitSet> {
+        Arc::new(BitSet::new(bits))
+    }
+
+    /// Budget that fits exactly `n` entries of the shape the tests use
+    /// (single-word result, 2-state canonical key over 3 symbols).
+    fn config_for(n: usize) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: n * entry_bytes(&key("a"), &value(64)),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        assert!(cache.get(&key("a")).is_none());
+        assert!(cache.insert(key("a"), value(64), 1000));
+        assert!(cache.get(&key("a")).is_some());
+        // Equivalent spellings share the entry — the canonicalization
+        // contract the service relies on.
+        assert!(cache.get(&key("a+a")).is_some());
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_entries() {
+        // Two entries of equal size: the 100ns one goes before the
+        // 100µs one, regardless of insertion order.
+        let mut cache = ResultCache::new(config_for(2));
+        cache.insert(key("a"), value(64), 100_000);
+        cache.insert(key("b"), value(64), 100);
+        cache.insert(key("c"), value(64), 50_000);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key("a")).is_some(), "expensive entry survives");
+        assert!(cache.get(&key("b")).is_none(), "cheap entry evicted");
+        assert!(cache.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn aging_clock_lets_fresh_entries_displace_stale_expensive_ones() {
+        // One-entry cache: each insertion evicts the resident entry and
+        // advances the clock to its priority, so even a very expensive
+        // entry cannot pin the cache forever once it stops being hit.
+        let mut cache = ResultCache::new(config_for(1));
+        cache.insert(key("a"), value(64), u64::MAX / 2);
+        cache.insert(key("b"), value(64), 10);
+        assert!(cache.get(&key("a")).is_none());
+        assert!(cache.get(&key("b")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn key_dfa_bytes_count_against_the_budget() {
+        // Budget covering the result blocks + fixed overhead but not
+        // the key's DFA table: the entry must be rejected — otherwise
+        // bulky canonical keys would pin unaccounted memory.
+        let without_key = std::mem::size_of_val(value(64).as_blocks()) + ENTRY_OVERHEAD_BYTES;
+        let mut cache = ResultCache::new(CacheConfig {
+            capacity_bytes: without_key,
+        });
+        assert!(!cache.insert(key("a"), value(64), 10));
+        assert_eq!(cache.stats().rejected, 1);
+        // With the key accounted, the same entry fits exactly.
+        let mut cache = ResultCache::new(config_for(1));
+        assert!(cache.insert(key("a"), value(64), 10));
+        assert_eq!(cache.bytes(), cache.capacity_bytes());
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_thrashed() {
+        let mut cache = ResultCache::new(CacheConfig { capacity_bytes: 64 });
+        assert!(!cache.insert(key("a"), value(1 << 16), 1000));
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reaccounts() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        cache.insert(key("a"), value(64), 10);
+        let bytes = cache.bytes();
+        cache.insert(key("a"), value(64), 99);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), bytes, "replacement does not double-count");
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_lifetime_stats() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        cache.insert(key("a"), value(64), 10);
+        cache.get(&key("a"));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.get(&key("a")).is_none());
+        assert_eq!(
+            cache.capacity_bytes(),
+            CacheConfig::default().capacity_bytes
+        );
+    }
+
+    #[test]
+    fn binary_and_monadic_keys_are_distinct() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        let canonical = key("a").query;
+        cache.insert(CacheKey::monadic(canonical.clone()), value(64), 10);
+        assert!(cache.get(&CacheKey::binary(canonical.clone(), 0)).is_none());
+        assert!(cache.get(&CacheKey::binary(canonical.clone(), 1)).is_none());
+        cache.insert(CacheKey::binary(canonical.clone(), 0), value(64), 10);
+        assert!(cache.get(&CacheKey::binary(canonical, 0)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pathlearn-server — the concurrent RPQ serving layer
+//!
+//! The crates below this one answer *one query at a time*; this crate is
+//! the subsystem that turns them into a **service**: many client threads
+//! submitting regular path queries against a shared graph, with
+//! redundant work removed at three levels —
+//!
+//! 1. **canonicalization** — every submission is minimized to its
+//!    canonical DFA ([`pathlearn_automata::CanonicalQuery`]), so
+//!    syntactically different but equivalent queries are one unit of
+//!    work and one cache entry;
+//! 2. **result caching** — evaluated answers live in a byte-budgeted
+//!    [`ResultCache`] with GDSF cost-aware eviction (what survives
+//!    pressure is what is expensive to recompute per byte kept);
+//! 3. **coalescing** — duplicate submissions that arrive while an
+//!    equivalent query is evaluating block on its in-flight ticket
+//!    instead of re-evaluating (and duplicates inside one batch fold
+//!    deterministically).
+//!
+//! Admitted queries are scheduled over the existing
+//! [`pathlearn_graph::EvalPool`]: batch fan-out for multi-query
+//! submissions, intra-query parallel evaluation for single big-graph
+//! queries, plain sequential evaluation below the size threshold — see
+//! [`service`] for the heuristic. Results are **bit-identical** to the
+//! direct evaluators in every mode and at every thread count (this
+//! crate's smoke tests re-assert the pool's contract end-to-end).
+//!
+//! Cache invalidation is wired to graph rebuilds:
+//! [`QueryService::rebuild_graph`] swaps the graph, clears the cache and
+//! bumps an epoch that keeps straggler evaluations of the old graph from
+//! repopulating it.
+//!
+//! The CLI front door is `pathlearn serve` (crate `pathlearn`); the
+//! throughput/hit-rate harness is `bench_serve` (crate
+//! `pathlearn-bench`, snapshot committed as `BENCH_serve.json`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
+pub use service::{EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats, Served};

@@ -1,0 +1,988 @@
+//! The concurrent query service: admission, coalescing, scheduling.
+//!
+//! [`QueryService`] is the multi-client front door to RPQ evaluation.
+//! Client threads call [`QueryService::query_monadic`] (or the binary /
+//! batch variants) concurrently; the service
+//!
+//! 1. **canonicalizes** the submitted query (minimize → canonical
+//!    numbering, [`CanonicalQuery`]) into a [`CacheKey`], so equivalent
+//!    spellings are one unit of work and one cache entry;
+//! 2. consults the **result cache** ([`ResultCache`], GDSF cost-aware
+//!    eviction) — a hit returns the shared `Arc` immediately;
+//! 3. consults the **in-flight table**: if an equivalent query is being
+//!    evaluated right now, the caller *coalesces* — blocks on that
+//!    evaluation's ticket instead of redoing the work (thundering-herd
+//!    dedup for duplicate-heavy traffic);
+//! 4. otherwise **admits** the query: registers an in-flight ticket
+//!    (under the same lock as the cache probe, so exactly one thread
+//!    owns each key), picks an execution mode by a size heuristic, and
+//!    evaluates on the shared [`EvalPool`].
+//!
+//! ## Scheduling modes
+//!
+//! | mode | when | machinery |
+//! |---|---|---|
+//! | `Sequential` | small graph or sequential pool | `eval_monadic_policy` on this thread |
+//! | `IntraQuery` | parallel pool and `\|V\|` ≥ threshold | [`EvalPool::eval_monadic`] — per-level `(state, symbol)` + node-range fan-out |
+//! | `Batch` | ≥ 2 unique misses in one [`QueryService::query_monadic_batch`] call | [`EvalPool::eval_monadic_batch`] — one slot per query |
+//!
+//! Independent queries from different client threads naturally overlap:
+//! evaluation runs outside the state lock, which is held only for probe
+//! and publish. Results are bit-identical to the direct sequential
+//! evaluators in every mode (the pool's contract, asserted again by this
+//! crate's smoke tests).
+//!
+//! ## Invalidation
+//!
+//! [`QueryService::rebuild_graph`] swaps the graph, bumps the service
+//! **epoch**, clears the cache and drains the in-flight table
+//! atomically. Evaluations already in flight against the old graph
+//! still complete (their existing waiters get a consistent old-graph
+//! answer — the graph `Arc` keeps it alive) but publish to the cache
+//! only if their epoch still matches, and post-rebuild submissions can
+//! no longer coalesce onto them — so a stale result is never served
+//! after the rebuild returns.
+
+use crate::cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
+use pathlearn_automata::{BitSet, CanonicalQuery, Dfa};
+use pathlearn_graph::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch};
+use pathlearn_graph::{EvalPool, GraphDb, NodeId, StepPolicy};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Evaluation-pool width (1 = strictly sequential, no worker
+    /// threads). Client concurrency is the callers' business; this sizes
+    /// the *evaluation* fan-out shared by all of them.
+    pub threads: usize,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// Node count at or above which a single admitted query uses the
+    /// intra-query parallel evaluator instead of the sequential one
+    /// (fan-out overhead beats level work only on graphs with some
+    /// meat; below the threshold sequential is faster *and* leaves the
+    /// pool to other clients).
+    pub intra_query_node_threshold: usize,
+    /// Step-kernel policy for every evaluation this service runs.
+    pub step_policy: StepPolicy,
+    /// Testing/diagnostics knob: hold each evaluated result back this
+    /// long before publishing it (cache insert + ticket completion).
+    /// Widens the in-flight window so coalescing can be exercised
+    /// reliably from tests; keep `ZERO` (the default) in production.
+    pub eval_holdoff: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            cache: CacheConfig::default(),
+            intra_query_node_threshold: 4096,
+            step_policy: StepPolicy::Auto,
+            eval_holdoff: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Pool width from `PATHLEARN_THREADS` / available parallelism, as
+    /// [`EvalPool::env_threads`] resolves it (no pool is built just to
+    /// read the number); everything else default.
+    pub fn from_env() -> Self {
+        ServeConfig {
+            threads: EvalPool::env_threads(),
+            ..Self::default()
+        }
+    }
+}
+
+/// How an admitted (missed) query was executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Sequential evaluator on the calling thread.
+    Sequential,
+    /// Intra-query parallel evaluator on the shared pool.
+    IntraQuery,
+    /// Part of a multi-query batch fan-out.
+    Batch,
+}
+
+/// How one submission was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Resident in the result cache.
+    Hit,
+    /// Folded onto a concurrent in-flight evaluation of an equivalent
+    /// query (or onto an earlier duplicate in the same batch).
+    Coalesced,
+    /// Admitted and evaluated.
+    Evaluated {
+        /// The scheduling mode the admission heuristic chose.
+        mode: EvalMode,
+        /// Measured evaluation wall time.
+        eval_ns: u64,
+    },
+}
+
+/// One served query: the (shared) result plus per-query trace data —
+/// the "per-query stats" surface of the serving layer.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The selected node set (monadic) or reachable end set (binary).
+    pub result: Arc<BitSet>,
+    /// Hit / coalesced / evaluated-with-mode.
+    pub served: Served,
+    /// Stable digest of the canonical form (log-friendly query id).
+    pub fingerprint: u64,
+    /// States of the canonical DFA (the paper's query size).
+    pub canonical_states: usize,
+}
+
+/// Aggregate service counters (a consistent snapshot via
+/// [`QueryService::stats`]).
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Submissions answered from the result cache.
+    pub hits: u64,
+    /// Submissions that were admitted and evaluated.
+    pub misses: u64,
+    /// Submissions folded onto a concurrent in-flight evaluation.
+    pub coalesced: u64,
+    /// Duplicates folded within a single submitted batch.
+    pub batch_deduped: u64,
+    /// Graph rebuilds (each clears the cache).
+    pub invalidations: u64,
+    /// Admitted queries run sequentially.
+    pub sequential_evals: u64,
+    /// Admitted queries run on the intra-query parallel evaluator.
+    pub intra_evals: u64,
+    /// Admitted queries run inside a batch fan-out.
+    pub batch_evals: u64,
+    /// Total measured evaluation wall time across admissions.
+    pub eval_ns_total: u64,
+}
+
+impl ServeStats {
+    /// Submissions that did **not** pay an evaluation: cache hits plus
+    /// both coalescing flavors.
+    pub fn reused(&self) -> u64 {
+        self.hits + self.coalesced + self.batch_deduped
+    }
+
+    /// Fraction of submissions served without evaluating
+    /// (`reused / (reused + misses)`); 0.0 before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.reused() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused() as f64 / total as f64
+        }
+    }
+}
+
+/// State of an in-flight ticket.
+enum TicketState {
+    /// The owning thread is still evaluating.
+    Pending,
+    /// Evaluation finished; every waiter gets this shared result.
+    Done(Arc<BitSet>),
+    /// The owner unwound (panic) or the ticket was invalidated before
+    /// completion: waiters must re-admit instead of hanging.
+    Abandoned,
+}
+
+/// Ticket one thread evaluates against while duplicates wait.
+struct InFlight {
+    slot: Mutex<TicketState>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(TicketState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the owner publishes (`Some`) or abandons (`None`).
+    fn wait(&self) -> Option<Arc<BitSet>> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            match &*slot {
+                TicketState::Pending => slot = self.ready.wait(slot).unwrap(),
+                TicketState::Done(result) => return Some(result.clone()),
+                TicketState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn complete(&self, result: Arc<BitSet>) {
+        *self.slot.lock().unwrap() = TicketState::Done(result);
+        self.ready.notify_all();
+    }
+
+    /// Marks a never-completed ticket abandoned and wakes its waiters.
+    fn abandon(&self) {
+        let mut slot = self.slot.lock().unwrap();
+        if matches!(*slot, TicketState::Pending) {
+            *slot = TicketState::Abandoned;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Drop guard armed between admission and publication: if evaluation
+/// unwinds, it deregisters the ticket (only if it is still the one in
+/// the table — a rebuild may have drained it and a new owner taken the
+/// key) and abandons it, so coalesced waiters retry instead of hanging
+/// forever on a Condvar nobody will signal.
+struct AdmissionGuard<'a> {
+    service: &'a QueryService,
+    key: &'a CacheKey,
+    ticket: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl<'a> AdmissionGuard<'a> {
+    fn new(service: &'a QueryService, key: &'a CacheKey, ticket: &'a Arc<InFlight>) -> Self {
+        AdmissionGuard {
+            service,
+            key,
+            ticket,
+            armed: true,
+        }
+    }
+
+    /// Publication succeeded; the guard has nothing left to do.
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Unwinding: tolerate a poisoned lock — the state itself is a
+        // plain map and counters, always structurally valid.
+        let mut inner = self
+            .service
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner
+            .inflight
+            .get(self.key)
+            .is_some_and(|current| Arc::ptr_eq(current, self.ticket))
+        {
+            inner.inflight.remove(self.key);
+        }
+        drop(inner);
+        self.ticket.abandon();
+    }
+}
+
+/// Everything the probe-or-admit decision must see atomically.
+struct Inner {
+    graph: Arc<GraphDb>,
+    /// Bumped by every [`QueryService::rebuild_graph`]; in-flight
+    /// evaluations skip their cache insert when it moved under them.
+    epoch: u64,
+    cache: ResultCache,
+    inflight: HashMap<CacheKey, Arc<InFlight>>,
+    stats: ServeStats,
+}
+
+/// What the probe decided for one submission.
+enum Admission {
+    Done(Arc<BitSet>, Served),
+    Wait(Arc<InFlight>),
+    Evaluate {
+        graph: Arc<GraphDb>,
+        epoch: u64,
+        ticket: Arc<InFlight>,
+    },
+}
+
+/// The multi-client RPQ query service. See the module docs for the
+/// pipeline; construction is cheap apart from spawning the pool's
+/// worker threads.
+///
+/// `QueryService` is `Sync`: share one instance (e.g. behind an `Arc`)
+/// across every client thread.
+///
+/// ```
+/// use pathlearn_automata::Regex;
+/// use pathlearn_graph::graph::figure3_g0;
+/// use pathlearn_server::{QueryService, ServeConfig};
+///
+/// let service = QueryService::new(figure3_g0(), ServeConfig::default());
+/// let graph = service.graph();
+/// let query = |expr: &str| Regex::parse(expr, graph.alphabet()).unwrap().to_dfa(3);
+///
+/// let first = service.query_monadic(&query("(a·b)*·c"));
+/// // An equivalent spelling is a cache hit on the same entry.
+/// let second = service.query_monadic(&query("c+a·b·(a·b)*·c"));
+/// assert_eq!(first.result, second.result);
+/// assert_eq!(service.stats().hits, 1);
+/// ```
+pub struct QueryService {
+    inner: Mutex<Inner>,
+    pool: EvalPool,
+    intra_query_node_threshold: usize,
+    eval_holdoff: Duration,
+}
+
+impl QueryService {
+    /// Builds a service for `graph` under `config`.
+    pub fn new(graph: GraphDb, config: ServeConfig) -> Self {
+        QueryService {
+            inner: Mutex::new(Inner {
+                graph: Arc::new(graph),
+                epoch: 0,
+                cache: ResultCache::new(config.cache),
+                inflight: HashMap::new(),
+                stats: ServeStats::default(),
+            }),
+            pool: EvalPool::new(config.threads).with_step_policy(config.step_policy),
+            intra_query_node_threshold: config.intra_query_node_threshold,
+            eval_holdoff: config.eval_holdoff,
+        }
+    }
+
+    /// The currently served graph (the `Arc` stays valid across
+    /// rebuilds for results already in hand).
+    pub fn graph(&self) -> Arc<GraphDb> {
+        self.inner.lock().unwrap().graph.clone()
+    }
+
+    /// Snapshot of the aggregate service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.lock().unwrap().stats.clone()
+    }
+
+    /// Snapshot of the result cache's own counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().cache.stats().clone()
+    }
+
+    /// `(resident entries, resident bytes)` of the result cache.
+    pub fn cache_usage(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap();
+        (inner.cache.len(), inner.cache.bytes())
+    }
+
+    /// Capacity-planning estimate: how many answers for the **current
+    /// graph** the cache's byte budget can hold
+    /// ([`GraphDb::result_bytes`] per monadic/binary result, ignoring
+    /// the small per-entry overhead).
+    pub fn cache_capacity_results(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.cache.capacity_bytes() / inner.graph.result_bytes().max(1)
+    }
+
+    /// The evaluation pool width.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Swaps in a rebuilt graph: bumps the epoch and clears the result
+    /// cache **and the in-flight table** in one atomic step, so no
+    /// post-rebuild submission can see a pre-rebuild answer — neither
+    /// from the cache nor by coalescing onto an old-graph evaluation.
+    /// Evaluations already in flight complete against the old graph for
+    /// the callers that asked while it was current (their drained
+    /// tickets still get completed), but they do not populate the cache
+    /// and no new waiter can join them.
+    pub fn rebuild_graph(&self, graph: GraphDb) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.graph = Arc::new(graph);
+        inner.epoch += 1;
+        inner.cache.clear();
+        // Drain, do not abandon: the old owners still hold their
+        // tickets and will complete them for their pre-rebuild waiters;
+        // draining only stops *new* submissions from coalescing on.
+        inner.inflight.clear();
+        inner.stats.invalidations += 1;
+    }
+
+    /// Serves the monadic query `q(G)`. Equal to
+    /// [`pathlearn_graph::eval::eval_monadic`] on the current graph,
+    /// bit-for-bit, however it is served.
+    pub fn query_monadic(&self, query: &Dfa) -> QueryResponse {
+        self.serve(CacheKey::monadic(CanonicalQuery::new(query)))
+    }
+
+    /// Serves binary semantics from `source`. Equal to
+    /// [`pathlearn_graph::eval::eval_binary_from`]. Sources outside the
+    /// current graph yield the empty set.
+    pub fn query_binary_from(&self, query: &Dfa, source: NodeId) -> QueryResponse {
+        self.serve(CacheKey::binary(CanonicalQuery::new(query), source))
+    }
+
+    /// Pre-canonicalized monadic entry point: lets callers that already
+    /// hold a [`CanonicalQuery`] (e.g. a planner layer) skip the
+    /// minimize pass.
+    pub fn query_monadic_canonical(&self, query: CanonicalQuery) -> QueryResponse {
+        self.serve(CacheKey::monadic(query))
+    }
+
+    fn respond(key: &CacheKey, result: Arc<BitSet>, served: Served) -> QueryResponse {
+        QueryResponse {
+            result,
+            served,
+            fingerprint: key.query.fingerprint(),
+            canonical_states: key.query.num_states(),
+        }
+    }
+
+    /// Probe-or-admit under one lock acquisition.
+    fn admit(&self, key: &CacheKey) -> Admission {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(result) = inner.cache.get(key) {
+            inner.stats.hits += 1;
+            return Admission::Done(result, Served::Hit);
+        }
+        if let Some(ticket) = inner.inflight.get(key).cloned() {
+            inner.stats.coalesced += 1;
+            return Admission::Wait(ticket);
+        }
+        let ticket = Arc::new(InFlight::new());
+        inner.inflight.insert(key.clone(), ticket.clone());
+        Admission::Evaluate {
+            graph: inner.graph.clone(),
+            epoch: inner.epoch,
+            ticket,
+        }
+    }
+
+    fn serve(&self, key: CacheKey) -> QueryResponse {
+        loop {
+            match self.admit(&key) {
+                Admission::Done(result, served) => return Self::respond(&key, result, served),
+                Admission::Wait(ticket) => match ticket.wait() {
+                    Some(result) => return Self::respond(&key, result, Served::Coalesced),
+                    // The owner unwound before publishing: re-admit
+                    // (this thread may become the new owner).
+                    None => continue,
+                },
+                Admission::Evaluate {
+                    graph,
+                    epoch,
+                    ticket,
+                } => {
+                    let mut guard = AdmissionGuard::new(self, &key, &ticket);
+                    let start = Instant::now();
+                    let (result, mode) = self.evaluate(&graph, &key);
+                    let eval_ns = start.elapsed().as_nanos() as u64;
+                    let result = Arc::new(result);
+                    self.publish(&key, &ticket, epoch, result.clone(), mode, eval_ns);
+                    guard.disarm();
+                    return Self::respond(&key, result, Served::Evaluated { mode, eval_ns });
+                }
+            }
+        }
+    }
+
+    /// Executes one admitted query under the size heuristic.
+    fn evaluate(&self, graph: &GraphDb, key: &CacheKey) -> (BitSet, EvalMode) {
+        // Sequential evaluations run on the calling client thread; a
+        // thread-local scratch keeps the serving hot path free of the
+        // ~3·|Q| bitset allocations a fresh scratch would zero per miss
+        // (scratch reuse never changes results — `EvalScratch` docs).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EvalScratch> =
+                std::cell::RefCell::new(EvalScratch::new());
+        }
+        let dfa = key.query.dfa();
+        let intra = self.pool.is_parallel() && graph.num_nodes() >= self.intra_query_node_threshold;
+        match key.kind {
+            QueryKind::Monadic => {
+                if intra {
+                    (self.pool.eval_monadic(dfa, graph), EvalMode::IntraQuery)
+                } else {
+                    (
+                        SCRATCH.with(|scratch| {
+                            eval_monadic_policy(
+                                &mut scratch.borrow_mut(),
+                                dfa,
+                                graph,
+                                self.pool.step_policy(),
+                            )
+                        }),
+                        EvalMode::Sequential,
+                    )
+                }
+            }
+            QueryKind::Binary(source) => {
+                if (source as usize) >= graph.num_nodes() {
+                    // Out-of-graph source (e.g. submitted before a
+                    // rebuild shrank the graph): the empty answer.
+                    return (BitSet::new(graph.num_nodes()), EvalMode::Sequential);
+                }
+                if intra {
+                    (
+                        self.pool.eval_binary_from(dfa, graph, source),
+                        EvalMode::IntraQuery,
+                    )
+                } else {
+                    (
+                        SCRATCH.with(|scratch| {
+                            eval_binary_from_policy(
+                                &mut scratch.borrow_mut(),
+                                dfa,
+                                graph,
+                                source,
+                                self.pool.step_policy(),
+                            )
+                        }),
+                        EvalMode::Sequential,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Publishes an evaluated result: cache insert (epoch-guarded),
+    /// stats, in-flight removal, ticket completion — in that order, so a
+    /// new submission arriving after the ticket is gone finds the cache
+    /// entry instead. The removal is guarded by ticket identity: after a
+    /// rebuild drained the table, the key may already belong to a new
+    /// owner whose ticket must not be evicted by the old one.
+    fn publish(
+        &self,
+        key: &CacheKey,
+        ticket: &Arc<InFlight>,
+        epoch: u64,
+        result: Arc<BitSet>,
+        mode: EvalMode,
+        eval_ns: u64,
+    ) {
+        if !self.eval_holdoff.is_zero() {
+            std::thread::sleep(self.eval_holdoff);
+        }
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.stats.misses += 1;
+            match mode {
+                EvalMode::Sequential => inner.stats.sequential_evals += 1,
+                EvalMode::IntraQuery => inner.stats.intra_evals += 1,
+                EvalMode::Batch => inner.stats.batch_evals += 1,
+            }
+            inner.stats.eval_ns_total += eval_ns;
+            if inner.epoch == epoch {
+                inner.cache.insert(key.clone(), result.clone(), eval_ns);
+            }
+            if inner
+                .inflight
+                .get(key)
+                .is_some_and(|current| Arc::ptr_eq(current, ticket))
+            {
+                inner.inflight.remove(key);
+            }
+        }
+        ticket.complete(result);
+    }
+
+    /// Serves a whole batch of monadic queries, coalescing duplicates
+    /// **within the batch** deterministically (counted as
+    /// `batch_deduped`) and fanning the unique misses out over the pool
+    /// ([`EvalPool::eval_monadic_batch`], mode `Batch`) when there are
+    /// at least two; a lone miss falls back to the single-query
+    /// heuristic. `result[i]` equals `query_monadic(&queries[i]).result`
+    /// bit-for-bit.
+    pub fn query_monadic_batch(&self, queries: &[Dfa]) -> Vec<Arc<BitSet>> {
+        let keys: Vec<CacheKey> = queries
+            .iter()
+            .map(|q| CacheKey::monadic(CanonicalQuery::new(q)))
+            .collect();
+        let mut results: Vec<Option<Arc<BitSet>>> = vec![None; keys.len()];
+        // Unique keys this call owns, with every batch position mapping
+        // to them; positions waiting on other threads' in-flight work.
+        let mut owned: Vec<(CacheKey, Arc<InFlight>, Vec<usize>)> = Vec::new();
+        let mut waits: Vec<(usize, Arc<InFlight>)> = Vec::new();
+        let (graph, epoch) = {
+            let mut inner = self.inner.lock().unwrap();
+            let mut local: HashMap<&CacheKey, usize> = HashMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(result) = inner.cache.get(key) {
+                    inner.stats.hits += 1;
+                    results[i] = Some(result);
+                } else if let Some(&slot) = local.get(key) {
+                    inner.stats.batch_deduped += 1;
+                    owned[slot].2.push(i);
+                } else if let Some(ticket) = inner.inflight.get(key).cloned() {
+                    inner.stats.coalesced += 1;
+                    waits.push((i, ticket));
+                } else {
+                    let ticket = Arc::new(InFlight::new());
+                    inner.inflight.insert(key.clone(), ticket.clone());
+                    local.insert(key, owned.len());
+                    owned.push((key.clone(), ticket, vec![i]));
+                }
+            }
+            (inner.graph.clone(), inner.epoch)
+        };
+
+        // Abandon every owned ticket if the fan-out below unwinds, so
+        // concurrent waiters retry instead of hanging.
+        let mut guards: Vec<AdmissionGuard> = owned
+            .iter()
+            .map(|(key, ticket, _)| AdmissionGuard::new(self, key, ticket))
+            .collect();
+        if owned.len() >= 2 {
+            // Real batch: canonical DFAs through the pool fan-out.
+            // Individual timings are not observable inside the pool, so
+            // the batch wall time is attributed to the cache per query
+            // in proportion to its O(|E|·|Q|) work bound
+            // ([`GraphDb::eval_cost_bound`]) — a 5-state query carries
+            // more of the cost than a 1-state one.
+            let dfas: Vec<Dfa> = owned
+                .iter()
+                .map(|(k, _, _)| k.query.dfa().clone())
+                .collect();
+            let start = Instant::now();
+            let evaluated = self.pool.eval_monadic_batch(&dfas, &graph);
+            let total_ns = start.elapsed().as_nanos() as u64;
+            let bounds: Vec<u64> = owned
+                .iter()
+                .map(|(k, _, _)| graph.eval_cost_bound(k.query.num_states()))
+                .collect();
+            let total_bound = bounds.iter().sum::<u64>().max(1);
+            for (slot, ((key, ticket, positions), value)) in owned.iter().zip(evaluated).enumerate()
+            {
+                let cost_ns =
+                    (total_ns as u128 * bounds[slot] as u128 / total_bound as u128) as u64;
+                let value = Arc::new(value);
+                self.publish(key, ticket, epoch, value.clone(), EvalMode::Batch, cost_ns);
+                guards[slot].disarm();
+                for &i in positions {
+                    results[i] = Some(value.clone());
+                }
+            }
+        } else if let Some((key, ticket, positions)) = owned.first() {
+            let start = Instant::now();
+            let (value, mode) = self.evaluate(&graph, key);
+            let eval_ns = start.elapsed().as_nanos() as u64;
+            let value = Arc::new(value);
+            self.publish(key, ticket, epoch, value.clone(), mode, eval_ns);
+            guards[0].disarm();
+            for &i in positions {
+                results[i] = Some(value.clone());
+            }
+        }
+        drop(guards);
+
+        for (i, ticket) in waits {
+            results[i] = Some(match ticket.wait() {
+                Some(result) => result,
+                // The foreign owner unwound: serve this position
+                // ourselves through the normal re-admission path.
+                None => self.serve(keys[i].clone()).result,
+            });
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch position served"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlearn_automata::Regex;
+    use pathlearn_graph::eval::{eval_binary_from, eval_monadic};
+    use pathlearn_graph::graph::figure3_g0;
+
+    fn query(graph: &GraphDb, expr: &str) -> Dfa {
+        Regex::parse(expr, graph.alphabet())
+            .unwrap()
+            .to_dfa(graph.alphabet().len())
+    }
+
+    #[test]
+    fn serves_bit_identical_results_and_counts_hits() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let q = query(&graph, "(a·b)*·c");
+        let expected = eval_monadic(&q, &graph);
+        let first = service.query_monadic(&q);
+        assert_eq!(*first.result, expected);
+        assert!(matches!(
+            first.served,
+            Served::Evaluated {
+                mode: EvalMode::Sequential,
+                ..
+            }
+        ));
+        // Same query again: a hit on the same Arc.
+        let second = service.query_monadic(&q);
+        assert_eq!(second.served, Served::Hit);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        // An equivalent spelling hits the same entry.
+        let third = service.query_monadic(&query(&graph, "c+a·b·(a·b)*·c"));
+        assert_eq!(third.served, Served::Hit);
+        assert!(Arc::ptr_eq(&first.result, &third.result));
+        assert_eq!(third.fingerprint, first.fingerprint);
+        let stats = service.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn binary_results_are_cached_per_source() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let q = query(&graph, "(a·b)*·c");
+        for source in graph.nodes() {
+            let response = service.query_binary_from(&q, source);
+            assert_eq!(*response.result, eval_binary_from(&q, &graph, source));
+        }
+        // Second pass: all hits.
+        for source in graph.nodes() {
+            assert_eq!(service.query_binary_from(&q, source).served, Served::Hit);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.misses, graph.num_nodes() as u64);
+        assert_eq!(stats.hits, graph.num_nodes() as u64);
+        // An out-of-graph source is served (empty), defensively.
+        let far = service.query_binary_from(&q, 10_000);
+        assert!(far.result.is_empty());
+    }
+
+    #[test]
+    fn batch_coalesces_duplicates_deterministically() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let a = query(&graph, "a");
+        let abc = query(&graph, "(a·b)*·c");
+        let abc_variant = query(&graph, "c+a·b·(a·b)*·c"); // ≡ abc
+        let batch = vec![a.clone(), abc.clone(), abc_variant, a.clone()];
+        let results = service.query_monadic_batch(&batch);
+        assert_eq!(*results[0], eval_monadic(&a, &graph));
+        assert_eq!(*results[1], eval_monadic(&abc, &graph));
+        assert!(Arc::ptr_eq(&results[1], &results[2]), "variant coalesced");
+        assert!(Arc::ptr_eq(&results[0], &results[3]), "duplicate coalesced");
+        let stats = service.stats();
+        assert_eq!(stats.batch_deduped, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.batch_evals, 2);
+        // Resubmitting the whole batch is pure hits.
+        service.query_monadic_batch(&batch);
+        assert_eq!(service.stats().hits, 4);
+    }
+
+    #[test]
+    fn rebuild_invalidates_and_reevaluates() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let q = query(&graph, "a");
+        let before = service.query_monadic(&q);
+        assert_eq!(service.cache_usage().0, 1);
+
+        // Rebuild with one a-edge removed from v1: the answer changes.
+        let mut builder = pathlearn_graph::GraphBuilder::with_alphabet(graph.alphabet().clone());
+        for (src, sym, dst) in graph.edges() {
+            let (src, dst) = (graph.node_name(src), graph.node_name(dst));
+            if (src, dst) != ("v1", "v2") {
+                builder.add_edge(src, graph.alphabet().name(sym), dst);
+            }
+        }
+        let rebuilt = builder.build();
+        let expected = eval_monadic(&query(&rebuilt, "a"), &rebuilt);
+        service.rebuild_graph(rebuilt);
+        assert_eq!(service.cache_usage(), (0, 0), "rebuild clears the cache");
+
+        let after = service.query_monadic(&q);
+        assert!(matches!(after.served, Served::Evaluated { .. }));
+        assert_eq!(*after.result, expected);
+        assert_ne!(*after.result, *before.result);
+        assert_eq!(service.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_onto_one_evaluation() {
+        let graph = figure3_g0();
+        let config = ServeConfig {
+            // Hold published results back so every barrier-released
+            // duplicate lands inside the in-flight window.
+            eval_holdoff: Duration::from_millis(100),
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(QueryService::new(graph.clone(), config));
+        let q = query(&graph, "(a+b)*·c");
+        let expected = eval_monadic(&q, &graph);
+        let clients = 4;
+        let barrier = Arc::new(std::sync::Barrier::new(clients));
+        let responses: Vec<QueryResponse> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let service = service.clone();
+                    let barrier = barrier.clone();
+                    let q = q.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service.query_monadic(&q)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for response in &responses {
+            assert_eq!(*response.result, expected);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.misses, 1, "exactly one evaluation");
+        assert_eq!(
+            stats.coalesced + stats.hits,
+            clients as u64 - 1,
+            "every duplicate reused the one evaluation"
+        );
+        assert!(stats.coalesced >= 1, "at least one concurrent coalesce");
+    }
+
+    #[test]
+    fn post_rebuild_submissions_never_coalesce_onto_old_graph_evals() {
+        let graph = figure3_g0();
+        let config = ServeConfig {
+            // Keep the old-graph evaluation in flight across the
+            // rebuild below.
+            eval_holdoff: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(QueryService::new(graph.clone(), config));
+        let q = query(&graph, "a");
+        let old_expected = eval_monadic(&q, &graph);
+
+        let mut builder = pathlearn_graph::GraphBuilder::with_alphabet(graph.alphabet().clone());
+        builder.add_edge("x", "a", "y");
+        let rebuilt = builder.build();
+        let new_expected = eval_monadic(&q, &rebuilt);
+        assert_ne!(old_expected, new_expected);
+
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let old_response = {
+            let service = service.clone();
+            let barrier = barrier.clone();
+            let q = q.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.query_monadic(&q)
+            })
+        };
+        barrier.wait();
+        // The owner is inside its 300ms publication holdoff; swap the
+        // graph under it.
+        std::thread::sleep(Duration::from_millis(100));
+        service.rebuild_graph(rebuilt);
+
+        // A post-rebuild submission must evaluate against the new
+        // graph, not coalesce onto the drained old-graph ticket.
+        let after = service.query_monadic(&q);
+        assert!(
+            matches!(after.served, Served::Evaluated { .. }),
+            "coalesced onto a pre-rebuild evaluation: {:?}",
+            after.served
+        );
+        assert_eq!(*after.result, new_expected);
+
+        // The pre-rebuild caller still gets a consistent old-graph
+        // answer, and the old evaluation never repopulated the cache:
+        // the lone entry is the new graph's.
+        let old_response = old_response.join().unwrap();
+        assert_eq!(*old_response.result, old_expected);
+        assert_eq!(service.cache_usage().0, 1);
+        assert_eq!(service.query_monadic(&q).served, Served::Hit);
+    }
+
+    #[test]
+    fn abandoned_tickets_wake_waiters_and_free_the_key() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let q = query(&graph, "a");
+        let key = CacheKey::monadic(CanonicalQuery::new(&q));
+        // Become the owner, then simulate the owner unwinding before
+        // publication: the armed guard's drop is exactly that path.
+        let Admission::Evaluate { ticket, .. } = service.admit(&key) else {
+            panic!("first admission must be an Evaluate");
+        };
+        let waiter = {
+            let ticket = ticket.clone();
+            std::thread::spawn(move || ticket.wait())
+        };
+        drop(AdmissionGuard::new(&service, &key, &ticket));
+        assert!(
+            waiter.join().unwrap().is_none(),
+            "waiter must be released with an abandon signal, not hang"
+        );
+        // The key is free again: a fresh submission evaluates normally.
+        let response = service.query_monadic(&q);
+        assert!(matches!(response.served, Served::Evaluated { .. }));
+        assert_eq!(*response.result, eval_monadic(&q, &graph));
+        // Identity-guarded removal: after a first owner loses the key
+        // (as a rebuild's drain does) and a second owner registers, the
+        // first owner's late publish must not evict the second ticket.
+        let bkey = CacheKey::binary(CanonicalQuery::new(&q), 0);
+        let Admission::Evaluate {
+            ticket: first,
+            epoch,
+            ..
+        } = service.admit(&bkey)
+        else {
+            panic!("binary admission must be an Evaluate");
+        };
+        service.inner.lock().unwrap().inflight.remove(&bkey);
+        let Admission::Evaluate { ticket: second, .. } = service.admit(&bkey) else {
+            panic!("re-admission must be an Evaluate");
+        };
+        service.publish(
+            &bkey,
+            &first,
+            epoch.wrapping_add(1), // stale epoch: no cache insert either
+            Arc::new(BitSet::new(graph.num_nodes())),
+            EvalMode::Sequential,
+            1,
+        );
+        assert!(
+            service
+                .inner
+                .lock()
+                .unwrap()
+                .inflight
+                .get(&bkey)
+                .is_some_and(|t| Arc::ptr_eq(t, &second)),
+            "late publish of a displaced ticket evicted the new owner"
+        );
+        drop(AdmissionGuard::new(&service, &bkey, &second));
+    }
+
+    #[test]
+    fn parallel_pool_uses_intra_mode_above_threshold() {
+        let graph = figure3_g0();
+        let config = ServeConfig {
+            threads: 2,
+            intra_query_node_threshold: 4, // g0 has 7 nodes
+            ..ServeConfig::default()
+        };
+        let service = QueryService::new(graph.clone(), config);
+        let q = query(&graph, "(a·b)*·c");
+        let response = service.query_monadic(&q);
+        assert!(matches!(
+            response.served,
+            Served::Evaluated {
+                mode: EvalMode::IntraQuery,
+                ..
+            }
+        ));
+        assert_eq!(*response.result, eval_monadic(&q, &graph));
+        assert_eq!(service.stats().intra_evals, 1);
+        assert_eq!(service.threads(), 2);
+    }
+}

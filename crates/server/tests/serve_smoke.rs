@@ -1,0 +1,234 @@
+//! End-to-end smoke gate for the serving layer — the suite CI names in
+//! both `PATHLEARN_THREADS` legs.
+//!
+//! Spawns the service in-process, fires a **duplicate-heavy** query mix
+//! at it from client-thread counts {1, 4} crossed with evaluation-pool
+//! widths {1, 4, `PATHLEARN_THREADS`} (the env leg comes in through
+//! [`ServeConfig::from_env`], so each CI matrix leg covers a distinct
+//! configuration), and asserts the acceptance contract:
+//!
+//! * every served answer is **bit-identical** to the direct sequential
+//!   evaluators (`eval_monadic` / `eval_binary_from`);
+//! * the measured **hit rate is > 0** on the duplicate-heavy mix (in
+//!   fact ≥ the duplication factor's floor, since canonicalization also
+//!   folds the syntactic variants);
+//! * **coalescing** of concurrent duplicate submissions is observed:
+//!   within-batch dedup deterministically, and cross-thread in-flight
+//!   coalescing under an eval holdoff that keeps the window open.
+
+use pathlearn_automata::{Alphabet, BitSet, Dfa, Regex, Symbol};
+use pathlearn_graph::eval::{eval_binary_from, eval_monadic};
+use pathlearn_graph::{GraphBuilder, GraphDb};
+use pathlearn_server::{QueryService, ServeConfig, Served};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A 200-node multi-word graph so frontiers straddle block boundaries
+/// and the intra-query threshold can be crossed.
+fn ring_graph(n: usize) -> GraphDb {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b", "c"]));
+    let first = builder.add_nodes("n", n);
+    for i in 0..n as u32 {
+        let next = first + (i + 1) % n as u32;
+        builder.add_edge_ids(first + i, Symbol::from_index(i as usize % 3), next);
+        if i % 5 == 0 {
+            builder.add_edge_ids(first + i, Symbol::from_index(2), first + (i + 7) % n as u32);
+        }
+    }
+    builder.build()
+}
+
+/// The duplicate-heavy mix: each base expression plus an equivalent
+/// syntactic variant, the whole list repeated `repeat` times.
+fn workload(graph: &GraphDb, repeat: usize) -> Vec<Dfa> {
+    let pairs = [
+        ("a·(b·c)", "(a·b)·c"),
+        ("(a+b)*·c", "(b+a)*·c"),
+        ("c·a*", "c·a*·(a·a)*"),
+        ("a", "a+a"),
+        ("(a·b)*·c", "c+a·b·(a·b)*·c"),
+    ];
+    let mut dfas = Vec::new();
+    for _ in 0..repeat {
+        for (base, variant) in pairs {
+            for expr in [base, variant] {
+                dfas.push(
+                    Regex::parse(expr, graph.alphabet())
+                        .unwrap()
+                        .to_dfa(graph.alphabet().len()),
+                );
+            }
+        }
+    }
+    dfas
+}
+
+/// Drives `clients` threads over the workload via an atomic cursor and
+/// returns the served results in workload order.
+fn drive(service: &Arc<QueryService>, queries: &[Dfa], clients: usize) -> Vec<Arc<BitSet>> {
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Arc<BitSet>>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            let service = service.clone();
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        return mine;
+                    }
+                    mine.push((i, service.query_monadic(&queries[i]).result));
+                }
+            }));
+        }
+        for handle in handles {
+            for (i, result) in handle.join().unwrap() {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn duplicate_heavy_mix_is_bit_identical_with_positive_hit_rate() {
+    let graph = ring_graph(200);
+    let queries = workload(&graph, 3);
+    let expected: Vec<BitSet> = queries.iter().map(|q| eval_monadic(q, &graph)).collect();
+    // Pool widths {1, 4} plus the `PATHLEARN_THREADS` leg CI is running
+    // us under (via `ServeConfig::from_env`), so the two matrix legs
+    // genuinely exercise different pool widths here.
+    let env_threads = ServeConfig::from_env().threads.min(8);
+    let mut pool_widths = vec![1usize, 4];
+    if !pool_widths.contains(&env_threads) {
+        pool_widths.push(env_threads);
+    }
+    for pool_threads in pool_widths {
+        for clients in [1usize, 4] {
+            let service = Arc::new(QueryService::new(
+                graph.clone(),
+                ServeConfig {
+                    threads: pool_threads,
+                    // Exercise both scheduling modes across the matrix.
+                    intra_query_node_threshold: if pool_threads > 1 { 100 } else { 4096 },
+                    ..ServeConfig::default()
+                },
+            ));
+            let results = drive(&service, &queries, clients);
+            for (i, (served, direct)) in results.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    **served, *direct,
+                    "query {i} differs at pool {pool_threads} × clients {clients}"
+                );
+            }
+            let stats = service.stats();
+            assert!(
+                stats.hit_rate() > 0.0,
+                "no reuse at pool {pool_threads} × clients {clients}: {stats:?}"
+            );
+            // 5 unique languages in a 30-submission mix: at most 5
+            // evaluations, so ≥ 25 submissions were reused.
+            assert!(stats.misses <= 5, "unexpected misses: {stats:?}");
+            assert_eq!(stats.reused() + stats.misses, queries.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn batch_api_coalesces_and_matches_direct_eval() {
+    let graph = ring_graph(200);
+    let queries = workload(&graph, 2);
+    let service = QueryService::new(
+        graph.clone(),
+        ServeConfig {
+            threads: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let results = service.query_monadic_batch(&queries);
+    for (i, (served, query)) in results.iter().zip(&queries).enumerate() {
+        assert_eq!(**served, eval_monadic(query, &graph), "batch slot {i}");
+    }
+    let stats = service.stats();
+    // One submitted batch: 5 unique languages evaluated, every other
+    // position folded within the batch — deterministically.
+    assert_eq!(stats.misses, 5);
+    assert_eq!(stats.batch_deduped, queries.len() as u64 - 5);
+    assert_eq!(stats.batch_evals, 5);
+    assert!(stats.hit_rate() > 0.5);
+}
+
+#[test]
+fn concurrent_clients_coalesce_in_flight_duplicates() {
+    let graph = ring_graph(200);
+    let service = Arc::new(QueryService::new(
+        graph.clone(),
+        ServeConfig {
+            // Keep the in-flight window open long enough that the
+            // barrier-released duplicates reliably land inside it.
+            eval_holdoff: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+    ));
+    let query = Regex::parse("(a+b)*·c", graph.alphabet())
+        .unwrap()
+        .to_dfa(3);
+    let expected = eval_monadic(&query, &graph);
+    let clients = 4;
+    let barrier = Arc::new(std::sync::Barrier::new(clients));
+    let expected = &expected;
+    let served: Vec<Served> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = service.clone();
+                let barrier = barrier.clone();
+                let query = query.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let response = service.query_monadic(&query);
+                    assert_eq!(*response.result, *expected);
+                    response.served
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let evaluated = served
+        .iter()
+        .filter(|s| matches!(s, Served::Evaluated { .. }))
+        .count();
+    assert_eq!(evaluated, 1, "exactly one client paid the evaluation");
+    let stats = service.stats();
+    assert_eq!(stats.misses, 1);
+    assert!(
+        stats.coalesced >= 1,
+        "expected in-flight coalescing with the holdoff open: {stats:?}"
+    );
+}
+
+#[test]
+fn binary_serving_matches_direct_eval_across_sources() {
+    let graph = ring_graph(120);
+    let service = QueryService::new(graph.clone(), ServeConfig::default());
+    let query = Regex::parse("a·b·c", graph.alphabet()).unwrap().to_dfa(3);
+    for source in graph.nodes().step_by(11) {
+        let response = service.query_binary_from(&query, source);
+        assert_eq!(
+            *response.result,
+            eval_binary_from(&query, &graph, source),
+            "source {source}"
+        );
+    }
+    // Replay: every source is its own cache entry, all hits now.
+    for source in graph.nodes().step_by(11) {
+        assert_eq!(
+            service.query_binary_from(&query, source).served,
+            Served::Hit
+        );
+    }
+    assert!(service.stats().hit_rate() > 0.0);
+}
