@@ -21,9 +21,19 @@
 //! cache/coalescing wins are visible regardless because they remove
 //! evaluations entirely.
 //!
+//! With `--listen ADDR` the harness additionally binds the hardened TCP
+//! front door (`pathlearn-server::net`) on ADDR (`127.0.0.1:0` for an
+//! ephemeral port), drives the same workload through real framed-TCP
+//! client connections — text submissions establish each query's
+//! canonical fingerprint, repeats replay by fingerprint — asserts
+//! bit-identity end to end, fires zero-deadline probes, and lands the
+//! front door's shed/deadline/malformed counters and p50/p99 service
+//! latency in a `"net"` section of the JSON (schema v2).
+//!
 //! ```text
 //! bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K]
 //!             [--clients T[,T,...]] [--cache-mb M] [--out PATH]
+//!             [--listen ADDR]
 //! ```
 
 use pathlearn_automata::{BitSet, Dfa};
@@ -32,7 +42,9 @@ use pathlearn_datagen::workloads::{bio_workload, syn_workload};
 use pathlearn_eval::report::ascii_table;
 use pathlearn_graph::eval::{eval_monadic_with, EvalScratch};
 use pathlearn_graph::GraphDb;
-use pathlearn_server::{CacheConfig, QueryService, ServeConfig};
+use pathlearn_server::{
+    CacheConfig, Client, NetConfig, QueryService, Response, ServeConfig, Server, NO_DEADLINE_MS,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,6 +59,21 @@ struct ClientPoint {
     coalesced: u64,
     hit_rate: f64,
     eval_ns_total: u64,
+}
+
+/// One TCP client-mode measurement: wall time plus the front door's
+/// counters after the run (the schema-v2 `"net"` JSON section).
+struct NetPoint {
+    clients: usize,
+    wall_ns: u128,
+    queries: u64,
+    shed: u64,
+    deadline_replies: u64,
+    draining_replies: u64,
+    malformed: u64,
+    deadline_probes: usize,
+    latency_p50_ns: u64,
+    latency_p99_ns: u64,
 }
 
 /// Deterministic Fisher–Yates over the submission indices.
@@ -83,11 +110,140 @@ fn drive(service: &Arc<QueryService>, submissions: &[&Dfa], clients: usize) -> u
     started.elapsed().as_nanos()
 }
 
+/// Binds the TCP front door on `addr` and drives the workload through
+/// real framed connections: each unique query is established once by
+/// text (asserting bit-identity against `direct`), then `clients`
+/// threads replay the shuffled submission order by fingerprint.
+/// Finishes with zero-deadline probes so the deadline counters are
+/// exercised, then snapshots the front door's counters.
+#[allow(clippy::too_many_arguments)]
+fn tcp_client_point(
+    graph: &GraphDb,
+    texts: &[String],
+    direct: &[BitSet],
+    order: &[usize],
+    variants: usize,
+    addr: &str,
+    clients: usize,
+    cache_mb: usize,
+) -> NetPoint {
+    let service = QueryService::new(
+        graph.clone(),
+        ServeConfig {
+            threads: clients,
+            cache: CacheConfig {
+                capacity_bytes: cache_mb << 20,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let mut server = Server::bind(service, addr, NetConfig::default())
+        .unwrap_or_else(|e| usage(&format!("cannot listen on {addr}: {e}")));
+    let server_addr = server.local_addr();
+    eprintln!("tcp client mode: front door on {server_addr}, {clients} client connection(s)");
+
+    // Establish every unique query by text once; the RESULT frame's
+    // bits must match direct evaluation and its fingerprint becomes the
+    // replay handle.
+    let mut setup = Client::connect(server_addr).expect("connect setup client");
+    let fingerprints: Vec<u64> = texts
+        .iter()
+        .zip(direct)
+        .map(
+            |(text, expected)| match setup.query_text(text, NO_DEADLINE_MS).expect("text query") {
+                Response::Result {
+                    bits, fingerprint, ..
+                } => {
+                    assert_eq!(
+                        &bits, expected,
+                        "TCP-served result differs from direct eval ({text})"
+                    );
+                    fingerprint
+                }
+                other => panic!("establishing {text} got {other:?}"),
+            },
+        )
+        .collect();
+
+    // The timed fleet: each client owns one connection and replays
+    // fingerprints off the shared cursor.
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let cursor = &cursor;
+            let fingerprints = &fingerprints;
+            scope.spawn(move || {
+                let mut client = Client::connect(server_addr).expect("connect fleet client");
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= order.len() {
+                        return;
+                    }
+                    // Both spellings of a query share one canonical
+                    // fingerprint; replay by unique-query index.
+                    let fingerprint = fingerprints[order[i] / variants];
+                    match client
+                        .query_fingerprint(fingerprint, NO_DEADLINE_MS)
+                        .expect("fingerprint query")
+                    {
+                        Response::Result { .. } => {}
+                        other => panic!("fingerprint replay got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos();
+
+    // Deadline probes: an already-expired budget must answer DEADLINE
+    // before touching the pool.
+    let deadline_probes = 8usize;
+    for i in 0..deadline_probes {
+        match setup
+            .query_fingerprint(fingerprints[i % fingerprints.len()], 0)
+            .expect("deadline probe")
+        {
+            Response::Deadline { .. } => {}
+            other => panic!("0ms budget got {other:?}"),
+        }
+    }
+
+    let counters = setup.stats().expect("STATS frame");
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| usage(&format!("counter {name} missing from STATS")))
+    };
+    let point = NetPoint {
+        clients,
+        wall_ns,
+        queries: get("net.queries"),
+        shed: get("net.shed"),
+        deadline_replies: get("net.deadline_replies"),
+        draining_replies: get("net.draining_replies"),
+        malformed: get("net.malformed"),
+        deadline_probes,
+        latency_p50_ns: get("net.latency_p50_ns"),
+        latency_p99_ns: get("net.latency_p99_ns"),
+    };
+    assert_eq!(
+        point.deadline_replies, deadline_probes as u64,
+        "every probe and only the probes hit the deadline path"
+    );
+    assert_eq!(point.malformed, 0, "the bench fleet is well-behaved");
+    drop(setup);
+    server.shutdown();
+    point
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K] \
-         [--clients T[,T,...]] [--cache-mb M] [--out PATH]"
+         [--clients T[,T,...]] [--cache-mb M] [--out PATH] [--listen ADDR]"
     );
     std::process::exit(2);
 }
@@ -104,6 +260,7 @@ fn write_json(
     submissions: usize,
     direct_ns: u128,
     points: &[ClientPoint],
+    net: Option<&NetPoint>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -113,7 +270,7 @@ fn write_json(
     out.push_str(
         "  \"note\": \"client scaling needs real cores (see BENCHMARKS.md); cache/coalescing wins hold regardless — they remove evaluations\",\n",
     );
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -150,7 +307,25 @@ fn write_json(
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    match net {
+        Some(p) => out.push_str(&format!(
+            "  \"net\": {{\"mode\": \"tcp_client\", \"clients\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \"queries\": {}, \"shed\": {}, \"deadline_replies\": {}, \"deadline_probes\": {}, \"draining_replies\": {}, \"malformed\": {}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}}}\n",
+            p.clients,
+            p.wall_ns,
+            submissions as f64 / (p.wall_ns as f64 / 1e9).max(1e-9),
+            p.queries,
+            p.shed,
+            p.deadline_replies,
+            p.deadline_probes,
+            p.draining_replies,
+            p.malformed,
+            p.latency_p50_ns,
+            p.latency_p99_ns,
+        )),
+        None => out.push_str("  \"net\": null\n"),
+    }
+    out.push_str("}\n");
     std::fs::write(path, out)
 }
 
@@ -162,6 +337,7 @@ fn main() {
     let mut clients: Vec<usize> = vec![1, 2, 4];
     let mut cache_mb = 64usize;
     let mut out_path = "BENCH_serve.json".to_owned();
+    let mut listen: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -207,6 +383,7 @@ fn main() {
                     .unwrap_or_else(|_| usage("--cache-mb needs an integer"))
             }
             "--out" => out_path = value("--out"),
+            "--listen" => listen = Some(value("--listen")),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -320,6 +497,34 @@ fn main() {
         });
     }
 
+    // TCP client mode: the same workload through the framed front
+    // door, replayed by fingerprint; counters land in the JSON's "net"
+    // section.
+    let net_point = listen.as_deref().map(|addr| {
+        let texts: Vec<String> = queries
+            .iter()
+            .map(|q| q.regex.display(graph.alphabet()).to_string())
+            .collect();
+        let fleet = clients.iter().copied().max().unwrap_or(1);
+        tcp_client_point(
+            &graph, &texts, &direct, &order, variants, addr, fleet, cache_mb,
+        )
+    });
+    if let Some(p) = &net_point {
+        println!(
+            "tcp front door: {} submissions in {:.3} ms ({:.0} q/s over {} connection(s)); \
+             shed {}, deadline {}, p50 {:.1} us, p99 {:.1} us",
+            order.len(),
+            p.wall_ns as f64 / 1e6,
+            order.len() as f64 / (p.wall_ns as f64 / 1e9).max(1e-9),
+            p.clients,
+            p.shed,
+            p.deadline_replies,
+            p.latency_p50_ns as f64 / 1e3,
+            p.latency_p99_ns as f64 / 1e3,
+        );
+    }
+
     let rows: Vec<Vec<String>> = std::iter::once(vec![
         "direct (no cache)".to_owned(),
         format!("{:.3}", direct_ns as f64 / 1e6),
@@ -362,6 +567,7 @@ fn main() {
         submissions.len(),
         direct_ns,
         &points,
+        net_point.as_ref(),
     )
     .expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

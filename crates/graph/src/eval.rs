@@ -59,6 +59,7 @@
 //! level's `(state, symbol)` step kernels out over worker threads and
 //! OR-merge per-worker partial frontiers deterministically.
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
 use std::collections::VecDeque;
@@ -258,15 +259,34 @@ pub fn eval_monadic_policy(
     graph: &GraphDb,
     policy: StepPolicy,
 ) -> BitSet {
+    match eval_monadic_interruptible(scratch, query, graph, policy, &CancelToken::never()) {
+        Ok(result) => result,
+        Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+    }
+}
+
+/// [`eval_monadic_policy`] with cooperative cancellation: the `cancel`
+/// token is checked **once per BFS level**, and a tripped token aborts
+/// the evaluation with its [`Interrupt`] verdict instead of a result.
+/// With [`CancelToken::never`] this is exactly [`eval_monadic_policy`]
+/// (the plain entry points delegate here), so the bit-identity contract
+/// across policies, engines and thread counts is untouched.
+pub fn eval_monadic_interruptible(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     if v == 0 || q_states == 0 {
-        return BitSet::new(v);
+        return Ok(BitSet::new(v));
     }
     let q0 = query.initial();
     if query.is_final(q0) {
         // ε ∈ L(q): every node has the empty path.
-        return BitSet::full(v);
+        return Ok(BitSet::full(v));
     }
     let rev = RevIndex::new(query, graph.alphabet().len());
 
@@ -292,6 +312,7 @@ pub fn eval_monadic_policy(
     }
 
     while !active.is_empty() {
+        cancel.check()?;
         for &q in active.iter() {
             let state_frontier = &frontier[q as usize];
             // The frontier popcount feeding Auto's cost model — cached
@@ -339,7 +360,7 @@ pub fn eval_monadic_policy(
             break;
         }
     }
-    std::mem::replace(&mut reached[q0 as usize], BitSet::new(0))
+    Ok(std::mem::replace(&mut reached[q0 as usize], BitSet::new(0)))
 }
 
 /// Reference implementation of the **seed algorithm**: node-at-a-time
@@ -503,11 +524,36 @@ pub fn eval_binary_from_policy(
     source: NodeId,
     policy: StepPolicy,
 ) -> BitSet {
+    match eval_binary_from_interruptible(
+        scratch,
+        query,
+        graph,
+        source,
+        policy,
+        &CancelToken::never(),
+    ) {
+        Ok(result) => result,
+        Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+    }
+}
+
+/// [`eval_binary_from_policy`] with cooperative cancellation — the
+/// forward analogue of [`eval_monadic_interruptible`]: the `cancel`
+/// token is checked once per BFS level and a tripped token aborts with
+/// its [`Interrupt`] verdict.
+pub fn eval_binary_from_interruptible(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
     let v = graph.num_nodes();
     let q_states = query.num_states();
     let mut result = BitSet::new(v);
     if q_states == 0 || v == 0 {
-        return result;
+        return Ok(result);
     }
     let q0 = query.initial();
     // Only symbols the DFA knows can advance the product; graph symbols
@@ -535,6 +581,7 @@ pub fn eval_binary_from_policy(
     }
 
     while !active.is_empty() {
+        cancel.check()?;
         for &q in active.iter() {
             let state_frontier = &frontier[q as usize];
             let state_frontier_len = frontier_len[q as usize];
@@ -575,7 +622,7 @@ pub fn eval_binary_from_policy(
     for f in query.finals().iter() {
         result.union_with(&reached[f]);
     }
-    result
+    Ok(result)
 }
 
 /// `true` iff the binary query selects the pair `(source, target)`.
@@ -791,6 +838,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn interruptible_with_never_token_matches_plain() {
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        let never = CancelToken::never();
+        for expr in ["a", "eps", "(a·b)*·c", "b·b·c·c", "(a+b)*·c"] {
+            let q = query(&graph, expr);
+            assert_eq!(
+                eval_monadic_interruptible(&mut scratch, &q, &graph, StepPolicy::Auto, &never),
+                Ok(eval_monadic(&q, &graph)),
+                "monadic {expr}"
+            );
+            for source in graph.nodes() {
+                assert_eq!(
+                    eval_binary_from_interruptible(
+                        &mut scratch,
+                        &q,
+                        &graph,
+                        source,
+                        StepPolicy::Auto,
+                        &never
+                    ),
+                    Ok(eval_binary_from(&q, &graph, source)),
+                    "binary {expr} from {source}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tripped_token_interrupts_before_any_level() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        let cancelled = CancelToken::with_flag(Arc::new(AtomicBool::new(true)));
+        let q = query(&graph, "(a·b)*·c");
+        assert_eq!(
+            eval_monadic_interruptible(&mut scratch, &q, &graph, StepPolicy::Auto, &cancelled),
+            Err(Interrupt::Cancelled)
+        );
+        assert_eq!(
+            eval_binary_from_interruptible(
+                &mut scratch,
+                &q,
+                &graph,
+                0,
+                StepPolicy::Auto,
+                &cancelled
+            ),
+            Err(Interrupt::Cancelled)
+        );
+        // The ε shortcut answers before the level loop, so a query whose
+        // language contains ε still returns despite the tripped token —
+        // cancellation is per level, not per call.
+        let eps = query(&graph, "eps");
+        assert_eq!(
+            eval_monadic_interruptible(&mut scratch, &eps, &graph, StepPolicy::Auto, &cancelled),
+            Ok(BitSet::full(graph.num_nodes()))
+        );
+        // An expired deadline reports the Deadline verdict.
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        assert_eq!(
+            eval_monadic_interruptible(&mut scratch, &q, &graph, StepPolicy::Auto, &expired),
+            Err(Interrupt::Deadline)
+        );
     }
 
     #[test]

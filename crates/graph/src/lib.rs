@@ -19,6 +19,10 @@
 //!   parallel** twins of both evaluators (per-BFS-level `(state, symbol)`
 //!   task fan-out with deterministic OR-merge), all bit-identical to the
 //!   sequential evaluators;
+//! * [`cancel`] — cooperative cancellation ([`cancel::CancelToken`]:
+//!   deadline and/or shared drain flag) checked once per BFS level by
+//!   the interruptible evaluator variants, so a serving layer can bound
+//!   per-query time without killing threads;
 //! * [`binary`] — `paths2_G(ν,ν′)` and the binary SCP search used by
 //!   Algorithm 2;
 //! * [`neighborhood`] — k-neighborhood extraction (interactive scenario,
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod binary;
+pub mod cancel;
 pub mod eval;
 pub mod explain;
 pub mod graph;
@@ -42,6 +47,7 @@ pub mod paths;
 pub mod sampling;
 pub mod scp;
 
+pub use cancel::{CancelToken, Interrupt};
 pub use graph::{GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
 pub use par_eval::{EvalPool, IntraScratch};
 pub use scp::ScpFinder;

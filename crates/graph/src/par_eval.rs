@@ -67,6 +67,7 @@
 //! [`EvalPool::from_env`], which reads the `PATHLEARN_THREADS` environment
 //! variable and falls back to [`std::thread::available_parallelism`].
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch, RevIndex};
 use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
@@ -441,19 +442,47 @@ impl EvalPool {
         query: &Dfa,
         graph: &GraphDb,
     ) -> BitSet {
+        match self.eval_monadic_interruptible(scratch, query, graph, &CancelToken::never()) {
+            Ok(result) => result,
+            Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+        }
+    }
+
+    /// [`EvalPool::eval_monadic_with`] with cooperative cancellation: the
+    /// `cancel` token is checked **once per BFS level** (before the
+    /// level's task harvest, on the coordinating thread — workers inside
+    /// a level always run it to completion, so a trip never tears a
+    /// half-merged level) and a tripped token aborts with its
+    /// [`Interrupt`] verdict. The sequential path delegates to
+    /// [`crate::eval::eval_monadic_interruptible`]. With
+    /// [`CancelToken::never`] this is exactly
+    /// [`EvalPool::eval_monadic_with`], preserving bit-identity.
+    pub fn eval_monadic_interruptible(
+        &self,
+        scratch: &mut IntraScratch,
+        query: &Dfa,
+        graph: &GraphDb,
+        cancel: &CancelToken,
+    ) -> Result<BitSet, Interrupt> {
         let Some(pool) = self.pool.as_deref() else {
-            return eval_monadic_policy(&mut scratch.eval, query, graph, self.step_policy);
+            return crate::eval::eval_monadic_interruptible(
+                &mut scratch.eval,
+                query,
+                graph,
+                self.step_policy,
+                cancel,
+            );
         };
         let policy = self.step_policy;
         let v = graph.num_nodes();
         let q_states = query.num_states();
         if v == 0 || q_states == 0 {
-            return BitSet::new(v);
+            return Ok(BitSet::new(v));
         }
         let q0 = query.initial();
         if query.is_final(q0) {
             // ε ∈ L(q): every node has the empty path.
-            return BitSet::full(v);
+            return Ok(BitSet::full(v));
         }
         let rev = RevIndex::new(query, graph.alphabet().len());
 
@@ -478,6 +507,7 @@ impl EvalPool {
 
         let words = graph.num_node_words();
         while !active.is_empty() {
+            cancel.check()?;
             // Task list for this level: (state, symbol) pairs that can
             // actually produce predecessors — reverse DFA transitions
             // exist and the cost model did not prove the step empty —
@@ -592,7 +622,7 @@ impl EvalPool {
                 break;
             }
         }
-        std::mem::replace(&mut reached[q0 as usize], BitSet::new(0))
+        Ok(std::mem::replace(&mut reached[q0 as usize], BitSet::new(0)))
     }
 
     /// **Intra-query parallel** binary evaluation from one source — the
@@ -623,13 +653,39 @@ impl EvalPool {
         graph: &GraphDb,
         source: NodeId,
     ) -> BitSet {
+        match self.eval_binary_from_interruptible(
+            scratch,
+            query,
+            graph,
+            source,
+            &CancelToken::never(),
+        ) {
+            Ok(result) => result,
+            Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+        }
+    }
+
+    /// [`EvalPool::eval_binary_from_with`] with cooperative cancellation
+    /// — the forward analogue of
+    /// [`EvalPool::eval_monadic_interruptible`]: the token is checked
+    /// once per BFS level on the coordinating thread, and the sequential
+    /// path delegates to [`crate::eval::eval_binary_from_interruptible`].
+    pub fn eval_binary_from_interruptible(
+        &self,
+        scratch: &mut IntraScratch,
+        query: &Dfa,
+        graph: &GraphDb,
+        source: NodeId,
+        cancel: &CancelToken,
+    ) -> Result<BitSet, Interrupt> {
         let Some(pool) = self.pool.as_deref() else {
-            return eval_binary_from_policy(
+            return crate::eval::eval_binary_from_interruptible(
                 &mut scratch.eval,
                 query,
                 graph,
                 source,
                 self.step_policy,
+                cancel,
             );
         };
         let policy = self.step_policy;
@@ -637,7 +693,7 @@ impl EvalPool {
         let q_states = query.num_states();
         let mut result = BitSet::new(v);
         if q_states == 0 || v == 0 {
-            return result;
+            return Ok(result);
         }
         let q0 = query.initial();
         // Only symbols the DFA knows can advance the product (see the
@@ -663,6 +719,7 @@ impl EvalPool {
 
         let words = graph.num_node_words();
         while !active.is_empty() {
+            cancel.check()?;
             tasks.clear();
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
@@ -770,7 +827,7 @@ impl EvalPool {
         for f in query.finals().iter() {
             result.union_with(&reached[f]);
         }
-        result
+        Ok(result)
     }
 }
 
@@ -1042,6 +1099,55 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn intra_query_interruptible_matches_and_cancels() {
+        use std::sync::atomic::AtomicBool;
+
+        let graph = ladder_graph(80);
+        let never = CancelToken::never();
+        let tripped = CancelToken::with_flag(Arc::new(AtomicBool::new(true)));
+        for query in &queries(&graph) {
+            let expected_monadic = eval_monadic(query, &graph);
+            for threads in [1, 2, 4] {
+                let pool = EvalPool::new(threads);
+                let mut scratch = IntraScratch::new();
+                assert_eq!(
+                    pool.eval_monadic_interruptible(&mut scratch, query, &graph, &never),
+                    Ok(expected_monadic.clone()),
+                    "threads {threads}"
+                );
+                assert_eq!(
+                    pool.eval_binary_from_interruptible(&mut scratch, query, &graph, 0, &never),
+                    Ok(eval_binary_from(query, &graph, 0)),
+                    "threads {threads}"
+                );
+            }
+        }
+        // A tripped token interrupts every engine (the ε query answers
+        // via its pre-level shortcut, so use one with at least a level).
+        let query = &queries(&graph)[1];
+        for threads in [1, 2, 4] {
+            let pool = EvalPool::new(threads);
+            let mut scratch = IntraScratch::new();
+            assert_eq!(
+                pool.eval_monadic_interruptible(&mut scratch, query, &graph, &tripped),
+                Err(Interrupt::Cancelled),
+                "threads {threads}"
+            );
+            assert_eq!(
+                pool.eval_binary_from_interruptible(&mut scratch, query, &graph, 0, &tripped),
+                Err(Interrupt::Cancelled),
+                "threads {threads}"
+            );
+            // The scratch stays usable after an interrupt.
+            assert_eq!(
+                pool.eval_monadic_interruptible(&mut scratch, query, &graph, &never),
+                Ok(eval_monadic(query, &graph)),
+                "threads {threads}"
+            );
         }
     }
 

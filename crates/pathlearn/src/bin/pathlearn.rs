@@ -23,6 +23,12 @@
 //!     client threads. Prints per-query selections and cache/throughput
 //!     stats.
 //!
+//! pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M]
+//!     Serve the graph over TCP with the framed binary protocol
+//!     (pathlearn-server::proto): deadlines, load shedding, graceful
+//!     drain. Prints `listening on <addr>` (with the real port for
+//!     `:0`) and runs until killed.
+//!
 //! pathlearn stats <graph.txt>
 //!     Graph statistics (nodes, edges, labels, degree distribution).
 //! ```
@@ -73,6 +79,7 @@ USAGE:
   pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
   pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M]
+  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M]
   pathlearn stats <graph.txt>
 ";
 
@@ -219,9 +226,50 @@ fn serve_command(args: &[String]) -> Result<(), String> {
 
     let options = parse_options(args)?;
     let graph = options.load_graph()?;
+    let cache_mb = options
+        .flag("cache-mb")
+        .map(|m| {
+            m.parse::<usize>()
+                .map_err(|_| "--cache-mb needs an integer")
+        })
+        .transpose()?
+        .unwrap_or(64);
+    // Checked: a huge --cache-mb must be a clean diagnostic, not a
+    // debug-mode shift-overflow panic mid-setup.
+    let cache_bytes = cache_mb
+        .checked_mul(1 << 20)
+        .ok_or_else(|| format!("--cache-mb {cache_mb} overflows the byte budget"))?;
+    let config = ServeConfig {
+        threads: options.threads(1)?,
+        cache: pathlearn::server::CacheConfig {
+            capacity_bytes: cache_bytes,
+        },
+        ..ServeConfig::default()
+    };
+
+    if let Some(addr) = options.flag("listen") {
+        if options.flag("queries").is_some() {
+            return Err("--listen and --queries are mutually exclusive: \
+                 --listen serves network clients, --queries drives a local workload"
+                .into());
+        }
+        let service = QueryService::new(graph, config);
+        let server =
+            pathlearn::server::Server::bind(service, addr, pathlearn::server::NetConfig::default())
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        println!("listening on {}", server.local_addr());
+        println!("protocol: framed binary v1 (see pathlearn-server::proto); stop with ^C");
+        // Flush so child-process supervisors see the address line
+        // immediately even through a pipe.
+        std::io::stdout().flush().ok();
+        loop {
+            std::thread::park();
+        }
+    }
+
     let queries_path = options.flag("queries").ok_or("missing --queries")?;
     let text = std::fs::read_to_string(queries_path)
-        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+        .map_err(|e| format!("cannot read workload file {queries_path}: {e}"))?;
     let mut queries = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -247,22 +295,6 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1)
         .max(1);
-    let cache_mb = options
-        .flag("cache-mb")
-        .map(|m| {
-            m.parse::<usize>()
-                .map_err(|_| "--cache-mb needs an integer")
-        })
-        .transpose()?
-        .unwrap_or(64);
-
-    let config = ServeConfig {
-        threads: options.threads(1)?,
-        cache: pathlearn::server::CacheConfig {
-            capacity_bytes: cache_mb << 20,
-        },
-        ..ServeConfig::default()
-    };
     let num_nodes = graph.num_nodes();
     let service = Arc::new(QueryService::new(graph, config));
 

@@ -276,6 +276,104 @@ fn serve_rejects_bad_workloads() {
 }
 
 #[test]
+fn serve_reports_missing_or_oversized_setup_cleanly() {
+    // A missing workload file is a diagnostic + nonzero exit, not a
+    // panic mid-setup.
+    let graph = g0_file();
+    let (_, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--queries",
+        "/nonexistent/workload.txt",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("cannot read workload file"),
+        "missing workload diagnostic: {stderr}"
+    );
+    // An absurd --cache-mb is a clean overflow diagnostic, not a
+    // debug-mode arithmetic panic.
+    let mut queries = tempfile::Builder::new()
+        .prefix("okq")
+        .suffix(".txt")
+        .tempfile()
+        .expect("tempfile");
+    writeln!(queries, "a").unwrap();
+    let queries = queries.into_temp_path();
+    let (_, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+        "--cache-mb",
+        "18446744073709551615",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--cache-mb") && stderr.contains("overflow"),
+        "overflow diagnostic: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "setup errors must not panic: {stderr}"
+    );
+    // --listen and --queries are mutually exclusive.
+    let (_, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn serve_listen_answers_framed_tcp_queries() {
+    use pathlearn::server::{Client, Response, NO_DEADLINE_MS};
+    use std::io::BufRead as _;
+
+    let graph = g0_file();
+    let mut child = Command::new(pathlearn_binary())
+        .args(["serve", graph.to_str().unwrap(), "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pathlearn serve --listen");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("address line")
+        .expect("read address line");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+        .trim()
+        .to_owned();
+
+    let result = std::panic::catch_unwind(move || {
+        let mut client = Client::connect(&addr).expect("connect to served port");
+        client.ping().expect("ping");
+        // Figure 3's (a·b)*·c selects v1 and v3 on G0.
+        match client.query_text("(a.b)*.c", NO_DEADLINE_MS).unwrap() {
+            Response::Result { bits, .. } => assert_eq!(bits.len(), 2),
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+        let stats = client.stats().expect("stats frame");
+        assert!(stats
+            .iter()
+            .any(|(name, v)| name == "net.queries" && *v >= 1));
+    });
+    child.kill().ok();
+    child.wait().ok();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
 fn unknown_flags_and_files_error_cleanly() {
     let (_, stderr, ok) = run(&["learn", "/nonexistent/graph.txt", "--pos", "x"]);
     assert!(!ok);

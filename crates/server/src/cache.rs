@@ -93,7 +93,10 @@ impl CacheKey {
 #[derive(Clone, Debug)]
 pub struct CacheConfig {
     /// Resident-byte budget (result blocks + per-entry overhead).
-    /// Entries larger than the whole budget are never admitted.
+    /// Entries larger than the whole budget are never admitted; an entry
+    /// exactly at the budget is (the budget is inclusive). A zero-byte
+    /// budget is a valid configuration that rejects every insertion —
+    /// caching disabled, every lookup a miss.
     pub capacity_bytes: usize,
 }
 
@@ -175,8 +178,13 @@ impl ResultCache {
 
     /// Inserts an evaluated result with its measured cost, evicting
     /// minimum-priority entries until it fits. Returns `false` (and
-    /// caches nothing) when the single entry exceeds the whole budget.
-    /// Re-inserting an existing key replaces the entry.
+    /// caches nothing) when the single entry exceeds the whole budget —
+    /// which is every entry under a zero-byte budget, since an entry's
+    /// accounted size is always positive; an entry exactly at the
+    /// budget is admitted (evicting everything else). Re-inserting an
+    /// existing key replaces the entry. Byte accounting uses checked
+    /// subtraction: an underflow would mean a corrupt ledger, and
+    /// failing loudly beats silently serving with a wrapped budget.
     pub fn insert(&mut self, key: CacheKey, value: Arc<BitSet>, cost_ns: u64) -> bool {
         let bytes = entry_bytes(&key, &value);
         if bytes > self.capacity_bytes {
@@ -184,7 +192,10 @@ impl ResultCache {
             return false;
         }
         if let Some(old) = self.map.remove(&key) {
-            self.bytes -= old.bytes;
+            self.bytes = self
+                .bytes
+                .checked_sub(old.bytes)
+                .expect("cache byte ledger underflow on replacement");
         }
         while self.bytes + bytes > self.capacity_bytes {
             let victim = self
@@ -200,7 +211,10 @@ impl ResultCache {
                 .map(|(k, _)| k.clone());
             let Some(victim) = victim else { break };
             let evicted = self.map.remove(&victim).expect("victim resident");
-            self.bytes -= evicted.bytes;
+            self.bytes = self
+                .bytes
+                .checked_sub(evicted.bytes)
+                .expect("cache byte ledger underflow on eviction");
             self.clock = self.clock.max(evicted.priority);
             self.stats.evictions += 1;
         }
@@ -344,6 +358,60 @@ mod tests {
         assert_eq!(cache.stats().rejected, 1);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn zero_byte_budget_rejects_everything_without_underflow() {
+        // Regression: capacity 0 is "caching disabled", and the
+        // rejection must happen before any ledger mutation — repeated
+        // inserts and gets must never drive `bytes` below zero or leave
+        // phantom entries.
+        let mut cache = ResultCache::new(CacheConfig { capacity_bytes: 0 });
+        for round in 0..3 {
+            assert!(!cache.insert(key("a"), value(64), 10), "round {round}");
+            assert!(!cache.insert(key("b"), value(64), 1_000), "round {round}");
+            assert!(cache.get(&key("a")).is_none(), "round {round}");
+            assert_eq!(cache.len(), 0, "round {round}");
+            assert_eq!(cache.bytes(), 0, "round {round}");
+        }
+        assert_eq!(cache.stats().rejected, 6);
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.stats().evictions, 0);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn exactly_at_budget_entries_fill_replace_and_never_underflow() {
+        // Regression: an entry whose accounted size equals the whole
+        // budget is admitted (the budget is inclusive), a second one
+        // evicts the first cleanly, and an in-place replacement at full
+        // budget must not double-subtract the old entry's bytes.
+        let mut cache = ResultCache::new(config_for(1));
+        assert!(cache.insert(key("a"), value(64), 10));
+        assert_eq!(cache.bytes(), cache.capacity_bytes());
+        assert_eq!(cache.len(), 1);
+        // Different key, same exact size: evict-then-admit at the boundary.
+        assert!(cache.insert(key("b"), value(64), 20));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), cache.capacity_bytes());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key("a")).is_none());
+        assert!(cache.get(&key("b")).is_some());
+        // Same key replaced in place at full budget: no eviction, no
+        // ledger drift.
+        assert!(cache.insert(key("b"), value(64), 30));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), cache.capacity_bytes());
+        assert_eq!(cache.stats().evictions, 1);
+        // One byte less than the entry takes the documented rejection
+        // path instead.
+        let mut tight = ResultCache::new(CacheConfig {
+            capacity_bytes: config_for(1).capacity_bytes - 1,
+        });
+        assert!(!tight.insert(key("a"), value(64), 10));
+        assert_eq!(tight.stats().rejected, 1);
+        assert_eq!((tight.len(), tight.bytes()), (0, 0));
     }
 
     #[test]

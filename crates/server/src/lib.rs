@@ -30,15 +30,27 @@
 //! bumps an epoch that keeps straggler evaluations of the old graph from
 //! repopulating it.
 //!
-//! The CLI front door is `pathlearn serve` (crate `pathlearn`); the
+//! The **network front door** is [`net`]: a hardened stdlib-TCP server
+//! speaking the framed binary protocol of [`proto`] — length-prefixed
+//! versioned frames, per-connection read/write timeouts, a bounded
+//! admission queue with load shedding, cooperative per-BFS-level query
+//! deadlines, and graceful drain on shutdown and graph rebuild.
+//!
+//! The CLI front doors are `pathlearn serve` (in-process) and
+//! `pathlearn serve --listen ADDR` (TCP, crate `pathlearn`); the
 //! throughput/hit-rate harness is `bench_serve` (crate
-//! `pathlearn-bench`, snapshot committed as `BENCH_serve.json`).
+//! `pathlearn-bench`, snapshot committed as `BENCH_serve.json`), which
+//! doubles as a TCP client via `--listen`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod net;
+pub mod proto;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
+pub use net::{Client, NetConfig, NetStats, Server};
+pub use proto::{ErrorCode, QueryRef, Request, Response, WireKind, WireServed, NO_DEADLINE_MS};
 pub use service::{EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats, Served};

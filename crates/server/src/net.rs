@@ -1,0 +1,949 @@
+//! The hardened TCP front door over [`QueryService`].
+//!
+//! Stdlib TCP only — no async runtime. The shape is deliberately
+//! boring: an **acceptor** thread polls a non-blocking listener, each
+//! accepted socket gets a **connection** thread that speaks the framed
+//! protocol of [`crate::proto`], and decoded queries pass through a
+//! **bounded admission queue** to a small pool of **eval workers**. The
+//! robustness properties live in the seams:
+//!
+//! * **Slow-loris defense** — per-connection read and write timeouts
+//!   ([`NetConfig::read_timeout`] / [`NetConfig::write_timeout`]): a
+//!   peer that dribbles bytes or refuses to read its replies loses the
+//!   connection, never a server thread.
+//! * **Load shedding** — the admission queue is a bounded `VecDeque`;
+//!   at the watermark new queries get an immediate `SHED` frame with a
+//!   retry hint instead of unbounded queueing.
+//! * **Deadlines** — `deadline_ms` becomes an absolute
+//!   [`CancelToken`] deadline at frame arrival, so time spent queued
+//!   counts; the service checks it before admission and once per BFS
+//!   level, and an expired budget yields a `DEADLINE` frame, never a
+//!   partial result.
+//! * **Graceful drain** — [`Server::rebuild_graph`] and
+//!   [`Server::shutdown`] stop admissions, trip the current
+//!   drain-generation flag (cancelling queued and in-flight work at
+//!   its next level check), and wait up to [`NetConfig::drain_grace`]
+//!   for the queue to go idle. Every admitted job still gets exactly
+//!   one reply — drained jobs answer `DRAINING`, which clients treat
+//!   as retryable.
+//! * **Exactly-one-reply** — workers pop and answer every queued job
+//!   even during shutdown, so no connection thread is left waiting on
+//!   a reply slot.
+//!
+//! Rebuilds give the queue a **fresh drain-generation flag** after the
+//! swap, so post-rebuild admissions run un-cancelled while pre-rebuild
+//! stragglers stay tripped — combined with [`QueryService`]'s epoch
+//! guard this guarantees a frame admitted after a rebuild never sees an
+//! old-epoch result. The fingerprint registry is cleared on rebuild
+//! (the new graph may have a different alphabet), so clients must
+//! re-establish fingerprints by text and treat `UNKNOWN_FINGERPRINT`
+//! after a `DRAINING` burst as "resubmit by text".
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, QueryRef, Request, Response, WireKind,
+    WireServed, NO_DEADLINE_MS,
+};
+use crate::service::{EvalMode, QueryResponse, QueryService, Served};
+use pathlearn_automata::{CanonicalQuery, Regex};
+use pathlearn_graph::{CancelToken, GraphDb, Interrupt};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the TCP front door. The defaults are sized for the
+/// test and bench workloads; production would mostly raise
+/// `max_connections` and `eval_workers`.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Cap on request frame payloads; larger length prefixes get an
+    /// `OVERSIZE` error and the connection closes.
+    pub max_frame_len: u32,
+    /// Per-connection read timeout (slow-loris defense): a peer that
+    /// stalls mid-frame longer than this is disconnected.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout: a peer that stops reading its
+    /// replies is disconnected rather than parking a server thread.
+    pub write_timeout: Duration,
+    /// Concurrent connection cap; excess connections get a best-effort
+    /// `BUSY` error frame and are closed.
+    pub max_connections: usize,
+    /// Admission queue watermark: queries arriving while this many are
+    /// queued get a `SHED` frame instead.
+    pub queue_depth: usize,
+    /// Eval worker threads draining the admission queue. Each runs one
+    /// query at a time through [`QueryService`] (which does its own
+    /// intra-query fan-out on the shared pool).
+    pub eval_workers: usize,
+    /// Backoff hint carried in `SHED` frames.
+    pub retry_after_ms: u32,
+    /// How long a drain (rebuild or shutdown) waits for queued and
+    /// in-flight work to finish before proceeding anyway; the tripped
+    /// drain flag bounds the overshoot to one BFS level.
+    pub drain_grace: Duration,
+    /// Cap on remembered text-established fingerprints; at the cap new
+    /// text queries still evaluate but are not registered.
+    pub fingerprint_cap: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_len: crate::proto::DEFAULT_MAX_FRAME_LEN,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 1024,
+            queue_depth: 64,
+            eval_workers: 2,
+            retry_after_ms: 100,
+            drain_grace: Duration::from_secs(2),
+            fingerprint_cap: 65_536,
+        }
+    }
+}
+
+/// Front-door counters (network layer only; `STATS` frames merge these
+/// with [`crate::ServeStats`] and [`crate::CacheStats`]).
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the [`NetConfig::max_connections`] cap.
+    pub refused: u64,
+    /// Currently open connections.
+    pub active_connections: u64,
+    /// Query frames decoded.
+    pub queries: u64,
+    /// Queries answered with `SHED`.
+    pub shed: u64,
+    /// Queries answered with `DEADLINE`.
+    pub deadline_replies: u64,
+    /// Queries answered with `DRAINING`.
+    pub draining_replies: u64,
+    /// Framing/decoding violations (each closes its connection).
+    pub malformed: u64,
+    /// Connections dropped on I/O errors — read/write timeouts and
+    /// mid-frame disconnects.
+    pub io_errors: u64,
+    /// Current admission queue depth.
+    pub queue_depth: u64,
+    /// Median end-to-end service latency of answered queries (ns) over
+    /// a sliding window.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile service latency (ns) over the same window.
+    pub latency_p99_ns: u64,
+}
+
+/// How one admitted job ended; maps 1:1 onto the reply frame.
+enum JobOutcome {
+    Done(QueryResponse),
+    Deadline,
+    Cancelled,
+}
+
+/// A single-use rendezvous the connection thread blocks on while a
+/// worker evaluates its query. Workers guarantee every slot is filled
+/// exactly once, shutdown included.
+struct ReplySlot {
+    outcome: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().unwrap();
+        *slot = Some(outcome);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> JobOutcome {
+        let mut slot = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// One admitted query waiting for an eval worker.
+struct Job {
+    query: CanonicalQuery,
+    kind: WireKind,
+    deadline: Option<Instant>,
+    /// The drain-generation flag current at admission: a drain trips
+    /// exactly the generations admitted before it.
+    flag: Arc<AtomicBool>,
+    slot: Arc<ReplySlot>,
+}
+
+/// Admission queue + drain state, under one mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs popped and currently evaluating.
+    running: usize,
+    /// Admissions answer `DRAINING` while set.
+    draining: bool,
+    /// Workers exit once set *and* the queue is empty.
+    shutdown: bool,
+    /// Current drain generation; replaced with a fresh flag after each
+    /// rebuild so post-rebuild work runs un-cancelled.
+    drain_flag: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    active: AtomicU64,
+    queries: AtomicU64,
+    shed: AtomicU64,
+    deadline_replies: AtomicU64,
+    draining_replies: AtomicU64,
+    malformed: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// Fixed-size sliding window of service latencies for p50/p99.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+const LATENCY_WINDOW: usize = 1024;
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing {
+            samples: Vec::with_capacity(LATENCY_WINDOW),
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.next] = ns;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn percentile(&self, p: u32) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() - 1) * p as usize / 100;
+        sorted[rank]
+    }
+}
+
+struct Shared {
+    service: QueryService,
+    config: NetConfig,
+    queue: Mutex<QueueState>,
+    job_ready: Condvar,
+    idle: Condvar,
+    counters: Counters,
+    latency: Mutex<LatencyRing>,
+    /// Fingerprint → canonical query, established by text submissions.
+    registry: Mutex<HashMap<u64, CanonicalQuery>>,
+    /// Clones of live sockets so shutdown can force-unblock connection
+    /// threads parked in reads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    stop_accept: AtomicBool,
+}
+
+impl Shared {
+    fn net_stats(&self) -> NetStats {
+        let queue_depth = self.queue.lock().unwrap().jobs.len() as u64;
+        let latency = self.latency.lock().unwrap();
+        NetStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            active_connections: self.counters.active.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            deadline_replies: self.counters.deadline_replies.load(Ordering::Relaxed),
+            draining_replies: self.counters.draining_replies.load(Ordering::Relaxed),
+            malformed: self.counters.malformed.load(Ordering::Relaxed),
+            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
+            queue_depth,
+            latency_p50_ns: latency.percentile(50),
+            latency_p99_ns: latency.percentile(99),
+        }
+    }
+
+    /// Every counter the server exposes, namespaced and self-describing
+    /// — the `STATS` frame body and the bench schema both come from
+    /// here, so adding a counter automatically reaches both.
+    fn stats_counters(&self) -> Vec<(String, u64)> {
+        let serve = self.service.stats();
+        let cache = self.service.cache_stats();
+        let (cache_bytes, cache_budget) = self.service.cache_usage();
+        let net = self.net_stats();
+        let mut out: Vec<(String, u64)> = Vec::with_capacity(32);
+        let mut put = |name: &str, value: u64| out.push((name.to_owned(), value));
+        put("serve.hits", serve.hits);
+        put("serve.misses", serve.misses);
+        put("serve.coalesced", serve.coalesced);
+        put("serve.batch_deduped", serve.batch_deduped);
+        put("serve.invalidations", serve.invalidations);
+        put("serve.sequential_evals", serve.sequential_evals);
+        put("serve.intra_evals", serve.intra_evals);
+        put("serve.batch_evals", serve.batch_evals);
+        put("serve.eval_ns_total", serve.eval_ns_total);
+        put("serve.deadline_exceeded", serve.deadline_exceeded);
+        put("serve.cancelled", serve.cancelled);
+        put("cache.hits", cache.hits);
+        put("cache.misses", cache.misses);
+        put("cache.insertions", cache.insertions);
+        put("cache.evictions", cache.evictions);
+        put("cache.rejected", cache.rejected);
+        put("cache.bytes_used", cache_bytes as u64);
+        put("cache.bytes_budget", cache_budget as u64);
+        put("net.accepted", net.accepted);
+        put("net.refused", net.refused);
+        put("net.active_connections", net.active_connections);
+        put("net.queries", net.queries);
+        put("net.shed", net.shed);
+        put("net.deadline_replies", net.deadline_replies);
+        put("net.draining_replies", net.draining_replies);
+        put("net.malformed", net.malformed);
+        put("net.io_errors", net.io_errors);
+        put("net.queue_depth", net.queue_depth);
+        put("net.latency_p50_ns", net.latency_p50_ns);
+        put("net.latency_p99_ns", net.latency_p99_ns);
+        out
+    }
+
+    fn register_fingerprint(&self, query: &CanonicalQuery) {
+        let mut registry = self.registry.lock().unwrap();
+        if registry.len() < self.config.fingerprint_cap
+            || registry.contains_key(&query.fingerprint())
+        {
+            registry.insert(query.fingerprint(), query.clone());
+        }
+    }
+
+    /// Worker loop: pop, evaluate under the job's cancel token, fill
+    /// the reply slot. Popping takes priority over the shutdown check
+    /// so every admitted job is answered before workers exit.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        queue.running += 1;
+                        break job;
+                    }
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = self.job_ready.wait(queue).unwrap();
+                }
+            };
+            let start = Instant::now();
+            let mut token = CancelToken::with_flag(job.flag);
+            if let Some(deadline) = job.deadline {
+                token = token.and_deadline(deadline);
+            }
+            let outcome = match job.kind {
+                WireKind::Monadic => self
+                    .service
+                    .query_monadic_canonical_interruptible(job.query, &token),
+                WireKind::Binary(source) => self
+                    .service
+                    .query_binary_canonical_interruptible(job.query, source, &token),
+            };
+            let outcome = match outcome {
+                Ok(response) => {
+                    self.latency
+                        .lock()
+                        .unwrap()
+                        .record(start.elapsed().as_nanos() as u64);
+                    JobOutcome::Done(response)
+                }
+                Err(Interrupt::Deadline) => JobOutcome::Deadline,
+                Err(Interrupt::Cancelled) => JobOutcome::Cancelled,
+            };
+            job.slot.fill(outcome);
+            let mut queue = self.queue.lock().unwrap();
+            queue.running -= 1;
+            if queue.jobs.is_empty() && queue.running == 0 {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Resolves a wire query reference to a canonical query, or the
+    /// request-level error frame to send instead.
+    fn resolve_query(&self, request_id: u64, query: &QueryRef) -> Result<CanonicalQuery, Response> {
+        match query {
+            QueryRef::Text(text) => {
+                let graph = self.service.graph();
+                match Regex::parse(text, graph.alphabet()) {
+                    Ok(regex) => {
+                        let dfa = regex.to_dfa(graph.alphabet().len());
+                        let canonical = CanonicalQuery::new(&dfa);
+                        self.register_fingerprint(&canonical);
+                        Ok(canonical)
+                    }
+                    Err(err) => Err(Response::Error {
+                        request_id,
+                        code: ErrorCode::Parse,
+                        message: err.to_string(),
+                    }),
+                }
+            }
+            QueryRef::Fingerprint(fp) => match self.registry.lock().unwrap().get(fp).cloned() {
+                Some(canonical) => Ok(canonical),
+                None => Err(Response::Error {
+                    request_id,
+                    code: ErrorCode::UnknownFingerprint,
+                    message: format!("fingerprint {fp:#018x} not established on this server"),
+                }),
+            },
+        }
+    }
+
+    /// Admits one decoded query and blocks until its reply frame is
+    /// determined. Always returns exactly one response.
+    fn handle_query(
+        &self,
+        request_id: u64,
+        kind: WireKind,
+        deadline_ms: u32,
+        query: &QueryRef,
+        arrival: Instant,
+    ) -> Response {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let canonical = match self.resolve_query(request_id, query) {
+            Ok(canonical) => canonical,
+            Err(error) => return error,
+        };
+        let deadline = (deadline_ms != NO_DEADLINE_MS)
+            .then(|| arrival + Duration::from_millis(u64::from(deadline_ms)));
+        let slot = Arc::new(ReplySlot::new());
+        {
+            let mut queue = self.queue.lock().unwrap();
+            if queue.draining || queue.shutdown {
+                drop(queue);
+                self.counters
+                    .draining_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::Draining { request_id };
+            }
+            if queue.jobs.len() >= self.config.queue_depth {
+                drop(queue);
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Response::Shed {
+                    request_id,
+                    retry_after_ms: self.config.retry_after_ms,
+                };
+            }
+            let flag = queue.drain_flag.clone();
+            queue.jobs.push_back(Job {
+                query: canonical,
+                kind,
+                deadline,
+                flag,
+                slot: slot.clone(),
+            });
+            self.job_ready.notify_one();
+        }
+        match slot.wait() {
+            JobOutcome::Done(response) => {
+                let (served, eval_ns) = match response.served {
+                    Served::Hit => (WireServed::Hit, 0),
+                    Served::Coalesced => (WireServed::Coalesced, 0),
+                    Served::Evaluated { mode, eval_ns } => (
+                        match mode {
+                            EvalMode::Sequential => WireServed::EvaluatedSequential,
+                            EvalMode::IntraQuery => WireServed::EvaluatedIntra,
+                            EvalMode::Batch => WireServed::EvaluatedBatch,
+                        },
+                        eval_ns,
+                    ),
+                };
+                Response::Result {
+                    request_id,
+                    served,
+                    fingerprint: response.fingerprint,
+                    canonical_states: response.canonical_states as u32,
+                    eval_ns,
+                    bits: (*response.result).clone(),
+                }
+            }
+            JobOutcome::Deadline => {
+                self.counters
+                    .deadline_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Deadline { request_id }
+            }
+            JobOutcome::Cancelled => {
+                self.counters
+                    .draining_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Draining { request_id }
+            }
+        }
+    }
+
+    /// One connection's frame loop. Framing violations close the
+    /// connection (a length-prefixed stream cannot resynchronize);
+    /// request-level errors answer and continue.
+    fn connection_loop(&self, mut stream: TcpStream, conn_id: u64) {
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        // Request/reply roundtrips of small frames stall ~40ms per query
+        // under Nagle + delayed ACK; a front door wants neither.
+        let _ = stream.set_nodelay(true);
+        loop {
+            let payload = match read_frame(&mut stream, self.config.max_frame_len) {
+                Ok(payload) => payload,
+                Err(FrameError::Closed) => break,
+                Err(FrameError::Oversize(len)) => {
+                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    let reply = Response::Error {
+                        request_id: 0,
+                        code: ErrorCode::Oversize,
+                        message: format!(
+                            "frame length {len} exceeds cap {}",
+                            self.config.max_frame_len
+                        ),
+                    };
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    break;
+                }
+                Err(FrameError::Io(_)) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            };
+            let arrival = Instant::now();
+            let request = match Request::decode(&payload) {
+                Ok(request) => request,
+                Err(err) => {
+                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    let reply = Response::Error {
+                        request_id: 0,
+                        code: err.code(),
+                        message: err.to_string(),
+                    };
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    break;
+                }
+            };
+            let reply = match request {
+                Request::Ping { request_id } => Response::Pong { request_id },
+                Request::Stats { request_id } => Response::Stats {
+                    request_id,
+                    counters: self.stats_counters(),
+                },
+                Request::Query {
+                    request_id,
+                    kind,
+                    deadline_ms,
+                    query,
+                } => self.handle_query(request_id, kind, deadline_ms, &query, arrival),
+            };
+            if write_frame(&mut stream, &reply.encode()).is_err() {
+                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.conns.lock().unwrap().remove(&conn_id);
+        self.counters.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Acceptor loop: poll the non-blocking listener until shutdown.
+    fn acceptor_loop(self: &Arc<Self>, listener: TcpListener) {
+        let mut next_conn_id: u64 = 0;
+        while !self.stop_accept.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Accepted sockets can inherit the listener's
+                    // non-blocking mode; the frame loop wants blocking
+                    // reads bounded by timeouts.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let active = self.counters.active.load(Ordering::Relaxed);
+                    if active as usize >= self.config.max_connections {
+                        self.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let reply = Response::Error {
+                            request_id: 0,
+                            code: ErrorCode::Busy,
+                            message: "connection limit reached".to_owned(),
+                        };
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                        let _ = write_frame(&mut stream, &reply.encode());
+                        continue;
+                    }
+                    self.counters.active.fetch_add(1, Ordering::Relaxed);
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        self.conns.lock().unwrap().insert(conn_id, clone);
+                    }
+                    let shared = Arc::clone(self);
+                    thread::Builder::new()
+                        .name(format!("pathlearn-conn-{conn_id}"))
+                        .spawn(move || shared.connection_loop(stream, conn_id))
+                        .expect("spawn connection thread");
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    /// Drains the admission queue: stop admissions, trip the current
+    /// generation flag, wait (bounded by `drain_grace`) for idle. The
+    /// caller decides what happens next (rebuild or shutdown) and when
+    /// admissions resume.
+    fn drain(&self) {
+        let deadline;
+        {
+            let mut queue = self.queue.lock().unwrap();
+            queue.draining = true;
+            queue.drain_flag.store(true, Ordering::SeqCst);
+            deadline = Instant::now() + self.config.drain_grace;
+            self.job_ready.notify_all();
+            while !(queue.jobs.is_empty() && queue.running == 0) {
+                let now = Instant::now();
+                if now >= deadline {
+                    // Grace expired: the tripped flag bounds the
+                    // stragglers to one more BFS level; proceed. The
+                    // service's epoch guard keeps any old-graph result
+                    // out of the post-rebuild cache.
+                    break;
+                }
+                let (guard, _) = self.idle.wait_timeout(queue, deadline - now).unwrap();
+                queue = guard;
+            }
+        }
+    }
+}
+
+/// A listening front door. Dropping the server (or calling
+/// [`Server::shutdown`]) drains gracefully: in-flight queries get their
+/// reply (or a retryable `DRAINING`), then worker and acceptor threads
+/// join and lingering sockets are force-closed.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
+    /// and starts the acceptor and eval workers over `service`.
+    pub fn bind<A: ToSocketAddrs>(
+        service: QueryService,
+        addr: A,
+        config: NetConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config: config.clone(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                running: 0,
+                draining: false,
+                shutdown: false,
+                drain_flag: Arc::new(AtomicBool::new(false)),
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyRing::new()),
+            registry: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            stop_accept: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(config.eval_workers.max(1));
+        for worker_id in 0..config.eval_workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("pathlearn-eval-{worker_id}"))
+                    .spawn(move || shared.worker_loop())?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pathlearn-accept".to_owned())
+                .spawn(move || shared.acceptor_loop(listener))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying query service (shared with the front door).
+    pub fn service(&self) -> &QueryService {
+        &self.shared.service
+    }
+
+    /// Network-layer counters snapshot.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.net_stats()
+    }
+
+    /// Every exposed counter, namespaced — identical to a `STATS`
+    /// frame's body.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.shared.stats_counters()
+    }
+
+    /// Swaps the served graph behind a graceful drain: admissions
+    /// answer `DRAINING`, queued and in-flight work is cancelled at its
+    /// next BFS-level check (within [`NetConfig::drain_grace`]), the
+    /// service swaps graph + epoch + cache, the fingerprint registry is
+    /// cleared, and admissions resume on a fresh drain generation. A
+    /// frame admitted after this returns can only see new-graph
+    /// results.
+    pub fn rebuild_graph(&self, graph: GraphDb) {
+        self.shared.drain();
+        self.shared.service.rebuild_graph(graph);
+        self.shared.registry.lock().unwrap().clear();
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.drain_flag = Arc::new(AtomicBool::new(false));
+        queue.draining = false;
+    }
+
+    /// Graceful stop: drain, join workers and acceptor, force-close
+    /// lingering connections. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.stop_accept.store(true, Ordering::SeqCst);
+        self.shared.drain();
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock connection threads parked in reads; they observe the
+        // dead socket and exit on their own.
+        let conns = self.shared.conns.lock().unwrap();
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A blocking protocol client: one frame out, one frame in. Used by the
+/// CLI, the bench harness, and the test suites (which also hit the
+/// server with raw bytes via [`Client::send_raw`]).
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Response frames carry whole node bitsets, so the client cap is
+    /// much larger than the server's request cap.
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects to a front door.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame_len: 256 * 1024 * 1024,
+        })
+    }
+
+    /// Sets both socket timeouts (handy in tests asserting liveness).
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request frame and reads one response frame, asserting
+    /// the echoed request id matches.
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let response = self.read_response()?;
+        let sent_id = match request {
+            Request::Query { request_id, .. }
+            | Request::Stats { request_id }
+            | Request::Ping { request_id } => *request_id,
+        };
+        let got_id = match &response {
+            Response::Result { request_id, .. }
+            | Response::Shed { request_id, .. }
+            | Response::Deadline { request_id }
+            | Response::Draining { request_id }
+            | Response::Error { request_id, .. }
+            | Response::Stats { request_id, .. }
+            | Response::Pong { request_id } => *request_id,
+        };
+        // Error frames for framing violations carry request id 0 (the
+        // server could not decode the offender).
+        if got_id != sent_id && got_id != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {got_id} does not echo request id {sent_id}"),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Monadic text query under a deadline budget
+    /// ([`NO_DEADLINE_MS`] = unbounded).
+    pub fn query_text(&mut self, expr: &str, deadline_ms: u32) -> io::Result<Response> {
+        let request_id = self.fresh_id();
+        self.roundtrip(&Request::Query {
+            request_id,
+            kind: WireKind::Monadic,
+            deadline_ms,
+            query: QueryRef::Text(expr.to_owned()),
+        })
+    }
+
+    /// Binary-semantics text query from `source`.
+    pub fn query_text_binary(
+        &mut self,
+        expr: &str,
+        source: u32,
+        deadline_ms: u32,
+    ) -> io::Result<Response> {
+        let request_id = self.fresh_id();
+        self.roundtrip(&Request::Query {
+            request_id,
+            kind: WireKind::Binary(source),
+            deadline_ms,
+            query: QueryRef::Text(expr.to_owned()),
+        })
+    }
+
+    /// Monadic query by a fingerprint previously established by text.
+    pub fn query_fingerprint(
+        &mut self,
+        fingerprint: u64,
+        deadline_ms: u32,
+    ) -> io::Result<Response> {
+        let request_id = self.fresh_id();
+        self.roundtrip(&Request::Query {
+            request_id,
+            kind: WireKind::Monadic,
+            deadline_ms,
+            query: QueryRef::Fingerprint(fingerprint),
+        })
+    }
+
+    /// Fetches the server's namespaced counters.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, u64)>> {
+        let request_id = self.fresh_id();
+        match self.roundtrip(&Request::Stats { request_id })? {
+            Response::Stats { counters, .. } => Ok(counters),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected STATS reply, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let request_id = self.fresh_id();
+        match self.roundtrip(&Request::Ping { request_id })? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected PONG, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Writes raw bytes with no framing — the fault-injection suites
+    /// use this to send garbage, truncated frames, and oversized length
+    /// prefixes.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response frame (for use after [`Client::send_raw`]).
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let payload = match read_frame(&mut self.stream, self.max_frame_len) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+            Err(FrameError::Oversize(len)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response frame length {len} exceeds client cap"),
+                ))
+            }
+            Err(FrameError::Io(err)) => return Err(err),
+        };
+        Response::decode(&payload)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+
+    /// Half-closes the write side (mid-query disconnect fault).
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+}

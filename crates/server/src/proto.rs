@@ -1,0 +1,832 @@
+//! The framed binary wire protocol of the TCP front door.
+//!
+//! ## Frame layout
+//!
+//! Every message in both directions is one **frame**: a little-endian
+//! `u32` payload length followed by that many payload bytes. The payload
+//! begins with a fixed header —
+//!
+//! ```text
+//! [u32 len] [u8 version] [u8 opcode] [u64 request_id] [body …]
+//!  frame     must be 1    see below   echoed verbatim
+//! ```
+//!
+//! — and the body depends on the opcode. All integers are little-endian;
+//! strings are a `u16` length followed by UTF-8 bytes. The server caps
+//! request frames at [`NetConfig::max_frame_len`](crate::net::NetConfig)
+//! (default [`DEFAULT_MAX_FRAME_LEN`]) and answers an oversized length
+//! prefix with an [`ErrorCode::Oversize`] error frame before closing —
+//! a length-prefixed stream cannot resynchronize after a framing
+//! violation, so framing-level errors always close the connection, while
+//! semantic errors (an unparseable regex, an unknown fingerprint) only
+//! fail the request.
+//!
+//! ## Requests
+//!
+//! | opcode | name | body |
+//! |---|---|---|
+//! | `0x01` | `QUERY` | `u8 kind` (0 monadic, 1 binary) · `u32 source` (binary only) · `u32 deadline_ms` ([`NO_DEADLINE_MS`] = unbounded, 0 = already expired) · `u8 ref` (0 = regex text string, 1 = `u64` canonical fingerprint) · the query |
+//! | `0x02` | `STATS` | empty |
+//! | `0x03` | `PING` | empty |
+//!
+//! Fingerprint references resolve against the queries this server has
+//! already parsed (see [`crate::net`]'s registry): a client that submits
+//! a query by text once may repeat it by fingerprint, skipping the parse
+//! and canonicalization on both sides.
+//!
+//! ## Responses
+//!
+//! | opcode | name | body |
+//! |---|---|---|
+//! | `0x81` | `RESULT` | `u8 served` (0 hit, 1 coalesced, 2 sequential, 3 intra-query, 4 batch) · `u64 fingerprint` · `u32 canonical_states` · `u64 eval_ns` · bitset (`u32 num_bits` · `u32 num_words` · words) |
+//! | `0x82` | `SHED` | `u32 retry_after_ms` — admission queue over its watermark |
+//! | `0x83` | `DEADLINE` | empty — the deadline budget expired before a result |
+//! | `0x84` | `DRAINING` | empty — server draining for rebuild/shutdown; retry later |
+//! | `0x85` | `ERROR` | `u8 code` ([`ErrorCode`]) · message string |
+//! | `0x86` | `STATS` | `u32 n` · n × (`u8 name_len` · name · `u64 value`) |
+//! | `0x87` | `PONG` | empty |
+//!
+//! The result bitset is encoded as its backing `u64` blocks, so a client
+//! can compare answers **bit-identically** against direct evaluation —
+//! the fault-injection suite's core assertion.
+//!
+//! ## Deadline semantics
+//!
+//! `deadline_ms` is a **budget relative to frame arrival**, converted to
+//! an absolute deadline when the request is decoded and carried into the
+//! admission queue and the per-BFS-level cancellation checks
+//! ([`pathlearn_graph::cancel`]). Time spent queued counts against the
+//! budget; a request whose budget expires anywhere along the way gets a
+//! `DEADLINE` frame, never a partial result. `NO_DEADLINE_MS` (the
+//! `u32::MAX` sentinel) means unbounded; `0` is a valid, already-expired
+//! budget (useful as a cancellation probe).
+
+use pathlearn_automata::BitSet;
+use std::io::{self, Read, Write};
+
+/// The protocol version this build speaks. Version mismatches are
+/// framing-level errors (the connection closes).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on request frame payloads (64 KiB — a regex of tens of
+/// thousands of characters fits; result frames are bounded by the graph,
+/// not by this).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 64 * 1024;
+
+/// `deadline_ms` sentinel meaning "no deadline".
+pub const NO_DEADLINE_MS: u32 = u32::MAX;
+
+/// Fixed payload header: version, opcode, request id.
+const HEADER_LEN: usize = 1 + 1 + 8;
+
+const OP_QUERY: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_PING: u8 = 0x03;
+const OP_RESULT: u8 = 0x81;
+const OP_SHED: u8 = 0x82;
+const OP_DEADLINE: u8 = 0x83;
+const OP_DRAINING: u8 = 0x84;
+const OP_ERROR: u8 = 0x85;
+const OP_STATS_REPLY: u8 = 0x86;
+const OP_PONG: u8 = 0x87;
+
+/// Error codes carried by `ERROR` frames. Codes at or above
+/// [`ErrorCode::Parse`] are request-level (the connection survives);
+/// the ones below are framing-level (the server closes after sending).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Frame length prefix exceeded the server's cap.
+    Oversize = 1,
+    /// Unknown protocol version byte.
+    BadVersion = 2,
+    /// Unknown opcode (or a response opcode sent as a request).
+    BadOpcode = 3,
+    /// Body malformed: truncated fields, trailing bytes, bad tags.
+    Malformed = 4,
+    /// The query text failed to parse as a regex over the graph's
+    /// alphabet (request-level; the message carries the parser's
+    /// diagnostic).
+    Parse = 5,
+    /// A fingerprint reference this server has never seen (request-level;
+    /// resubmit by text).
+    UnknownFingerprint = 6,
+    /// The server refused the connection (e.g. at its connection cap).
+    Busy = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Oversize,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadOpcode,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::Parse,
+            6 => ErrorCode::UnknownFingerprint,
+            7 => ErrorCode::Busy,
+            _ => return None,
+        })
+    }
+}
+
+/// How the query names itself: by regex text or by a canonical
+/// fingerprint the server already knows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryRef {
+    /// A regex over the served graph's alphabet, parsed server-side.
+    Text(String),
+    /// A [`pathlearn_automata::CanonicalQuery::fingerprint`] previously
+    /// established on this server by a text submission.
+    Fingerprint(u64),
+}
+
+/// Monadic or binary-from-source evaluation semantics, as requested on
+/// the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireKind {
+    /// `q(G)` — the selected-node set.
+    Monadic,
+    /// Binary semantics from the given source node id.
+    Binary(u32),
+}
+
+/// A decoded client→server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate a query under a deadline budget.
+    Query {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+        /// Monadic or binary semantics.
+        kind: WireKind,
+        /// Budget in milliseconds from frame arrival; [`NO_DEADLINE_MS`]
+        /// = unbounded, `0` = already expired.
+        deadline_ms: u32,
+        /// The query, by text or fingerprint.
+        query: QueryRef,
+    },
+    /// Fetch the server's counters as a `STATS` reply.
+    Stats {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
+    /// Liveness probe; answered with `PONG`.
+    Ping {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
+}
+
+/// How a `RESULT` frame's query was served (the wire projection of
+/// [`crate::Served`], splitting the evaluated case by mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireServed {
+    /// Result-cache hit.
+    Hit = 0,
+    /// Coalesced onto a concurrent in-flight evaluation.
+    Coalesced = 1,
+    /// Evaluated sequentially.
+    EvaluatedSequential = 2,
+    /// Evaluated on the intra-query parallel engine.
+    EvaluatedIntra = 3,
+    /// Evaluated inside a batch fan-out.
+    EvaluatedBatch = 4,
+}
+
+impl WireServed {
+    fn from_u8(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => WireServed::Hit,
+            1 => WireServed::Coalesced,
+            2 => WireServed::EvaluatedSequential,
+            3 => WireServed::EvaluatedIntra,
+            4 => WireServed::EvaluatedBatch,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded server→client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The evaluated (or cached/coalesced) answer.
+    Result {
+        /// Echo of the request id.
+        request_id: u64,
+        /// How the submission was served.
+        served: WireServed,
+        /// Canonical fingerprint — usable as a [`QueryRef::Fingerprint`]
+        /// on later requests to this server.
+        fingerprint: u64,
+        /// States of the canonical DFA.
+        canonical_states: u32,
+        /// Measured evaluation wall time (0 for hits/coalesced).
+        eval_ns: u64,
+        /// The selected node set, bit-identical to direct evaluation.
+        bits: BitSet,
+    },
+    /// Load shed: the admission queue is over its watermark.
+    Shed {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+    },
+    /// The request's deadline budget expired before a result.
+    Deadline {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The server is draining (rebuild or shutdown); retry shortly.
+    Draining {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// A framing- or request-level error (see [`ErrorCode`]).
+    Error {
+        /// Echo of the request id (0 when no request could be decoded).
+        request_id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+    /// Named counters snapshot.
+    Stats {
+        /// Echo of the request id.
+        request_id: u64,
+        /// `(name, value)` pairs — self-describing so clients survive
+        /// counter additions.
+        counters: Vec<(String, u64)>,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+}
+
+/// Why a payload failed to decode. The variants map onto the
+/// [`ErrorCode`]s the server reports before closing the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A field ran past the end of the payload.
+    Truncated,
+    /// Unknown protocol version (the offending byte).
+    BadVersion(u8),
+    /// Unknown opcode (the offending byte).
+    BadOpcode(u8),
+    /// Structurally invalid body.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("truncated payload"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// The [`ErrorCode`] the server reports for this decode failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            DecodeError::Truncated | DecodeError::Malformed(_) => ErrorCode::Malformed,
+            DecodeError::BadVersion(_) => ErrorCode::BadVersion,
+            DecodeError::BadOpcode(_) => ErrorCode::BadOpcode,
+        }
+    }
+}
+
+/// Why reading one frame off a stream failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// The length prefix exceeded the cap (carries the claimed length).
+    Oversize(u32),
+    /// I/O failure — includes timeouts and mid-frame disconnects.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Oversize(len) => write!(f, "frame length {len} exceeds cap"),
+            FrameError::Io(err) => write!(f, "frame i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one length-prefixed frame, enforcing `max_len` on the payload.
+/// Distinguishes a clean close at a frame boundary ([`FrameError::Closed`])
+/// from a mid-frame truncation (an [`io::ErrorKind::UnexpectedEof`] I/O
+/// error), so the server can count malformed peers separately from
+/// well-behaved departures.
+pub fn read_frame<R: Read>(reader: &mut R, max_len: u32) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // First byte by hand: 0 bytes here is a clean close, not truncation.
+    let mut first = [0u8; 1];
+    match reader.read(&mut first) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => prefix[0] = first[0],
+        Err(err) => return Err(FrameError::Io(err)),
+    }
+    reader
+        .read_exact(&mut prefix[1..])
+        .map_err(FrameError::Io)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > max_len {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u16()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed("non-utf8 string"))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let len = s.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+fn header(out: &mut Vec<u8>, opcode: u8, request_id: u64) {
+    out.push(PROTOCOL_VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&request_id.to_le_bytes());
+}
+
+fn decode_header(reader: &mut Reader<'_>) -> Result<(u8, u64), DecodeError> {
+    let version = reader.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let opcode = reader.u8()?;
+    let request_id = reader.u64()?;
+    Ok((opcode, request_id))
+}
+
+fn put_bitset(out: &mut Vec<u8>, bits: &BitSet) {
+    let blocks = bits.as_blocks();
+    out.extend_from_slice(&(bits.capacity() as u32).to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for block in blocks {
+        out.extend_from_slice(&block.to_le_bytes());
+    }
+}
+
+fn read_bitset(reader: &mut Reader<'_>) -> Result<BitSet, DecodeError> {
+    let num_bits = reader.u32()? as usize;
+    let num_words = reader.u32()? as usize;
+    if num_words != num_bits.div_ceil(BitSet::BLOCK_BITS) {
+        return Err(DecodeError::Malformed("bitset word count"));
+    }
+    let mut indices = Vec::new();
+    for word_index in 0..num_words {
+        let mut word = u64::from_le_bytes(reader.bytes(8)?.try_into().unwrap());
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            let index = word_index * BitSet::BLOCK_BITS + bit;
+            if index >= num_bits {
+                return Err(DecodeError::Malformed("bit beyond capacity"));
+            }
+            indices.push(index);
+            word &= word - 1;
+        }
+    }
+    Ok(BitSet::from_indices(num_bits, indices))
+}
+
+impl Request {
+    /// Encodes this request as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 16);
+        match self {
+            Request::Query {
+                request_id,
+                kind,
+                deadline_ms,
+                query,
+            } => {
+                header(&mut out, OP_QUERY, *request_id);
+                match kind {
+                    WireKind::Monadic => out.push(0),
+                    WireKind::Binary(source) => {
+                        out.push(1);
+                        out.extend_from_slice(&source.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                match query {
+                    QueryRef::Text(text) => {
+                        out.push(0);
+                        put_string(&mut out, text);
+                    }
+                    QueryRef::Fingerprint(fp) => {
+                        out.push(1);
+                        out.extend_from_slice(&fp.to_le_bytes());
+                    }
+                }
+            }
+            Request::Stats { request_id } => header(&mut out, OP_STATS, *request_id),
+            Request::Ping { request_id } => header(&mut out, OP_PING, *request_id),
+        }
+        out
+    }
+
+    /// Decodes one request payload (strict: trailing bytes are malformed).
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut reader = Reader::new(payload);
+        let (opcode, request_id) = decode_header(&mut reader)?;
+        let request = match opcode {
+            OP_QUERY => {
+                let kind = match reader.u8()? {
+                    0 => WireKind::Monadic,
+                    1 => WireKind::Binary(reader.u32()?),
+                    _ => return Err(DecodeError::Malformed("query kind tag")),
+                };
+                let deadline_ms = reader.u32()?;
+                let query = match reader.u8()? {
+                    0 => QueryRef::Text(reader.string()?),
+                    1 => QueryRef::Fingerprint(reader.u64()?),
+                    _ => return Err(DecodeError::Malformed("query ref tag")),
+                };
+                Request::Query {
+                    request_id,
+                    kind,
+                    deadline_ms,
+                    query,
+                }
+            }
+            OP_STATS => Request::Stats { request_id },
+            OP_PING => Request::Ping { request_id },
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        reader.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes this response as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 32);
+        match self {
+            Response::Result {
+                request_id,
+                served,
+                fingerprint,
+                canonical_states,
+                eval_ns,
+                bits,
+            } => {
+                header(&mut out, OP_RESULT, *request_id);
+                out.push(*served as u8);
+                out.extend_from_slice(&fingerprint.to_le_bytes());
+                out.extend_from_slice(&canonical_states.to_le_bytes());
+                out.extend_from_slice(&eval_ns.to_le_bytes());
+                put_bitset(&mut out, bits);
+            }
+            Response::Shed {
+                request_id,
+                retry_after_ms,
+            } => {
+                header(&mut out, OP_SHED, *request_id);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Response::Deadline { request_id } => header(&mut out, OP_DEADLINE, *request_id),
+            Response::Draining { request_id } => header(&mut out, OP_DRAINING, *request_id),
+            Response::Error {
+                request_id,
+                code,
+                message,
+            } => {
+                header(&mut out, OP_ERROR, *request_id);
+                out.push(*code as u8);
+                put_string(&mut out, message);
+            }
+            Response::Stats {
+                request_id,
+                counters,
+            } => {
+                header(&mut out, OP_STATS_REPLY, *request_id);
+                out.extend_from_slice(&(counters.len() as u32).to_le_bytes());
+                for (name, value) in counters {
+                    let len = name.len().min(u8::MAX as usize);
+                    out.push(len as u8);
+                    out.extend_from_slice(&name.as_bytes()[..len]);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            Response::Pong { request_id } => header(&mut out, OP_PONG, *request_id),
+        }
+        out
+    }
+
+    /// Decodes one response payload (strict: trailing bytes are
+    /// malformed).
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut reader = Reader::new(payload);
+        let (opcode, request_id) = decode_header(&mut reader)?;
+        let response = match opcode {
+            OP_RESULT => {
+                let served = WireServed::from_u8(reader.u8()?)
+                    .ok_or(DecodeError::Malformed("served tag"))?;
+                let fingerprint = reader.u64()?;
+                let canonical_states = reader.u32()?;
+                let eval_ns = reader.u64()?;
+                let bits = read_bitset(&mut reader)?;
+                Response::Result {
+                    request_id,
+                    served,
+                    fingerprint,
+                    canonical_states,
+                    eval_ns,
+                    bits,
+                }
+            }
+            OP_SHED => Response::Shed {
+                request_id,
+                retry_after_ms: reader.u32()?,
+            },
+            OP_DEADLINE => Response::Deadline { request_id },
+            OP_DRAINING => Response::Draining { request_id },
+            OP_ERROR => {
+                let code =
+                    ErrorCode::from_u8(reader.u8()?).ok_or(DecodeError::Malformed("error code"))?;
+                let message = reader.string()?;
+                Response::Error {
+                    request_id,
+                    code,
+                    message,
+                }
+            }
+            OP_STATS_REPLY => {
+                let n = reader.u32()? as usize;
+                let mut counters = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let len = reader.u8()? as usize;
+                    let name = String::from_utf8(reader.bytes(len)?.to_vec())
+                        .map_err(|_| DecodeError::Malformed("non-utf8 counter name"))?;
+                    counters.push((name, reader.u64()?));
+                }
+                Response::Stats {
+                    request_id,
+                    counters,
+                }
+            }
+            OP_PONG => Response::Pong { request_id },
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        reader.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let payload = request.encode();
+        assert_eq!(Request::decode(&payload), Ok(request));
+    }
+
+    fn roundtrip_response(response: Response) {
+        let payload = response.encode();
+        assert_eq!(Response::decode(&payload), Ok(response));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Query {
+            request_id: 7,
+            kind: WireKind::Monadic,
+            deadline_ms: NO_DEADLINE_MS,
+            query: QueryRef::Text("(a·b)*·c".to_owned()),
+        });
+        roundtrip_request(Request::Query {
+            request_id: u64::MAX,
+            kind: WireKind::Binary(42),
+            deadline_ms: 0,
+            query: QueryRef::Fingerprint(0xdead_beef),
+        });
+        roundtrip_request(Request::Stats { request_id: 1 });
+        roundtrip_request(Request::Ping { request_id: 2 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let mut bits = BitSet::new(130);
+        bits.insert(0);
+        bits.insert(64);
+        bits.insert(129);
+        roundtrip_response(Response::Result {
+            request_id: 9,
+            served: WireServed::EvaluatedIntra,
+            fingerprint: 123,
+            canonical_states: 4,
+            eval_ns: 55_000,
+            bits,
+        });
+        roundtrip_response(Response::Result {
+            request_id: 10,
+            served: WireServed::Hit,
+            fingerprint: 1,
+            canonical_states: 1,
+            eval_ns: 0,
+            bits: BitSet::new(0),
+        });
+        roundtrip_response(Response::Shed {
+            request_id: 3,
+            retry_after_ms: 250,
+        });
+        roundtrip_response(Response::Deadline { request_id: 4 });
+        roundtrip_response(Response::Draining { request_id: 5 });
+        roundtrip_response(Response::Error {
+            request_id: 6,
+            code: ErrorCode::Parse,
+            message: "unbalanced parenthesis".to_owned(),
+        });
+        roundtrip_response(Response::Stats {
+            request_id: 7,
+            counters: vec![("net.shed".to_owned(), 3), ("serve.hits".to_owned(), 99)],
+        });
+        roundtrip_response(Response::Pong { request_id: 8 });
+    }
+
+    #[test]
+    fn decode_rejects_bad_version_opcode_and_trailing_bytes() {
+        let mut payload = Request::Ping { request_id: 1 }.encode();
+        payload[0] = 99;
+        assert_eq!(Request::decode(&payload), Err(DecodeError::BadVersion(99)));
+        assert_eq!(DecodeError::BadVersion(99).code(), ErrorCode::BadVersion);
+
+        let mut payload = Request::Ping { request_id: 1 }.encode();
+        payload[1] = 0x7f;
+        assert_eq!(Request::decode(&payload), Err(DecodeError::BadOpcode(0x7f)));
+
+        let mut payload = Request::Ping { request_id: 1 }.encode();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(DecodeError::Malformed("trailing bytes"))
+        );
+        assert_eq!(
+            DecodeError::Malformed("trailing bytes").code(),
+            ErrorCode::Malformed
+        );
+
+        // Truncations anywhere in the header or body.
+        let full = Request::Query {
+            request_id: 3,
+            kind: WireKind::Binary(1),
+            deadline_ms: 10,
+            query: QueryRef::Text("abc".to_owned()),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert_eq!(
+                Request::decode(&full[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_bitsets() {
+        let bits = BitSet::from_indices(100, [5usize, 80]);
+        let good = Response::Result {
+            request_id: 1,
+            served: WireServed::Hit,
+            fingerprint: 0,
+            canonical_states: 1,
+            eval_ns: 0,
+            bits,
+        }
+        .encode();
+        // Corrupt the word count (num_words field sits after the fixed
+        // result header + num_bits).
+        let words_at = HEADER_LEN + 1 + 8 + 4 + 8 + 4;
+        let mut bad = good.clone();
+        bad[words_at] = 7;
+        assert_eq!(
+            Response::decode(&bad),
+            Err(DecodeError::Malformed("bitset word count"))
+        );
+        // A set bit beyond the declared capacity is malformed, not
+        // silently dropped.
+        let mut bad = good;
+        let last_word = bad.len() - 8;
+        bad[last_word..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Response::decode(&bad),
+            Err(DecodeError::Malformed("bit beyond capacity"))
+        );
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_enforces_the_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Closed)
+        ));
+
+        // Oversize length prefix.
+        let mut oversize = Vec::new();
+        write_frame(&mut oversize, &[0u8; 100]).unwrap();
+        let mut cursor = io::Cursor::new(oversize);
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Oversize(100))
+        ));
+
+        // A truncated frame is an I/O error, not a clean close.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, b"hello").unwrap();
+        truncated.truncate(6);
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Io(_))
+        ));
+    }
+}

@@ -45,8 +45,10 @@
 
 use crate::cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
 use pathlearn_automata::{BitSet, CanonicalQuery, Dfa};
-use pathlearn_graph::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch};
-use pathlearn_graph::{EvalPool, GraphDb, NodeId, StepPolicy};
+use pathlearn_graph::eval::{
+    eval_binary_from_interruptible, eval_monadic_interruptible, EvalScratch,
+};
+use pathlearn_graph::{CancelToken, EvalPool, GraphDb, Interrupt, NodeId, StepPolicy};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -163,6 +165,13 @@ pub struct ServeStats {
     pub batch_evals: u64,
     /// Total measured evaluation wall time across admissions.
     pub eval_ns_total: u64,
+    /// Interruptible submissions that returned the
+    /// [`Interrupt::Deadline`] verdict (budget exhausted before, during
+    /// or while waiting on an evaluation).
+    pub deadline_exceeded: u64,
+    /// Interruptible submissions cancelled by a tripped drain/shutdown
+    /// flag ([`Interrupt::Cancelled`]).
+    pub cancelled: u64,
 }
 
 impl ServeStats {
@@ -217,6 +226,35 @@ impl InFlight {
                 TicketState::Pending => slot = self.ready.wait(slot).unwrap(),
                 TicketState::Done(result) => return Some(result.clone()),
                 TicketState::Abandoned => return None,
+            }
+        }
+    }
+
+    /// [`InFlight::wait`] honoring the waiter's own cancel token: a
+    /// coalesced submission with a deadline must not inherit its owner's
+    /// (possibly unbounded) budget. Timed condvar waits bounded by the
+    /// token's deadline (and a polling cap so a bare drain flag is seen
+    /// promptly) turn a tripped token into an `Err` verdict while the
+    /// owner keeps evaluating for its other waiters.
+    fn wait_interruptible(&self, cancel: &CancelToken) -> Result<Option<Arc<BitSet>>, Interrupt> {
+        if cancel.is_never() {
+            return Ok(self.wait());
+        }
+        const FLAG_POLL: Duration = Duration::from_millis(20);
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            match &*slot {
+                TicketState::Done(result) => return Ok(Some(result.clone())),
+                TicketState::Abandoned => return Ok(None),
+                TicketState::Pending => {
+                    cancel.check()?;
+                    let wait = cancel
+                        .deadline()
+                        .map(|d| d.saturating_duration_since(Instant::now()).min(FLAG_POLL))
+                        .unwrap_or(FLAG_POLL)
+                        .max(Duration::from_millis(1));
+                    slot = self.ready.wait_timeout(slot, wait).unwrap().0;
+                }
             }
         }
     }
@@ -433,6 +471,59 @@ impl QueryService {
         self.serve(CacheKey::monadic(query))
     }
 
+    /// Pre-canonicalized binary entry point (see
+    /// [`QueryService::query_monadic_canonical`]).
+    pub fn query_binary_canonical(&self, query: CanonicalQuery, source: NodeId) -> QueryResponse {
+        self.serve(CacheKey::binary(query, source))
+    }
+
+    /// [`QueryService::query_monadic`] under a cancel token: the token
+    /// is consulted before admission, once per BFS level during
+    /// evaluation, and while waiting on a coalesced ticket. A tripped
+    /// token returns the [`Interrupt`] verdict — counted in
+    /// [`ServeStats::deadline_exceeded`] / [`ServeStats::cancelled`] —
+    /// and, when this caller owned the evaluation, abandons the ticket
+    /// so coalesced waiters re-admit instead of hanging.
+    pub fn query_monadic_interruptible(
+        &self,
+        query: &Dfa,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_interruptible(CacheKey::monadic(CanonicalQuery::new(query)), cancel)
+    }
+
+    /// [`QueryService::query_binary_from`] under a cancel token (see
+    /// [`QueryService::query_monadic_interruptible`]).
+    pub fn query_binary_from_interruptible(
+        &self,
+        query: &Dfa,
+        source: NodeId,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_interruptible(CacheKey::binary(CanonicalQuery::new(query), source), cancel)
+    }
+
+    /// Pre-canonicalized [`QueryService::query_monadic_interruptible`]
+    /// — the network front door's hot path (it canonicalizes once at
+    /// frame-decode time to register the fingerprint).
+    pub fn query_monadic_canonical_interruptible(
+        &self,
+        query: CanonicalQuery,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_interruptible(CacheKey::monadic(query), cancel)
+    }
+
+    /// Pre-canonicalized [`QueryService::query_binary_from_interruptible`].
+    pub fn query_binary_canonical_interruptible(
+        &self,
+        query: CanonicalQuery,
+        source: NodeId,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_interruptible(CacheKey::binary(query, source), cancel)
+    }
+
     fn respond(key: &CacheKey, result: Arc<BitSet>, served: Served) -> QueryResponse {
         QueryResponse {
             result,
@@ -463,14 +554,40 @@ impl QueryService {
     }
 
     fn serve(&self, key: CacheKey) -> QueryResponse {
+        match self.serve_interruptible(key, &CancelToken::never()) {
+            Ok(response) => response,
+            Err(interrupt) => unreachable!("never-token submission interrupted: {interrupt}"),
+        }
+    }
+
+    /// Records an interrupted submission in the stats and forwards the
+    /// verdict.
+    fn note_interrupt(&self, interrupt: Interrupt) -> Interrupt {
+        let mut inner = self.inner.lock().unwrap();
+        match interrupt {
+            Interrupt::Deadline => inner.stats.deadline_exceeded += 1,
+            Interrupt::Cancelled => inner.stats.cancelled += 1,
+        }
+        interrupt
+    }
+
+    fn serve_interruptible(
+        &self,
+        key: CacheKey,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, Interrupt> {
         loop {
+            if let Err(interrupt) = cancel.check() {
+                return Err(self.note_interrupt(interrupt));
+            }
             match self.admit(&key) {
-                Admission::Done(result, served) => return Self::respond(&key, result, served),
-                Admission::Wait(ticket) => match ticket.wait() {
-                    Some(result) => return Self::respond(&key, result, Served::Coalesced),
+                Admission::Done(result, served) => return Ok(Self::respond(&key, result, served)),
+                Admission::Wait(ticket) => match ticket.wait_interruptible(cancel) {
+                    Ok(Some(result)) => return Ok(Self::respond(&key, result, Served::Coalesced)),
                     // The owner unwound before publishing: re-admit
                     // (this thread may become the new owner).
-                    None => continue,
+                    Ok(None) => continue,
+                    Err(interrupt) => return Err(self.note_interrupt(interrupt)),
                 },
                 Admission::Evaluate {
                     graph,
@@ -479,12 +596,26 @@ impl QueryService {
                 } => {
                     let mut guard = AdmissionGuard::new(self, &key, &ticket);
                     let start = Instant::now();
-                    let (result, mode) = self.evaluate(&graph, &key);
+                    let (result, mode) = match self.evaluate_interruptible(&graph, &key, cancel) {
+                        Ok(outcome) => outcome,
+                        Err(interrupt) => {
+                            // The armed guard's drop deregisters the
+                            // ticket and abandons it, so coalesced
+                            // waiters re-admit (one may finish the job
+                            // under its own, longer budget).
+                            drop(guard);
+                            return Err(self.note_interrupt(interrupt));
+                        }
+                    };
                     let eval_ns = start.elapsed().as_nanos() as u64;
                     let result = Arc::new(result);
                     self.publish(&key, &ticket, epoch, result.clone(), mode, eval_ns);
                     guard.disarm();
-                    return Self::respond(&key, result, Served::Evaluated { mode, eval_ns });
+                    return Ok(Self::respond(
+                        &key,
+                        result,
+                        Served::Evaluated { mode, eval_ns },
+                    ));
                 }
             }
         }
@@ -492,6 +623,20 @@ impl QueryService {
 
     /// Executes one admitted query under the size heuristic.
     fn evaluate(&self, graph: &GraphDb, key: &CacheKey) -> (BitSet, EvalMode) {
+        match self.evaluate_interruptible(graph, key, &CancelToken::never()) {
+            Ok(outcome) => outcome,
+            Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+        }
+    }
+
+    /// [`QueryService::evaluate`] under a cancel token, forwarded into
+    /// the per-BFS-level checks of the interruptible evaluators.
+    fn evaluate_interruptible(
+        &self,
+        graph: &GraphDb,
+        key: &CacheKey,
+        cancel: &CancelToken,
+    ) -> Result<(BitSet, EvalMode), Interrupt> {
         // Sequential evaluations run on the calling client thread; a
         // thread-local scratch keeps the serving hot path free of the
         // ~3·|Q| bitset allocations a fresh scratch would zero per miss
@@ -505,45 +650,53 @@ impl QueryService {
         match key.kind {
             QueryKind::Monadic => {
                 if intra {
-                    (self.pool.eval_monadic(dfa, graph), EvalMode::IntraQuery)
+                    let result = self.pool.eval_monadic_interruptible(
+                        &mut pathlearn_graph::IntraScratch::new(),
+                        dfa,
+                        graph,
+                        cancel,
+                    )?;
+                    Ok((result, EvalMode::IntraQuery))
                 } else {
-                    (
-                        SCRATCH.with(|scratch| {
-                            eval_monadic_policy(
-                                &mut scratch.borrow_mut(),
-                                dfa,
-                                graph,
-                                self.pool.step_policy(),
-                            )
-                        }),
-                        EvalMode::Sequential,
-                    )
+                    let result = SCRATCH.with(|scratch| {
+                        eval_monadic_interruptible(
+                            &mut scratch.borrow_mut(),
+                            dfa,
+                            graph,
+                            self.pool.step_policy(),
+                            cancel,
+                        )
+                    })?;
+                    Ok((result, EvalMode::Sequential))
                 }
             }
             QueryKind::Binary(source) => {
                 if (source as usize) >= graph.num_nodes() {
                     // Out-of-graph source (e.g. submitted before a
                     // rebuild shrank the graph): the empty answer.
-                    return (BitSet::new(graph.num_nodes()), EvalMode::Sequential);
+                    return Ok((BitSet::new(graph.num_nodes()), EvalMode::Sequential));
                 }
                 if intra {
-                    (
-                        self.pool.eval_binary_from(dfa, graph, source),
-                        EvalMode::IntraQuery,
-                    )
+                    let result = self.pool.eval_binary_from_interruptible(
+                        &mut pathlearn_graph::IntraScratch::new(),
+                        dfa,
+                        graph,
+                        source,
+                        cancel,
+                    )?;
+                    Ok((result, EvalMode::IntraQuery))
                 } else {
-                    (
-                        SCRATCH.with(|scratch| {
-                            eval_binary_from_policy(
-                                &mut scratch.borrow_mut(),
-                                dfa,
-                                graph,
-                                source,
-                                self.pool.step_policy(),
-                            )
-                        }),
-                        EvalMode::Sequential,
-                    )
+                    let result = SCRATCH.with(|scratch| {
+                        eval_binary_from_interruptible(
+                            &mut scratch.borrow_mut(),
+                            dfa,
+                            graph,
+                            source,
+                            self.pool.step_policy(),
+                            cancel,
+                        )
+                    })?;
+                    Ok((result, EvalMode::Sequential))
                 }
             }
         }
@@ -961,6 +1114,130 @@ mod tests {
             "late publish of a displaced ticket evicted the new owner"
         );
         drop(AdmissionGuard::new(&service, &bkey, &second));
+    }
+
+    #[test]
+    fn interruptible_hooks_match_and_count_verdicts() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let q = query(&graph, "(a·b)*·c");
+        let never = CancelToken::never();
+        // Never-token interruptible serving is the plain path.
+        let first = service
+            .query_monadic_interruptible(&q, &never)
+            .expect("never token");
+        assert_eq!(*first.result, eval_monadic(&q, &graph));
+        let bin = service
+            .query_binary_from_interruptible(&q, 0, &never)
+            .expect("never token");
+        assert_eq!(*bin.result, eval_binary_from(&q, &graph, 0));
+        // An expired deadline is rejected before admission and counted.
+        let expired = CancelToken::with_deadline(Instant::now());
+        assert_eq!(
+            service
+                .query_monadic_interruptible(&query(&graph, "a"), &expired)
+                .unwrap_err(),
+            Interrupt::Deadline
+        );
+        // A tripped drain flag is the Cancelled verdict.
+        let tripped = CancelToken::with_flag(Arc::new(std::sync::atomic::AtomicBool::new(true)));
+        assert_eq!(
+            service
+                .query_monadic_interruptible(&query(&graph, "b"), &tripped)
+                .unwrap_err(),
+            Interrupt::Cancelled
+        );
+        let stats = service.stats();
+        assert_eq!((stats.deadline_exceeded, stats.cancelled), (1, 1));
+        // The rejected keys were never admitted: no dangling tickets,
+        // and a later submission evaluates normally.
+        assert!(service.inner.lock().unwrap().inflight.is_empty());
+        assert!(matches!(
+            service.query_monadic(&query(&graph, "a")).served,
+            Served::Evaluated { .. }
+        ));
+        // Canonical variants agree with the Dfa-taking ones.
+        let canonical = CanonicalQuery::new(&q);
+        let via_canonical = service
+            .query_monadic_canonical_interruptible(canonical.clone(), &never)
+            .expect("never token");
+        assert!(Arc::ptr_eq(&via_canonical.result, &first.result));
+        let bin_canonical = service
+            .query_binary_canonical_interruptible(canonical.clone(), 0, &never)
+            .expect("never token");
+        assert!(Arc::ptr_eq(&bin_canonical.result, &bin.result));
+        assert_eq!(
+            *service.query_binary_canonical(canonical, 1).result,
+            eval_binary_from(&q, &graph, 1)
+        );
+    }
+
+    #[test]
+    fn coalesced_waiter_with_deadline_times_out_without_hurting_the_owner() {
+        let graph = figure3_g0();
+        let config = ServeConfig {
+            // Keep the owner's publication far beyond the waiter's
+            // budget.
+            eval_holdoff: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(QueryService::new(graph.clone(), config));
+        let q = query(&graph, "(a+b)*·c");
+        let expected = eval_monadic(&q, &graph);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let owner = {
+            let service = service.clone();
+            let barrier = barrier.clone();
+            let q = q.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.query_monadic(&q)
+            })
+        };
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(50));
+        // The owner is inside its holdoff; a waiter with a 50ms budget
+        // must give up with the Deadline verdict…
+        let hurried = CancelToken::with_deadline(Instant::now() + Duration::from_millis(50));
+        assert_eq!(
+            service
+                .query_monadic_interruptible(&q, &hurried)
+                .unwrap_err(),
+            Interrupt::Deadline
+        );
+        // …while the owner still publishes the full answer.
+        let owned = owner.join().unwrap();
+        assert_eq!(*owned.result, expected);
+        assert_eq!(service.stats().deadline_exceeded, 1);
+        assert_eq!(service.query_monadic(&q).served, Served::Hit);
+    }
+
+    #[test]
+    fn interrupted_owner_abandons_so_waiters_readmit() {
+        let graph = figure3_g0();
+        let service = Arc::new(QueryService::new(graph.clone(), ServeConfig::default()));
+        let q = query(&graph, "c·a*");
+        let key = CacheKey::monadic(CanonicalQuery::new(&q));
+        // Become the owner with a doomed token: evaluation is never
+        // reached — but simulate the owner path by admitting, then
+        // letting serve_interruptible hit the eval-time interrupt.
+        let Admission::Evaluate { ticket, .. } = service.admit(&key) else {
+            panic!("first admission must be an Evaluate");
+        };
+        // A concurrent coalesced waiter (unbounded token) blocks on the
+        // ticket…
+        let waiter = {
+            let service = service.clone();
+            let q = q.clone();
+            std::thread::spawn(move || service.query_monadic(&q))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // …until the owner's interrupt abandons the ticket; the waiter
+        // re-admits and evaluates the query itself.
+        drop(AdmissionGuard::new(&service, &key, &ticket));
+        let served = waiter.join().unwrap();
+        assert_eq!(*served.result, eval_monadic(&q, &graph));
+        assert!(matches!(served.served, Served::Evaluated { .. }));
     }
 
     #[test]
