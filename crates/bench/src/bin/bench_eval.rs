@@ -30,6 +30,23 @@
 //!   fan-out disabled (chunk = `usize::MAX`), pinned to 1-word and
 //!   4-word chunks, and on auto sizing, at each `--intra-threads`
 //!   count.
+//! * **whole-query planner ablation** (schema v5): every query of the
+//!   mix evaluated monadically under forced `Forward` / `Backward` /
+//!   `Auto` strategies and binarily (from a small seeded source batch)
+//!   under forced `Forward` / `Backward` / `Bidirectional` / `Auto`,
+//!   through the planned engines (`plan_query_forced` + the
+//!   `eval_*_planned` dispatchers). The JSON records which direction
+//!   `Auto` resolved to next to every forced timing.
+//! * **rare-target direction probe** (schema v5): a layered `a`-DAG of
+//!   the same node count (node `i` fans out to the next 8 nodes) with a
+//!   **single** rare `c`-edge near the head, queried with `(a+b)*·c`
+//!   from node 0. Forward evaluation floods every descendant of the
+//!   source before discovering the lone `c`-edge; backward evaluation
+//!   seeds the coreach certificate at that edge and only ever touches
+//!   its handful of ancestors. This is the workload shape the
+//!   backward/bidirectional engines exist for, and the probe pins the
+//!   expected forced-Backward-beats-forced-Forward gap (and `Auto`'s
+//!   resolution) in the committed JSON.
 //!
 //! Every parallel configuration and every policy is checked
 //! **bit-identical** to the sequential results before being timed — a
@@ -47,15 +64,19 @@
 //!            [--intra-threads T[,T,...]] [--out PATH]
 //! ```
 
-use pathlearn_automata::{BitSet, Dfa, Symbol};
+use pathlearn_automata::{Alphabet, BitSet, Dfa, Symbol};
 use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload, CalibratedQuery};
 use pathlearn_eval::report::ascii_table;
 use pathlearn_graph::eval::{
-    eval_binary_from_with, eval_monadic, eval_monadic_policy, eval_monadic_queued, EvalScratch,
+    eval_binary_from, eval_binary_from_with, eval_monadic, eval_monadic_policy,
+    eval_monadic_queued, EvalScratch,
 };
 use pathlearn_graph::par_eval::{EvalPool, IntraScratch};
-use pathlearn_graph::{GraphDb, NodeId, StepPolicy};
+use pathlearn_graph::plan::{
+    eval_binary_planned, eval_monadic_planned, plan_query, plan_query_forced, PlanScratch,
+};
+use pathlearn_graph::{GraphBuilder, GraphDb, NodeId, StepPolicy, Strategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -163,6 +184,7 @@ struct ScaleResult {
     prune_geomean: f64,
     legacy_prune_geomean: f64,
     granularity: GranularityResult,
+    planner: PlannerAblation,
 }
 
 /// Median of `runs` wall-clock timings of `f`, after one warm-up call.
@@ -403,6 +425,208 @@ fn bench_granularity(graph: &GraphDb, intra_threads: &[usize], runs: usize) -> G
     }
 }
 
+/// One forced-strategy timing of a planned engine.
+struct StrategyPoint {
+    strategy: Strategy,
+    ns: u128,
+}
+
+/// One query's whole-query-planner ablation: the planned monadic engine
+/// under forced Forward/Backward/Auto, the planned binary engine (summed
+/// over a small seeded source batch) under all four strategies, plus the
+/// direction `Auto` actually resolved to for each arity.
+struct PlannerResult {
+    name: String,
+    monadic_auto: Strategy,
+    binary_auto: Strategy,
+    monadic: Vec<StrategyPoint>,
+    binary: Vec<StrategyPoint>,
+}
+
+impl PlannerResult {
+    fn point(points: &[StrategyPoint], strategy: Strategy) -> u128 {
+        points
+            .iter()
+            .find(|p| p.strategy == strategy)
+            .map_or(1, |p| p.ns)
+    }
+
+    /// Forced-Backward binary speedup over forced-Forward (> 1 means the
+    /// backward engine won on this query's source batch).
+    fn binary_backward_speedup(&self) -> f64 {
+        Self::point(&self.binary, Strategy::Forward) as f64
+            / Self::point(&self.binary, Strategy::Backward).max(1) as f64
+    }
+}
+
+/// The rare-target direction probe: forced binary timings of `(a+b)*·c`
+/// on the layered DAG with one rare `c`-edge, from source node 0.
+struct DirectionProbe {
+    nodes: usize,
+    edges: usize,
+    query: String,
+    binary_auto: Strategy,
+    binary: Vec<StrategyPoint>,
+}
+
+impl DirectionProbe {
+    /// The headline: forced-Backward speedup over forced-Forward.
+    fn backward_speedup(&self) -> f64 {
+        PlannerResult::point(&self.binary, Strategy::Forward) as f64
+            / PlannerResult::point(&self.binary, Strategy::Backward).max(1) as f64
+    }
+}
+
+/// The whole planner section of one scale.
+struct PlannerAblation {
+    queries: Vec<PlannerResult>,
+    probe: DirectionProbe,
+}
+
+/// Times one query through the planned engines under every forced
+/// strategy. Monadic strategies are Forward/Backward/Auto (Bidirectional
+/// is a binary-only resolution); binary adds Bidirectional and times the
+/// whole source batch per run. Every strategy is asserted bit-identical
+/// to the plain forward engines before being timed.
+fn bench_planner_query(
+    graph: &GraphDb,
+    q: &CalibratedQuery,
+    sources: &[NodeId],
+    runs: usize,
+) -> PlannerResult {
+    let dfa = q.query.dfa();
+    let auto_plan = plan_query(dfa, graph);
+    let expected = eval_monadic(dfa, graph);
+    let mut scratch = PlanScratch::new();
+    let monadic = [Strategy::Forward, Strategy::Backward, Strategy::Auto]
+        .into_iter()
+        .map(|forced| {
+            let plan = plan_query_forced(dfa, graph, forced);
+            assert_eq!(
+                eval_monadic_planned(&mut scratch, &plan, graph),
+                expected,
+                "{}: planned monadic differs under forced {forced}",
+                q.name
+            );
+            let ns = median_ns(runs, || {
+                std::hint::black_box(eval_monadic_planned(&mut scratch, &plan, graph));
+            });
+            StrategyPoint {
+                strategy: forced,
+                ns,
+            }
+        })
+        .collect();
+    let binary = [
+        Strategy::Forward,
+        Strategy::Backward,
+        Strategy::Bidirectional,
+        Strategy::Auto,
+    ]
+    .into_iter()
+    .map(|forced| {
+        let plan = plan_query_forced(dfa, graph, forced);
+        for &source in sources {
+            assert_eq!(
+                eval_binary_planned(&mut scratch, &plan, graph, source),
+                eval_binary_from(dfa, graph, source),
+                "{}: planned binary differs under forced {forced} from {source}",
+                q.name
+            );
+        }
+        let ns = median_ns(runs, || {
+            for &source in sources {
+                std::hint::black_box(eval_binary_planned(&mut scratch, &plan, graph, source));
+            }
+        });
+        StrategyPoint {
+            strategy: forced,
+            ns,
+        }
+    })
+    .collect();
+    PlannerResult {
+        name: q.name.clone(),
+        monadic_auto: auto_plan.monadic_strategy(),
+        binary_auto: auto_plan.binary_strategy(),
+        monadic,
+        binary,
+    }
+}
+
+/// The rare-target probe graph: a forward-layered `a`-DAG — node `i`
+/// fans out to the next `width` nodes, so edges only ever point down the
+/// node order — with a **single** `c`-edge near the head. From node 0,
+/// `(a+b)*·c` forward-floods every node of the graph before finding the
+/// lone `c`-edge; the backward coreach seeds at that edge and is bounded
+/// by its few ancestors.
+fn direction_probe_graph(n: usize, width: u32) -> GraphDb {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(["a", "b", "c"]));
+    builder.add_nodes("p", n);
+    let n = n as u32;
+    for i in 0..n {
+        for j in 1..=width {
+            if i + j < n {
+                builder.add_edge_ids(i, Symbol::from_index(0), i + j);
+            }
+        }
+    }
+    let c_src = 16.min(n.saturating_sub(2));
+    builder.add_edge_ids(c_src, Symbol::from_index(2), c_src + 1);
+    builder.build()
+}
+
+/// The minimal DFA of `(a+b)*·c` over the probe alphabet `{a, b, c}`.
+fn rare_target_dfa() -> Dfa {
+    let mut dfa = Dfa::new(2, 3, 0);
+    dfa.set_transition(0, Symbol::from_index(0), 0);
+    dfa.set_transition(0, Symbol::from_index(1), 0);
+    dfa.set_transition(0, Symbol::from_index(2), 1);
+    dfa.set_final(1);
+    dfa
+}
+
+/// Times the rare-target direction probe: all four forced binary
+/// strategies from source 0, bit-identity asserted first.
+fn bench_direction_probe(nodes: usize, runs: usize) -> DirectionProbe {
+    let graph = direction_probe_graph(nodes, 8);
+    let dfa = rare_target_dfa();
+    let source: NodeId = 0;
+    let expected = eval_binary_from(&dfa, &graph, source);
+    let auto_plan = plan_query(&dfa, &graph);
+    let mut scratch = PlanScratch::new();
+    let binary = [
+        Strategy::Forward,
+        Strategy::Backward,
+        Strategy::Bidirectional,
+        Strategy::Auto,
+    ]
+    .into_iter()
+    .map(|forced| {
+        let plan = plan_query_forced(&dfa, &graph, forced);
+        assert_eq!(
+            eval_binary_planned(&mut scratch, &plan, &graph, source),
+            expected,
+            "direction probe differs under forced {forced}"
+        );
+        let ns = median_ns(runs, || {
+            std::hint::black_box(eval_binary_planned(&mut scratch, &plan, &graph, source));
+        });
+        StrategyPoint {
+            strategy: forced,
+            ns,
+        }
+    })
+    .collect();
+    DirectionProbe {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        query: "(a+b)*·c".to_owned(),
+        binary_auto: auto_plan.binary_strategy(),
+        binary,
+    }
+}
+
 fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, count) = values.fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
     if count == 0 {
@@ -421,6 +645,14 @@ fn json_escape(text: &str) -> String {
             c => vec![c],
         })
         .collect()
+}
+
+fn strategy_points_json(points: &[StrategyPoint]) -> String {
+    points
+        .iter()
+        .map(|p| format!("{{\"strategy\": \"{}\", \"ns\": {}}}", p.strategy, p.ns))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn batch_json(batch: &BatchResult, indent: &str) -> String {
@@ -450,9 +682,9 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, par_eval batches, masked step kernels + cost-model gate, intra-query parallel + node-range fan-out\",\n",
+        "  \"benchmark\": \"RPQ evaluation: frontier-batched vs seed queued BFS, par_eval batches, masked step kernels + cost-model gate, intra-query parallel + node-range fan-out, whole-query planner (forward/backward/bidirectional) + rare-target direction probe\",\n",
     );
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -546,6 +778,36 @@ fn write_json(path: &str, seed: u64, runs: usize, scales: &[ScaleResult]) -> std
             ));
         }
         out.push_str("\n      ]},\n");
+        out.push_str("      \"planner\": {\n");
+        out.push_str("        \"queries\": [\n");
+        for (pi, r) in scale.planner.queries.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"name\": \"{}\", \"monadic_auto\": \"{}\", \"binary_auto\": \"{}\", \"monadic\": [{}], \"binary\": [{}], \"binary_backward_vs_forward\": {:.3}}}{}\n",
+                json_escape(&r.name),
+                r.monadic_auto,
+                r.binary_auto,
+                strategy_points_json(&r.monadic),
+                strategy_points_json(&r.binary),
+                r.binary_backward_speedup(),
+                if pi + 1 < scale.planner.queries.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("        ],\n");
+        let probe = &scale.planner.probe;
+        out.push_str(&format!(
+            "        \"direction_probe\": {{\"graph\": \"layered a-DAG, fanout 8, one rare c-edge\", \"nodes\": {}, \"edges\": {}, \"query\": \"{}\", \"source\": 0, \"binary_auto\": \"{}\", \"binary\": [{}], \"backward_vs_forward_speedup\": {:.3}}}\n",
+            probe.nodes,
+            probe.edges,
+            json_escape(&probe.query),
+            probe.binary_auto,
+            strategy_points_json(&probe.binary),
+            probe.backward_speedup()
+        ));
+        out.push_str("      },\n");
         out.push_str(&format!(
             "      \"prune_geomean_speedup\": {:.3},\n",
             scale.prune_geomean
@@ -647,6 +909,56 @@ fn print_granularity(g: &GranularityResult) {
     println!(
         "{}",
         ascii_table(&["config", "chunk words", "ms", "speedup"], &rows)
+    );
+}
+
+fn print_planner(planner: &PlannerAblation, batch_sources: usize) {
+    let ms = |points: &[StrategyPoint], strategy: Strategy| {
+        format!("{:.3}", PlannerResult::point(points, strategy) as f64 / 1e6)
+    };
+    let rows: Vec<Vec<String>> = planner
+        .queries
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                ms(&r.monadic, Strategy::Forward),
+                ms(&r.monadic, Strategy::Backward),
+                ms(&r.monadic, Strategy::Auto),
+                r.monadic_auto.to_string(),
+                ms(&r.binary, Strategy::Forward),
+                ms(&r.binary, Strategy::Backward),
+                ms(&r.binary, Strategy::Bidirectional),
+                ms(&r.binary, Strategy::Auto),
+                r.binary_auto.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "whole-query planner ablation (monadic ms | binary ms over a {batch_sources}-source batch):"
+    );
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "query", "m-fwd", "m-back", "m-auto", "m-pick", "b-fwd", "b-back", "b-bidi",
+                "b-auto", "b-pick"
+            ],
+            &rows
+        )
+    );
+    let probe = &planner.probe;
+    println!(
+        "rare-target direction probe ({} nodes, {} edges, {} from node 0): \
+         forward {:.3} ms vs backward {:.3} ms = {:.2}x, bidi {:.3} ms, auto picked {}",
+        probe.nodes,
+        probe.edges,
+        probe.query,
+        PlannerResult::point(&probe.binary, Strategy::Forward) as f64 / 1e6,
+        PlannerResult::point(&probe.binary, Strategy::Backward) as f64 / 1e6,
+        probe.backward_speedup(),
+        PlannerResult::point(&probe.binary, Strategy::Bidirectional) as f64 / 1e6,
+        probe.binary_auto
     );
 }
 
@@ -792,6 +1104,23 @@ fn main() {
         );
         let granularity = bench_granularity(&graph, &intra_threads, runs);
 
+        let planner_sources: Vec<NodeId> = sources.iter().copied().take(8).collect();
+        eprintln!(
+            "planner ablation: {} queries x forced strategies, binary from {} sources ...",
+            queries.len(),
+            planner_sources.len()
+        );
+        let planner_queries: Vec<PlannerResult> = queries
+            .iter()
+            .map(|q| bench_planner_query(&graph, q, &planner_sources, runs))
+            .collect();
+        eprintln!("rare-target direction probe: {nodes} nodes ...");
+        let probe = bench_direction_probe(nodes, runs);
+        let planner = PlannerAblation {
+            queries: planner_queries,
+            probe,
+        };
+
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {
@@ -822,6 +1151,7 @@ fn main() {
         print_batch(&multi_query);
         print_intra(&intra_query, prune_geomean, legacy_prune_geomean);
         print_granularity(&granularity);
+        print_planner(&planner, 8);
 
         scales.push(ScaleResult {
             nodes: graph.num_nodes(),
@@ -835,6 +1165,7 @@ fn main() {
             prune_geomean,
             legacy_prune_geomean,
             granularity,
+            planner,
         });
     }
 

@@ -61,16 +61,26 @@
 
 use crate::cancel::{CancelToken, Interrupt};
 use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
-use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
+use pathlearn_automata::{BitSet, Dfa, StateId, Symbol, DEAD};
 use std::collections::VecDeque;
 
 /// Reverse DFA transition table flattened to a dense CSR index over
 /// `(state, symbol)`: `states[offsets[q·|Σ|+a] .. offsets[q·|Σ|+a+1]]`
 /// are the states `p` with `δ(p, a) = q`. Shared with the intra-query
 /// parallel twin in [`crate::par_eval`].
+///
+/// A second CSR (`live_offsets`/`live_syms`) lists, per state, only the
+/// symbols with at least one predecessor, in ascending order. The level
+/// loops iterate that list instead of `0..sigma`, so symbols outside the
+/// query's live alphabet (graphs routinely carry far more labels than a
+/// query mentions) cost nothing per level instead of one plan probe
+/// each. Ascending symbol order is preserved, so the iteration order —
+/// and therefore every merge — is bit-identical to the dense scan.
 pub(crate) struct RevIndex {
     offsets: Vec<u32>,
     states: Vec<StateId>,
+    live_offsets: Vec<u32>,
+    live_syms: Vec<u32>,
     pub(crate) sigma: usize,
 }
 
@@ -95,9 +105,21 @@ impl RevIndex {
                 *slot += 1;
             }
         }
+        let mut live_offsets = vec![0u32; q_states + 1];
+        let mut live_syms = Vec::new();
+        for q in 0..q_states {
+            for a in 0..sigma {
+                if offsets[q * sigma + a] != offsets[q * sigma + a + 1] {
+                    live_syms.push(a as u32);
+                }
+            }
+            live_offsets[q + 1] = live_syms.len() as u32;
+        }
         RevIndex {
             offsets,
             states,
+            live_offsets,
+            live_syms,
             sigma,
         }
     }
@@ -107,6 +129,66 @@ impl RevIndex {
         let idx = q as usize * self.sigma + sym;
         &self.states[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
     }
+
+    /// Symbols with at least one predecessor into `q`, ascending.
+    #[inline]
+    pub(crate) fn live_syms(&self, q: StateId) -> &[u32] {
+        let q = q as usize;
+        &self.live_syms[self.live_offsets[q] as usize..self.live_offsets[q + 1] as usize]
+    }
+}
+
+/// Forward DFA transition table as a per-state CSR of live
+/// `(symbol, successor)` pairs in ascending symbol order — the forward
+/// analogue of [`RevIndex::live_syms`]. The deterministic engines
+/// (binary forward, monadic-via-reverse) iterate this instead of probing
+/// `query.step` for every symbol in `0..sigma`, so dead symbols cost
+/// nothing per level. Ascending order keeps iteration — and results —
+/// bit-identical to the dense scan.
+pub(crate) struct FwdIndex {
+    offsets: Vec<u32>,
+    entries: Vec<(u32, StateId)>,
+}
+
+impl FwdIndex {
+    /// `sigma` must not exceed `query.alphabet_len()` (callers clamp to
+    /// the graph/query alphabet intersection; foreign symbols cannot
+    /// advance the product anyway).
+    pub(crate) fn new(query: &Dfa, sigma: usize) -> Self {
+        debug_assert!(sigma <= query.alphabet_len());
+        let q_states = query.num_states();
+        let mut offsets = vec![0u32; q_states + 1];
+        let mut entries = Vec::new();
+        for q in 0..q_states {
+            for a in 0..sigma {
+                let t = query.step_raw(q as StateId, Symbol::from_index(a));
+                if t != DEAD {
+                    entries.push((a as u32, t));
+                }
+            }
+            offsets[q + 1] = entries.len() as u32;
+        }
+        FwdIndex { offsets, entries }
+    }
+
+    /// Live `(symbol, successor)` pairs out of `q`, ascending by symbol.
+    #[inline]
+    pub(crate) fn successors(&self, q: StateId) -> &[(u32, StateId)] {
+        let q = q as usize;
+        &self.entries[self.offsets[q] as usize..self.offsets[q + 1] as usize]
+    }
+}
+
+/// Which graph kernel family a deterministic level steps through:
+/// out-edges (binary forward) or in-edges (monadic via the reversed
+/// DFA — a forward walk of the reverse automaton rides the graph's
+/// in-edge CSR).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum KernelDir {
+    /// Out-edge kernels ([`GraphDb::step_frontier_into`] family).
+    Out,
+    /// In-edge kernels ([`GraphDb::step_frontier_back_into`] family).
+    In,
 }
 
 /// Reusable buffers for the frontier evaluators.
@@ -192,6 +274,174 @@ impl EvalScratch {
             self.step = BitSet::new(v);
         }
         self.active.clear();
+        self.next_active.clear();
+    }
+
+    /// Seeds every accepting state of `query` with the full node set —
+    /// the start configuration of the backward product search (every
+    /// accepting product state `(·, q_f)` reaches acceptance trivially).
+    pub(crate) fn seed_finals_full(&mut self, query: &Dfa, v: usize) {
+        for f in query.finals().iter() {
+            self.reached[f].insert_all();
+            self.frontier[f].insert_all();
+            self.frontier_len[f] = v;
+            self.active.push(f as StateId);
+        }
+    }
+
+    /// Seeds a single `(node, state)` product pair — the start
+    /// configuration of binary-from-source evaluation.
+    pub(crate) fn seed_state(&mut self, state: StateId, node: usize) {
+        self.reached[state as usize].insert(node);
+        self.frontier[state as usize].insert(node);
+        self.frontier_len[state as usize] = 1;
+        self.active.push(state);
+    }
+
+    /// Seeds a single state with the full node set — the start
+    /// configuration of monadic evaluation via the reversed DFA (every
+    /// node ends a candidate path trivially).
+    pub(crate) fn seed_state_full(&mut self, state: StateId, v: usize) {
+        self.reached[state as usize].insert_all();
+        self.frontier[state as usize].insert_all();
+        self.frontier_len[state as usize] = v;
+        self.active.push(state);
+    }
+
+    /// One level of the **codeterministic backward** product BFS: for
+    /// each active state `q`, each live symbol steps the frontier through
+    /// the in-edge kernel once and fans the output out to every reverse-
+    /// DFA predecessor. Ends by advancing to the next level (frontier /
+    /// length / active swaps). Callers own the level loop (and the
+    /// per-level cancellation check and any early exit).
+    pub(crate) fn backward_level(&mut self, rev: &RevIndex, graph: &GraphDb, policy: StepPolicy) {
+        let EvalScratch {
+            reached,
+            frontier,
+            next_frontier,
+            frontier_len,
+            next_frontier_len,
+            step,
+            active,
+            next_active,
+        } = self;
+        for &q in active.iter() {
+            let state_frontier = &frontier[q as usize];
+            // The frontier popcount feeding Auto's cost model — cached
+            // in the scratch (counted during the previous level's merge,
+            // no scan) and shared by all symbols of the level.
+            let state_frontier_len = frontier_len[q as usize];
+            for &sym in rev.live_syms(q) {
+                let dfa_preds = rev.predecessors(q, sym as usize);
+                debug_assert!(!dfa_preds.is_empty());
+                let symbol = Symbol::from_index(sym as usize);
+                match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
+                    StepPlan::Skip => continue,
+                    StepPlan::Masked => {
+                        graph.step_frontier_back_masked_into(state_frontier, symbol, step)
+                    }
+                    StepPlan::Plain => graph.step_frontier_back_into(state_frontier, symbol, step),
+                }
+                if step.is_empty() {
+                    continue;
+                }
+                for &p in dfa_preds {
+                    let p = p as usize;
+                    let was_empty = next_frontier[p].is_empty();
+                    let fresh =
+                        reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                    next_frontier_len[p] += fresh;
+                    if fresh > 0 && was_empty {
+                        next_active.push(p as StateId);
+                    }
+                }
+            }
+        }
+        self.advance_level();
+    }
+
+    /// One level of a **deterministic** product BFS: each active state's
+    /// frontier steps once per live `(symbol, successor)` through the
+    /// kernel family selected by `dir`, merging into exactly one
+    /// successor frontier. With `prune` set, each step output is
+    /// intersected with `prune[successor]` before the merge — the
+    /// coreachability certificate of the planner's backward binary
+    /// engine (sound only once the certificate is *complete*; see
+    /// [`crate::plan`]). Ends by advancing to the next level.
+    pub(crate) fn deterministic_level(
+        &mut self,
+        fwd: &FwdIndex,
+        graph: &GraphDb,
+        dir: KernelDir,
+        policy: StepPolicy,
+        prune: Option<&[BitSet]>,
+    ) {
+        let EvalScratch {
+            reached,
+            frontier,
+            next_frontier,
+            frontier_len,
+            next_frontier_len,
+            step,
+            active,
+            next_active,
+        } = self;
+        for &q in active.iter() {
+            let state_frontier = &frontier[q as usize];
+            let state_frontier_len = frontier_len[q as usize];
+            for &(sym, next_state) in fwd.successors(q) {
+                let symbol = Symbol::from_index(sym as usize);
+                let plan = match dir {
+                    KernelDir::Out => {
+                        graph.plan_step(state_frontier, symbol, state_frontier_len, policy)
+                    }
+                    KernelDir::In => {
+                        graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy)
+                    }
+                };
+                match (plan, dir) {
+                    (StepPlan::Skip, _) => continue,
+                    (StepPlan::Masked, KernelDir::Out) => {
+                        graph.step_frontier_masked_into(state_frontier, symbol, step)
+                    }
+                    (StepPlan::Plain, KernelDir::Out) => {
+                        graph.step_frontier_into(state_frontier, symbol, step)
+                    }
+                    (StepPlan::Masked, KernelDir::In) => {
+                        graph.step_frontier_back_masked_into(state_frontier, symbol, step)
+                    }
+                    (StepPlan::Plain, KernelDir::In) => {
+                        graph.step_frontier_back_into(state_frontier, symbol, step)
+                    }
+                }
+                if let Some(certificate) = prune {
+                    step.intersect_with(&certificate[next_state as usize]);
+                }
+                if step.is_empty() {
+                    continue;
+                }
+                let p = next_state as usize;
+                let was_empty = next_frontier[p].is_empty();
+                let fresh = reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                next_frontier_len[p] += fresh;
+                if fresh > 0 && was_empty {
+                    next_active.push(next_state);
+                }
+            }
+        }
+        self.advance_level();
+    }
+
+    /// Swaps the double-buffered frontiers, lengths and active lists —
+    /// the shared epilogue of every level.
+    fn advance_level(&mut self) {
+        for &q in self.active.iter() {
+            self.frontier[q as usize].clear();
+            self.frontier_len[q as usize] = 0;
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        std::mem::swap(&mut self.frontier_len, &mut self.next_frontier_len);
+        std::mem::swap(&mut self.active, &mut self.next_active);
         self.next_active.clear();
     }
 }
@@ -293,74 +543,102 @@ pub fn eval_monadic_interruptible(
     // reached[q] = nodes ν with (ν, q) able to reach acceptance;
     // frontier[q] = the subset discovered in the previous level.
     scratch.prepare(v, q_states);
-    let EvalScratch {
-        reached,
-        frontier,
-        next_frontier,
-        frontier_len,
-        next_frontier_len,
-        step,
-        active,
-        next_active,
-    } = scratch;
-    for f in query.finals().iter() {
-        // Accepting product states (·, q_f) reach acceptance trivially.
-        reached[f].insert_all();
-        frontier[f].insert_all();
-        frontier_len[f] = v;
-        active.push(f as StateId);
-    }
-
-    while !active.is_empty() {
+    scratch.seed_finals_full(query, v);
+    while !scratch.active.is_empty() {
         cancel.check()?;
-        for &q in active.iter() {
-            let state_frontier = &frontier[q as usize];
-            // The frontier popcount feeding Auto's cost model — cached
-            // in the scratch (counted during the previous level's merge,
-            // no scan) and shared by all symbols of the level.
-            let state_frontier_len = frontier_len[q as usize];
-            for sym in 0..rev.sigma {
-                let dfa_preds = rev.predecessors(q, sym);
-                if dfa_preds.is_empty() {
-                    continue;
-                }
-                let symbol = Symbol::from_index(sym);
-                match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
-                    StepPlan::Skip => continue,
-                    StepPlan::Masked => {
-                        graph.step_frontier_back_masked_into(state_frontier, symbol, step)
-                    }
-                    StepPlan::Plain => graph.step_frontier_back_into(state_frontier, symbol, step),
-                }
-                if step.is_empty() {
-                    continue;
-                }
-                for &p in dfa_preds {
-                    let p = p as usize;
-                    let was_empty = next_frontier[p].is_empty();
-                    let fresh =
-                        reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
-                    next_frontier_len[p] += fresh;
-                    if fresh > 0 && was_empty {
-                        next_active.push(p as StateId);
-                    }
-                }
-            }
-        }
-        for &q in active.iter() {
-            frontier[q as usize].clear();
-            frontier_len[q as usize] = 0;
-        }
-        std::mem::swap(frontier, next_frontier);
-        std::mem::swap(frontier_len, next_frontier_len);
-        std::mem::swap(active, next_active);
-        next_active.clear();
+        scratch.backward_level(&rev, graph, policy);
         // Early exit: every node already selected.
-        if reached[q0 as usize].len() == v {
+        if scratch.reached[q0 as usize].len() == v {
             break;
         }
     }
-    Ok(std::mem::replace(&mut reached[q0 as usize], BitSet::new(0)))
+    Ok(std::mem::replace(
+        &mut scratch.reached[q0 as usize],
+        BitSet::new(0),
+    ))
+}
+
+/// Full backward **coreachability** fixpoint: like
+/// [`eval_monadic_interruptible`] but *without* the ε shortcut and
+/// *without* the early exit, leaving `scratch.reached[q]` = the complete
+/// set of nodes ν with `(ν, q)` able to reach acceptance, for **every**
+/// state `q`. This is the pruning certificate of the planner's backward
+/// and bidirectional binary engines ([`crate::plan`]): a forward pass
+/// may intersect each step with `reached[next_state]` once the fixpoint
+/// is complete without losing a single result bit (every node on a
+/// witness path is coreachable by definition). The early exit of the
+/// monadic engine would under-approximate the coreach of states other
+/// than `q₀` and is therefore deliberately absent here.
+pub(crate) fn eval_monadic_coreach_interruptible(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<(), Interrupt> {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    scratch.prepare(v, q_states);
+    if v == 0 || q_states == 0 {
+        return Ok(());
+    }
+    let rev = RevIndex::new(query, graph.alphabet().len());
+    scratch.seed_finals_full(query, v);
+    while !scratch.active.is_empty() {
+        cancel.check()?;
+        scratch.backward_level(&rev, graph, policy);
+    }
+    Ok(())
+}
+
+/// Monadic evaluation via the **reversed DFA** — the planner's backward
+/// strategy ([`crate::plan`]). `rquery` must recognize `rev(L(q))`
+/// (build it with [`pathlearn_automata::Dfa::reverse`]); the result is
+/// bit-identical to `eval_monadic(q, graph)`.
+///
+/// A node ν is selected by `q` iff some path *from* ν reads a word of
+/// `L(q)` — equivalently, iff some backward walk *ending* at ν reads a
+/// word of `rev(L(q))`. So this engine runs the deterministic forward
+/// simulation of `rquery` over backward graph walks: seed the full node
+/// set at `rquery`'s initial state (every node trivially ends a
+/// zero-length walk), step each frontier through the **in-edge**
+/// kernels along `rquery`'s transitions, and answer with the union of
+/// the accepting states' reach sets. Where the forward engine
+/// ([`eval_monadic_interruptible`]) pays one full-frontier seed per
+/// accepting state and a fan-out per reverse transition, this engine
+/// pays exactly one full seed and one deterministic successor per
+/// `(state, symbol)` — which of the two is cheaper is the planner's
+/// direction decision.
+pub fn eval_monadic_rev_interruptible(
+    scratch: &mut EvalScratch,
+    rquery: &Dfa,
+    graph: &GraphDb,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    let v = graph.num_nodes();
+    let r_states = rquery.num_states();
+    if v == 0 || r_states == 0 {
+        return Ok(BitSet::new(v));
+    }
+    let r0 = rquery.initial();
+    if rquery.is_final(r0) {
+        // ε ∈ rev(L) ⟺ ε ∈ L: every node has the empty path.
+        return Ok(BitSet::full(v));
+    }
+    let sigma = graph.alphabet().len().min(rquery.alphabet_len());
+    let fwd = FwdIndex::new(rquery, sigma);
+    scratch.prepare(v, r_states);
+    scratch.seed_state_full(r0, v);
+    while !scratch.active.is_empty() {
+        cancel.check()?;
+        scratch.deterministic_level(&fwd, graph, KernelDir::In, policy, None);
+    }
+    let mut result = BitSet::new(v);
+    for f in rquery.finals().iter() {
+        result.union_with(&scratch.reached[f]);
+    }
+    Ok(result)
 }
 
 /// Reference implementation of the **seed algorithm**: node-at-a-time
@@ -552,7 +830,10 @@ pub fn eval_binary_from_interruptible(
     let v = graph.num_nodes();
     let q_states = query.num_states();
     let mut result = BitSet::new(v);
-    if q_states == 0 || v == 0 {
+    // Out-of-graph sources (e.g. a stale id after a rebuild shrank the
+    // graph) select nothing — same defensive contract as the planned
+    // backward/bidirectional engines.
+    if q_states == 0 || v == 0 || source as usize >= v {
         return Ok(result);
     }
     let q0 = query.initial();
@@ -560,67 +841,21 @@ pub fn eval_binary_from_interruptible(
     // beyond the query's alphabet are dead (and stepping the DFA with
     // them would read out of its transition table).
     let sigma = graph.alphabet().len().min(query.alphabet_len());
+    let fwd = FwdIndex::new(query, sigma);
 
     scratch.prepare(v, q_states);
-    let EvalScratch {
-        reached,
-        frontier,
-        next_frontier,
-        frontier_len,
-        next_frontier_len,
-        step,
-        active,
-        next_active,
-    } = scratch;
-    reached[q0 as usize].insert(source as usize);
-    frontier[q0 as usize].insert(source as usize);
-    frontier_len[q0 as usize] = 1;
-    active.push(q0);
+    scratch.seed_state(q0, source as usize);
     if query.is_final(q0) {
         result.insert(source as usize);
     }
 
-    while !active.is_empty() {
+    while !scratch.active.is_empty() {
         cancel.check()?;
-        for &q in active.iter() {
-            let state_frontier = &frontier[q as usize];
-            let state_frontier_len = frontier_len[q as usize];
-            for sym in 0..sigma {
-                let symbol = Symbol::from_index(sym);
-                let Some(next_state) = query.step(q, symbol) else {
-                    continue;
-                };
-                match graph.plan_step(state_frontier, symbol, state_frontier_len, policy) {
-                    StepPlan::Skip => continue,
-                    StepPlan::Masked => {
-                        graph.step_frontier_masked_into(state_frontier, symbol, step)
-                    }
-                    StepPlan::Plain => graph.step_frontier_into(state_frontier, symbol, step),
-                }
-                if step.is_empty() {
-                    continue;
-                }
-                let p = next_state as usize;
-                let was_empty = next_frontier[p].is_empty();
-                let fresh = reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
-                next_frontier_len[p] += fresh;
-                if fresh > 0 && was_empty {
-                    next_active.push(next_state);
-                }
-            }
-        }
-        for &q in active.iter() {
-            frontier[q as usize].clear();
-            frontier_len[q as usize] = 0;
-        }
-        std::mem::swap(frontier, next_frontier);
-        std::mem::swap(frontier_len, next_frontier_len);
-        std::mem::swap(active, next_active);
-        next_active.clear();
+        scratch.deterministic_level(&fwd, graph, KernelDir::Out, policy, None);
     }
 
     for f in query.finals().iter() {
-        result.union_with(&reached[f]);
+        result.union_with(&scratch.reached[f]);
     }
     Ok(result)
 }
@@ -955,5 +1190,67 @@ mod tests {
         let ends = eval_binary_from(&q, &graph, v5);
         assert!(ends.contains(v5 as usize));
         assert_eq!(ends.len(), 1);
+    }
+
+    /// A graph whose alphabet is mostly padding: 64 labels interned,
+    /// only `a` and `b` carry edges, and the query only mentions `a`.
+    /// Before the live-symbol indexes, every level scanned all 64
+    /// symbols per state; the indexes must visit only the live ones —
+    /// and, crucially, in the same ascending order, so results stay
+    /// bit-identical.
+    #[test]
+    fn padded_alphabet_uses_only_live_symbols() {
+        let labels: Vec<String> = (0..64).map(|i| format!("l{i:02}")).collect();
+        let mut builder = crate::GraphBuilder::with_alphabet(
+            pathlearn_automata::Alphabet::from_labels(labels.iter().map(String::as_str)),
+        );
+        let first = builder.add_nodes("n", 8);
+        let (a, b) = (Symbol::from_index(0), Symbol::from_index(1));
+        for i in 0..7u32 {
+            builder.add_edge_ids(first + i, a, first + i + 1);
+        }
+        builder.add_edge_ids(first + 7, b, first);
+        let graph = builder.build();
+
+        // Query a·a over the full padded alphabet.
+        let mut q = Dfa::new(3, 64, 0);
+        q.set_transition(0, a, 1);
+        q.set_transition(1, a, 2);
+        q.set_final(2);
+
+        // The indexes only materialize the live (state, symbol) pairs.
+        let rev = RevIndex::new(&q, 64);
+        assert_eq!(rev.live_syms(1), &[0]);
+        assert_eq!(rev.live_syms(2), &[0]);
+        assert!(rev.live_syms(0).is_empty()); // no rev-transition *into* 0
+        let fwd = FwdIndex::new(&q, 64);
+        assert_eq!(fwd.successors(0), &[(0, 1)]);
+        assert_eq!(fwd.successors(1), &[(0, 2)]);
+        assert!(fwd.successors(2).is_empty());
+
+        // Nodes n0..n5 head an a·a path; n6 and n7 do not.
+        let selected = eval_monadic(&q, &graph);
+        assert_eq!(selected.len(), 6);
+        for i in 0..6 {
+            assert!(selected.contains(i), "n{i}");
+        }
+        assert_eq!(eval_monadic(&q, &graph), eval_monadic_naive(&q, &graph));
+        // Binary engine: exactly n2 is two a-steps from n0.
+        let ends = eval_binary_from(&q, &graph, first);
+        assert_eq!(ends.len(), 1);
+        assert!(ends.contains((first + 2) as usize));
+
+        // Live order is ascending even when symbols are inserted out of
+        // order, matching the fixed-symbol-order loops it replaced.
+        let mut multi = Dfa::new(2, 64, 0);
+        for sym in [63usize, 7, 0, 31] {
+            multi.set_transition(0, Symbol::from_index(sym), 1);
+        }
+        multi.set_final(1);
+        let rev = RevIndex::new(&multi, 64);
+        assert_eq!(rev.live_syms(1), &[0, 7, 31, 63]);
+        let fwd = FwdIndex::new(&multi, 64);
+        let syms: Vec<u32> = fwd.successors(0).iter().map(|&(s, _)| s).collect();
+        assert_eq!(syms, &[0, 7, 31, 63]);
     }
 }

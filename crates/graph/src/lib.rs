@@ -44,10 +44,12 @@ pub mod io;
 pub mod neighborhood;
 pub mod par_eval;
 pub mod paths;
+pub mod plan;
 pub mod sampling;
 pub mod scp;
 
 pub use cancel::{CancelToken, Interrupt};
 pub use graph::{GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
 pub use par_eval::{EvalPool, IntraScratch};
+pub use plan::{PlanScratch, QueryPlan, Strategy};
 pub use scp::ScpFinder;

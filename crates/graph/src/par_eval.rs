@@ -68,8 +68,9 @@
 //! variable and falls back to [`std::thread::available_parallelism`].
 
 use crate::cancel::{CancelToken, Interrupt};
-use crate::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch, RevIndex};
+use crate::eval::{eval_binary_from_policy, eval_monadic_policy, EvalScratch, FwdIndex, RevIndex};
 use crate::graph::{GraphDb, NodeId, StepPlan, StepPolicy};
+use crate::plan::{QueryPlan, Strategy};
 use pathlearn_automata::{BitSet, Dfa, StateId, Symbol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -487,7 +488,9 @@ impl EvalPool {
         let rev = RevIndex::new(query, graph.alphabet().len());
 
         scratch.prepare(v, q_states, self.threads);
-        let IntraScratch { eval, parts, tasks } = scratch;
+        let IntraScratch {
+            eval, parts, tasks, ..
+        } = scratch;
         let EvalScratch {
             reached,
             frontier,
@@ -517,16 +520,15 @@ impl EvalPool {
                 let state_frontier = &frontier[q as usize];
                 // Cached popcount, counted by the previous level's merge.
                 let state_frontier_len = frontier_len[q as usize];
-                for sym in 0..rev.sigma {
-                    if rev.predecessors(q, sym).is_empty() {
-                        continue;
-                    }
-                    let symbol = Symbol::from_index(sym);
+                // Only the state's live symbols (see [`RevIndex`]):
+                // symbols without reverse transitions cost nothing.
+                for &sym in rev.live_syms(q) {
+                    let symbol = Symbol::from_index(sym as usize);
                     match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
                         StepPlan::Skip => continue,
                         plan => tasks.push(StepTask {
                             state: q,
-                            sym: sym as u32,
+                            sym,
                             masked: plan == StepPlan::Masked,
                         }),
                     }
@@ -692,16 +694,21 @@ impl EvalPool {
         let v = graph.num_nodes();
         let q_states = query.num_states();
         let mut result = BitSet::new(v);
-        if q_states == 0 || v == 0 {
+        // Same defensive contract as the sequential engine: an
+        // out-of-graph source selects nothing.
+        if q_states == 0 || v == 0 || source as usize >= v {
             return Ok(result);
         }
         let q0 = query.initial();
         // Only symbols the DFA knows can advance the product (see the
-        // sequential evaluator).
+        // sequential evaluator), and of those only the live ones.
         let sigma = graph.alphabet().len().min(query.alphabet_len());
+        let fwd = FwdIndex::new(query, sigma);
 
         scratch.prepare(v, q_states, self.threads);
-        let IntraScratch { eval, parts, tasks } = scratch;
+        let IntraScratch {
+            eval, parts, tasks, ..
+        } = scratch;
         let EvalScratch {
             reached,
             frontier,
@@ -724,16 +731,13 @@ impl EvalPool {
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
                 let state_frontier_len = frontier_len[q as usize];
-                for sym in 0..sigma {
-                    let symbol = Symbol::from_index(sym);
-                    if query.step(q, symbol).is_none() {
-                        continue;
-                    }
+                for &(sym, _) in fwd.successors(q) {
+                    let symbol = Symbol::from_index(sym as usize);
                     match graph.plan_step(state_frontier, symbol, state_frontier_len, policy) {
                         StepPlan::Skip => continue,
                         plan => tasks.push(StepTask {
                             state: q,
-                            sym: sym as u32,
+                            sym,
                             masked: plan == StepPlan::Masked,
                         }),
                     }
@@ -829,6 +833,236 @@ impl EvalPool {
         }
         Ok(result)
     }
+
+    /// **Intra-query parallel** monadic evaluation via the **reversed
+    /// DFA** — the pool twin of
+    /// [`crate::eval::eval_monadic_rev_interruptible`], the planner's
+    /// backward monadic engine. Structurally this is the binary engine
+    /// run through the **in-edge** kernels: `rquery` is deterministic,
+    /// so each `(state, symbol)` task feeds exactly one successor
+    /// frontier, but the seed is the full node set at `rquery`'s initial
+    /// state and the answer is the union of the accepting states' reach
+    /// sets. Bit-identical to the sequential engine at any thread count
+    /// and chunk width; the sequential path delegates outright.
+    pub fn eval_monadic_rev_interruptible(
+        &self,
+        scratch: &mut IntraScratch,
+        rquery: &Dfa,
+        graph: &GraphDb,
+        cancel: &CancelToken,
+    ) -> Result<BitSet, Interrupt> {
+        let Some(pool) = self.pool.as_deref() else {
+            return crate::eval::eval_monadic_rev_interruptible(
+                &mut scratch.eval,
+                rquery,
+                graph,
+                self.step_policy,
+                cancel,
+            );
+        };
+        let policy = self.step_policy;
+        let v = graph.num_nodes();
+        let r_states = rquery.num_states();
+        if v == 0 || r_states == 0 {
+            return Ok(BitSet::new(v));
+        }
+        let r0 = rquery.initial();
+        if rquery.is_final(r0) {
+            // ε ∈ rev(L) ⟺ ε ∈ L: every node has the empty path.
+            return Ok(BitSet::full(v));
+        }
+        let sigma = graph.alphabet().len().min(rquery.alphabet_len());
+        let fwd = FwdIndex::new(rquery, sigma);
+
+        scratch.prepare(v, r_states, self.threads);
+        let IntraScratch {
+            eval, parts, tasks, ..
+        } = scratch;
+        let EvalScratch {
+            reached,
+            frontier,
+            next_frontier,
+            frontier_len,
+            next_frontier_len,
+            step,
+            active,
+            next_active,
+        } = eval;
+        reached[r0 as usize].insert_all();
+        frontier[r0 as usize].insert_all();
+        frontier_len[r0 as usize] = v;
+        active.push(r0);
+
+        let words = graph.num_node_words();
+        while !active.is_empty() {
+            cancel.check()?;
+            tasks.clear();
+            for &q in active.iter() {
+                let state_frontier = &frontier[q as usize];
+                let state_frontier_len = frontier_len[q as usize];
+                for &(sym, _) in fwd.successors(q) {
+                    let symbol = Symbol::from_index(sym as usize);
+                    match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
+                        StepPlan::Skip => continue,
+                        plan => tasks.push(StepTask {
+                            state: q,
+                            sym,
+                            masked: plan == StepPlan::Masked,
+                        }),
+                    }
+                }
+            }
+            let (chunks_per_task, chunk_words) = self.level_grain(tasks.len(), words);
+            let total = tasks.len() * chunks_per_task;
+            if total > 1 {
+                let live = self.threads.min(total);
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let tasks = &*tasks;
+                let frontier = &*frontier;
+                pool.scope(|scope| {
+                    for part in parts[..live].iter_mut() {
+                        scope.spawn(move |_| loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= total {
+                                break;
+                            }
+                            let task = &tasks[index / chunks_per_task];
+                            let chunk = index % chunks_per_task;
+                            let range = chunk * chunk_words..((chunk + 1) * chunk_words).min(words);
+                            let symbol = Symbol::from_index(task.sym as usize);
+                            let Some(next_state) = rquery.step(task.state, symbol) else {
+                                continue;
+                            };
+                            let state_frontier = &frontier[task.state as usize];
+                            part.step.clear();
+                            if task.masked {
+                                graph.step_frontier_back_masked_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            } else {
+                                graph.step_frontier_back_range_into(
+                                    state_frontier,
+                                    symbol,
+                                    range,
+                                    &mut part.step,
+                                );
+                            }
+                            if part.step.is_empty() {
+                                continue;
+                            }
+                            part.acc[next_state as usize].union_with(&part.step);
+                            part.touched.insert(next_state as usize);
+                        });
+                    }
+                });
+                merge_level(
+                    reached,
+                    next_frontier,
+                    next_frontier_len,
+                    next_active,
+                    &mut parts[..live],
+                );
+            } else if let Some(task) = tasks.first() {
+                let symbol = Symbol::from_index(task.sym as usize);
+                if let Some(next_state) = rquery.step(task.state, symbol) {
+                    let state_frontier = &frontier[task.state as usize];
+                    if task.masked {
+                        graph.step_frontier_back_masked_into(state_frontier, symbol, step);
+                    } else {
+                        graph.step_frontier_back_into(state_frontier, symbol, step);
+                    }
+                    if !step.is_empty() {
+                        let p = next_state as usize;
+                        let was_empty = next_frontier[p].is_empty();
+                        let fresh =
+                            reached[p].union_with_recording_new_count(step, &mut next_frontier[p]);
+                        next_frontier_len[p] += fresh;
+                        if fresh > 0 && was_empty {
+                            next_active.push(next_state);
+                        }
+                    }
+                }
+            }
+            for &q in active.iter() {
+                frontier[q as usize].clear();
+                frontier_len[q as usize] = 0;
+            }
+            std::mem::swap(frontier, next_frontier);
+            std::mem::swap(frontier_len, next_frontier_len);
+            std::mem::swap(active, next_active);
+            next_active.clear();
+        }
+
+        let mut result = BitSet::new(v);
+        for f in rquery.finals().iter() {
+            result.union_with(&reached[f]);
+        }
+        Ok(result)
+    }
+
+    /// Monadic evaluation under a [`QueryPlan`], on the pool: the
+    /// forward strategy runs the existing intra-query engine on the
+    /// plan's preprocessed DFA, the backward strategy its reversed-DFA
+    /// twin. Bit-identical to
+    /// [`crate::eval::eval_monadic`] at any thread count and strategy.
+    pub fn eval_monadic_planned(
+        &self,
+        scratch: &mut IntraScratch,
+        plan: &QueryPlan,
+        graph: &GraphDb,
+        cancel: &CancelToken,
+    ) -> Result<BitSet, Interrupt> {
+        match plan.monadic_strategy() {
+            Strategy::Backward => {
+                self.eval_monadic_rev_interruptible(scratch, plan.reversed(), graph, cancel)
+            }
+            _ => self.eval_monadic_interruptible(scratch, plan.query(), graph, cancel),
+        }
+    }
+
+    /// Binary evaluation under a [`QueryPlan`], on the pool. The forward
+    /// strategy runs the existing intra-query engine; the backward and
+    /// bidirectional engines are **level-serial two-phase algorithms**
+    /// (a coreach fixpoint gating a pruned forward pass) and currently
+    /// delegate to the sequential planned engines — their phases share
+    /// frontier state in a way the `(state, symbol)` task fan-out does
+    /// not yet express; parallelizing them is an open ROADMAP item. The
+    /// second scratch half (`IntraScratch::aux`) hosts the coreach so
+    /// the delegation stays allocation-free on reuse.
+    pub fn eval_binary_planned(
+        &self,
+        scratch: &mut IntraScratch,
+        plan: &QueryPlan,
+        graph: &GraphDb,
+        source: NodeId,
+        cancel: &CancelToken,
+    ) -> Result<BitSet, Interrupt> {
+        match plan.binary_strategy() {
+            Strategy::Backward => crate::plan::eval_binary_backward_inner(
+                &mut scratch.eval,
+                &mut scratch.aux,
+                plan.query(),
+                graph,
+                source,
+                self.step_policy,
+                cancel,
+            ),
+            Strategy::Bidirectional => crate::plan::eval_binary_bidi_inner(
+                &mut scratch.eval,
+                &mut scratch.aux,
+                plan.query(),
+                graph,
+                source,
+                self.step_policy,
+                cancel,
+            ),
+            _ => self.eval_binary_from_interruptible(scratch, plan.query(), graph, source, cancel),
+        }
+    }
 }
 
 /// Deterministic end-of-level merge for the intra-query evaluators:
@@ -905,6 +1139,10 @@ pub struct IntraScratch {
     parts: Vec<LevelPart>,
     /// Planned step tasks of the current level.
     tasks: Vec<StepTask>,
+    /// Second frontier set for the two-phase planned binary engines
+    /// (backward coreach / bidirectional certificate); the inner engines
+    /// size it themselves, so [`IntraScratch::prepare`] leaves it alone.
+    aux: EvalScratch,
 }
 
 impl IntraScratch {
@@ -1182,5 +1420,80 @@ mod tests {
             .map(|&s| eval_binary_from(query, &graph, s))
             .collect();
         assert_eq!(pool.eval_binary_batch(query, &graph, &sources), expected);
+    }
+
+    #[test]
+    fn planned_engines_match_sequential_at_all_thread_counts() {
+        use crate::plan::{plan_query_forced, Strategy};
+
+        let never = CancelToken::never();
+        for graph in [figure3_g0(), ladder_graph(60)] {
+            for (i, query) in queries(&graph).iter().enumerate() {
+                let expected_monadic = eval_monadic(query, &graph);
+                for forced in Strategy::ALL {
+                    let plan = plan_query_forced(query, &graph, forced);
+                    for threads in [1, 2, 4] {
+                        let pool = EvalPool::new(threads);
+                        let mut scratch = IntraScratch::new();
+                        assert_eq!(
+                            pool.eval_monadic_planned(&mut scratch, &plan, &graph, &never),
+                            Ok(expected_monadic.clone()),
+                            "query {i} forced {forced} at {threads} threads"
+                        );
+                        for source in graph.nodes().step_by(9) {
+                            assert_eq!(
+                                pool.eval_binary_planned(
+                                    &mut scratch,
+                                    &plan,
+                                    &graph,
+                                    source,
+                                    &never
+                                ),
+                                Ok(eval_binary_from(query, &graph, source)),
+                                "query {i} forced {forced} source {source} at {threads} threads"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_engines_cancel_and_recover() {
+        use crate::plan::{plan_query_forced, Strategy};
+        use std::sync::atomic::AtomicBool;
+
+        let graph = ladder_graph(80);
+        let query = &queries(&graph)[2]; // (a+b)*·c — multi-level on the ladder
+        let never = CancelToken::never();
+        let tripped = CancelToken::with_flag(Arc::new(AtomicBool::new(true)));
+        for forced in [
+            Strategy::Forward,
+            Strategy::Backward,
+            Strategy::Bidirectional,
+        ] {
+            let plan = plan_query_forced(query, &graph, forced);
+            for threads in [1, 4] {
+                let pool = EvalPool::new(threads);
+                let mut scratch = IntraScratch::new();
+                assert_eq!(
+                    pool.eval_monadic_planned(&mut scratch, &plan, &graph, &tripped),
+                    Err(Interrupt::Cancelled),
+                    "forced {forced} at {threads} threads"
+                );
+                assert_eq!(
+                    pool.eval_binary_planned(&mut scratch, &plan, &graph, 0, &tripped),
+                    Err(Interrupt::Cancelled),
+                    "forced {forced} at {threads} threads"
+                );
+                // Scratch stays usable after an interrupt.
+                assert_eq!(
+                    pool.eval_monadic_planned(&mut scratch, &plan, &graph, &never),
+                    Ok(eval_monadic(query, &graph)),
+                    "forced {forced} at {threads} threads"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,668 @@
+//! Whole-query evaluation planning: forward / backward / bidirectional
+//! direction choice plus automaton preprocessing.
+//!
+//! The PR 4 cost gate ([`crate::graph::StepPolicy`]) prices each
+//! `(level, symbol)` kernel *during* evaluation; this module generalizes
+//! that to **whole-query** decisions made *before* evaluation:
+//!
+//! 1. **Preprocess the automaton** ([`pathlearn_automata::Dfa::reduced`]):
+//!    dead/unreachable-state pruning plus BFS state reordering, so every
+//!    engine sees a smaller product with cache-friendly state numbering.
+//!    Language-preserving, hence [`CanonicalQuery`]-key-preserving.
+//! 2. **Choose a direction** per semantics from the graph's frozen
+//!    per-label statistics (active-node popcounts and average degrees,
+//!    [`GraphDb::label_source_count`] and friends):
+//!
+//!    * **Monadic Forward** — the existing backward product search over
+//!      the original DFA ([`crate::eval::eval_monadic_interruptible`]):
+//!      one full-node seed per accepting state, reverse-transition
+//!      fan-out per step.
+//!    * **Monadic Backward** — evaluate the **reversed DFA** from the
+//!      query's accepting side
+//!      ([`crate::eval::eval_monadic_rev_interruptible`]): exactly one
+//!      full-node seed at `rev(q)`'s initial state and one deterministic
+//!      successor per step. Both engines ride the graph's in-edge
+//!      kernels (the monadic answer is a set of path *starts*, which
+//!      only in-edge steps can deliver); the difference is automaton
+//!      bookkeeping, and the estimator prices exactly that.
+//!    * **Binary Forward** — deterministic forward search from the
+//!      source ([`crate::eval::eval_binary_from_interruptible`]).
+//!    * **Binary Backward** — two-phase: a full backward
+//!      **coreachability** fixpoint
+//!      (`eval_monadic_coreach_interruptible`) followed
+//!      by a forward pass whose every step is intersected with the
+//!      coreach certificate. When the query's target side touches a
+//!      rare label the certificate collapses to a sliver of the graph
+//!      and the forward pass does almost no work.
+//!    * **Binary Bidirectional** — meet-in-the-middle: backward-coreach
+//!      levels and forward levels **interleave**; once the backward side
+//!      converges, remaining forward steps are certificate-pruned, and
+//!      if the forward side finishes first the backward side is simply
+//!      abandoned. Pruning by a *partial* certificate would be unsound
+//!      (a node's coreach membership is only known at fixpoint), so
+//!      forward steps stay unpruned until convergence — which also
+//!      keeps every strategy **bit-identical**.
+//!
+//! ## The direction estimate
+//!
+//! Frontier growth is propagated symbolically over the automaton for a
+//! fixed horizon ([`HORIZON`] levels): each state carries a scalar
+//! frontier mass; stepping mass `s` over symbol `a` is priced as
+//! `s` (the frontier scan) plus the estimated output
+//!
+//! * backward (in-edge): `min(|sources(a)|, s · avg_in_degree(a))`
+//! * forward (out-edge): `min(|targets(a)|, s · avg_out_degree(a))`
+//!
+//! capped at `|V|`, with per-state masses also capped at `|V|`. The
+//! summed cost over the horizon approximates total frontier mass
+//! processed. Monadic compares the original automaton (seeded `|V|` at
+//! every accepting state) against the reversed one (seeded `|V|` at its
+//! initial state); binary compares forward-from-one-node growth against
+//! the coreach fixpoint cost, requiring a 2× margin before committing
+//! to Backward and settling for Bidirectional in between. Estimates
+//! only ever pick *which* engine runs — results are bit-identical
+//! regardless, as the strategy-matrix differential suite asserts.
+
+use crate::cancel::{CancelToken, Interrupt};
+use crate::eval::{
+    eval_binary_from_interruptible, eval_monadic_coreach_interruptible, eval_monadic_interruptible,
+    eval_monadic_rev_interruptible, EvalScratch, FwdIndex, KernelDir, RevIndex,
+};
+use crate::graph::{GraphDb, NodeId, StepPolicy};
+use pathlearn_automata::{BitSet, CanonicalQuery, Dfa, Symbol};
+
+/// Levels of symbolic frontier propagation behind a direction estimate.
+/// Deep enough for single-seed forward growth to exhibit its explosion
+/// against the caps, small enough to stay trivial next to evaluation.
+pub const HORIZON: usize = 8;
+
+/// Auto never picks the monadic backward engine when the reversed DFA
+/// exceeds this many states (subset construction can blow up
+/// exponentially; the reversed product would dwarf any traversal win).
+/// Forcing [`Strategy::Backward`] still works at any size.
+pub const MAX_REV_STATES: usize = 64;
+
+/// Whole-query evaluation strategy.
+///
+/// `Auto` resolves to a concrete direction at planning time
+/// ([`plan_query`]); the other three force it, which the benchmark
+/// ablation and the differential suite use to pin every engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Choose per query from the direction estimates.
+    #[default]
+    Auto,
+    /// Forward evaluation (the pre-planner engines).
+    Forward,
+    /// Reversed-DFA (monadic) / coreach-then-pruned-forward (binary).
+    Backward,
+    /// Meet-in-the-middle for binary queries; monadic resolves to the
+    /// estimated better direction (a monadic query has no distinguished
+    /// source side to meet from).
+    Bidirectional,
+}
+
+impl Strategy {
+    /// All strategies, for ablation sweeps and tests.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Auto,
+        Strategy::Forward,
+        Strategy::Backward,
+        Strategy::Bidirectional,
+    ];
+
+    /// Stable lowercase name (stats counters, bench JSON, CLI).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Forward => "forward",
+            Strategy::Backward => "backward",
+            Strategy::Bidirectional => "bidirectional",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The two direction costs behind a resolution, in estimated frontier
+/// mass (see the module docs). Exposed for diagnostics, tests and the
+/// ARCHITECTURE.md formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DirectionEstimate {
+    /// Estimated cost of the forward engine.
+    pub forward: f64,
+    /// Estimated cost of the backward engine.
+    pub backward: f64,
+}
+
+/// A planned query: preprocessed automata plus resolved strategies.
+///
+/// Plans depend only on the query's language and the graph's frozen
+/// statistics, so the serving layer caches them keyed by
+/// [`CanonicalQuery`] — fingerprint replays skip planning entirely.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    query: Dfa,
+    reversed: Dfa,
+    monadic: Strategy,
+    binary: Strategy,
+    monadic_estimate: DirectionEstimate,
+    binary_estimate: DirectionEstimate,
+}
+
+impl QueryPlan {
+    /// The preprocessed (trimmed, BFS-reordered) query DFA every
+    /// forward-direction engine evaluates.
+    pub fn query(&self) -> &Dfa {
+        &self.query
+    }
+
+    /// The preprocessed reversal (`rev(L)`) the monadic backward engine
+    /// evaluates.
+    pub fn reversed(&self) -> &Dfa {
+        &self.reversed
+    }
+
+    /// Resolved monadic strategy: [`Strategy::Forward`] or
+    /// [`Strategy::Backward`], never `Auto`.
+    pub fn monadic_strategy(&self) -> Strategy {
+        self.monadic
+    }
+
+    /// Resolved binary strategy: [`Strategy::Forward`],
+    /// [`Strategy::Backward`] or [`Strategy::Bidirectional`], never
+    /// `Auto`.
+    pub fn binary_strategy(&self) -> Strategy {
+        self.binary
+    }
+
+    /// The monadic direction estimate the resolution came from.
+    pub fn monadic_estimate(&self) -> DirectionEstimate {
+        self.monadic_estimate
+    }
+
+    /// The binary direction estimate the resolution came from.
+    pub fn binary_estimate(&self) -> DirectionEstimate {
+        self.binary_estimate
+    }
+}
+
+/// Estimated output mass of one backward (in-edge) step of mass `s`
+/// over `sym`: never more nodes than have an outgoing `sym`-edge.
+fn back_step_est(graph: &GraphDb, sym: Symbol, s: f64) -> f64 {
+    let cap = graph.label_source_count(sym) as f64;
+    (s * graph.label_target_avg_degree(sym)).min(cap)
+}
+
+/// Estimated output mass of one forward (out-edge) step of mass `s`
+/// over `sym`: never more nodes than have an incoming `sym`-edge.
+fn fwd_step_est(graph: &GraphDb, sym: Symbol, s: f64) -> f64 {
+    let cap = graph.label_target_count(sym) as f64;
+    (s * graph.label_source_avg_degree(sym)).min(cap)
+}
+
+/// Cost of the codeterministic backward engine (monadic forward /
+/// binary coreach): masses seeded `|V|` at every accepting state and
+/// propagated along reverse transitions through in-edge step estimates.
+/// One kernel is priced per `(state, symbol)`, its output fanned out to
+/// every reverse predecessor — exactly the engine's sharing structure.
+fn sim_codeterministic(query: &Dfa, graph: &GraphDb) -> f64 {
+    let v = graph.num_nodes() as f64;
+    let q_states = query.num_states();
+    if q_states == 0 || v == 0.0 {
+        return 0.0;
+    }
+    let rev = RevIndex::new(query, graph.alphabet().len());
+    let mut mass = vec![0.0f64; q_states];
+    for f in query.finals().iter() {
+        mass[f] = v;
+    }
+    let mut cost = 0.0;
+    for _ in 0..HORIZON {
+        let mut next = vec![0.0f64; q_states];
+        let mut alive = false;
+        for q in 0..q_states {
+            if mass[q] <= 0.0 {
+                continue;
+            }
+            for &sym in rev.live_syms(q as u32) {
+                let symbol = Symbol::from_index(sym as usize);
+                let out = back_step_est(graph, symbol, mass[q]);
+                cost += mass[q] + out;
+                if out > 0.0 {
+                    for &p in rev.predecessors(q as u32, sym as usize) {
+                        next[p as usize] = (next[p as usize] + out).min(v);
+                        alive = true;
+                    }
+                }
+            }
+        }
+        if !alive {
+            break;
+        }
+        mass = next;
+    }
+    cost
+}
+
+/// Cost of a deterministic engine: mass seeded `init_mass` at the
+/// initial state, propagated along forward transitions through the
+/// step estimates of `dir` (in-edge for the reversed-DFA monadic
+/// engine, out-edge for binary forward).
+fn sim_deterministic(dfa: &Dfa, graph: &GraphDb, dir: KernelDir, init_mass: f64) -> f64 {
+    let v = graph.num_nodes() as f64;
+    let states = dfa.num_states();
+    if states == 0 || v == 0.0 {
+        return 0.0;
+    }
+    let sigma = graph.alphabet().len().min(dfa.alphabet_len());
+    let fwd = FwdIndex::new(dfa, sigma);
+    let mut mass = vec![0.0f64; states];
+    mass[dfa.initial() as usize] = init_mass.min(v);
+    let mut cost = 0.0;
+    for _ in 0..HORIZON {
+        let mut next = vec![0.0f64; states];
+        let mut alive = false;
+        for q in 0..states {
+            if mass[q] <= 0.0 {
+                continue;
+            }
+            for &(sym, nq) in fwd.successors(q as u32) {
+                let symbol = Symbol::from_index(sym as usize);
+                let out = match dir {
+                    KernelDir::In => back_step_est(graph, symbol, mass[q]),
+                    KernelDir::Out => fwd_step_est(graph, symbol, mass[q]),
+                };
+                cost += mass[q] + out;
+                if out > 0.0 {
+                    next[nq as usize] = (next[nq as usize] + out).min(v);
+                    alive = true;
+                }
+            }
+        }
+        if !alive {
+            break;
+        }
+        mass = next;
+    }
+    cost
+}
+
+/// Plans a query under [`Strategy::Auto`]: preprocess, estimate both
+/// directions, resolve. See [`plan_query_forced`] to pin a strategy.
+pub fn plan_query(query: &Dfa, graph: &GraphDb) -> QueryPlan {
+    plan_query_forced(query, graph, Strategy::Auto)
+}
+
+/// Plans a query with a forced strategy. `Auto` resolves from the
+/// direction estimates; `Forward`/`Backward` pin both semantics;
+/// `Bidirectional` pins the binary engine while monadic (which has no
+/// source side to meet from) falls back to its estimated direction.
+/// Estimates are computed in every case, so diagnostics and the bench
+/// ablation can always report them.
+pub fn plan_query_forced(query: &Dfa, graph: &GraphDb, forced: Strategy) -> QueryPlan {
+    let reduced = query.reduced();
+    // The reversal's subset construction can leave dead macro-states;
+    // reduce it too so the backward engine sees a trimmed product.
+    let reversed = reduced.reverse().reduced();
+
+    let monadic_estimate = DirectionEstimate {
+        forward: sim_codeterministic(&reduced, graph),
+        backward: sim_deterministic(&reversed, graph, KernelDir::In, graph.num_nodes() as f64),
+    };
+    let binary_estimate = DirectionEstimate {
+        forward: sim_deterministic(&reduced, graph, KernelDir::Out, 1.0),
+        // The coreach fixpoint dominates the backward binary engine;
+        // the certificate-pruned forward pass it buys is the payoff.
+        backward: sim_codeterministic(&reduced, graph),
+    };
+
+    let auto_monadic = if monadic_estimate.backward < monadic_estimate.forward
+        && reversed.num_states() <= MAX_REV_STATES
+    {
+        Strategy::Backward
+    } else {
+        Strategy::Forward
+    };
+    let auto_binary = if 2.0 * binary_estimate.backward < binary_estimate.forward {
+        Strategy::Backward
+    } else if binary_estimate.backward < binary_estimate.forward {
+        Strategy::Bidirectional
+    } else {
+        Strategy::Forward
+    };
+
+    let (monadic, binary) = match forced {
+        Strategy::Auto => (auto_monadic, auto_binary),
+        Strategy::Forward => (Strategy::Forward, Strategy::Forward),
+        Strategy::Backward => (Strategy::Backward, Strategy::Backward),
+        Strategy::Bidirectional => (auto_monadic, Strategy::Bidirectional),
+    };
+
+    QueryPlan {
+        query: reduced,
+        reversed,
+        monadic,
+        binary,
+        monadic_estimate,
+        binary_estimate,
+    }
+}
+
+/// Convenience: plan by [`CanonicalQuery`] (the serving layer's cache
+/// key) — plans the canonical minimal DFA, so equal keys always yield
+/// equal plans.
+pub fn plan_canonical(query: &CanonicalQuery, graph: &GraphDb) -> QueryPlan {
+    plan_query(query.dfa(), graph)
+}
+
+/// Buffers for the planned evaluators: the two-phase binary engines run
+/// a backward coreach (`b`) and a forward pass (`a`) over separate
+/// frontier sets. Single-phase strategies use only `a`.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    pub(crate) a: EvalScratch,
+    pub(crate) b: EvalScratch,
+}
+
+impl PlanScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Monadic evaluation under a plan (never-cancelled, [`StepPolicy::Auto`]).
+pub fn eval_monadic_planned(
+    scratch: &mut PlanScratch,
+    plan: &QueryPlan,
+    graph: &GraphDb,
+) -> BitSet {
+    match eval_monadic_planned_interruptible(
+        scratch,
+        plan,
+        graph,
+        StepPolicy::Auto,
+        &CancelToken::never(),
+    ) {
+        Ok(result) => result,
+        Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+    }
+}
+
+/// Monadic evaluation under a plan: dispatches to the engine the plan
+/// resolved, bit-identical to [`crate::eval::eval_monadic`] under every
+/// strategy.
+pub fn eval_monadic_planned_interruptible(
+    scratch: &mut PlanScratch,
+    plan: &QueryPlan,
+    graph: &GraphDb,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    match plan.monadic {
+        Strategy::Backward => {
+            eval_monadic_rev_interruptible(&mut scratch.a, &plan.reversed, graph, policy, cancel)
+        }
+        _ => eval_monadic_interruptible(&mut scratch.a, &plan.query, graph, policy, cancel),
+    }
+}
+
+/// Binary evaluation under a plan (never-cancelled, [`StepPolicy::Auto`]).
+pub fn eval_binary_planned(
+    scratch: &mut PlanScratch,
+    plan: &QueryPlan,
+    graph: &GraphDb,
+    source: NodeId,
+) -> BitSet {
+    match eval_binary_planned_interruptible(
+        scratch,
+        plan,
+        graph,
+        source,
+        StepPolicy::Auto,
+        &CancelToken::never(),
+    ) {
+        Ok(result) => result,
+        Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
+    }
+}
+
+/// Binary evaluation under a plan: dispatches to the engine the plan
+/// resolved, bit-identical to [`crate::eval::eval_binary_from`] under
+/// every strategy.
+pub fn eval_binary_planned_interruptible(
+    scratch: &mut PlanScratch,
+    plan: &QueryPlan,
+    graph: &GraphDb,
+    source: NodeId,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    match plan.binary {
+        Strategy::Backward => eval_binary_backward_inner(
+            &mut scratch.a,
+            &mut scratch.b,
+            &plan.query,
+            graph,
+            source,
+            policy,
+            cancel,
+        ),
+        Strategy::Bidirectional => eval_binary_bidi_inner(
+            &mut scratch.a,
+            &mut scratch.b,
+            &plan.query,
+            graph,
+            source,
+            policy,
+            cancel,
+        ),
+        _ => eval_binary_from_interruptible(
+            &mut scratch.a,
+            &plan.query,
+            graph,
+            source,
+            policy,
+            cancel,
+        ),
+    }
+}
+
+/// The backward binary engine: full coreach fixpoint into `b`, then a
+/// certificate-pruned forward pass in `a`. Bit-identical to plain
+/// forward evaluation — every node on a witness path is coreachable by
+/// definition, and accepting states' coreach is seeded full, so the
+/// intersection never drops a result bit.
+pub(crate) fn eval_binary_backward_inner(
+    a: &mut EvalScratch,
+    b: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    let mut result = BitSet::new(v);
+    if v == 0 || q_states == 0 || source as usize >= v {
+        return Ok(result);
+    }
+    eval_monadic_coreach_interruptible(b, query, graph, policy, cancel)?;
+    let q0 = query.initial();
+    // A source outside coreach[q₀] starts no accepting path at all
+    // (accepting states' coreach is full, so the ε case survives this).
+    if !b.reached[q0 as usize].contains(source as usize) {
+        return Ok(result);
+    }
+    if query.is_final(q0) {
+        result.insert(source as usize);
+    }
+    let sigma = graph.alphabet().len().min(query.alphabet_len());
+    let fwd = FwdIndex::new(query, sigma);
+    a.prepare(v, q_states);
+    a.seed_state(q0, source as usize);
+    while !a.active.is_empty() {
+        cancel.check()?;
+        a.deterministic_level(&fwd, graph, KernelDir::Out, policy, Some(&b.reached));
+    }
+    for f in query.finals().iter() {
+        result.union_with(&a.reached[f]);
+    }
+    Ok(result)
+}
+
+/// The bidirectional binary engine: backward-coreach levels (`b`) and
+/// forward levels (`a`) interleave one-for-one. Forward steps are
+/// certificate-pruned **only after** the backward side converges —
+/// pruning by a partial coreach would be unsound — and if the forward
+/// side finishes first the backward side is abandoned. Either way the
+/// result is bit-identical to plain forward evaluation.
+pub(crate) fn eval_binary_bidi_inner(
+    a: &mut EvalScratch,
+    b: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    source: NodeId,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    let mut result = BitSet::new(v);
+    if v == 0 || q_states == 0 || source as usize >= v {
+        return Ok(result);
+    }
+    let q0 = query.initial();
+    if query.is_final(q0) {
+        result.insert(source as usize);
+    }
+    let rev = RevIndex::new(query, graph.alphabet().len());
+    let sigma = graph.alphabet().len().min(query.alphabet_len());
+    let fwd = FwdIndex::new(query, sigma);
+    b.prepare(v, q_states);
+    b.seed_finals_full(query, v);
+    a.prepare(v, q_states);
+    a.seed_state(q0, source as usize);
+    let mut back_done = b.active.is_empty();
+    while !a.active.is_empty() {
+        cancel.check()?;
+        if !back_done {
+            b.backward_level(&rev, graph, policy);
+            back_done = b.active.is_empty();
+        }
+        let certificate = if back_done {
+            Some(b.reached.as_slice())
+        } else {
+            None
+        };
+        a.deterministic_level(&fwd, graph, KernelDir::Out, policy, certificate);
+    }
+    for f in query.finals().iter() {
+        result.union_with(&a.reached[f]);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_binary_from, eval_monadic};
+    use crate::graph::figure3_g0;
+    use pathlearn_automata::Regex;
+
+    fn query(graph: &GraphDb, expr: &str) -> Dfa {
+        Regex::parse(expr, graph.alphabet())
+            .unwrap()
+            .to_dfa(graph.alphabet().len())
+    }
+
+    #[test]
+    fn every_forced_strategy_is_bit_identical_on_g0() {
+        let graph = figure3_g0();
+        let mut scratch = PlanScratch::new();
+        for expr in [
+            "a",
+            "eps",
+            "(a·b)*·c",
+            "b·b·c·c",
+            "(a+b)*·c",
+            "c·a*",
+            "a*·b*·c*",
+        ] {
+            let q = query(&graph, expr);
+            let monadic_expected = eval_monadic(&q, &graph);
+            for forced in Strategy::ALL {
+                let plan = plan_query_forced(&q, &graph, forced);
+                assert_eq!(
+                    eval_monadic_planned(&mut scratch, &plan, &graph),
+                    monadic_expected,
+                    "monadic {expr} forced {forced}"
+                );
+                for source in graph.nodes() {
+                    assert_eq!(
+                        eval_binary_planned(&mut scratch, &plan, &graph, source),
+                        eval_binary_from(&q, &graph, source),
+                        "binary {expr} from {source} forced {forced}"
+                    );
+                }
+            }
+        }
+        let empty = Dfa::empty_language(3);
+        for forced in Strategy::ALL {
+            let plan = plan_query_forced(&empty, &graph, forced);
+            assert!(eval_monadic_planned(&mut scratch, &plan, &graph).is_empty());
+            assert!(eval_binary_planned(&mut scratch, &plan, &graph, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn forced_strategies_resolve_as_requested() {
+        let graph = figure3_g0();
+        let q = query(&graph, "(a·b)*·c");
+        let fwd = plan_query_forced(&q, &graph, Strategy::Forward);
+        assert_eq!(fwd.monadic_strategy(), Strategy::Forward);
+        assert_eq!(fwd.binary_strategy(), Strategy::Forward);
+        let back = plan_query_forced(&q, &graph, Strategy::Backward);
+        assert_eq!(back.monadic_strategy(), Strategy::Backward);
+        assert_eq!(back.binary_strategy(), Strategy::Backward);
+        let bidi = plan_query_forced(&q, &graph, Strategy::Bidirectional);
+        assert_eq!(bidi.binary_strategy(), Strategy::Bidirectional);
+        // Monadic has no meet-in-the-middle; it resolves to a direction.
+        assert_ne!(bidi.monadic_strategy(), Strategy::Bidirectional);
+        assert_ne!(bidi.monadic_strategy(), Strategy::Auto);
+        // Auto never leaves Auto in the plan.
+        let auto = plan_query(&q, &graph);
+        assert_ne!(auto.monadic_strategy(), Strategy::Auto);
+        assert_ne!(auto.binary_strategy(), Strategy::Auto);
+    }
+
+    #[test]
+    fn plan_preprocessing_preserves_language_and_key() {
+        let graph = figure3_g0();
+        // A deliberately wasteful spelling: minimization would shrink it,
+        // but the plan only trims/reorders — language must be intact.
+        let q = query(&graph, "(a+a)·(b·eps)*·c+a·(b)*·c");
+        let plan = plan_query(&q, &graph);
+        assert!(plan.query().equivalent(&q));
+        assert_eq!(CanonicalQuery::new(plan.query()), CanonicalQuery::new(&q));
+        assert!(plan.query().num_states() <= q.num_states().max(1));
+        // The reversal recognizes rev(L).
+        assert!(plan.reversed().reverse().equivalent(&q));
+    }
+
+    #[test]
+    fn estimates_are_finite_and_populated() {
+        let graph = figure3_g0();
+        let plan = plan_query(&query(&graph, "(a+b)*·c"), &graph);
+        for est in [plan.monadic_estimate(), plan.binary_estimate()] {
+            assert!(est.forward.is_finite() && est.forward > 0.0);
+            assert!(est.backward.is_finite() && est.backward > 0.0);
+        }
+    }
+}

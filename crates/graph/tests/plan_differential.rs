@@ -1,0 +1,457 @@
+//! Strategy-matrix differential suite for the whole-query planner.
+//!
+//! The planner ([`pathlearn_graph::plan`]) chooses among three
+//! evaluation directions — Forward (the original product-BFS engines),
+//! Backward (the reversed-DFA monadic walk / the coreach-pruned binary
+//! pass), and Bidirectional (binary meet-in-the-middle) — or resolves
+//! the choice itself under Auto. The contract is absolute: **every
+//! strategy is bit-identical to plain sequential forward evaluation**,
+//! monadic and binary, sequential and on the pool at every thread count
+//! in {1, 2, 4}, with and without a cancel token in play. This suite is
+//! the matrix: random graph × random query (regex-derived and raw DFAs
+//! with dead/unreachable states and padded alphabets) × all four forced
+//! strategies × all thread counts, plus constructed asymmetric graphs
+//! pinning that Auto actually picks the expected direction on the
+//! shapes the estimate exists for (hub-fanout sources, rare-label
+//! targets).
+
+use pathlearn_automata::{Alphabet, CanonicalQuery, Dfa, Regex, Symbol};
+use pathlearn_graph::eval::{eval_binary_from, eval_monadic};
+use pathlearn_graph::plan::{
+    eval_binary_planned, eval_binary_planned_interruptible, eval_monadic_planned,
+    eval_monadic_planned_interruptible, plan_query, plan_query_forced, PlanScratch,
+};
+use pathlearn_graph::Strategy as EvalStrategy;
+use pathlearn_graph::{
+    CancelToken, EvalPool, GraphBuilder, GraphDb, Interrupt, IntraScratch, StepPolicy,
+};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Strategy: a random small graph over {a, b, c}, possibly disconnected,
+/// with self-loops and parallel labels (same shape space as the engine
+/// differential suite).
+fn arb_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        1usize..12,
+        proptest::collection::vec((0u32..12, 0usize..3, 0u32..12), 0..36),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            for i in 0..n {
+                builder.add_node(&format!("n{i}"));
+            }
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a random regex AST over {a, b, c}, determinized — the
+/// query shape the learner produces.
+fn arb_regex_dfa() -> impl Strategy<Value = Dfa> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0usize..3).prop_map(|i| Regex::Symbol(Symbol::from_index(i))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    .prop_map(|regex| regex.to_dfa(3))
+}
+
+/// Strategy: a **raw** random DFA — partial table, arbitrary finals,
+/// dead and unreachable states, possibly a smaller alphabet than the
+/// graph's. The planner's `reduced()`/`reverse()` preprocessing must
+/// digest these without changing any answer.
+fn arb_raw_dfa() -> impl Strategy<Value = Dfa> {
+    (
+        1usize..6,
+        1usize..4,
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 0..24),
+        proptest::collection::vec(0usize..6, 0..6),
+    )
+        .prop_map(|(states, sigma, transitions, finals)| {
+            let mut dfa = Dfa::new(states, sigma, 0);
+            for (p, sym, q) in transitions {
+                dfa.set_transition(
+                    (p % states) as u32,
+                    Symbol::from_index(sym % sigma),
+                    (q % states) as u32,
+                );
+            }
+            for f in finals {
+                dfa.set_final((f % states) as u32);
+            }
+            dfa
+        })
+}
+
+/// Either query shape.
+fn arb_query() -> impl Strategy<Value = Dfa> {
+    prop_oneof![arb_regex_dfa(), arb_raw_dfa()]
+}
+
+/// The monadic strategy matrix on one (graph, query) pair: every forced
+/// strategy, sequential and pooled at every thread count, against plain
+/// forward evaluation.
+fn assert_monadic_matrix(graph: &GraphDb, query: &Dfa) -> Result<(), TestCaseError> {
+    let expected = eval_monadic(query, graph);
+    let never = CancelToken::never();
+    let mut scratch = PlanScratch::new();
+    let mut intra = IntraScratch::new();
+    let pools: Vec<EvalPool> = THREAD_COUNTS.iter().map(|&t| EvalPool::new(t)).collect();
+    for forced in EvalStrategy::ALL {
+        let plan = plan_query_forced(query, graph, forced);
+        prop_assert_eq!(
+            &eval_monadic_planned(&mut scratch, &plan, graph),
+            &expected,
+            "sequential monadic disagrees under forced {}",
+            forced
+        );
+        prop_assert_eq!(
+            &eval_monadic_planned_interruptible(
+                &mut scratch,
+                &plan,
+                graph,
+                StepPolicy::Auto,
+                &never
+            )
+            .unwrap(),
+            &expected,
+            "interruptible monadic disagrees under forced {}",
+            forced
+        );
+        for (pool, &threads) in pools.iter().zip(THREAD_COUNTS.iter()) {
+            prop_assert_eq!(
+                &pool
+                    .eval_monadic_planned(&mut intra, &plan, graph, &never)
+                    .unwrap(),
+                &expected,
+                "pool monadic disagrees under forced {} at {} threads",
+                forced,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The binary strategy matrix from every source node. Plans and thread
+/// pools are built once per (graph, query) pair — only the source loop
+/// varies inside, keeping the whole-graph sweep affordable.
+fn assert_binary_matrix(graph: &GraphDb, query: &Dfa) -> Result<(), TestCaseError> {
+    let never = CancelToken::never();
+    let mut scratch = PlanScratch::new();
+    let mut intra = IntraScratch::new();
+    let pools: Vec<EvalPool> = THREAD_COUNTS.iter().map(|&t| EvalPool::new(t)).collect();
+    let plans: Vec<_> = EvalStrategy::ALL
+        .into_iter()
+        .map(|forced| (forced, plan_query_forced(query, graph, forced)))
+        .collect();
+    for source in graph.nodes() {
+        let expected = eval_binary_from(query, graph, source);
+        for (forced, plan) in &plans {
+            prop_assert_eq!(
+                &eval_binary_planned(&mut scratch, plan, graph, source),
+                &expected,
+                "sequential binary disagrees under forced {} from {}",
+                forced,
+                source
+            );
+            prop_assert_eq!(
+                &eval_binary_planned_interruptible(
+                    &mut scratch,
+                    plan,
+                    graph,
+                    source,
+                    StepPolicy::Auto,
+                    &never
+                )
+                .unwrap(),
+                &expected,
+                "interruptible binary disagrees under forced {} from {}",
+                forced,
+                source
+            );
+            for (pool, &threads) in pools.iter().zip(THREAD_COUNTS.iter()) {
+                prop_assert_eq!(
+                    &pool
+                        .eval_binary_planned(&mut intra, plan, graph, source, &never)
+                        .unwrap(),
+                    &expected,
+                    "pool binary disagrees under forced {} from {} at {} threads",
+                    forced,
+                    source,
+                    threads
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monadic semantics: Forward ≡ Backward ≡ Bidirectional ≡ Auto ≡
+    /// plain forward evaluation, sequential and pooled, on regex-derived
+    /// and raw random DFAs alike.
+    #[test]
+    fn monadic_strategies_agree(graph in arb_graph(), query in arb_query()) {
+        assert_monadic_matrix(&graph, &query)?;
+    }
+
+    /// Binary semantics from every source node: all four strategies ≡
+    /// plain forward evaluation, sequential and pooled. This is where
+    /// the coreach-pruned backward pass and the meet-in-the-middle
+    /// engine actually diverge structurally from forward — and must not
+    /// diverge observably.
+    #[test]
+    fn binary_strategies_agree(graph in arb_graph(), query in arb_query()) {
+        assert_binary_matrix(&graph, &query)?;
+    }
+
+    /// Planning invariants on arbitrary inputs: preprocessing preserves
+    /// the language (and hence the `CanonicalQuery` cache key), the
+    /// reversed DFA's language is the mirror, resolved strategies are
+    /// never `Auto`, and the direction estimates are finite and
+    /// positive.
+    #[test]
+    fn plans_are_well_formed(graph in arb_graph(), query in arb_query()) {
+        let plan = plan_query(&query, &graph);
+        prop_assert!(query.equivalent(plan.query()));
+        prop_assert_eq!(
+            CanonicalQuery::new(&query),
+            CanonicalQuery::new(plan.query())
+        );
+        prop_assert!(query.reverse().equivalent(plan.reversed()));
+        prop_assert_ne!(plan.monadic_strategy(), EvalStrategy::Auto);
+        prop_assert_ne!(plan.binary_strategy(), EvalStrategy::Auto);
+        // Monadic has no distinguished source side; Bidirectional is a
+        // binary-only resolution.
+        prop_assert_ne!(plan.monadic_strategy(), EvalStrategy::Bidirectional);
+        for est in [plan.monadic_estimate(), plan.binary_estimate()] {
+            prop_assert!(est.forward.is_finite() && est.forward >= 0.0);
+            prop_assert!(est.backward.is_finite() && est.backward >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cancellation across the matrix: a pre-tripped token never
+    /// produces a *wrong* answer — every planned engine either reports
+    /// the interrupt or completes before its first level check (ε
+    /// shortcuts, empty frontiers) with the exact forward result.
+    /// A never token is the plain path.
+    #[test]
+    fn tripped_tokens_never_corrupt_results(
+        graph in arb_graph(),
+        query in arb_query(),
+    ) {
+        let tripped = CancelToken::with_flag(std::sync::Arc::new(
+            std::sync::atomic::AtomicBool::new(true),
+        ));
+        let expected = eval_monadic(&query, &graph);
+        let expected_binary = eval_binary_from(&query, &graph, 0);
+        let mut scratch = PlanScratch::new();
+        let mut intra = IntraScratch::new();
+        let pools: Vec<(usize, EvalPool)> =
+            [1usize, 4].into_iter().map(|t| (t, EvalPool::new(t))).collect();
+        for forced in EvalStrategy::ALL {
+            let plan = plan_query_forced(&query, &graph, forced);
+            match eval_monadic_planned_interruptible(
+                &mut scratch, &plan, &graph, StepPolicy::Auto, &tripped,
+            ) {
+                Err(Interrupt::Cancelled) => {}
+                Ok(result) => prop_assert_eq!(
+                    &result, &expected,
+                    "tripped monadic completed wrong under {}", forced
+                ),
+                Err(other) => prop_assert!(false, "unexpected verdict {:?}", other),
+            }
+            match eval_binary_planned_interruptible(
+                &mut scratch, &plan, &graph, 0, StepPolicy::Auto, &tripped,
+            ) {
+                Err(Interrupt::Cancelled) => {}
+                Ok(result) => prop_assert_eq!(
+                    &result, &expected_binary,
+                    "tripped binary completed wrong under {}", forced
+                ),
+                Err(other) => prop_assert!(false, "unexpected verdict {:?}", other),
+            }
+            for (threads, pool) in &pools {
+                match pool.eval_monadic_planned(&mut intra, &plan, &graph, &tripped) {
+                    Err(Interrupt::Cancelled) => {}
+                    Ok(result) => prop_assert_eq!(
+                        &result, &expected,
+                        "tripped pool monadic completed wrong under {} at {} threads",
+                        forced, threads
+                    ),
+                    Err(other) => prop_assert!(false, "unexpected verdict {:?}", other),
+                }
+                match pool.eval_binary_planned(&mut intra, &plan, &graph, 0, &tripped) {
+                    Err(Interrupt::Cancelled) => {}
+                    Ok(result) => prop_assert_eq!(
+                        &result, &expected_binary,
+                        "tripped pool binary completed wrong under {} at {} threads",
+                        forced, threads
+                    ),
+                    Err(other) => prop_assert!(false, "unexpected verdict {:?}", other),
+                }
+            }
+        }
+    }
+}
+
+/// A hub graph with a **rare target label**: `a` is everywhere (every
+/// node fans out to many others), `c` labels a single edge. Forward
+/// evaluation of `(a+b)*·c` from a hub node floods the whole graph
+/// level after level; backward evaluation seeds the coreach at the lone
+/// `c`-edge and stays tiny. The estimate must see this.
+fn hub_graph_with_rare_target(n: usize, fanout: usize) -> GraphDb {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+    builder.add_nodes("n", n);
+    let n = n as u32;
+    for i in 0..n {
+        for j in 1..=fanout as u32 {
+            builder.add_edge_ids(i, Symbol::from_index(0), (i + j) % n);
+        }
+    }
+    // One rare c-edge deep in the node range.
+    builder.add_edge_ids(n - 2, Symbol::from_index(2), n - 1);
+    builder.build()
+}
+
+/// Auto picks a non-forward direction for a rare-label-target binary
+/// query on a hub graph, forward for a dense-label query — and both
+/// resolutions are bit-identical to forward anyway.
+#[test]
+fn auto_picks_expected_binary_direction_on_asymmetric_graphs() {
+    let graph = hub_graph_with_rare_target(256, 16);
+    let rare_target = Regex::parse("(a+b)*·c", graph.alphabet())
+        .unwrap()
+        .to_dfa(3);
+    let plan = plan_query(&rare_target, &graph);
+    let est = plan.binary_estimate();
+    assert!(
+        est.backward < est.forward,
+        "rare-target estimate must favor backward: fwd {} vs back {}",
+        est.forward,
+        est.backward
+    );
+    assert_ne!(
+        plan.binary_strategy(),
+        EvalStrategy::Forward,
+        "rare-target hub query must not plan forward (estimates: fwd {} back {})",
+        est.forward,
+        est.backward
+    );
+
+    // A dense-label query: the backward coreach would seed every node
+    // (a* accepts ε at the final state loop), the forward walk from one
+    // source is the cheap side.
+    let dense = Regex::parse("a·a", graph.alphabet()).unwrap().to_dfa(3);
+    let dense_plan = plan_query(&dense, &graph);
+    assert_eq!(
+        dense_plan.binary_strategy(),
+        EvalStrategy::Forward,
+        "dense-label short query must plan forward (estimates: fwd {} back {})",
+        dense_plan.binary_estimate().forward,
+        dense_plan.binary_estimate().backward
+    );
+
+    // Whatever Auto resolved, the answers match plain forward from a
+    // hub source and from the rare edge's tail.
+    let mut scratch = PlanScratch::new();
+    for source in [0u32, 254] {
+        assert_eq!(
+            eval_binary_planned(&mut scratch, &plan, &graph, source),
+            eval_binary_from(&rare_target, &graph, source),
+            "auto-planned rare-target from {source}"
+        );
+        assert_eq!(
+            eval_binary_planned(&mut scratch, &dense_plan, &graph, source),
+            eval_binary_from(&dense, &graph, source),
+            "auto-planned dense from {source}"
+        );
+    }
+}
+
+/// Forced strategies always resolve as requested on the binary side
+/// (and Backward stays available monadically even past Auto's
+/// reversed-size guard), so the bench ablation can trust its labels.
+#[test]
+fn forced_strategies_pin_the_binary_engine() {
+    let graph = hub_graph_with_rare_target(64, 8);
+    let query = Regex::parse("(a+b)*·c", graph.alphabet())
+        .unwrap()
+        .to_dfa(3);
+    for forced in [
+        EvalStrategy::Forward,
+        EvalStrategy::Backward,
+        EvalStrategy::Bidirectional,
+    ] {
+        let plan = plan_query_forced(&query, &graph, forced);
+        assert_eq!(plan.binary_strategy(), forced);
+    }
+}
+
+/// Fixed regression shapes through every strategy: ε in the language,
+/// empty language, a query alphabet smaller than the graph's, and an
+/// out-of-range binary source.
+#[test]
+fn fixed_shapes_through_every_strategy() {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+    builder.add_edge("x", "a", "x");
+    builder.add_edge("x", "b", "y");
+    builder.add_node("lonely");
+    let graph = builder.build();
+    let shapes = [
+        Dfa::empty_language(3),
+        Dfa::epsilon_language(3),
+        Regex::parse("(a·b)*·c", graph.alphabet())
+            .unwrap()
+            .to_dfa(3),
+        {
+            let mut only_a = Dfa::new(2, 1, 0);
+            only_a.set_transition(0, Symbol::from_index(0), 1);
+            only_a.set_final(1);
+            only_a
+        },
+    ];
+    let mut scratch = PlanScratch::new();
+    for query in &shapes {
+        let expected = eval_monadic(query, &graph);
+        for forced in EvalStrategy::ALL {
+            let plan = plan_query_forced(query, &graph, forced);
+            assert_eq!(
+                eval_monadic_planned(&mut scratch, &plan, &graph),
+                expected,
+                "monadic fixed shape under {forced}"
+            );
+            for source in graph.nodes() {
+                assert_eq!(
+                    eval_binary_planned(&mut scratch, &plan, &graph, source),
+                    eval_binary_from(query, &graph, source),
+                    "binary fixed shape under {forced} from {source}"
+                );
+            }
+            // Out-of-range source: empty, not a panic, in every engine.
+            assert!(
+                eval_binary_planned(&mut scratch, &plan, &graph, 1000).is_empty(),
+                "out-of-range source under {forced}"
+            );
+        }
+    }
+}

@@ -17,11 +17,14 @@
 //! parallel evaluation); results are identical at every thread count.
 //!
 //! pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T]
-//!                 [--repeat R] [--cache-mb M]
+//!                 [--repeat R] [--cache-mb M] [--strategy auto|forward|backward|bidirectional]
 //!     Run the serving layer over a query workload file (one regex per
 //!     line, `#` comments): canonical result cache + coalescing over N
 //!     client threads. Prints per-query selections and cache/throughput
-//!     stats.
+//!     stats, including per-strategy evaluation counts (the whole-query
+//!     planner picks forward/backward/bidirectional per query under
+//!     `auto`, the default; forcing a direction never changes results,
+//!     only speed).
 //!
 //! pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M]
 //!     Serve the graph over TCP with the framed binary protocol
@@ -78,8 +81,8 @@ USAGE:
   pathlearn eval <graph.txt> --query <REGEX>
   pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
-  pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M]
-  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M]
+  pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M] [--strategy auto|forward|backward|bidirectional]
+  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M] [--strategy ...]
   pathlearn stats <graph.txt>
 ";
 
@@ -239,11 +242,23 @@ fn serve_command(args: &[String]) -> Result<(), String> {
     let cache_bytes = cache_mb
         .checked_mul(1 << 20)
         .ok_or_else(|| format!("--cache-mb {cache_mb} overflows the byte budget"))?;
+    let strategy = match options.flag("strategy").unwrap_or("auto") {
+        "auto" => pathlearn::graph::Strategy::Auto,
+        "forward" => pathlearn::graph::Strategy::Forward,
+        "backward" => pathlearn::graph::Strategy::Backward,
+        "bidirectional" | "bidi" => pathlearn::graph::Strategy::Bidirectional,
+        other => {
+            return Err(format!(
+                "unknown strategy `{other}` (auto/forward/backward/bidirectional)"
+            ))
+        }
+    };
     let config = ServeConfig {
         threads: options.threads(1)?,
         cache: pathlearn::server::CacheConfig {
             capacity_bytes: cache_bytes,
         },
+        strategy,
         ..ServeConfig::default()
     };
 
@@ -370,6 +385,10 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         stats.intra_evals,
         stats.batch_evals,
         stats.eval_ns_total as f64 / 1e9
+    );
+    println!(
+        "planner: {} forward, {} backward, {} bidirectional",
+        stats.forward_evals, stats.backward_evals, stats.bidirectional_evals
     );
     Ok(())
 }

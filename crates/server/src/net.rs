@@ -305,6 +305,9 @@ impl Shared {
         put("serve.sequential_evals", serve.sequential_evals);
         put("serve.intra_evals", serve.intra_evals);
         put("serve.batch_evals", serve.batch_evals);
+        put("serve.forward_evals", serve.forward_evals);
+        put("serve.backward_evals", serve.backward_evals);
+        put("serve.bidirectional_evals", serve.bidirectional_evals);
         put("serve.eval_ns_total", serve.eval_ns_total);
         put("serve.deadline_exceeded", serve.deadline_exceeded);
         put("serve.cancelled", serve.cancelled);
@@ -471,7 +474,7 @@ impl Shared {
                 let (served, eval_ns) = match response.served {
                     Served::Hit => (WireServed::Hit, 0),
                     Served::Coalesced => (WireServed::Coalesced, 0),
-                    Served::Evaluated { mode, eval_ns } => (
+                    Served::Evaluated { mode, eval_ns, .. } => (
                         match mode {
                             EvalMode::Sequential => WireServed::EvaluatedSequential,
                             EvalMode::IntraQuery => WireServed::EvaluatedIntra,

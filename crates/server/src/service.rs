@@ -32,6 +32,20 @@
 //! evaluators in every mode (the pool's contract, asserted again by this
 //! crate's smoke tests).
 //!
+//! ## Whole-query planning
+//!
+//! Every admitted query is dispatched through a
+//! [`pathlearn_graph::plan::QueryPlan`]: the planner estimates frontier
+//! growth in each direction from the graph's per-label statistics and
+//! picks forward, backward (reversed-DFA), or bidirectional evaluation
+//! per query ([`ServeConfig::strategy`] can force one — purely a speed
+//! knob, every strategy is bit-identical). Plans are cached per
+//! [`CanonicalQuery`] in a rebuild-cleared side table, so fingerprint
+//! replays and per-source binary fans skip the planning pass; the
+//! resolved direction is recorded on each [`Served::Evaluated`] and
+//! aggregated in [`ServeStats`] (`forward_evals` / `backward_evals` /
+//! `bidirectional_evals`, surfaced through the `STATS` frame).
+//!
 //! ## Invalidation
 //!
 //! [`QueryService::rebuild_graph`] swaps the graph, bumps the service
@@ -45,10 +59,11 @@
 
 use crate::cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
 use pathlearn_automata::{BitSet, CanonicalQuery, Dfa};
-use pathlearn_graph::eval::{
-    eval_binary_from_interruptible, eval_monadic_interruptible, EvalScratch,
+use pathlearn_graph::plan::{
+    eval_binary_planned_interruptible, eval_monadic_planned_interruptible, plan_query_forced,
+    PlanScratch, QueryPlan,
 };
-use pathlearn_graph::{CancelToken, EvalPool, GraphDb, Interrupt, NodeId, StepPolicy};
+use pathlearn_graph::{CancelToken, EvalPool, GraphDb, Interrupt, NodeId, StepPolicy, Strategy};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -70,6 +85,13 @@ pub struct ServeConfig {
     pub intra_query_node_threshold: usize,
     /// Step-kernel policy for every evaluation this service runs.
     pub step_policy: StepPolicy,
+    /// Evaluation-direction strategy for every admitted query:
+    /// [`Strategy::Auto`] (the default) lets the whole-query planner
+    /// pick forward/backward/bidirectional per query from the graph's
+    /// label statistics; a forced value pins every evaluation to one
+    /// engine (an operational escape hatch — all strategies are
+    /// bit-identical, so forcing only changes speed).
+    pub strategy: Strategy,
     /// Testing/diagnostics knob: hold each evaluated result back this
     /// long before publishing it (cache insert + ticket completion).
     /// Widens the in-flight window so coalescing can be exercised
@@ -84,6 +106,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             intra_query_node_threshold: 4096,
             step_policy: StepPolicy::Auto,
+            strategy: Strategy::Auto,
             eval_holdoff: Duration::ZERO,
         }
     }
@@ -112,6 +135,15 @@ pub enum EvalMode {
     Batch,
 }
 
+/// How one evaluation ran, for [`QueryService::publish`]: the
+/// execution mode together with the planner strategy that produced the
+/// bits (never [`Strategy::Auto`] — the record is the resolution).
+#[derive(Clone, Copy)]
+struct EvalOutcome {
+    mode: EvalMode,
+    strategy: Strategy,
+}
+
 /// How one submission was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Served {
@@ -124,6 +156,10 @@ pub enum Served {
     Evaluated {
         /// The scheduling mode the admission heuristic chose.
         mode: EvalMode,
+        /// The evaluation direction the planner resolved for this query
+        /// (never [`Strategy::Auto`] — Auto is an input, the record is
+        /// the resolution). Batch fan-outs always run forward.
+        strategy: Strategy,
         /// Measured evaluation wall time.
         eval_ns: u64,
     },
@@ -163,6 +199,15 @@ pub struct ServeStats {
     pub intra_evals: u64,
     /// Admitted queries run inside a batch fan-out.
     pub batch_evals: u64,
+    /// Admitted queries the planner resolved to forward evaluation
+    /// (includes every batch fan-out member — batches run forward).
+    pub forward_evals: u64,
+    /// Admitted queries the planner resolved to backward evaluation
+    /// (reversed-DFA monadic walk / coreach-pruned binary pass).
+    pub backward_evals: u64,
+    /// Admitted binary queries the planner resolved to the
+    /// bidirectional meet-in-the-middle engine.
+    pub bidirectional_evals: u64,
     /// Total measured evaluation wall time across admissions.
     pub eval_ns_total: u64,
     /// Interruptible submissions that returned the
@@ -334,8 +379,19 @@ struct Inner {
     epoch: u64,
     cache: ResultCache,
     inflight: HashMap<CacheKey, Arc<InFlight>>,
+    /// Whole-query plans keyed by canonical form: a fingerprint replay
+    /// (same canonical query, cache-missed because of eviction or a
+    /// binary source change) skips the planner's reverse/determinize and
+    /// frontier simulation. Cleared on rebuild — plans embed the
+    /// *graph's* label statistics — and cleared wholesale when it
+    /// outgrows [`PLAN_CACHE_MAX`] entries (plans are tiny; the bound
+    /// only guards against unbounded distinct-query streams).
+    plans: HashMap<CanonicalQuery, Arc<QueryPlan>>,
     stats: ServeStats,
 }
+
+/// Plan-cache entry bound; see [`Inner::plans`].
+const PLAN_CACHE_MAX: usize = 4096;
 
 /// What the probe decided for one submission.
 enum Admission {
@@ -374,6 +430,7 @@ pub struct QueryService {
     inner: Mutex<Inner>,
     pool: EvalPool,
     intra_query_node_threshold: usize,
+    strategy: Strategy,
     eval_holdoff: Duration,
 }
 
@@ -386,10 +443,12 @@ impl QueryService {
                 epoch: 0,
                 cache: ResultCache::new(config.cache),
                 inflight: HashMap::new(),
+                plans: HashMap::new(),
                 stats: ServeStats::default(),
             }),
             pool: EvalPool::new(config.threads).with_step_policy(config.step_policy),
             intra_query_node_threshold: config.intra_query_node_threshold,
+            strategy: config.strategy,
             eval_holdoff: config.eval_holdoff,
         }
     }
@@ -443,6 +502,8 @@ impl QueryService {
         inner.graph = Arc::new(graph);
         inner.epoch += 1;
         inner.cache.clear();
+        // Plans embed per-label statistics of the outgoing graph.
+        inner.plans.clear();
         // Drain, do not abandon: the old owners still hold their
         // tickets and will complete them for their pre-rebuild waiters;
         // draining only stops *new* submissions from coalescing on.
@@ -596,25 +657,37 @@ impl QueryService {
                 } => {
                     let mut guard = AdmissionGuard::new(self, &key, &ticket);
                     let start = Instant::now();
-                    let (result, mode) = match self.evaluate_interruptible(&graph, &key, cancel) {
-                        Ok(outcome) => outcome,
-                        Err(interrupt) => {
-                            // The armed guard's drop deregisters the
-                            // ticket and abandons it, so coalesced
-                            // waiters re-admit (one may finish the job
-                            // under its own, longer budget).
-                            drop(guard);
-                            return Err(self.note_interrupt(interrupt));
-                        }
-                    };
+                    let (result, mode, strategy) =
+                        match self.evaluate_interruptible(&graph, &key, epoch, cancel) {
+                            Ok(outcome) => outcome,
+                            Err(interrupt) => {
+                                // The armed guard's drop deregisters the
+                                // ticket and abandons it, so coalesced
+                                // waiters re-admit (one may finish the job
+                                // under its own, longer budget).
+                                drop(guard);
+                                return Err(self.note_interrupt(interrupt));
+                            }
+                        };
                     let eval_ns = start.elapsed().as_nanos() as u64;
                     let result = Arc::new(result);
-                    self.publish(&key, &ticket, epoch, result.clone(), mode, eval_ns);
+                    self.publish(
+                        &key,
+                        &ticket,
+                        epoch,
+                        result.clone(),
+                        EvalOutcome { mode, strategy },
+                        eval_ns,
+                    );
                     guard.disarm();
                     return Ok(Self::respond(
                         &key,
                         result,
-                        Served::Evaluated { mode, eval_ns },
+                        Served::Evaluated {
+                            mode,
+                            strategy,
+                            eval_ns,
+                        },
                     ));
                 }
             }
@@ -622,81 +695,125 @@ impl QueryService {
     }
 
     /// Executes one admitted query under the size heuristic.
-    fn evaluate(&self, graph: &GraphDb, key: &CacheKey) -> (BitSet, EvalMode) {
-        match self.evaluate_interruptible(graph, key, &CancelToken::never()) {
+    fn evaluate(
+        &self,
+        graph: &GraphDb,
+        key: &CacheKey,
+        epoch: u64,
+    ) -> (BitSet, EvalMode, Strategy) {
+        match self.evaluate_interruptible(graph, key, epoch, &CancelToken::never()) {
             Ok(outcome) => outcome,
             Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
         }
     }
 
+    /// The whole-query plan for `key`'s canonical form on `graph`:
+    /// served from the plan cache on a canonical replay, computed (DFA
+    /// reduce/reverse + direction estimate, outside the lock) and
+    /// published otherwise. The epoch guard keeps an old-graph planning
+    /// race from polluting the post-rebuild cache — a mismatched plan
+    /// would still be *correct* (every strategy is bit-identical), just
+    /// tuned to the wrong statistics.
+    fn plan_for(&self, graph: &GraphDb, key: &CacheKey, epoch: u64) -> Arc<QueryPlan> {
+        {
+            let inner = self.inner.lock().unwrap();
+            if inner.epoch == epoch {
+                if let Some(plan) = inner.plans.get(&key.query) {
+                    return plan.clone();
+                }
+            }
+        }
+        let plan = Arc::new(plan_query_forced(key.query.dfa(), graph, self.strategy));
+        let mut inner = self.inner.lock().unwrap();
+        if inner.epoch == epoch {
+            if inner.plans.len() >= PLAN_CACHE_MAX {
+                inner.plans.clear();
+            }
+            inner
+                .plans
+                .entry(key.query.clone())
+                .or_insert_with(|| plan.clone());
+        }
+        plan
+    }
+
     /// [`QueryService::evaluate`] under a cancel token, forwarded into
-    /// the per-BFS-level checks of the interruptible evaluators.
+    /// the per-BFS-level checks of the interruptible evaluators. Every
+    /// admitted query is dispatched through its [`QueryPlan`]; the
+    /// returned [`Strategy`] is the resolved direction (never `Auto`).
     fn evaluate_interruptible(
         &self,
         graph: &GraphDb,
         key: &CacheKey,
+        epoch: u64,
         cancel: &CancelToken,
-    ) -> Result<(BitSet, EvalMode), Interrupt> {
+    ) -> Result<(BitSet, EvalMode, Strategy), Interrupt> {
         // Sequential evaluations run on the calling client thread; a
         // thread-local scratch keeps the serving hot path free of the
-        // ~3·|Q| bitset allocations a fresh scratch would zero per miss
+        // per-miss bitset allocations a fresh scratch would zero
         // (scratch reuse never changes results — `EvalScratch` docs).
         thread_local! {
-            static SCRATCH: std::cell::RefCell<EvalScratch> =
-                std::cell::RefCell::new(EvalScratch::new());
+            static SCRATCH: std::cell::RefCell<PlanScratch> =
+                std::cell::RefCell::new(PlanScratch::new());
         }
-        let dfa = key.query.dfa();
+        let plan = self.plan_for(graph, key, epoch);
         let intra = self.pool.is_parallel() && graph.num_nodes() >= self.intra_query_node_threshold;
         match key.kind {
             QueryKind::Monadic => {
+                let strategy = plan.monadic_strategy();
                 if intra {
-                    let result = self.pool.eval_monadic_interruptible(
+                    let result = self.pool.eval_monadic_planned(
                         &mut pathlearn_graph::IntraScratch::new(),
-                        dfa,
+                        &plan,
                         graph,
                         cancel,
                     )?;
-                    Ok((result, EvalMode::IntraQuery))
+                    Ok((result, EvalMode::IntraQuery, strategy))
                 } else {
                     let result = SCRATCH.with(|scratch| {
-                        eval_monadic_interruptible(
+                        eval_monadic_planned_interruptible(
                             &mut scratch.borrow_mut(),
-                            dfa,
+                            &plan,
                             graph,
                             self.pool.step_policy(),
                             cancel,
                         )
                     })?;
-                    Ok((result, EvalMode::Sequential))
+                    Ok((result, EvalMode::Sequential, strategy))
                 }
             }
             QueryKind::Binary(source) => {
                 if (source as usize) >= graph.num_nodes() {
                     // Out-of-graph source (e.g. submitted before a
                     // rebuild shrank the graph): the empty answer.
-                    return Ok((BitSet::new(graph.num_nodes()), EvalMode::Sequential));
+                    return Ok((
+                        BitSet::new(graph.num_nodes()),
+                        EvalMode::Sequential,
+                        Strategy::Forward,
+                    ));
                 }
+                let strategy = plan.binary_strategy();
                 if intra {
-                    let result = self.pool.eval_binary_from_interruptible(
+                    let result = self.pool.eval_binary_planned(
                         &mut pathlearn_graph::IntraScratch::new(),
-                        dfa,
+                        &plan,
                         graph,
                         source,
                         cancel,
                     )?;
-                    Ok((result, EvalMode::IntraQuery))
+                    Ok((result, EvalMode::IntraQuery, strategy))
                 } else {
                     let result = SCRATCH.with(|scratch| {
-                        eval_binary_from_interruptible(
+                        eval_binary_planned_interruptible(
                             &mut scratch.borrow_mut(),
-                            dfa,
+                            &plan,
                             graph,
                             source,
                             self.pool.step_policy(),
                             cancel,
                         )
                     })?;
-                    Ok((result, EvalMode::Sequential))
+                    Ok((result, EvalMode::Sequential, strategy))
                 }
             }
         }
@@ -714,9 +831,10 @@ impl QueryService {
         ticket: &Arc<InFlight>,
         epoch: u64,
         result: Arc<BitSet>,
-        mode: EvalMode,
+        outcome: EvalOutcome,
         eval_ns: u64,
     ) {
+        let EvalOutcome { mode, strategy } = outcome;
         if !self.eval_holdoff.is_zero() {
             std::thread::sleep(self.eval_holdoff);
         }
@@ -727,6 +845,11 @@ impl QueryService {
                 EvalMode::Sequential => inner.stats.sequential_evals += 1,
                 EvalMode::IntraQuery => inner.stats.intra_evals += 1,
                 EvalMode::Batch => inner.stats.batch_evals += 1,
+            }
+            match strategy {
+                Strategy::Backward => inner.stats.backward_evals += 1,
+                Strategy::Bidirectional => inner.stats.bidirectional_evals += 1,
+                _ => inner.stats.forward_evals += 1,
             }
             inner.stats.eval_ns_total += eval_ns;
             if inner.epoch == epoch {
@@ -813,7 +936,19 @@ impl QueryService {
                 let cost_ns =
                     (total_ns as u128 * bounds[slot] as u128 / total_bound as u128) as u64;
                 let value = Arc::new(value);
-                self.publish(key, ticket, epoch, value.clone(), EvalMode::Batch, cost_ns);
+                // Batch fan-outs run the forward engine (per-query
+                // planning would serialize the batch on the plan cache).
+                self.publish(
+                    key,
+                    ticket,
+                    epoch,
+                    value.clone(),
+                    EvalOutcome {
+                        mode: EvalMode::Batch,
+                        strategy: Strategy::Forward,
+                    },
+                    cost_ns,
+                );
                 guards[slot].disarm();
                 for &i in positions {
                     results[i] = Some(value.clone());
@@ -821,10 +956,17 @@ impl QueryService {
             }
         } else if let Some((key, ticket, positions)) = owned.first() {
             let start = Instant::now();
-            let (value, mode) = self.evaluate(&graph, key);
+            let (value, mode, strategy) = self.evaluate(&graph, key, epoch);
             let eval_ns = start.elapsed().as_nanos() as u64;
             let value = Arc::new(value);
-            self.publish(key, ticket, epoch, value.clone(), mode, eval_ns);
+            self.publish(
+                key,
+                ticket,
+                epoch,
+                value.clone(),
+                EvalOutcome { mode, strategy },
+                eval_ns,
+            );
             guards[0].disarm();
             for &i in positions {
                 results[i] = Some(value.clone());
@@ -1100,7 +1242,10 @@ mod tests {
             &first,
             epoch.wrapping_add(1), // stale epoch: no cache insert either
             Arc::new(BitSet::new(graph.num_nodes())),
-            EvalMode::Sequential,
+            EvalOutcome {
+                mode: EvalMode::Sequential,
+                strategy: Strategy::Forward,
+            },
             1,
         );
         assert!(
@@ -1238,6 +1383,78 @@ mod tests {
         let served = waiter.join().unwrap();
         assert_eq!(*served.result, eval_monadic(&q, &graph));
         assert!(matches!(served.served, Served::Evaluated { .. }));
+    }
+
+    #[test]
+    fn planner_strategies_are_recorded_and_bit_identical() {
+        let graph = figure3_g0();
+        let q = query(&graph, "(a·b)*·c");
+        let expected_monadic = eval_monadic(&q, &graph);
+        // Forcing each direction serves identical bits and lands in the
+        // matching stats bucket.
+        for (forced, field) in [
+            (Strategy::Forward, "forward"),
+            (Strategy::Backward, "backward"),
+            (Strategy::Bidirectional, "bidirectional"),
+        ] {
+            let service = QueryService::new(
+                graph.clone(),
+                ServeConfig {
+                    strategy: forced,
+                    ..ServeConfig::default()
+                },
+            );
+            let response = service.query_monadic(&q);
+            assert_eq!(*response.result, expected_monadic, "{field}");
+            let bin = service.query_binary_from(&q, 0);
+            assert_eq!(*bin.result, eval_binary_from(&q, &graph, 0), "{field}");
+            let Served::Evaluated { strategy, .. } = bin.served else {
+                panic!("binary miss must evaluate");
+            };
+            assert_eq!(strategy, forced, "{field}");
+            let stats = service.stats();
+            let per = [
+                stats.forward_evals,
+                stats.backward_evals,
+                stats.bidirectional_evals,
+            ];
+            assert_eq!(per.iter().sum::<u64>(), stats.misses, "{field}");
+            // The binary eval is in the forced bucket; the monadic one
+            // resolves Bidirectional to a direction, so only assert it
+            // for the two pure directions.
+            if forced == Strategy::Bidirectional {
+                assert_eq!(stats.bidirectional_evals, 1, "{field}");
+            } else {
+                assert_eq!(
+                    per,
+                    [
+                        2 * u64::from(forced == Strategy::Forward),
+                        2 * u64::from(forced == Strategy::Backward),
+                        0
+                    ],
+                    "{field}"
+                );
+            }
+        }
+        // Auto: the resolution is recorded (never Auto itself) and the
+        // plan is cached per canonical query — a second distinct source
+        // on the same query replans nothing.
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let first = service.query_monadic(&q);
+        let Served::Evaluated { strategy, .. } = first.served else {
+            panic!("first submission must evaluate");
+        };
+        assert_ne!(strategy, Strategy::Auto);
+        service.query_binary_from(&q, 0);
+        service.query_binary_from(&q, 1);
+        assert_eq!(
+            service.inner.lock().unwrap().plans.len(),
+            1,
+            "one canonical query = one cached plan"
+        );
+        // Rebuild clears the plan cache (plans embed graph statistics).
+        service.rebuild_graph(figure3_g0());
+        assert!(service.inner.lock().unwrap().plans.is_empty());
     }
 
     #[test]
