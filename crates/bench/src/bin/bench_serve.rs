@@ -21,6 +21,17 @@
 //! cache/coalescing wins are visible regardless because they remove
 //! evaluations entirely.
 //!
+//! The **update mix** (`--writes W`, default 8; 0 disables) interleaves
+//! the same reads with W single-label write events and drives them
+//! through two services over identical graph versions: one patched
+//! with `apply_delta` (label-aware invalidation), one calling
+//! `rebuild_graph` on every write (the clear-everything baseline). The
+//! run asserts the delta side's hit rate **strictly** exceeds the
+//! rebuild baseline's and that every answer after the final write —
+//! surviving cache entries included — is bit-identical to direct
+//! evaluation on the final graph; results land in the `"update_mix"`
+//! JSON section (schema v3).
+//!
 //! With `--listen ADDR` the harness additionally binds the hardened TCP
 //! front door (`pathlearn-server::net`) on ADDR (`127.0.0.1:0` for an
 //! ephemeral port), drives the same workload through real framed-TCP
@@ -32,11 +43,11 @@
 //!
 //! ```text
 //! bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K]
-//!             [--clients T[,T,...]] [--cache-mb M] [--out PATH]
-//!             [--listen ADDR]
+//!             [--clients T[,T,...]] [--cache-mb M] [--writes W]
+//!             [--out PATH] [--listen ADDR]
 //! ```
 
-use pathlearn_automata::{BitSet, Dfa};
+use pathlearn_automata::{BitSet, Dfa, Symbol};
 use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload};
 use pathlearn_eval::report::ascii_table;
@@ -74,6 +85,179 @@ struct NetPoint {
     deadline_probes: usize,
     latency_p50_ns: u64,
     latency_p99_ns: u64,
+}
+
+/// One update-mix measurement: the same read/write schedule driven
+/// through `apply_delta` (label-aware invalidation) and through
+/// `rebuild_graph` (the clear-everything baseline), with the delta
+/// side's surviving entries asserted bit-identical to direct
+/// evaluation on the final graph. The schema-v3 `"update_mix"` JSON
+/// section.
+struct UpdatePoint {
+    writes: usize,
+    delta_wall_ns: u128,
+    rebuild_wall_ns: u128,
+    delta_hits: u64,
+    delta_misses: u64,
+    delta_hit_rate: f64,
+    rebuild_hits: u64,
+    rebuild_misses: u64,
+    rebuild_hit_rate: f64,
+    label_invalidations: u64,
+    compactions: u64,
+}
+
+type Edge = (u32, Symbol, u32);
+
+/// Drives a read/write mix through two services over the same graph —
+/// one patched in place with [`QueryService::apply_delta`], one
+/// rebuilt from scratch on every write — and gates that label-aware
+/// invalidation **strictly** beats nuking the cache: same reads, same
+/// graph versions, higher hit rate, zero stale bits.
+///
+/// Each write event touches a single random label (removes up to two
+/// of its edges, adds two random ones), the shape an update stream has
+/// in practice and the one the per-label epoch design exists for:
+/// queries whose live alphabet misses the touched label keep serving
+/// as hits on the delta side, while the rebuild side re-misses its
+/// whole working set.
+fn update_mix_point(
+    graph: &GraphDb,
+    spellings: &[(String, Vec<Dfa>)],
+    submissions: &[&Dfa],
+    writes: usize,
+    seed: u64,
+    cache_mb: usize,
+) -> UpdatePoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6465_6c74); // "delt"
+
+    // Pre-generate the write events and the graph version after each,
+    // so both services see the identical sequence of graphs.
+    let mut current = graph.clone();
+    let mut events: Vec<(Vec<Edge>, Vec<Edge>)> = Vec::new();
+    let mut versions: Vec<GraphDb> = Vec::new();
+    for _ in 0..writes {
+        let sym = Symbol::from_index(rng.gen_range(0..graph.alphabet().len()));
+        let labeled: Vec<Edge> = current.edges().filter(|&(_, s, _)| s == sym).collect();
+        let mut remove = Vec::new();
+        for _ in 0..2usize {
+            if !labeled.is_empty() {
+                remove.push(labeled[rng.gen_range(0..labeled.len())]);
+            }
+        }
+        let n = current.num_nodes() as u32;
+        let add: Vec<Edge> = (0..2)
+            .map(|_| (rng.gen_range(0..n), sym, rng.gen_range(0..n)))
+            .collect();
+        current = current
+            .with_delta(&add, &remove)
+            .expect("in-range update-mix delta")
+            .compact();
+        versions.push(current.clone());
+        events.push((add, remove));
+    }
+
+    let config = || ServeConfig {
+        threads: 1,
+        cache: CacheConfig {
+            capacity_bytes: cache_mb << 20,
+        },
+        ..ServeConfig::default()
+    };
+    // One write after each read block; any leftover events (more writes
+    // than blocks) land at the end so both sides still finish on the
+    // same final graph version.
+    let chunk = submissions.len().div_ceil(writes + 1).max(1);
+
+    let delta_service = QueryService::new(graph.clone(), config());
+    let mut applied = 0usize;
+    let delta_started = Instant::now();
+    for block in submissions.chunks(chunk) {
+        for dfa in block {
+            delta_service.query_monadic(dfa);
+        }
+        if applied < events.len() {
+            let (add, remove) = &events[applied];
+            delta_service
+                .apply_delta(add, remove)
+                .expect("update-mix apply_delta");
+            applied += 1;
+        }
+    }
+    while applied < events.len() {
+        let (add, remove) = &events[applied];
+        delta_service
+            .apply_delta(add, remove)
+            .expect("update-mix apply_delta");
+        applied += 1;
+    }
+    let delta_wall_ns = delta_started.elapsed().as_nanos();
+    let delta_stats = delta_service.stats();
+
+    let rebuild_service = QueryService::new(graph.clone(), config());
+    let mut applied = 0usize;
+    let rebuild_started = Instant::now();
+    for block in submissions.chunks(chunk) {
+        for dfa in block {
+            rebuild_service.query_monadic(dfa);
+        }
+        if applied < versions.len() {
+            rebuild_service.rebuild_graph(versions[applied].clone());
+            applied += 1;
+        }
+    }
+    while applied < versions.len() {
+        rebuild_service.rebuild_graph(versions[applied].clone());
+        applied += 1;
+    }
+    let rebuild_wall_ns = rebuild_started.elapsed().as_nanos();
+    let rebuild_stats = rebuild_service.stats();
+
+    // Stale-bit gate (after the stats snapshot, so these lookups don't
+    // skew the rates): every query served now — including entries that
+    // survived every delta untouched — must match direct evaluation on
+    // the final graph version. Both sides.
+    let mut scratch = EvalScratch::new();
+    for (name, v) in spellings {
+        let expected = eval_monadic_with(&mut scratch, &v[0], &current);
+        assert_eq!(
+            *delta_service.query_monadic(&v[0]).result,
+            expected,
+            "{name}: stale bits on the delta side after {writes} writes"
+        );
+        assert_eq!(
+            *rebuild_service.query_monadic(&v[0]).result,
+            expected,
+            "{name}: rebuild side diverged after {writes} writes"
+        );
+    }
+
+    let point = UpdatePoint {
+        writes,
+        delta_wall_ns,
+        rebuild_wall_ns,
+        delta_hits: delta_stats.hits,
+        delta_misses: delta_stats.misses,
+        delta_hit_rate: delta_stats.hit_rate(),
+        rebuild_hits: rebuild_stats.hits,
+        rebuild_misses: rebuild_stats.misses,
+        rebuild_hit_rate: rebuild_stats.hit_rate(),
+        label_invalidations: delta_stats.label_invalidations,
+        compactions: delta_stats.compactions,
+    };
+    assert_eq!(
+        delta_stats.deltas_applied, writes as u64,
+        "every write event applied as a delta"
+    );
+    assert!(
+        point.delta_hit_rate > point.rebuild_hit_rate,
+        "label-aware invalidation must strictly beat clear-everything: \
+         delta {:.4} vs rebuild {:.4} over {} writes",
+        point.delta_hit_rate,
+        point.rebuild_hit_rate,
+        writes
+    );
+    point
 }
 
 /// Deterministic Fisher–Yates over the submission indices.
@@ -243,7 +427,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K] \
-         [--clients T[,T,...]] [--cache-mb M] [--out PATH] [--listen ADDR]"
+         [--clients T[,T,...]] [--cache-mb M] [--writes W] [--out PATH] [--listen ADDR]"
     );
     std::process::exit(2);
 }
@@ -261,6 +445,7 @@ fn write_json(
     direct_ns: u128,
     points: &[ClientPoint],
     net: Option<&NetPoint>,
+    update: Option<&UpdatePoint>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -270,7 +455,7 @@ fn write_json(
     out.push_str(
         "  \"note\": \"client scaling needs real cores (see BENCHMARKS.md); cache/coalescing wins hold regardless — they remove evaluations\",\n",
     );
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -308,6 +493,23 @@ fn write_json(
         ));
     }
     out.push_str("  ],\n");
+    match update {
+        Some(p) => out.push_str(&format!(
+            "  \"update_mix\": {{\"writes\": {}, \"delta\": {{\"wall_ns\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"label_invalidations\": {}, \"compactions\": {}}}, \"rebuild_baseline\": {{\"wall_ns\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}}},\n",
+            p.writes,
+            p.delta_wall_ns,
+            p.delta_hits,
+            p.delta_misses,
+            p.delta_hit_rate,
+            p.label_invalidations,
+            p.compactions,
+            p.rebuild_wall_ns,
+            p.rebuild_hits,
+            p.rebuild_misses,
+            p.rebuild_hit_rate,
+        )),
+        None => out.push_str("  \"update_mix\": null,\n"),
+    }
     match net {
         Some(p) => out.push_str(&format!(
             "  \"net\": {{\"mode\": \"tcp_client\", \"clients\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \"queries\": {}, \"shed\": {}, \"deadline_replies\": {}, \"deadline_probes\": {}, \"draining_replies\": {}, \"malformed\": {}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}}}\n",
@@ -336,6 +538,7 @@ fn main() {
     let mut runs = 5usize;
     let mut clients: Vec<usize> = vec![1, 2, 4];
     let mut cache_mb = 64usize;
+    let mut writes = 8usize;
     let mut out_path = "BENCH_serve.json".to_owned();
     let mut listen: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -381,6 +584,11 @@ fn main() {
                 cache_mb = value("--cache-mb")
                     .parse()
                     .unwrap_or_else(|_| usage("--cache-mb needs an integer"))
+            }
+            "--writes" => {
+                writes = value("--writes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--writes needs an integer"))
             }
             "--out" => out_path = value("--out"),
             "--listen" => listen = Some(value("--listen")),
@@ -497,6 +705,28 @@ fn main() {
         });
     }
 
+    // Update mix: the same reads interleaved with single-label write
+    // events, `apply_delta` vs the rebuild-everything baseline. The
+    // point constructor gates hit_rate(delta) > hit_rate(rebuild) and
+    // zero stale bits, so the CI smoke run fails on a regression.
+    let update_point = (writes > 0).then(|| {
+        let point = update_mix_point(&graph, &spellings, &submissions, writes, seed, cache_mb);
+        println!(
+            "update mix ({} writes): delta hit rate {:.1}% ({} hits / {} misses, {} invalidated, {} compactions) \
+             vs rebuild baseline {:.1}% ({} hits / {} misses)",
+            point.writes,
+            100.0 * point.delta_hit_rate,
+            point.delta_hits,
+            point.delta_misses,
+            point.label_invalidations,
+            point.compactions,
+            100.0 * point.rebuild_hit_rate,
+            point.rebuild_hits,
+            point.rebuild_misses,
+        );
+        point
+    });
+
     // TCP client mode: the same workload through the framed front
     // door, replayed by fingerprint; counters land in the JSON's "net"
     // section.
@@ -568,6 +798,7 @@ fn main() {
         direct_ns,
         &points,
         net_point.as_ref(),
+        update_point.as_ref(),
     )
     .expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

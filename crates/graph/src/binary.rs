@@ -87,9 +87,9 @@ pub fn scp2(
         for flat in neg.iter() {
             let pair = flat / stride;
             let node = (flat % stride) as NodeId;
-            for &(_, t) in graph.successors(node, sym) {
+            graph.for_each_successor(node, sym, |t| {
                 next.insert(pair * stride + t as usize);
-            }
+            });
         }
         next
     };

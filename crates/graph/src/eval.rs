@@ -558,6 +558,59 @@ pub fn eval_monadic_interruptible(
     ))
 }
 
+/// [`eval_monadic_interruptible`] seeded with a **sound upper bound** on
+/// the answer — the subsumption-aware warm start of the serving layer.
+///
+/// Precondition: `upper ⊇ q(G)` (e.g. `upper` is a cached `q'(G)` with
+/// `L(q) ⊆ L(q')`, decided by antichain inclusion). The bound does not
+/// change what is computed — it generalizes the full-set early exit:
+/// the monotone `reached[q₀]` satisfies `reached[q₀] ⊆ q(G) ⊆ upper`
+/// at every level, so the moment `reached[q₀] ⊇ upper` the sandwich
+/// closes and the remaining levels are provably redundant. With
+/// `upper = V` this is exactly [`eval_monadic_interruptible`]; an empty
+/// `upper` proves an empty answer without touching the graph. An
+/// **unsound** bound (missing answer bits) only costs the early exit
+/// its effect on those levels — the result is still exact — but callers
+/// should treat soundness as the contract, not rely on that.
+pub fn eval_monadic_bounded_interruptible(
+    scratch: &mut EvalScratch,
+    query: &Dfa,
+    graph: &GraphDb,
+    upper: &BitSet,
+    policy: StepPolicy,
+    cancel: &CancelToken,
+) -> Result<BitSet, Interrupt> {
+    let v = graph.num_nodes();
+    let q_states = query.num_states();
+    if v == 0 || q_states == 0 {
+        return Ok(BitSet::new(v));
+    }
+    debug_assert_eq!(upper.capacity(), v, "upper-bound capacity");
+    if upper.is_empty() {
+        // ∅ ⊇ q(G) proves the answer empty with zero graph work.
+        return Ok(BitSet::new(v));
+    }
+    let q0 = query.initial();
+    if query.is_final(q0) {
+        return Ok(BitSet::full(v));
+    }
+    let rev = RevIndex::new(query, graph.alphabet().len());
+    scratch.prepare(v, q_states);
+    scratch.seed_finals_full(query, v);
+    while !scratch.active.is_empty() {
+        cancel.check()?;
+        scratch.backward_level(&rev, graph, policy);
+        // reached[q₀] ⊆ q(G) ⊆ upper, so ⊇ upper closes the sandwich.
+        if upper.is_subset(&scratch.reached[q0 as usize]) {
+            break;
+        }
+    }
+    Ok(std::mem::replace(
+        &mut scratch.reached[q0 as usize],
+        BitSet::new(0),
+    ))
+}
+
 /// Full backward **coreachability** fixpoint: like
 /// [`eval_monadic_interruptible`] but *without* the ε shortcut and
 /// *without* the early exit, leaving `scratch.reached[q]` = the complete
@@ -682,8 +735,10 @@ pub fn eval_monadic_queued(query: &Dfa, graph: &GraphDb) -> BitSet {
     }
     while let Some((node, state)) = queue.pop_front() {
         // Predecessors: graph in-edges joined with reverse DFA transitions
-        // on the same symbol.
-        let in_edges = graph.in_edges(node);
+        // on the same symbol. The view borrows the base slice unless a
+        // delta overlay touches `node`.
+        let in_edges = graph.in_edges_view(node);
+        let in_edges: &[(Symbol, NodeId)] = &in_edges;
         let mut i = 0;
         while i < in_edges.len() {
             let sym = in_edges[i].0;
@@ -915,6 +970,78 @@ mod tests {
         let graph = figure3_g0();
         let empty = eval_monadic(&Dfa::empty_language(3), &graph);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn bounded_eval_matches_unbounded_under_any_sound_bound() {
+        let graph = figure3_g0();
+        let mut scratch = EvalScratch::new();
+        let never = CancelToken::never();
+        for expr in ["a", "(a·b)*·c", "b·b·c·c", "a·a", "(a+b)*·c", "eps"] {
+            let q = query(&graph, expr);
+            let exact = eval_monadic(&q, &graph);
+            // Tightest sound bound (the answer itself), a loose superset,
+            // and the trivial full bound must all be bit-identical.
+            let mut loose = exact.clone();
+            loose.insert(graph.node_id("v6").unwrap() as usize);
+            for upper in [&exact, &loose, &BitSet::full(graph.num_nodes())] {
+                let bounded = eval_monadic_bounded_interruptible(
+                    &mut scratch,
+                    &q,
+                    &graph,
+                    upper,
+                    StepPolicy::Auto,
+                    &never,
+                )
+                .unwrap();
+                assert_eq!(bounded, exact, "{expr}");
+            }
+        }
+        // An empty sound bound proves an empty answer immediately.
+        let dead = query(&graph, "b·b·c·c");
+        let empty = BitSet::new(graph.num_nodes());
+        let bounded = eval_monadic_bounded_interruptible(
+            &mut scratch,
+            &dead,
+            &graph,
+            &empty,
+            StepPolicy::Auto,
+            &never,
+        )
+        .unwrap();
+        assert!(bounded.is_empty());
+    }
+
+    #[test]
+    fn eval_over_delta_overlay_matches_compacted() {
+        let graph = figure3_g0();
+        let (a, c) = (
+            graph.alphabet().symbol("a").unwrap(),
+            graph.alphabet().symbol("c").unwrap(),
+        );
+        let id = |n: &str| graph.node_id(n).unwrap();
+        // Give v5 a c-edge (changing (a·b)*·c's answer) and cut v3's
+        // a-self-loop region.
+        let overlay = graph
+            .with_delta(
+                &[(id("v5"), c, id("v7"))],
+                &[(id("v3"), a, id("v3")), (id("v3"), c, id("v4"))],
+            )
+            .unwrap();
+        let compacted = overlay.compact();
+        for expr in ["a", "c", "(a·b)*·c", "a·a", "(a+b)*·c", "c·a*", "b·c"] {
+            let q = query(&graph, expr);
+            assert_eq!(
+                eval_monadic(&q, &overlay),
+                eval_monadic(&q, &compacted),
+                "{expr} (forward)"
+            );
+            assert_eq!(
+                eval_monadic(&q, &overlay),
+                eval_monadic_naive(&q, &compacted),
+                "{expr} (vs naive)"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,31 @@
 //! so the hot loops (RPQ evaluation, SCP search, on-the-fly
 //! determinization) run allocation-free.
 //!
+//! ## Edge-delta overlay
+//!
+//! A built graph is immutable, but it can absorb **edge deltas** without
+//! a rebuild: [`GraphDb::with_delta`] returns a new handle sharing the
+//! frozen CSR (behind an `Arc`) plus a per-`(label, direction)` overlay
+//! of added/removed edge sets. Every step kernel merges the overlay at
+//! visit time — base slice filtered by the removal set, then the added
+//! list — behind a once-per-call branch, so delta-free graphs keep the
+//! exact hot path they had before. The per-label bitmaps, counts,
+//! average degrees and sparsity flags the [`StepPolicy`] cost model
+//! reads are **recomputed exactly** for touched labels at delta-apply
+//! time, so plan decisions stay sound on overlay graphs. When the
+//! overlay outgrows a threshold, [`GraphDb::compact`] folds it into a
+//! fresh CSR **preserving node ids and the alphabet**, so result bitsets
+//! and interned symbols stay valid across compaction. The node set and
+//! alphabet are frozen: a delta naming an unknown node or label is a
+//! structured [`DeltaError`], not an implicit rebuild.
+//!
+//! Slice accessors ([`GraphDb::successors`], [`GraphDb::out_edges`] and
+//! twins) expose the **base CSR only** — they cannot splice the overlay
+//! into a borrowed slice. Semantic consumers use the merged views:
+//! [`GraphDb::for_each_successor`] / [`GraphDb::for_each_predecessor`],
+//! [`GraphDb::out_edges_view`] / [`GraphDb::in_edges_view`],
+//! [`GraphDb::edges`], and the step kernels themselves.
+//!
 //! Alongside the offsets, `build` freezes **per-label active-node
 //! bitmaps** ([`GraphDb::label_sources`] / [`GraphDb::label_targets`]):
 //! for each symbol, the set of nodes with at least one out- (resp. in-)
@@ -140,6 +165,21 @@ pub enum StepPlan {
 /// ```
 #[derive(Clone, Debug)]
 pub struct GraphDb {
+    /// The frozen CSR and its per-label statistics, shared (`Arc`) by
+    /// every delta handle derived from the same build — structural
+    /// sharing is what makes [`GraphDb::with_delta`] cheap.
+    core: std::sync::Arc<GraphCore>,
+    /// Pending edge mutations, `None` for a delta-free graph (the
+    /// common case; every kernel branches on this exactly once per
+    /// call).
+    delta: Option<Box<DeltaOverlay>>,
+}
+
+/// The immutable build product: label-partitioned CSR + per-label
+/// statistics. One `GraphCore` is shared by the base graph and every
+/// delta overlay handle derived from it.
+#[derive(Debug)]
+struct GraphCore {
     alphabet: Alphabet,
     node_names: Vec<String>,
     name_index: HashMap<String, NodeId>,
@@ -175,35 +215,394 @@ pub struct GraphDb {
     label_sources_sparse: Vec<bool>,
     /// The in-edge twin of `label_sources_sparse`.
     label_targets_sparse: Vec<bool>,
+    /// Edges per label (direction-independent), frozen at build — the
+    /// baseline a delta's per-label edge count is adjusted from.
+    label_edge_counts: Vec<u64>,
     /// Empty `|V|`-capacity set returned for out-of-alphabet symbols, so
     /// the label bitmaps stay total without an `Option` in the hot path.
     no_label_nodes: BitSet,
 }
 
+/// Why [`GraphDb::with_delta`] rejected an edge-delta batch.
+///
+/// Deltas mutate the **edge set only**: the node set and the alphabet
+/// are frozen at [`GraphBuilder::build`] time, so an endpoint or label
+/// the graph has never seen requires a full rebuild, not a delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge endpoint is not a node of this graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge label is not in this graph's alphabet.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        symbol: Symbol,
+        /// Size of the graph's alphabet.
+        alphabet_len: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "delta names node {node} but the graph has {num_nodes} nodes \
+                 (adding nodes requires a rebuild)"
+            ),
+            DeltaError::SymbolOutOfRange {
+                symbol,
+                alphabet_len,
+            } => write!(
+                f,
+                "delta names symbol {} but the alphabet has {alphabet_len} labels \
+                 (extending the alphabet requires a rebuild)",
+                symbol.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Pending edge mutations of one `(symbol, direction)` pair, plus the
+/// exactly recomputed per-label statistics the step planner reads in
+/// place of the frozen ones.
+///
+/// Invariants (maintained by [`DeltaOverlay`]): `added` lists are
+/// sorted, deduplicated, non-empty, and disjoint from the base CSR;
+/// `removed` lists are sorted, non-empty subsets of the node's base
+/// slice. Cross-batch cancellation (`remove` of an overlay-added edge,
+/// `add` of an overlay-removed edge) mutates the overlay back instead
+/// of stacking entries, so a fully cancelled symbol reverts to the
+/// delta-free fast path.
+#[derive(Clone, Debug)]
+struct SymDelta {
+    /// Overlay-added endpoints per node (targets for the out direction,
+    /// sources for the in direction).
+    added: HashMap<NodeId, Vec<NodeId>>,
+    /// Base endpoints removed per node.
+    removed: HashMap<NodeId, Vec<NodeId>>,
+    /// Nodes with a non-empty `added` list — the per-node merge gate.
+    added_nodes: BitSet,
+    /// Nodes with a non-empty `removed` list.
+    removed_nodes: BitSet,
+    /// The **exact** merged active-node bitmap (membership ⇔ ≥ 1
+    /// effective edge of the label in this direction) — the delta-aware
+    /// replacement of the frozen label bitmap, so masked kernels and
+    /// the cost model stay sound.
+    active: BitSet,
+    /// `|active|`, cached like the frozen per-label counts.
+    active_count: u32,
+    /// Effective average degree over active nodes, ×16 fixed point.
+    avg_deg_x16: u32,
+    /// The recomputed `|active| · SPARSE_LABEL_DIVISOR < |V|` flag.
+    sparse: bool,
+    /// Effective edges of this label (`base − removed + added`).
+    edge_count: u64,
+}
+
+impl SymDelta {
+    fn empty(num_nodes: usize) -> Self {
+        SymDelta {
+            added: HashMap::new(),
+            removed: HashMap::new(),
+            added_nodes: BitSet::new(num_nodes),
+            removed_nodes: BitSet::new(num_nodes),
+            active: BitSet::new(num_nodes),
+            active_count: 0,
+            avg_deg_x16: 0,
+            sparse: false,
+            edge_count: 0,
+        }
+    }
+
+    fn is_noop(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Visits the **effective** endpoints of `node`: the base partition
+    /// minus the removal list, then the added list (visit order is base
+    /// survivors first, added endpoints after — set consumers only).
+    #[inline]
+    fn visit_merged(&self, base: &[(Symbol, NodeId)], node: NodeId, mut visit: impl FnMut(NodeId)) {
+        if self.removed_nodes.contains(node as usize) {
+            let removed = &self.removed[&node];
+            for &(_, endpoint) in base {
+                if removed.binary_search(&endpoint).is_err() {
+                    visit(endpoint);
+                }
+            }
+        } else {
+            for &(_, endpoint) in base {
+                visit(endpoint);
+            }
+        }
+        if self.added_nodes.contains(node as usize) {
+            for &endpoint in &self.added[&node] {
+                visit(endpoint);
+            }
+        }
+    }
+
+    /// [`SymDelta::visit_merged`] with the added list two-pointer merged
+    /// into the surviving base endpoints, so the visit order is fully
+    /// sorted (both inputs are sorted and disjoint).
+    fn visit_merged_sorted(
+        &self,
+        base: &[(Symbol, NodeId)],
+        node: NodeId,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        let removed: &[NodeId] = if self.removed_nodes.contains(node as usize) {
+            &self.removed[&node]
+        } else {
+            &[]
+        };
+        let added: &[NodeId] = if self.added_nodes.contains(node as usize) {
+            &self.added[&node]
+        } else {
+            &[]
+        };
+        let mut next_add = 0;
+        for &(_, endpoint) in base {
+            if removed.binary_search(&endpoint).is_ok() {
+                continue;
+            }
+            while next_add < added.len() && added[next_add] < endpoint {
+                visit(added[next_add]);
+                next_add += 1;
+            }
+            visit(endpoint);
+        }
+        for &endpoint in &added[next_add..] {
+            visit(endpoint);
+        }
+    }
+}
+
+/// The edge-delta overlay of a [`GraphDb`] handle: per-symbol
+/// added/removed edge sets in both directions, applied on top of the
+/// shared [`GraphCore`] by the step kernels.
+#[derive(Clone, Debug)]
+struct DeltaOverlay {
+    /// Out-direction deltas, indexed by symbol (`None` = untouched).
+    out: Vec<Option<Box<SymDelta>>>,
+    /// In-direction deltas (the mirrored edges), indexed by symbol.
+    inn: Vec<Option<Box<SymDelta>>>,
+    /// Total overlay-added edges (counted once, in the out direction).
+    added_total: usize,
+    /// Total overlay-removed edges.
+    removed_total: usize,
+    /// `|V|` — capacity of the per-symbol bitmaps.
+    num_nodes: usize,
+}
+
+impl DeltaOverlay {
+    fn empty(sigma: usize, num_nodes: usize) -> Self {
+        DeltaOverlay {
+            out: (0..sigma).map(|_| None).collect(),
+            inn: (0..sigma).map(|_| None).collect(),
+            added_total: 0,
+            removed_total: 0,
+            num_nodes,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.out.iter().all(Option::is_none) && self.inn.iter().all(Option::is_none)
+    }
+
+    /// Sorted-insert `endpoint` into `lists[node]`; `false` if present.
+    fn list_insert(
+        lists: &mut HashMap<NodeId, Vec<NodeId>>,
+        node: NodeId,
+        endpoint: NodeId,
+    ) -> bool {
+        let list = lists.entry(node).or_default();
+        match list.binary_search(&endpoint) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, endpoint);
+                true
+            }
+        }
+    }
+
+    /// Removes `endpoint` from `lists[node]` (deleting an emptied
+    /// list); `false` if it was not present.
+    fn list_remove(
+        lists: &mut HashMap<NodeId, Vec<NodeId>>,
+        node: NodeId,
+        endpoint: NodeId,
+    ) -> bool {
+        let Some(list) = lists.get_mut(&node) else {
+            return false;
+        };
+        match list.binary_search(&endpoint) {
+            Ok(pos) => {
+                list.remove(pos);
+                if list.is_empty() {
+                    lists.remove(&node);
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn slot(slots: &mut [Option<Box<SymDelta>>], si: usize, num_nodes: usize) -> &mut SymDelta {
+        slots[si].get_or_insert_with(|| Box::new(SymDelta::empty(num_nodes)))
+    }
+
+    /// Applies one edge removal. Verdict (mirrored into both direction
+    /// maps so they always describe the same edge set): an overlay
+    /// addition is cancelled; a not-yet-removed base edge is marked
+    /// removed; an absent edge is a no-op.
+    fn remove_edge(&mut self, sym: Symbol, src: NodeId, dst: NodeId, in_base: bool) {
+        let si = sym.index();
+        let n = self.num_nodes;
+        let out = Self::slot(&mut self.out, si, n);
+        if Self::list_remove(&mut out.added, src, dst) {
+            let inn = Self::slot(&mut self.inn, si, n);
+            Self::list_remove(&mut inn.added, dst, src);
+        } else if in_base && Self::list_insert(&mut out.removed, src, dst) {
+            let inn = Self::slot(&mut self.inn, si, n);
+            Self::list_insert(&mut inn.removed, dst, src);
+        }
+    }
+
+    /// Applies one edge addition: an overlay removal is cancelled (the
+    /// base edge reappears); an edge already present (base or overlay)
+    /// is a no-op; otherwise the edge joins the overlay-added set.
+    fn add_edge(&mut self, sym: Symbol, src: NodeId, dst: NodeId, in_base: bool) {
+        let si = sym.index();
+        let n = self.num_nodes;
+        let out = Self::slot(&mut self.out, si, n);
+        if Self::list_remove(&mut out.removed, src, dst) {
+            let inn = Self::slot(&mut self.inn, si, n);
+            Self::list_remove(&mut inn.removed, dst, src);
+        } else if !in_base && Self::list_insert(&mut out.added, src, dst) {
+            let inn = Self::slot(&mut self.inn, si, n);
+            Self::list_insert(&mut inn.added, dst, src);
+        }
+    }
+
+    /// Recomputes the derived state (bitmaps, counts, degrees, sparsity)
+    /// of both directions of `si` from the mutation maps, reverting a
+    /// fully cancelled direction to `None` (the delta-free fast path).
+    fn refresh_symbol(&mut self, core: &GraphCore, si: usize) {
+        Self::refresh_dir(&mut self.out, core, si, true);
+        Self::refresh_dir(&mut self.inn, core, si, false);
+    }
+
+    fn refresh_dir(
+        slots: &mut [Option<Box<SymDelta>>],
+        core: &GraphCore,
+        si: usize,
+        out_dir: bool,
+    ) {
+        let Some(delta) = slots[si].as_deref_mut() else {
+            return;
+        };
+        if delta.is_noop() {
+            slots[si] = None;
+            return;
+        }
+        let n = core.node_names.len();
+        let sigma = core.alphabet.len();
+        let (base_active, offsets) = if out_dir {
+            (&core.label_sources[si], &core.out_sym_offsets)
+        } else {
+            (&core.label_targets[si], &core.in_sym_offsets)
+        };
+        let base_deg = |node: NodeId| {
+            let idx = node as usize * sigma + si;
+            (offsets[idx + 1] - offsets[idx]) as usize
+        };
+        let mut active = base_active.clone();
+        let mut added_nodes = BitSet::new(n);
+        let mut removed_nodes = BitSet::new(n);
+        let mut added_edges = 0u64;
+        let mut removed_edges = 0u64;
+        for (&node, list) in &delta.removed {
+            removed_nodes.insert(node as usize);
+            removed_edges += list.len() as u64;
+            // The removal list is a subset of the node's base slice, so
+            // equal lengths mean every base edge is gone.
+            if list.len() == base_deg(node) {
+                active.remove(node as usize);
+            }
+        }
+        for (&node, list) in &delta.added {
+            added_nodes.insert(node as usize);
+            added_edges += list.len() as u64;
+            active.insert(node as usize);
+        }
+        delta.added_nodes = added_nodes;
+        delta.removed_nodes = removed_nodes;
+        delta.active_count = active.len() as u32;
+        delta.edge_count = core.label_edge_counts[si] - removed_edges + added_edges;
+        delta.avg_deg_x16 = if delta.active_count == 0 {
+            0
+        } else {
+            (delta.edge_count * AVG_DEG_FP / delta.active_count as u64) as u32
+        };
+        delta.sparse = (delta.active_count as usize) * SPARSE_LABEL_DIVISOR < n;
+        delta.active = active;
+    }
+
+    /// Recounts the overlay totals (out direction only — every edge
+    /// appears exactly once there).
+    fn refresh_totals(&mut self) {
+        self.added_total = self
+            .out
+            .iter()
+            .flatten()
+            .map(|d| d.added.values().map(Vec::len).sum::<usize>())
+            .sum();
+        self.removed_total = self
+            .out
+            .iter()
+            .flatten()
+            .map(|d| d.removed.values().map(Vec::len).sum::<usize>())
+            .sum();
+    }
+}
+
 impl GraphDb {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.node_names.len()
+        self.core.node_names.len()
     }
 
-    /// Number of edges.
+    /// Number of edges, **including** any pending delta overlay
+    /// (`base − removed + added`).
     pub fn num_edges(&self) -> usize {
-        self.out_edges.len()
+        let base = self.core.out_edges.len();
+        match self.delta.as_deref() {
+            Some(delta) => base - delta.removed_total + delta.added_total,
+            None => base,
+        }
     }
 
     /// The edge-label alphabet.
     pub fn alphabet(&self) -> &Alphabet {
-        &self.alphabet
+        &self.core.alphabet
     }
 
     /// Name of a node.
     pub fn node_name(&self, node: NodeId) -> &str {
-        &self.node_names[node as usize]
+        &self.core.node_names[node as usize]
     }
 
     /// Looks up a node by name.
     pub fn node_id(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.core.name_index.get(name).copied()
     }
 
     /// Iterates over all node ids.
@@ -211,42 +610,157 @@ impl GraphDb {
         0..self.num_nodes() as NodeId
     }
 
-    /// Outgoing edges of `node`, sorted by `(label, target)`.
+    /// Outgoing edges of `node` in the **base CSR**, sorted by
+    /// `(label, target)`. A borrowed slice cannot splice the delta
+    /// overlay in; overlay-aware consumers use
+    /// [`GraphDb::out_edges_view`] or [`GraphDb::for_each_successor`].
     pub fn out_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
-        let lo = self.out_offsets[node as usize] as usize;
-        let hi = self.out_offsets[node as usize + 1] as usize;
-        &self.out_edges[lo..hi]
+        let lo = self.core.out_offsets[node as usize] as usize;
+        let hi = self.core.out_offsets[node as usize + 1] as usize;
+        &self.core.out_edges[lo..hi]
     }
 
-    /// Incoming edges of `node` as `(label, source)`, sorted.
+    /// Incoming edges of `node` in the **base CSR** as
+    /// `(label, source)`, sorted. Overlay-aware consumers use
+    /// [`GraphDb::in_edges_view`] or [`GraphDb::for_each_predecessor`].
     pub fn in_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
-        let lo = self.in_offsets[node as usize] as usize;
-        let hi = self.in_offsets[node as usize + 1] as usize;
-        &self.in_edges[lo..hi]
+        let lo = self.core.in_offsets[node as usize] as usize;
+        let hi = self.core.in_offsets[node as usize + 1] as usize;
+        &self.core.in_edges[lo..hi]
     }
 
-    /// `sym`-successors of `node`, as the `(label, target)` sub-slice.
-    /// Two array reads into the label-partitioned offset table.
+    /// The out-direction delta of `sym`, if any — the once-per-call
+    /// branch of every forward kernel.
+    #[inline]
+    fn out_delta(&self, sym: Symbol) -> Option<&SymDelta> {
+        self.delta.as_ref()?.out.get(sym.index())?.as_deref()
+    }
+
+    /// The in-direction twin of [`GraphDb::out_delta`].
+    #[inline]
+    fn in_delta(&self, sym: Symbol) -> Option<&SymDelta> {
+        self.delta.as_ref()?.inn.get(sym.index())?.as_deref()
+    }
+
+    /// `sym`-successors of `node` in the **base CSR**, as the
+    /// `(label, target)` sub-slice. Two array reads into the
+    /// label-partitioned offset table. Overlay-aware consumers use
+    /// [`GraphDb::for_each_successor`].
     #[inline]
     pub fn successors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
-        let sigma = self.alphabet.len();
+        let sigma = self.core.alphabet.len();
         if sym.index() >= sigma {
             return &[];
         }
         let idx = node as usize * sigma + sym.index();
-        &self.out_edges[self.out_sym_offsets[idx] as usize..self.out_sym_offsets[idx + 1] as usize]
+        &self.core.out_edges
+            [self.core.out_sym_offsets[idx] as usize..self.core.out_sym_offsets[idx + 1] as usize]
     }
 
-    /// `sym`-predecessors of `node`, as the `(label, source)` sub-slice.
-    /// Two array reads into the label-partitioned offset table.
+    /// `sym`-predecessors of `node` in the **base CSR**, as the
+    /// `(label, source)` sub-slice. Two array reads into the
+    /// label-partitioned offset table. Overlay-aware consumers use
+    /// [`GraphDb::for_each_predecessor`].
     #[inline]
     pub fn predecessors(&self, node: NodeId, sym: Symbol) -> &[(Symbol, NodeId)] {
-        let sigma = self.alphabet.len();
+        let sigma = self.core.alphabet.len();
         if sym.index() >= sigma {
             return &[];
         }
         let idx = node as usize * sigma + sym.index();
-        &self.in_edges[self.in_sym_offsets[idx] as usize..self.in_sym_offsets[idx + 1] as usize]
+        &self.core.in_edges
+            [self.core.in_sym_offsets[idx] as usize..self.core.in_sym_offsets[idx + 1] as usize]
+    }
+
+    /// Visits every **effective** `sym`-successor of `node` — the base
+    /// slice with the delta overlay merged in (removed targets skipped,
+    /// added targets appended). On a delta-free graph this is exactly a
+    /// walk of [`GraphDb::successors`].
+    #[inline]
+    pub fn for_each_successor(&self, node: NodeId, sym: Symbol, mut visit: impl FnMut(NodeId)) {
+        match self.out_delta(sym) {
+            None => {
+                for &(_, target) in self.successors(node, sym) {
+                    visit(target);
+                }
+            }
+            Some(delta) => delta.visit_merged(self.successors(node, sym), node, visit),
+        }
+    }
+
+    /// The backward twin of [`GraphDb::for_each_successor`]: every
+    /// effective `sym`-predecessor of `node`.
+    #[inline]
+    pub fn for_each_predecessor(&self, node: NodeId, sym: Symbol, mut visit: impl FnMut(NodeId)) {
+        match self.in_delta(sym) {
+            None => {
+                for &(_, source) in self.predecessors(node, sym) {
+                    visit(source);
+                }
+            }
+            Some(delta) => delta.visit_merged(self.predecessors(node, sym), node, visit),
+        }
+    }
+
+    /// `true` iff the delta overlay touches any out-edge of `node`.
+    fn node_touched(slots: &[Option<Box<SymDelta>>], node: NodeId) -> bool {
+        slots.iter().flatten().any(|d| {
+            d.added_nodes.contains(node as usize) || d.removed_nodes.contains(node as usize)
+        })
+    }
+
+    /// The **effective** outgoing edges of `node`, overlay included,
+    /// sorted by `(label, target)`. Borrows the base slice when the
+    /// overlay does not touch `node` (always, on a delta-free graph);
+    /// allocates a merged copy otherwise.
+    pub fn out_edges_view(&self, node: NodeId) -> std::borrow::Cow<'_, [(Symbol, NodeId)]> {
+        match self.delta.as_deref() {
+            Some(delta) if Self::node_touched(&delta.out, node) => {
+                std::borrow::Cow::Owned(self.merged_edges(node, &delta.out, true))
+            }
+            _ => std::borrow::Cow::Borrowed(self.out_edges(node)),
+        }
+    }
+
+    /// The incoming twin of [`GraphDb::out_edges_view`]: effective
+    /// `(label, source)` pairs of `node`, sorted.
+    pub fn in_edges_view(&self, node: NodeId) -> std::borrow::Cow<'_, [(Symbol, NodeId)]> {
+        match self.delta.as_deref() {
+            Some(delta) if Self::node_touched(&delta.inn, node) => {
+                std::borrow::Cow::Owned(self.merged_edges(node, &delta.inn, false))
+            }
+            _ => std::borrow::Cow::Borrowed(self.in_edges(node)),
+        }
+    }
+
+    /// Builds the merged `(label, endpoint)` list of one touched node:
+    /// per symbol, the base partition filtered by the removal list, then
+    /// the added list — both sorted, so the output stays sorted by
+    /// `(label, endpoint)` without a final sort.
+    fn merged_edges(
+        &self,
+        node: NodeId,
+        slots: &[Option<Box<SymDelta>>],
+        out_dir: bool,
+    ) -> Vec<(Symbol, NodeId)> {
+        let mut merged = Vec::new();
+        for si in 0..self.core.alphabet.len() {
+            let sym = Symbol::from_index(si);
+            let base = if out_dir {
+                self.successors(node, sym)
+            } else {
+                self.predecessors(node, sym)
+            };
+            match slots[si].as_deref() {
+                None => merged.extend_from_slice(base),
+                Some(delta) => {
+                    delta.visit_merged_sorted(base, node, |endpoint| {
+                        merged.push((sym, endpoint));
+                    });
+                }
+            }
+        }
+        merged
     }
 
     /// Nodes with at least one **outgoing** `sym`-labeled edge, as a
@@ -268,9 +782,13 @@ impl GraphDb {
     /// ```
     #[inline]
     pub fn label_sources(&self, sym: Symbol) -> &BitSet {
-        self.label_sources
+        if let Some(delta) = self.out_delta(sym) {
+            return &delta.active;
+        }
+        self.core
+            .label_sources
             .get(sym.index())
-            .unwrap_or(&self.no_label_nodes)
+            .unwrap_or(&self.core.no_label_nodes)
     }
 
     /// Nodes with at least one **incoming** `sym`-labeled edge — the
@@ -279,9 +797,13 @@ impl GraphDb {
     /// predecessors exist only for frontier nodes in this set.
     #[inline]
     pub fn label_targets(&self, sym: Symbol) -> &BitSet {
-        self.label_targets
+        if let Some(delta) = self.in_delta(sym) {
+            return &delta.active;
+        }
+        self.core
+            .label_targets
             .get(sym.index())
-            .unwrap_or(&self.no_label_nodes)
+            .unwrap_or(&self.core.no_label_nodes)
     }
 
     /// `true` iff fewer than `|V| / 4` nodes have an outgoing
@@ -292,7 +814,11 @@ impl GraphDb {
     /// by the evaluators' transition checks.
     #[inline]
     pub fn label_sources_sparse(&self, sym: Symbol) -> bool {
-        self.label_sources_sparse
+        if let Some(delta) = self.out_delta(sym) {
+            return delta.sparse;
+        }
+        self.core
+            .label_sources_sparse
             .get(sym.index())
             .copied()
             .unwrap_or(false)
@@ -302,7 +828,11 @@ impl GraphDb {
     /// backward pruning scans against [`GraphDb::label_targets`].
     #[inline]
     pub fn label_targets_sparse(&self, sym: Symbol) -> bool {
-        self.label_targets_sparse
+        if let Some(delta) = self.in_delta(sym) {
+            return delta.sparse;
+        }
+        self.core
+            .label_targets_sparse
             .get(sym.index())
             .copied()
             .unwrap_or(false)
@@ -313,7 +843,11 @@ impl GraphDb {
     /// **every** node, where a mask provably cannot skip anything.
     #[inline]
     pub fn label_source_count(&self, sym: Symbol) -> usize {
-        self.label_source_counts
+        if let Some(delta) = self.out_delta(sym) {
+            return delta.active_count as usize;
+        }
+        self.core
+            .label_source_counts
             .get(sym.index())
             .map_or(0, |&c| c as usize)
     }
@@ -321,7 +855,11 @@ impl GraphDb {
     /// The in-edge twin of [`GraphDb::label_source_count`].
     #[inline]
     pub fn label_target_count(&self, sym: Symbol) -> usize {
-        self.label_target_counts
+        if let Some(delta) = self.in_delta(sym) {
+            return delta.active_count as usize;
+        }
+        self.core
+            .label_target_counts
             .get(sym.index())
             .map_or(0, |&c| c as usize)
     }
@@ -333,17 +871,41 @@ impl GraphDb {
     /// Internally the model uses the ×16 fixed-point form, so values are
     /// quantized to sixteenths.
     pub fn label_source_avg_degree(&self, sym: Symbol) -> f64 {
-        self.label_source_avg_deg_x16
-            .get(sym.index())
-            .map_or(0.0, |&d| d as f64 / AVG_DEG_FP as f64)
+        self.out_avg_deg_x16(sym) as f64 / AVG_DEG_FP as f64
     }
 
     /// The in-edge twin of [`GraphDb::label_source_avg_degree`]: average
     /// incoming `sym`-edges per active target.
     pub fn label_target_avg_degree(&self, sym: Symbol) -> f64 {
-        self.label_target_avg_deg_x16
+        self.in_avg_deg_x16(sym) as f64 / AVG_DEG_FP as f64
+    }
+
+    /// The ×16 fixed-point average out-degree the cost model reads —
+    /// the delta's recomputed value for touched labels, the frozen one
+    /// otherwise.
+    #[inline]
+    fn out_avg_deg_x16(&self, sym: Symbol) -> u32 {
+        if let Some(delta) = self.out_delta(sym) {
+            return delta.avg_deg_x16;
+        }
+        self.core
+            .label_source_avg_deg_x16
             .get(sym.index())
-            .map_or(0.0, |&d| d as f64 / AVG_DEG_FP as f64)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The in-edge twin of [`GraphDb::out_avg_deg_x16`].
+    #[inline]
+    fn in_avg_deg_x16(&self, sym: Symbol) -> u32 {
+        if let Some(delta) = self.in_delta(sym) {
+            return delta.avg_deg_x16;
+        }
+        self.core
+            .label_target_avg_deg_x16
+            .get(sym.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Heap bytes one monadic/binary **result bitset** on this graph
@@ -457,10 +1019,7 @@ impl GraphDb {
             frontier_len,
             self.label_sources(sym),
             self.label_source_count(sym),
-            self.label_source_avg_deg_x16
-                .get(sym.index())
-                .copied()
-                .unwrap_or(0),
+            self.out_avg_deg_x16(sym),
             self.label_sources_sparse(sym),
             policy,
         )
@@ -481,18 +1040,41 @@ impl GraphDb {
             frontier_len,
             self.label_targets(sym),
             self.label_target_count(sym),
-            self.label_target_avg_deg_x16
-                .get(sym.index())
-                .copied()
-                .unwrap_or(0),
+            self.in_avg_deg_x16(sym),
             self.label_targets_sparse(sym),
             policy,
         )
     }
 
-    /// Out-degree of `node`.
+    /// Out-degree of `node`, delta overlay included.
     pub fn out_degree(&self, node: NodeId) -> usize {
-        self.out_edges(node).len()
+        let mut degree = self.out_edges(node).len();
+        if let Some(delta) = self.delta.as_deref() {
+            degree = Self::delta_degree(degree, &delta.out, node);
+        }
+        degree
+    }
+
+    /// In-degree of `node`, delta overlay included.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        let mut degree = self.in_edges(node).len();
+        if let Some(delta) = self.delta.as_deref() {
+            degree = Self::delta_degree(degree, &delta.inn, node);
+        }
+        degree
+    }
+
+    fn delta_degree(base: usize, slots: &[Option<Box<SymDelta>>], node: NodeId) -> usize {
+        let mut degree = base;
+        for delta in slots.iter().flatten() {
+            if delta.added_nodes.contains(node as usize) {
+                degree += delta.added[&node].len();
+            }
+            if delta.removed_nodes.contains(node as usize) {
+                degree -= delta.removed[&node].len();
+            }
+        }
+        degree
     }
 
     /// One forward simulation step on a node set.
@@ -581,11 +1163,18 @@ impl GraphDb {
         words: std::ops::Range<usize>,
         out: &mut BitSet,
     ) {
-        self.for_frontier_words(frontier, None, words, |node| {
-            for &(_, target) in self.successors(node, sym) {
-                out.insert(target as usize);
-            }
-        });
+        match self.out_delta(sym) {
+            None => self.for_frontier_words(frontier, None, words, |node| {
+                for &(_, target) in self.successors(node, sym) {
+                    out.insert(target as usize);
+                }
+            }),
+            Some(delta) => self.for_frontier_words(frontier, None, words, |node| {
+                delta.visit_merged(self.successors(node, sym), node, |target| {
+                    out.insert(target as usize);
+                });
+            }),
+        }
     }
 
     /// Ranged **masked** forward frontier step: the word range of
@@ -599,11 +1188,22 @@ impl GraphDb {
         words: std::ops::Range<usize>,
         out: &mut BitSet,
     ) {
-        self.for_frontier_words(frontier, Some(self.label_sources(sym)), words, |node| {
-            for &(_, target) in self.successors(node, sym) {
-                out.insert(target as usize);
+        // `label_sources` already resolves to the delta's exact merged
+        // active bitmap, so the mask never hides an overlay-added edge.
+        match self.out_delta(sym) {
+            None => {
+                self.for_frontier_words(frontier, Some(self.label_sources(sym)), words, |node| {
+                    for &(_, target) in self.successors(node, sym) {
+                        out.insert(target as usize);
+                    }
+                })
             }
-        });
+            Some(delta) => self.for_frontier_words(frontier, Some(&delta.active), words, |node| {
+                delta.visit_merged(self.successors(node, sym), node, |target| {
+                    out.insert(target as usize);
+                });
+            }),
+        }
     }
 
     /// Word-by-word frontier walk shared by every frontier kernel: for
@@ -688,11 +1288,18 @@ impl GraphDb {
         words: std::ops::Range<usize>,
         out: &mut BitSet,
     ) {
-        self.for_frontier_words(frontier, None, words, |node| {
-            for &(_, source) in self.predecessors(node, sym) {
-                out.insert(source as usize);
-            }
-        });
+        match self.in_delta(sym) {
+            None => self.for_frontier_words(frontier, None, words, |node| {
+                for &(_, source) in self.predecessors(node, sym) {
+                    out.insert(source as usize);
+                }
+            }),
+            Some(delta) => self.for_frontier_words(frontier, None, words, |node| {
+                delta.visit_merged(self.predecessors(node, sym), node, |source| {
+                    out.insert(source as usize);
+                });
+            }),
+        }
     }
 
     /// Ranged **masked** backward frontier step — the backward twin of
@@ -705,11 +1312,20 @@ impl GraphDb {
         words: std::ops::Range<usize>,
         out: &mut BitSet,
     ) {
-        self.for_frontier_words(frontier, Some(self.label_targets(sym)), words, |node| {
-            for &(_, source) in self.predecessors(node, sym) {
-                out.insert(source as usize);
+        match self.in_delta(sym) {
+            None => {
+                self.for_frontier_words(frontier, Some(self.label_targets(sym)), words, |node| {
+                    for &(_, source) in self.predecessors(node, sym) {
+                        out.insert(source as usize);
+                    }
+                })
             }
-        });
+            Some(delta) => self.for_frontier_words(frontier, Some(&delta.active), words, |node| {
+                delta.visit_merged(self.predecessors(node, sym), node, |source| {
+                    out.insert(source as usize);
+                });
+            }),
+        }
     }
 
     /// One forward simulation step on a **sparse** node set (sorted,
@@ -730,8 +1346,17 @@ impl GraphDb {
     /// state).
     pub fn step_sparse_into(&self, set: &[NodeId], sym: Symbol, out: &mut Vec<NodeId>) {
         out.clear();
-        for &node in set {
-            out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+        match self.out_delta(sym) {
+            None => {
+                for &node in set {
+                    out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+                }
+            }
+            Some(delta) => {
+                for &node in set {
+                    delta.visit_merged(self.successors(node, sym), node, |t| out.push(t));
+                }
+            }
         }
         out.sort_unstable();
         out.dedup();
@@ -744,20 +1369,158 @@ impl GraphDb {
     /// [`GraphDb::step_sparse_into`] (sorted, deduplicated).
     pub fn step_sparse_masked_into(&self, set: &[NodeId], sym: Symbol, out: &mut Vec<NodeId>) {
         out.clear();
+        // Delta-aware: `label_sources` is the exact merged active set.
         let active = self.label_sources(sym);
-        for &node in set {
-            if active.contains(node as usize) {
-                out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+        match self.out_delta(sym) {
+            None => {
+                for &node in set {
+                    if active.contains(node as usize) {
+                        out.extend(self.successors(node, sym).iter().map(|&(_, t)| t));
+                    }
+                }
+            }
+            Some(delta) => {
+                for &node in set {
+                    if active.contains(node as usize) {
+                        delta.visit_merged(self.successors(node, sym), node, |t| out.push(t));
+                    }
+                }
             }
         }
         out.sort_unstable();
         out.dedup();
     }
 
-    /// Iterates over all edges as `(src, label, dst)`.
-    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
-        self.nodes()
-            .flat_map(move |n| self.out_edges(n).iter().map(move |&(s, t)| (n, s, t)))
+    /// Iterates over all **effective** edges as `(src, label, dst)` —
+    /// delta overlay included, in `(src, label, dst)` order. The
+    /// delta-free path stays lazy and allocation-free; on an overlay
+    /// graph, touched nodes materialize their merged edge list.
+    pub fn edges(&self) -> Box<dyn Iterator<Item = (NodeId, Symbol, NodeId)> + '_> {
+        if self.delta.is_none() {
+            Box::new(
+                self.nodes()
+                    .flat_map(move |n| self.out_edges(n).iter().map(move |&(s, t)| (n, s, t))),
+            )
+        } else {
+            Box::new(self.nodes().flat_map(move |n| {
+                self.out_edges_view(n)
+                    .into_owned()
+                    .into_iter()
+                    .map(move |(s, t)| (n, s, t))
+            }))
+        }
+    }
+
+    /// `true` iff this handle carries a pending edge-delta overlay.
+    pub fn has_delta(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Size of the pending overlay in edges (`added + removed`, after
+    /// cancellation) — the quantity the serving layer compares against
+    /// its compaction threshold. 0 for a delta-free graph.
+    pub fn delta_edges(&self) -> usize {
+        self.delta
+            .as_deref()
+            .map_or(0, |d| d.added_total + d.removed_total)
+    }
+
+    /// `true` iff `src --sym--> dst` is an edge of the **base CSR**
+    /// (ignoring the overlay) — one binary search within the node's
+    /// label partition.
+    fn base_has_out(&self, src: NodeId, sym: Symbol, dst: NodeId) -> bool {
+        self.successors(src, sym)
+            .binary_search_by_key(&dst, |&(_, t)| t)
+            .is_ok()
+    }
+
+    /// Returns a new handle over the same frozen CSR with `remove` taken
+    /// out and then `add` put in (`(G ∖ remove) ∪ add` — an edge in both
+    /// lists ends up **present**). Deltas are total and no-op tolerant:
+    /// removing an absent edge or adding a present one does nothing, and
+    /// opposite mutations cancel, so a fully cancelled overlay returns a
+    /// delta-free handle. Only unknown endpoints or labels fail: the
+    /// node set and the alphabet are frozen (see [`DeltaError`]).
+    ///
+    /// The receiver is untouched (handles are snapshots; the CSR is
+    /// shared structurally), and stacking is supported: applying a delta
+    /// to an overlay graph folds the batches together.
+    ///
+    /// ```
+    /// use pathlearn_graph::graph::figure3_g0;
+    ///
+    /// let g0 = figure3_g0();
+    /// let c = g0.alphabet().symbol("c").unwrap();
+    /// let (v2, v4) = (g0.node_id("v2").unwrap(), g0.node_id("v4").unwrap());
+    /// let patched = g0.with_delta(&[(v2, c, v4)], &[]).unwrap();
+    /// assert_eq!(patched.num_edges(), g0.num_edges() + 1);
+    /// assert!(patched.has_delta());
+    /// // Undoing the addition cancels the overlay entirely.
+    /// let undone = patched.with_delta(&[], &[(v2, c, v4)]).unwrap();
+    /// assert!(!undone.has_delta());
+    /// ```
+    pub fn with_delta(
+        &self,
+        add: &[(NodeId, Symbol, NodeId)],
+        remove: &[(NodeId, Symbol, NodeId)],
+    ) -> Result<GraphDb, DeltaError> {
+        let n = self.num_nodes();
+        let sigma = self.core.alphabet.len();
+        for &(src, sym, dst) in remove.iter().chain(add) {
+            for node in [src, dst] {
+                if node as usize >= n {
+                    return Err(DeltaError::NodeOutOfRange { node, num_nodes: n });
+                }
+            }
+            if sym.index() >= sigma {
+                return Err(DeltaError::SymbolOutOfRange {
+                    symbol: sym,
+                    alphabet_len: sigma,
+                });
+            }
+        }
+        let mut overlay = match &self.delta {
+            Some(delta) => delta.clone(),
+            None => Box::new(DeltaOverlay::empty(sigma, n)),
+        };
+        let mut touched = vec![false; sigma];
+        // Removals strictly before additions: `(G ∖ remove) ∪ add`.
+        for &(src, sym, dst) in remove {
+            overlay.remove_edge(sym, src, dst, self.base_has_out(src, sym, dst));
+            touched[sym.index()] = true;
+        }
+        for &(src, sym, dst) in add {
+            overlay.add_edge(sym, src, dst, self.base_has_out(src, sym, dst));
+            touched[sym.index()] = true;
+        }
+        for (si, &was_touched) in touched.iter().enumerate() {
+            if was_touched {
+                overlay.refresh_symbol(&self.core, si);
+            }
+        }
+        overlay.refresh_totals();
+        Ok(GraphDb {
+            core: self.core.clone(),
+            delta: (!overlay.is_empty()).then_some(overlay),
+        })
+    }
+
+    /// Folds the delta overlay into a fresh CSR, **preserving node ids
+    /// and the alphabet** — result bitsets and interned symbols from the
+    /// overlay graph remain valid on the compacted one. A delta-free
+    /// graph compacts to a (cheap, structurally shared) clone of itself.
+    pub fn compact(&self) -> GraphDb {
+        if self.delta.is_none() {
+            return self.clone();
+        }
+        let mut builder = GraphBuilder::with_alphabet(self.core.alphabet.clone());
+        for node in self.nodes() {
+            builder.add_node(self.node_name(node));
+        }
+        for (src, sym, dst) in self.edges() {
+            builder.add_edge_ids(src, sym, dst);
+        }
+        builder.build()
     }
 }
 
@@ -940,24 +1703,28 @@ impl GraphBuilder {
         let label_targets_sparse = sparse(&label_target_counts);
 
         GraphDb {
-            alphabet: self.alphabet,
-            node_names: self.node_names,
-            name_index: self.name_index,
-            out_offsets,
-            out_sym_offsets,
-            out_edges,
-            in_offsets,
-            in_sym_offsets,
-            in_edges,
-            label_sources,
-            label_targets,
-            label_source_counts,
-            label_target_counts,
-            label_source_avg_deg_x16,
-            label_target_avg_deg_x16,
-            label_sources_sparse,
-            label_targets_sparse,
-            no_label_nodes: BitSet::new(n),
+            core: std::sync::Arc::new(GraphCore {
+                alphabet: self.alphabet,
+                node_names: self.node_names,
+                name_index: self.name_index,
+                out_offsets,
+                out_sym_offsets,
+                out_edges,
+                in_offsets,
+                in_sym_offsets,
+                in_edges,
+                label_sources,
+                label_targets,
+                label_source_counts,
+                label_target_counts,
+                label_source_avg_deg_x16,
+                label_target_avg_deg_x16,
+                label_sources_sparse,
+                label_targets_sparse,
+                label_edge_counts,
+                no_label_nodes: BitSet::new(n),
+            }),
+            delta: None,
         }
     }
 }
@@ -1497,5 +2264,247 @@ mod tests {
             graph.label_targets(c).iter().collect::<Vec<_>>(),
             [x as usize]
         );
+    }
+
+    /// Delta-aware twin of `assert_label_bitmaps_match_adjacency`: the
+    /// merged views, counts, degrees and per-node metadata of an overlay
+    /// graph must match its compacted rebuild exactly.
+    fn assert_overlay_matches_compacted(overlay: &GraphDb, compacted: &GraphDb) {
+        assert_eq!(overlay.num_nodes(), compacted.num_nodes());
+        assert_eq!(overlay.num_edges(), compacted.num_edges());
+        let overlay_edges: Vec<_> = overlay.edges().collect();
+        let compacted_edges: Vec<_> = compacted.edges().collect();
+        assert_eq!(overlay_edges, compacted_edges, "edges() order + content");
+        for sym in overlay.alphabet().symbols() {
+            assert_eq!(
+                overlay.label_sources(sym).iter().collect::<Vec<_>>(),
+                compacted.label_sources(sym).iter().collect::<Vec<_>>(),
+                "label_sources({sym:?})"
+            );
+            assert_eq!(
+                overlay.label_targets(sym).iter().collect::<Vec<_>>(),
+                compacted.label_targets(sym).iter().collect::<Vec<_>>(),
+                "label_targets({sym:?})"
+            );
+            assert_eq!(
+                overlay.label_source_count(sym),
+                compacted.label_source_count(sym)
+            );
+            assert_eq!(
+                overlay.label_target_count(sym),
+                compacted.label_target_count(sym)
+            );
+            assert_eq!(
+                overlay.label_source_avg_degree(sym),
+                compacted.label_source_avg_degree(sym),
+                "avg out-degree of {sym:?}"
+            );
+            assert_eq!(
+                overlay.label_target_avg_degree(sym),
+                compacted.label_target_avg_degree(sym),
+                "avg in-degree of {sym:?}"
+            );
+            assert_eq!(
+                overlay.label_sources_sparse(sym),
+                compacted.label_sources_sparse(sym)
+            );
+            assert_eq!(
+                overlay.label_targets_sparse(sym),
+                compacted.label_targets_sparse(sym)
+            );
+            for node in overlay.nodes() {
+                let mut via_visit = Vec::new();
+                overlay.for_each_successor(node, sym, |t| via_visit.push(t));
+                via_visit.sort_unstable();
+                let direct: Vec<NodeId> = compacted
+                    .successors(node, sym)
+                    .iter()
+                    .map(|&(_, t)| t)
+                    .collect();
+                assert_eq!(via_visit, direct, "successors of {node} over {sym:?}");
+                let mut back_visit = Vec::new();
+                overlay.for_each_predecessor(node, sym, |s| back_visit.push(s));
+                back_visit.sort_unstable();
+                let back: Vec<NodeId> = compacted
+                    .predecessors(node, sym)
+                    .iter()
+                    .map(|&(_, s)| s)
+                    .collect();
+                assert_eq!(back_visit, back, "predecessors of {node} over {sym:?}");
+            }
+        }
+        for node in overlay.nodes() {
+            assert_eq!(overlay.out_degree(node), compacted.out_degree(node));
+            assert_eq!(overlay.in_degree(node), compacted.in_degree(node));
+            assert_eq!(
+                overlay.out_edges_view(node).as_ref(),
+                compacted.out_edges(node),
+                "out view of {node}"
+            );
+            assert_eq!(
+                overlay.in_edges_view(node).as_ref(),
+                compacted.in_edges(node),
+                "in view of {node}"
+            );
+        }
+        // Frontier kernels, every policy-relevant flavor, every symbol,
+        // from a full frontier and a couple of partial ones.
+        let n = overlay.num_nodes();
+        let frontiers = [
+            BitSet::full(n),
+            BitSet::from_indices(n, (0..n).step_by(2)),
+            BitSet::from_indices(n, [0]),
+        ];
+        for sym in overlay.alphabet().symbols() {
+            for frontier in &frontiers {
+                let (mut a, mut b) = (BitSet::new(n), BitSet::new(n));
+                overlay.step_frontier_into(frontier, sym, &mut a);
+                compacted.step_frontier_into(frontier, sym, &mut b);
+                assert_eq!(a, b, "plain forward {sym:?}");
+                overlay.step_frontier_masked_into(frontier, sym, &mut a);
+                assert_eq!(a, b, "masked forward {sym:?}");
+                overlay.step_frontier_back_into(frontier, sym, &mut a);
+                compacted.step_frontier_back_into(frontier, sym, &mut b);
+                assert_eq!(a, b, "plain backward {sym:?}");
+                overlay.step_frontier_back_masked_into(frontier, sym, &mut a);
+                assert_eq!(a, b, "masked backward {sym:?}");
+                let set: Vec<NodeId> = frontier.iter().map(|i| i as NodeId).collect();
+                let (mut sa, mut sb) = (Vec::new(), Vec::new());
+                overlay.step_sparse_into(&set, sym, &mut sa);
+                compacted.step_sparse_into(&set, sym, &mut sb);
+                assert_eq!(sa, sb, "sparse {sym:?}");
+                overlay.step_sparse_masked_into(&set, sym, &mut sa);
+                assert_eq!(sa, sb, "sparse masked {sym:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_add_remove_matches_compacted_rebuild() {
+        let g0 = figure3_g0();
+        let (a, b, c) = (
+            g0.alphabet().symbol("a").unwrap(),
+            g0.alphabet().symbol("b").unwrap(),
+            g0.alphabet().symbol("c").unwrap(),
+        );
+        let id = |name: &str| g0.node_id(name).unwrap();
+        // Mixed batch: add a new c-edge and a new b-edge, remove an
+        // a-edge, remove v3's only c-edge (v3 leaves label_sources(c)).
+        let overlay = g0
+            .with_delta(
+                &[(id("v2"), c, id("v4")), (id("v4"), b, id("v1"))],
+                &[(id("v3"), a, id("v2")), (id("v3"), c, id("v4"))],
+            )
+            .unwrap();
+        assert!(overlay.has_delta());
+        assert_eq!(overlay.delta_edges(), 4);
+        assert_eq!(overlay.num_edges(), 15);
+        let compacted = overlay.compact();
+        assert!(!compacted.has_delta());
+        assert_overlay_matches_compacted(&overlay, &compacted);
+        // The base handle is untouched.
+        assert_eq!(g0.num_edges(), 15);
+        assert!(!g0.has_delta());
+    }
+
+    #[test]
+    fn delta_is_total_and_cancels() {
+        let g0 = figure3_g0();
+        let a = g0.alphabet().symbol("a").unwrap();
+        let (v1, v2, v4) = (
+            g0.node_id("v1").unwrap(),
+            g0.node_id("v2").unwrap(),
+            g0.node_id("v4").unwrap(),
+        );
+        // No-ops: adding a present edge, removing an absent one.
+        let same = g0.with_delta(&[(v1, a, v2)], &[(v4, a, v1)]).unwrap();
+        assert!(!same.has_delta());
+        assert_eq!(same.num_edges(), 15);
+        // remove-then-add of the same edge in one batch: removals are
+        // processed first, so the edge ends up present.
+        let both = g0.with_delta(&[(v1, a, v2)], &[(v1, a, v2)]).unwrap();
+        assert!(!both.has_delta());
+        // Cross-batch cancellation: add then remove across two deltas.
+        let added = g0.with_delta(&[(v4, a, v1)], &[]).unwrap();
+        assert!(added.has_delta());
+        let cancelled = added.with_delta(&[], &[(v4, a, v1)]).unwrap();
+        assert!(!cancelled.has_delta());
+        assert_eq!(cancelled.num_edges(), 15);
+        // Remove then re-add a base edge across two deltas.
+        let removed = g0.with_delta(&[], &[(v1, a, v2)]).unwrap();
+        assert_eq!(removed.num_edges(), 14);
+        let restored = removed.with_delta(&[(v1, a, v2)], &[]).unwrap();
+        assert!(!restored.has_delta());
+        assert_eq!(restored.num_edges(), 15);
+    }
+
+    #[test]
+    fn delta_rejects_unknown_nodes_and_symbols() {
+        let g0 = figure3_g0();
+        let a = g0.alphabet().symbol("a").unwrap();
+        assert_eq!(
+            g0.with_delta(&[(99, a, 0)], &[]).unwrap_err(),
+            DeltaError::NodeOutOfRange {
+                node: 99,
+                num_nodes: 7
+            }
+        );
+        assert_eq!(
+            g0.with_delta(&[], &[(0, a, 42)]).unwrap_err(),
+            DeltaError::NodeOutOfRange {
+                node: 42,
+                num_nodes: 7
+            }
+        );
+        let foreign = Symbol::from_index(9);
+        assert_eq!(
+            g0.with_delta(&[(0, foreign, 1)], &[]).unwrap_err(),
+            DeltaError::SymbolOutOfRange {
+                symbol: foreign,
+                alphabet_len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn delta_stacks_and_compaction_preserves_ids() {
+        let g0 = figure3_g0();
+        let (a, c) = (
+            g0.alphabet().symbol("a").unwrap(),
+            g0.alphabet().symbol("c").unwrap(),
+        );
+        let id = |name: &str| g0.node_id(name).unwrap();
+        let step1 = g0.with_delta(&[(id("v4"), c, id("v5"))], &[]).unwrap();
+        let step2 = step1
+            .with_delta(&[(id("v4"), a, id("v6"))], &[(id("v1"), a, id("v2"))])
+            .unwrap();
+        assert_eq!(step2.delta_edges(), 3);
+        let compacted = step2.compact();
+        // Ids, names, and the alphabet survive compaction verbatim.
+        for node in g0.nodes() {
+            assert_eq!(step2.node_name(node), compacted.node_name(node));
+        }
+        assert_eq!(
+            g0.alphabet().symbols().collect::<Vec<_>>(),
+            compacted.alphabet().symbols().collect::<Vec<_>>()
+        );
+        assert_overlay_matches_compacted(&step2, &compacted);
+        // Compacting a delta-free graph is a cheap structural clone.
+        let recompacted = compacted.compact();
+        assert_eq!(recompacted.num_edges(), compacted.num_edges());
+    }
+
+    #[test]
+    fn delta_removing_every_edge_of_a_label_empties_its_bitmaps() {
+        let g0 = figure3_g0();
+        let c = g0.alphabet().symbol("c").unwrap();
+        let (v3, v4) = (g0.node_id("v3").unwrap(), g0.node_id("v4").unwrap());
+        // v3 --c--> v4 is the only c-edge in G0.
+        let overlay = g0.with_delta(&[], &[(v3, c, v4)]).unwrap();
+        assert!(overlay.label_sources(c).is_empty());
+        assert!(overlay.label_targets(c).is_empty());
+        assert_eq!(overlay.label_source_count(c), 0);
+        assert_eq!(overlay.label_source_avg_degree(c), 0.0);
+        assert_overlay_matches_compacted(&overlay, &overlay.compact());
     }
 }

@@ -2,10 +2,43 @@
 //!
 //! Line-oriented format, one edge per line: `src label dst` (whitespace
 //! separated); lines starting with `#` are comments; a line `node NAME`
-//! declares an isolated node. Round-trips through [`GraphDb`].
+//! declares an isolated node. Round-trips through [`GraphDb`]: names the
+//! format cannot represent (empty, containing whitespace, or starting
+//! with `#`) make [`write_graph`] fail with a structured
+//! [`GraphWriteError`] instead of silently emitting text that
+//! [`parse_graph`] would mis-read.
 
 use crate::graph::{GraphBuilder, GraphDb};
 use std::fmt::Write as _;
+
+/// Error from [`write_graph`]: the graph contains a node name or edge
+/// label the line-oriented text format cannot represent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphWriteError {
+    /// The unserializable name, verbatim.
+    pub name: String,
+    /// `"node"` or `"label"` — which namespace the offender lives in.
+    pub kind: &'static str,
+}
+
+impl std::fmt::Display for GraphWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} name {:?} cannot be serialized: the text format forbids empty names, \
+             whitespace, and a leading '#'",
+            self.kind, self.name
+        )
+    }
+}
+
+impl std::error::Error for GraphWriteError {}
+
+/// `true` iff the text format can round-trip `name` (non-empty, no
+/// whitespace, no leading `#`).
+fn serializable(name: &str) -> bool {
+    !name.is_empty() && !name.starts_with('#') && !name.chars().any(char::is_whitespace)
+}
 
 /// Error from [`parse_graph`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,7 +92,30 @@ pub fn parse_graph(text: &str) -> Result<GraphDb, GraphParseError> {
 }
 
 /// Serializes a graph into the text format (deterministic order).
-pub fn write_graph(graph: &GraphDb) -> String {
+///
+/// Fails with a [`GraphWriteError`] when a node name or label cannot be
+/// represented (empty, whitespace, or a leading `#`) — a guaranteed
+/// round-trip is worth more than a best-effort string, since the old
+/// behavior emitted text that [`parse_graph`] silently mis-read.
+pub fn write_graph(graph: &GraphDb) -> Result<String, GraphWriteError> {
+    for node in graph.nodes() {
+        let name = graph.node_name(node);
+        if !serializable(name) {
+            return Err(GraphWriteError {
+                name: name.to_owned(),
+                kind: "node",
+            });
+        }
+    }
+    for sym in graph.alphabet().symbols() {
+        let label = graph.alphabet().name(sym);
+        if !serializable(label) {
+            return Err(GraphWriteError {
+                name: label.to_owned(),
+                kind: "label",
+            });
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -69,7 +125,7 @@ pub fn write_graph(graph: &GraphDb) -> String {
         graph.alphabet().len()
     );
     for node in graph.nodes() {
-        if graph.out_edges(node).is_empty() && graph.in_edges(node).is_empty() {
+        if graph.out_degree(node) == 0 && graph.in_degree(node) == 0 {
             let _ = writeln!(out, "node {}", graph.node_name(node));
         }
     }
@@ -82,12 +138,33 @@ pub fn write_graph(graph: &GraphDb) -> String {
             graph.node_name(dst)
         );
     }
-    out
+    Ok(out)
+}
+
+/// Escapes a string for use inside a DOT double-quoted attribute:
+/// backslashes and double quotes would otherwise terminate or corrupt
+/// the attribute string.
+fn dot_escape(name: &str) -> std::borrow::Cow<'_, str> {
+    if !name.contains(['"', '\\']) {
+        return std::borrow::Cow::Borrowed(name);
+    }
+    let mut escaped = String::with_capacity(name.len() + 2);
+    for ch in name.chars() {
+        if ch == '"' || ch == '\\' {
+            escaped.push('\\');
+        }
+        escaped.push(ch);
+    }
+    std::borrow::Cow::Owned(escaped)
 }
 
 /// Renders the graph in Graphviz DOT syntax, optionally marking nodes with
-/// `+` / `-` example labels (Figure 1-style visualization).
+/// `+` / `-` example labels (Figure 1-style visualization). Names and
+/// labels are escaped for DOT attribute strings; example membership is
+/// one hash probe per node instead of a scan of the example lists.
 pub fn graph_to_dot(graph: &GraphDb, positives: &[u32], negatives: &[u32]) -> String {
+    let positives: std::collections::HashSet<u32> = positives.iter().copied().collect();
+    let negatives: std::collections::HashSet<u32> = negatives.iter().copied().collect();
     let mut out = String::new();
     let _ = writeln!(out, "digraph G {{");
     for node in graph.nodes() {
@@ -101,14 +178,14 @@ pub fn graph_to_dot(graph: &GraphDb, positives: &[u32], negatives: &[u32]) -> St
         let _ = writeln!(
             out,
             "  n{node} [label=\"{}\"{decoration}];",
-            graph.node_name(node)
+            dot_escape(graph.node_name(node))
         );
     }
     for (src, sym, dst) in graph.edges() {
         let _ = writeln!(
             out,
             "  n{src} -> n{dst} [label=\"{}\"];",
-            graph.alphabet().name(sym)
+            dot_escape(graph.alphabet().name(sym))
         );
     }
     let _ = writeln!(out, "}}");
@@ -123,7 +200,7 @@ mod tests {
     #[test]
     fn roundtrip_figure3() {
         let graph = figure3_g0();
-        let text = write_graph(&graph);
+        let text = write_graph(&graph).unwrap();
         let parsed = parse_graph(&text).unwrap();
         assert_eq!(parsed.num_nodes(), graph.num_nodes());
         assert_eq!(parsed.num_edges(), graph.num_edges());
@@ -153,10 +230,56 @@ mod tests {
     #[test]
     fn isolated_nodes_survive_roundtrip() {
         let graph = parse_graph("node alone\nx a y\n").unwrap();
-        let text = write_graph(&graph);
+        let text = write_graph(&graph).unwrap();
         let parsed = parse_graph(&text).unwrap();
         assert!(parsed.node_id("alone").is_some());
         assert_eq!(parsed.num_nodes(), 3);
+    }
+
+    #[test]
+    fn write_rejects_unserializable_names() {
+        // Whitespace in a node name: the old writer emitted it verbatim,
+        // and parse saw four fields (silent round-trip corruption).
+        let mut builder = GraphBuilder::new();
+        builder.add_edge("a node", "lbl", "y");
+        let err = write_graph(&builder.build()).unwrap_err();
+        assert_eq!(err.kind, "node");
+        assert_eq!(err.name, "a node");
+
+        // Leading '#' in a label: the line would parse as a comment.
+        let mut builder = GraphBuilder::new();
+        builder.add_edge("x", "#bad", "y");
+        let err = write_graph(&builder.build()).unwrap_err();
+        assert_eq!(err.kind, "label");
+        assert!(err.to_string().contains("#bad"));
+
+        // Empty node name: `node ` parses as a malformed line.
+        let mut builder = GraphBuilder::new();
+        builder.add_node("");
+        assert!(write_graph(&builder.build()).is_err());
+    }
+
+    #[test]
+    fn write_includes_delta_overlay_edges() {
+        let graph = figure3_g0();
+        let a = graph.alphabet().symbol("a").unwrap();
+        let (v4, v1) = (graph.node_id("v4").unwrap(), graph.node_id("v1").unwrap());
+        let patched = graph.with_delta(&[(v4, a, v1)], &[]).unwrap();
+        let text = write_graph(&patched).unwrap();
+        assert!(text.contains("v4 a v1"));
+        let parsed = parse_graph(&text).unwrap();
+        assert_eq!(parsed.num_edges(), graph.num_edges() + 1);
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_backslashes() {
+        let mut builder = GraphBuilder::new();
+        builder.add_edge("he\"llo", "la\\bel", "world");
+        let dot = graph_to_dot(&builder.build(), &[], &[]);
+        assert!(dot.contains("label=\"he\\\"llo\""));
+        assert!(dot.contains("label=\"la\\\\bel\""));
+        // No naked inner quote may survive inside an attribute string.
+        assert!(!dot.contains("\"he\"llo\""));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sampling;
 pub mod scp;
 
 pub use cancel::{CancelToken, Interrupt};
-pub use graph::{GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
+pub use graph::{DeltaError, GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
 pub use par_eval::{EvalPool, IntraScratch};
 pub use plan::{PlanScratch, QueryPlan, Strategy};
 pub use scp::ScpFinder;

@@ -45,13 +45,13 @@ pub fn neighborhood(
         }
         next_frontier.clear();
         for &node in &frontier {
-            for &(_, t) in graph.out_edges(node) {
+            for &(_, t) in graph.out_edges_view(node).iter() {
                 if keep.insert(t as usize) {
                     next_frontier.push(t);
                 }
             }
             if include_backward {
-                for &(_, s) in graph.in_edges(node) {
+                for &(_, s) in graph.in_edges_view(node).iter() {
                     if keep.insert(s as usize) {
                         next_frontier.push(s);
                     }

@@ -106,7 +106,9 @@ impl GraphDb {
         let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
         color[node as usize] = Color::Gray;
         while let Some(&mut (n, ref mut edge_index)) = stack.last_mut() {
-            let edges = self.out_edges(n);
+            // The view merges any delta overlay (cold path: re-merging a
+            // touched node per visit is fine here).
+            let edges = self.out_edges_view(n);
             if *edge_index >= edges.len() {
                 color[n as usize] = Color::Black;
                 stack.pop();

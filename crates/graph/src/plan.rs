@@ -374,6 +374,14 @@ impl PlanScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The primary [`EvalScratch`] — for callers that mix planned
+    /// dispatch with direct evaluator calls (e.g. the serving layer's
+    /// subsumption-bounded monadic path) and want one reusable buffer
+    /// set rather than two.
+    pub fn eval_scratch(&mut self) -> &mut EvalScratch {
+        &mut self.a
+    }
 }
 
 /// Monadic evaluation under a plan (never-cancelled, [`StepPolicy::Auto`]).

@@ -82,7 +82,7 @@ pub fn sample_subgraph(
                 if restart {
                     current = rng.gen_range(0..graph.num_nodes()) as NodeId;
                 } else {
-                    let out = graph.out_edges(current);
+                    let out = graph.out_edges_view(current);
                     if out.is_empty() {
                         current = rng.gen_range(0..graph.num_nodes()) as NodeId;
                     } else {
@@ -114,7 +114,7 @@ pub fn sample_subgraph(
                     if kept >= target {
                         break;
                     }
-                    for &(_, next) in graph.out_edges(node) {
+                    for &(_, next) in graph.out_edges_view(node).iter() {
                         if kept >= target {
                             break;
                         }

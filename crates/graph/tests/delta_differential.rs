@@ -1,0 +1,327 @@
+//! Edge-delta differential suite — the overlay is never allowed to be
+//! an approximation.
+//!
+//! A [`GraphDb::with_delta`] overlay merges base-CSR adjacency with
+//! per-label added/removed sets inside every step kernel; this suite
+//! pins the contract that makes the serving layer's incremental write
+//! path sound: for **random delta sequences** (stacked batches with
+//! no-op removals, duplicate additions, and cross-batch cancellation),
+//! the overlay graph is **bit-identical** to a from-scratch rebuild of
+//! the same edge set — monadic and binary, under all four forced
+//! planner strategies, sequentially and on the pool at 1 and 4 threads
+//! — and [`GraphDb::compact`] folds the overlay away without changing
+//! a single bit, node id, or interned symbol.
+//!
+//! The reference is an independent model: a plain `HashSet` of edges
+//! mutated by `(G ∖ remove) ∪ add` per batch, rebuilt through
+//! [`GraphBuilder`] — not `compact()`, which shares the overlay-aware
+//! edge iterator with the code under test.
+
+use pathlearn_automata::{Alphabet, Dfa, Regex, Symbol};
+use pathlearn_graph::eval::{eval_binary_from, eval_monadic};
+use pathlearn_graph::plan::{
+    eval_binary_planned, eval_monadic_planned, plan_query_forced, PlanScratch,
+};
+use pathlearn_graph::Strategy as EvalStrategy;
+use pathlearn_graph::{CancelToken, EvalPool, GraphBuilder, GraphDb, IntraScratch, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+type Edge = (NodeId, Symbol, NodeId);
+
+/// Strategy: a random small graph over {a, b, c}, possibly
+/// disconnected, with self-loops and parallel labels (the shape space
+/// of the engine and planner differential suites).
+fn arb_graph() -> impl Strategy<Value = GraphDb> {
+    (
+        1usize..10,
+        proptest::collection::vec((0u32..10, 0usize..3, 0u32..10), 0..30),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+            for i in 0..n {
+                builder.add_node(&format!("n{i}"));
+            }
+            let n = n as u32;
+            for (src, sym, dst) in edges {
+                builder.add_edge_ids(src % n, Symbol::from_index(sym), dst % n);
+            }
+            builder.build()
+        })
+}
+
+type RawEdge = (u32, usize, u32);
+type RawBatch = (Vec<RawEdge>, Vec<RawEdge>);
+
+/// Strategy: a sequence of 1..5 delta batches, each a pile of raw
+/// `(src, sym, dst)` additions and removals. Ids are taken mod the
+/// graph size at application time, so batches freely hit absent edges
+/// (no-op removals), present edges (no-op additions), and each other
+/// (cross-batch cancellation).
+fn arb_delta_batches() -> impl Strategy<Value = Vec<RawBatch>> {
+    let edge = (0u32..10, 0usize..3, 0u32..10);
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(edge.clone(), 0..8),
+            proptest::collection::vec(edge, 0..8),
+        ),
+        1..5,
+    )
+}
+
+/// Strategy: a random regex AST over {a, b, c}, determinized.
+fn arb_query() -> impl Strategy<Value = Dfa> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0usize..3).prop_map(|i| Regex::Symbol(Symbol::from_index(i))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    .prop_map(|regex| regex.to_dfa(3))
+}
+
+/// Applies the batches twice in lockstep: to the overlay graph via
+/// stacked [`GraphDb::with_delta`], and to the reference edge set in
+/// plain Rust. Returns `(overlay, model-rebuilt graph)`.
+fn apply_batches(base: &GraphDb, batches: &[RawBatch]) -> (GraphDb, GraphDb) {
+    let n = base.num_nodes() as u32;
+    let fix = |edges: &[RawEdge]| -> Vec<Edge> {
+        edges
+            .iter()
+            .map(|&(s, sym, d)| (s % n, Symbol::from_index(sym), d % n))
+            .collect()
+    };
+    let mut overlay = base.clone();
+    let mut model: HashSet<Edge> = base.edges().collect();
+    for (add, remove) in batches {
+        let (add, remove) = (fix(add), fix(remove));
+        overlay = overlay
+            .with_delta(&add, &remove)
+            .expect("in-range delta must apply");
+        // `(G ∖ remove) ∪ add`: an edge in both lists ends up present.
+        for edge in &remove {
+            model.remove(edge);
+        }
+        for &edge in &add {
+            model.insert(edge);
+        }
+    }
+    let mut builder = GraphBuilder::with_alphabet(base.alphabet().clone());
+    for node in base.nodes() {
+        builder.add_node(base.node_name(node));
+    }
+    for &(src, sym, dst) in &model {
+        builder.add_edge_ids(src, sym, dst);
+    }
+    (overlay, builder.build())
+}
+
+/// The full strategy matrix on one (graph, query) pair: overlay vs
+/// reference, monadic and binary from every source, all four forced
+/// strategies, sequential and pooled at 1 and 4 threads.
+fn assert_delta_matrix(
+    overlay: &GraphDb,
+    reference: &GraphDb,
+    query: &Dfa,
+) -> Result<(), TestCaseError> {
+    let never = CancelToken::never();
+    let mut scratch = PlanScratch::new();
+    let mut intra = IntraScratch::new();
+    let pools: Vec<EvalPool> = THREAD_COUNTS.iter().map(|&t| EvalPool::new(t)).collect();
+
+    let expected = eval_monadic(query, reference);
+    prop_assert_eq!(
+        &eval_monadic(query, overlay),
+        &expected,
+        "plain monadic eval disagrees on the overlay"
+    );
+    for forced in EvalStrategy::ALL {
+        // Plans are built ON the overlay graph — the planner's estimates
+        // and reversed automata must digest delta-carrying handles.
+        let plan = plan_query_forced(query, overlay, forced);
+        prop_assert_eq!(
+            &eval_monadic_planned(&mut scratch, &plan, overlay),
+            &expected,
+            "overlay monadic disagrees under forced {}",
+            forced
+        );
+        for (pool, &threads) in pools.iter().zip(THREAD_COUNTS.iter()) {
+            prop_assert_eq!(
+                &pool
+                    .eval_monadic_planned(&mut intra, &plan, overlay, &never)
+                    .unwrap(),
+                &expected,
+                "overlay pool monadic disagrees under forced {} at {} threads",
+                forced,
+                threads
+            );
+        }
+        for source in overlay.nodes() {
+            let expected_binary = eval_binary_from(query, reference, source);
+            prop_assert_eq!(
+                &eval_binary_planned(&mut scratch, &plan, overlay, source),
+                &expected_binary,
+                "overlay binary disagrees under forced {} from {}",
+                forced,
+                source
+            );
+            for (pool, &threads) in pools.iter().zip(THREAD_COUNTS.iter()) {
+                prop_assert_eq!(
+                    &pool
+                        .eval_binary_planned(&mut intra, &plan, overlay, source, &never)
+                        .unwrap(),
+                    &expected_binary,
+                    "overlay pool binary disagrees under forced {} from {} at {} threads",
+                    forced,
+                    source,
+                    threads
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole invariant: random delta sequences leave the overlay
+    /// graph bit-identical to an independent rebuild of the same edge
+    /// set — structurally (edge list, per-edge counts, degree views)
+    /// and observably (every evaluator, every strategy, every thread
+    /// count).
+    #[test]
+    fn overlay_is_bit_identical_to_a_rebuild(
+        graph in arb_graph(),
+        batches in arb_delta_batches(),
+        query in arb_query(),
+    ) {
+        let (overlay, reference) = apply_batches(&graph, &batches);
+
+        // Structure first: same effective edge set, same count.
+        let overlay_edges: HashSet<Edge> = overlay.edges().collect();
+        let reference_edges: HashSet<Edge> = reference.edges().collect();
+        prop_assert_eq!(&overlay_edges, &reference_edges);
+        prop_assert_eq!(overlay.num_edges(), reference.num_edges());
+        prop_assert_eq!(overlay.num_nodes(), reference.num_nodes());
+
+        assert_delta_matrix(&overlay, &reference, &query)?;
+    }
+
+    /// Compaction is invisible: folding the overlay into a fresh CSR
+    /// preserves node ids, names, the alphabet, and every bit of every
+    /// answer — and a compacted graph carries no overlay.
+    #[test]
+    fn compaction_preserves_ids_and_answers(
+        graph in arb_graph(),
+        batches in arb_delta_batches(),
+        query in arb_query(),
+    ) {
+        let (overlay, _) = apply_batches(&graph, &batches);
+        let compacted = overlay.compact();
+        prop_assert!(!compacted.has_delta());
+        prop_assert_eq!(compacted.delta_edges(), 0);
+        prop_assert_eq!(compacted.num_nodes(), overlay.num_nodes());
+        prop_assert_eq!(compacted.num_edges(), overlay.num_edges());
+        for node in overlay.nodes() {
+            prop_assert_eq!(compacted.node_name(node), overlay.node_name(node));
+        }
+        prop_assert_eq!(
+            &eval_monadic(&query, &compacted),
+            &eval_monadic(&query, &overlay)
+        );
+        for source in overlay.nodes() {
+            prop_assert_eq!(
+                &eval_binary_from(&query, &compacted, source),
+                &eval_binary_from(&query, &overlay, source)
+            );
+        }
+    }
+
+    /// Delta algebra: applying a batch and then its exact inverse (in
+    /// a second batch, so cancellation crosses batches) returns to a
+    /// delta-free handle answering exactly like the original.
+    #[test]
+    fn inverse_batches_cancel_to_the_base_graph(
+        graph in arb_graph(),
+        edges in proptest::collection::vec((0u32..10, 0usize..3, 0u32..10), 1..8),
+        query in arb_query(),
+    ) {
+        let n = graph.num_nodes() as u32;
+        let batch: Vec<Edge> = edges
+            .iter()
+            .map(|&(s, sym, d)| (s % n, Symbol::from_index(sym), d % n))
+            .collect();
+        // Only genuinely-new edges: adding a present edge is a no-op,
+        // so its "inverse" removal would NOT round-trip (it would
+        // delete a base edge) — the inverse of a no-op is nothing.
+        let base_edges: HashSet<Edge> = graph.edges().collect();
+        let fresh: Vec<Edge> = {
+            let mut seen = HashSet::new();
+            batch
+                .into_iter()
+                .filter(|e| !base_edges.contains(e) && seen.insert(*e))
+                .collect()
+        };
+        let patched = graph.with_delta(&fresh, &[]).unwrap();
+        prop_assert_eq!(patched.num_edges(), graph.num_edges() + fresh.len());
+        let undone = patched.with_delta(&[], &fresh).unwrap();
+        prop_assert!(!undone.has_delta(), "full cancellation must drop the overlay");
+        prop_assert_eq!(undone.num_edges(), graph.num_edges());
+        prop_assert_eq!(&eval_monadic(&query, &undone), &eval_monadic(&query, &graph));
+    }
+}
+
+/// Fixed shapes the random sweep is unlikely to pin precisely:
+/// removing every edge of one label (the label's active sets must go
+/// empty, not stale), and an overlay larger than the base graph.
+#[test]
+fn fixed_delta_shapes() {
+    let mut builder = GraphBuilder::with_alphabet(Alphabet::from_labels(LABELS));
+    builder.add_edge("x", "a", "y");
+    builder.add_edge("y", "a", "z");
+    builder.add_edge("y", "b", "x");
+    builder.add_node("lonely");
+    let graph = builder.build();
+    let a = graph.alphabet().symbol("a").unwrap();
+    let b = graph.alphabet().symbol("b").unwrap();
+    let (x, y, z) = (
+        graph.node_id("x").unwrap(),
+        graph.node_id("y").unwrap(),
+        graph.node_id("z").unwrap(),
+    );
+
+    // Erase every a-edge: a-queries must go empty through the overlay.
+    let no_a = graph.with_delta(&[], &[(x, a, y), (y, a, z)]).unwrap();
+    let qa = Regex::parse("a", graph.alphabet()).unwrap().to_dfa(3);
+    assert!(eval_monadic(&qa, &no_a).is_empty());
+    assert_eq!(eval_monadic(&qa, &no_a), eval_monadic(&qa, &no_a.compact()));
+
+    // An overlay bigger than the base: a full clique of b-edges over 4
+    // nodes (16 additions on a 3-edge base).
+    let mut clique = Vec::new();
+    for src in 0..4u32 {
+        for dst in 0..4u32 {
+            clique.push((src, b, dst));
+        }
+    }
+    let dense = graph.with_delta(&clique, &[]).unwrap();
+    let qb = Regex::parse("b·b", graph.alphabet()).unwrap().to_dfa(3);
+    let expected = eval_monadic(&qb, &dense.compact());
+    assert_eq!(eval_monadic(&qb, &dense), expected);
+    assert_eq!(expected.len(), 4, "every clique node starts a b·b path");
+
+    // Out-of-range endpoints and labels fail loudly, not silently.
+    assert!(graph.with_delta(&[(99, a, x)], &[]).is_err());
+    assert!(graph
+        .with_delta(&[], &[(x, Symbol::from_index(7), y)])
+        .is_err());
+}

@@ -32,6 +32,14 @@
 //!     drain. Prints `listening on <addr>` (with the real port for
 //!     `:0`) and runs until killed.
 //!
+//! pathlearn update <ADDR> [--add \"src label dst\"]... [--remove \"src label dst\"]...
+//!     Patch a live `pathlearn serve --listen` server over TCP with an
+//!     edge delta (removals apply before additions). Unlike restarting
+//!     the server on a new file, a delta invalidates only the cache
+//!     entries whose queries can see the touched labels — everything
+//!     else keeps serving as hits, and established fingerprints keep
+//!     resolving.
+//!
 //! pathlearn stats <graph.txt>
 //!     Graph statistics (nodes, edges, labels, degree distribution).
 //! ```
@@ -69,6 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "learn" => learn_command(&args[1..]),
         "interactive" => interactive_command(&args[1..]),
         "serve" => serve_command(&args[1..]),
+        "update" => update_command(&args[1..]),
         "stats" => stats_command(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -83,6 +92,7 @@ USAGE:
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
   pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M] [--strategy auto|forward|backward|bidirectional]
   pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M] [--strategy ...]
+  pathlearn update <ADDR> [--add \"src label dst\"]... [--remove \"src label dst\"]...
   pathlearn stats <graph.txt>
 ";
 
@@ -120,6 +130,15 @@ impl Options {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in the order given.
+    fn flag_all<'a>(&'a self, name: &str) -> Vec<&'a str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn load_graph(&self) -> Result<GraphDb, String> {
@@ -391,6 +410,72 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         stats.forward_evals, stats.backward_evals, stats.bidirectional_evals
     );
     Ok(())
+}
+
+/// `pathlearn update <ADDR> --add "src label dst" --remove "src label dst"`:
+/// send one `DELTA` frame to a live server. Names are resolved
+/// server-side, so a typo comes back as a `BAD_DELTA` diagnostic and the
+/// served graph stays untouched.
+fn update_command(args: &[String]) -> Result<(), String> {
+    use pathlearn::server::Response;
+
+    let options = parse_options(args).map_err(|e| match e.as_str() {
+        "missing graph file argument" => "missing server address argument".to_owned(),
+        _ => e,
+    })?;
+    let addr = &options.graph_path; // positional slot doubles as ADDR here
+    let parse_edges = |flag: &str| -> Result<Vec<(String, String, String)>, String> {
+        options
+            .flag_all(flag)
+            .into_iter()
+            .map(|spec| {
+                let mut parts = spec.split_whitespace();
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(src), Some(label), Some(dst), None) => {
+                        Ok((src.to_owned(), label.to_owned(), dst.to_owned()))
+                    }
+                    _ => Err(format!(
+                        "--{flag} needs exactly `src label dst`, got `{spec}`"
+                    )),
+                }
+            })
+            .collect()
+    };
+    let add = parse_edges("add")?;
+    let remove = parse_edges("remove")?;
+    if add.is_empty() && remove.is_empty() {
+        return Err("need at least one --add/--remove edge".into());
+    }
+
+    let mut client = pathlearn::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match client
+        .apply_delta(&add, &remove)
+        .map_err(|e| format!("delta roundtrip failed: {e}"))?
+    {
+        Response::DeltaApplied {
+            invalidated,
+            compacted,
+            delta_edges,
+            ..
+        } => {
+            println!(
+                "applied: +{} -{} edge(s); {invalidated} cache entries invalidated",
+                add.len(),
+                remove.len()
+            );
+            if compacted {
+                println!("overlay compacted into the base graph");
+            } else {
+                println!("overlay now {delta_edges} pending edge(s)");
+            }
+            Ok(())
+        }
+        Response::Error { code, message, .. } => {
+            Err(format!("server rejected: {code:?}: {message}"))
+        }
+        other => Err(format!("unexpected reply: {other:?}")),
+    }
 }
 
 fn stats_command(args: &[String]) -> Result<(), String> {

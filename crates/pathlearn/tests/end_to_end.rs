@@ -146,7 +146,7 @@ fn pipeline_is_deterministic_end_to_end() {
 fn graph_io_roundtrip_preserves_learning() {
     // Serialize a graph, re-parse it, and learn the same query.
     let graph = small_synthetic();
-    let text = pathlearn::graph::io::write_graph(&graph);
+    let text = pathlearn::graph::io::write_graph(&graph).unwrap();
     let reparsed = pathlearn::graph::io::parse_graph(&text).unwrap();
     assert_eq!(reparsed.num_nodes(), graph.num_nodes());
     assert_eq!(reparsed.num_edges(), graph.num_edges());

@@ -31,10 +31,33 @@
 //! entry counts are `capacity / |V|-bits`, small enough that the scan is
 //! noise next to one evaluation.
 
-use pathlearn_automata::{BitSet, CanonicalQuery};
+use pathlearn_automata::{BitSet, CanonicalQuery, Symbol};
 use pathlearn_graph::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The **live alphabet** of a canonical query: the symbols with at least
+/// one defined transition in its minimal DFA, sorted. A graph delta that
+/// touches none of these labels provably cannot change the query's
+/// answer — the label-aware invalidation rule of
+/// [`ResultCache::invalidate_labels`].
+pub fn live_alphabet(query: &CanonicalQuery) -> Box<[u32]> {
+    let mut live: Vec<u32> = query
+        .dfa()
+        .transitions()
+        .map(|(_, sym, _)| sym.index() as u32)
+        .collect();
+    live.sort_unstable();
+    live.dedup();
+    live.into_boxed_slice()
+}
+
+/// `true` iff the sorted live-alphabet slice intersects `touched`.
+pub(crate) fn intersects(live: &[u32], touched: &[Symbol]) -> bool {
+    touched
+        .iter()
+        .any(|sym| live.binary_search(&(sym.index() as u32)).is_ok())
+}
 
 /// Fixed per-entry overhead charged on top of the result bitset's blocks
 /// and the key's DFA table (hash-map slot, `Arc` headers, bookkeeping)
@@ -122,6 +145,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Insertions rejected because one entry exceeded the whole budget.
     pub rejected: u64,
+    /// Entries dropped by label-aware invalidation
+    /// ([`ResultCache::invalidate_labels`]).
+    pub invalidated: u64,
 }
 
 struct Entry {
@@ -129,6 +155,9 @@ struct Entry {
     bytes: usize,
     cost_ns: u64,
     priority: f64,
+    /// Sorted live alphabet of the entry's canonical DFA — what
+    /// label-aware invalidation tests deltas against.
+    live: Box<[u32]>,
 }
 
 /// The cost-aware result cache. Single-threaded by design — the owning
@@ -219,6 +248,7 @@ impl ResultCache {
             self.stats.evictions += 1;
         }
         let priority = self.priority(cost_ns, bytes);
+        let live = live_alphabet(&key.query);
         self.bytes += bytes;
         self.map.insert(
             key,
@@ -227,10 +257,47 @@ impl ResultCache {
                 bytes,
                 cost_ns,
                 priority,
+                live,
             },
         );
         self.stats.insertions += 1;
         true
+    }
+
+    /// Label-aware invalidation: drops exactly the entries whose live
+    /// alphabet intersects `touched` (an edge delta over other labels
+    /// cannot change their answers — their canonical DFAs never step
+    /// through a touched symbol). Returns the number of dropped
+    /// entries. The complement — including plans and every result over
+    /// disjoint labels — survives, which is the whole point of
+    /// delta-based updates over rebuild-the-world.
+    pub fn invalidate_labels(&mut self, touched: &[Symbol]) -> usize {
+        let bytes = &mut self.bytes;
+        let before = self.map.len();
+        self.map.retain(|_, entry| {
+            let dead = intersects(&entry.live, touched);
+            if dead {
+                *bytes = bytes
+                    .checked_sub(entry.bytes)
+                    .expect("cache byte ledger underflow on invalidation");
+            }
+            !dead
+        });
+        let dropped = before - self.map.len();
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Iterates resident **monadic** entries as `(canonical query, live
+    /// alphabet, result)` without touching hit statistics or GDSF
+    /// priorities — the probe surface for subsumption-aware reuse,
+    /// where most inspected entries will not match and must not have
+    /// their priority refreshed as if they had served a hit.
+    pub fn iter_monadic(&self) -> impl Iterator<Item = (&CanonicalQuery, &[u32], &Arc<BitSet>)> {
+        self.map.iter().filter_map(|(key, entry)| match key.kind {
+            QueryKind::Monadic => Some((&key.query, &*entry.live, &entry.value)),
+            QueryKind::Binary(_) => None,
+        })
     }
 
     /// Drops every entry (graph rebuild invalidation). Stats and the
@@ -439,6 +506,62 @@ mod tests {
             cache.capacity_bytes(),
             CacheConfig::default().capacity_bytes
         );
+    }
+
+    #[test]
+    fn label_invalidation_kills_only_intersecting_live_alphabets() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        cache.insert(key("a"), value(64), 10);
+        cache.insert(key("b·b"), value(64), 10);
+        cache.insert(key("(a+c)*"), value(64), 10);
+        let bytes_before = cache.bytes();
+        // Touching c kills (a+c)* but not a or b·b.
+        let c = alphabet.symbol("c").unwrap();
+        assert_eq!(cache.invalidate_labels(&[c]), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() < bytes_before);
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("b·b")).is_some());
+        assert!(cache.get(&key("(a+c)*")).is_none());
+        // Touching a label no resident query reads drops nothing: the
+        // queries a and b·b have live alphabets {a} and {b}.
+        assert_eq!(cache.invalidate_labels(&[c]), 0);
+        assert_eq!(cache.stats().invalidated, 1);
+        // Touching a kills the a entry.
+        let a = alphabet.symbol("a").unwrap();
+        assert_eq!(cache.invalidate_labels(&[a]), 1);
+        assert!(cache.get(&key("a")).is_none());
+        assert!(cache.get(&key("b·b")).is_some());
+    }
+
+    #[test]
+    fn live_alphabet_is_the_canonical_dfas_stepped_symbols() {
+        // Canonicalization prunes what the raw regex mentions but the
+        // minimal DFA never steps through: a + a·b·∅-ish spellings.
+        assert_eq!(live_alphabet(&key("a").query).as_ref(), &[0]);
+        assert_eq!(live_alphabet(&key("a·(b+c)").query).as_ref(), &[0, 1, 2]);
+        // ε has an empty live alphabet: no delta can ever kill it.
+        assert!(live_alphabet(&key("eps").query).is_empty());
+        let mut cache = ResultCache::new(CacheConfig::default());
+        cache.insert(key("eps"), value(64), 10);
+        let alphabet = Alphabet::from_labels(["a", "b", "c"]);
+        let all: Vec<_> = alphabet.symbols().collect();
+        assert_eq!(cache.invalidate_labels(&all), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn monadic_iteration_skips_binary_and_does_not_refresh() {
+        let mut cache = ResultCache::new(CacheConfig::default());
+        let canonical = key("a").query;
+        cache.insert(CacheKey::monadic(canonical.clone()), value(64), 10);
+        cache.insert(CacheKey::binary(canonical, 0), value(64), 10);
+        cache.insert(key("b"), value(64), 10);
+        assert_eq!(cache.iter_monadic().count(), 2);
+        let hits_before = cache.stats().hits;
+        let _ = cache.iter_monadic().count();
+        assert_eq!(cache.stats().hits, hits_before, "probing is not a hit");
     }
 
     #[test]

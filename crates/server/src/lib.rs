@@ -53,4 +53,6 @@ pub mod service;
 pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
 pub use net::{Client, NetConfig, NetStats, Server};
 pub use proto::{ErrorCode, QueryRef, Request, Response, WireKind, WireServed, NO_DEADLINE_MS};
-pub use service::{EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats, Served};
+pub use service::{
+    DeltaApplied, EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats, Served,
+};

@@ -38,14 +38,24 @@
 //! (the new graph may have a different alphabet), so clients must
 //! re-establish fingerprints by text and treat `UNKNOWN_FINGERPRINT`
 //! after a `DRAINING` burst as "resubmit by text".
+//!
+//! `DELTA` frames are the non-disruptive write path: they are handled
+//! inline on the connection thread through
+//! [`QueryService::apply_delta`] — no drain, no shed, no fresh drain
+//! generation — because a delta invalidates only the touched labels'
+//! cache entries and fences stale in-flight publishes with per-label
+//! epochs. The fingerprint registry is **retained** across deltas: the
+//! node set and the alphabet are frozen under the delta contract, so
+//! every established fingerprint still names the same canonical query.
 
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, FrameError, QueryRef, Request, Response, WireKind,
-    WireServed, NO_DEADLINE_MS,
+    read_frame, write_frame, ErrorCode, FrameError, QueryRef, Request, Response, WireEdge,
+    WireKind, WireServed, NO_DEADLINE_MS,
 };
-use crate::service::{EvalMode, QueryResponse, QueryService, Served};
-use pathlearn_automata::{CanonicalQuery, Regex};
-use pathlearn_graph::{CancelToken, GraphDb, Interrupt};
+use crate::service::{DeltaApplied, EvalMode, QueryResponse, QueryService, Served};
+use pathlearn_automata::{CanonicalQuery, Regex, Symbol};
+use pathlearn_graph::graph::DeltaError;
+use pathlearn_graph::{CancelToken, GraphDb, Interrupt, NodeId};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -240,14 +250,20 @@ impl LatencyRing {
         }
     }
 
+    /// Nearest-rank percentile: the smallest sample with at least `p`%
+    /// of the window at or below it, `⌈n·p/100⌉` in 1-based rank terms.
+    /// (The previous `(n-1)·p/100` truncation under-reported the tail:
+    /// with a full 1024-sample window it returned rank 1013 of 1024 for
+    /// p=99 — short of the 1014 nearest-rank — and could never return
+    /// the window maximum for any p < 100.)
     fn percentile(&self, p: u32) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let rank = (sorted.len() - 1) * p as usize / 100;
-        sorted[rank]
+        let rank = (sorted.len() * p as usize).div_ceil(100).saturating_sub(1);
+        sorted[rank.min(sorted.len() - 1)]
     }
 }
 
@@ -302,6 +318,10 @@ impl Shared {
         put("serve.coalesced", serve.coalesced);
         put("serve.batch_deduped", serve.batch_deduped);
         put("serve.invalidations", serve.invalidations);
+        put("serve.deltas_applied", serve.deltas_applied);
+        put("serve.label_invalidations", serve.label_invalidations);
+        put("serve.subsumption_reuses", serve.subsumption_reuses);
+        put("serve.compactions", serve.compactions);
         put("serve.sequential_evals", serve.sequential_evals);
         put("serve.intra_evals", serve.intra_evals);
         put("serve.batch_evals", serve.batch_evals);
@@ -316,6 +336,7 @@ impl Shared {
         put("cache.insertions", cache.insertions);
         put("cache.evictions", cache.evictions);
         put("cache.rejected", cache.rejected);
+        put("cache.invalidated", cache.invalidated);
         put("cache.bytes_used", cache_bytes as u64);
         put("cache.bytes_budget", cache_budget as u64);
         put("net.accepted", net.accepted);
@@ -421,6 +442,60 @@ impl Shared {
                     message: format!("fingerprint {fp:#018x} not established on this server"),
                 }),
             },
+        }
+    }
+
+    /// Applies a `DELTA` frame inline: resolve the named edges against
+    /// the served graph, hand the batch to
+    /// [`QueryService::apply_delta`], and answer `DELTA_APPLIED` (or a
+    /// request-level `BAD_DELTA` error — the graph is unchanged then).
+    /// No drain, no queue: deltas are the cheap write path, and the
+    /// fingerprint registry survives because the node set and alphabet
+    /// are frozen.
+    fn handle_delta(&self, request_id: u64, add: &[WireEdge], remove: &[WireEdge]) -> Response {
+        let graph = self.service.graph();
+        let bad = |message: String| Response::Error {
+            request_id,
+            code: ErrorCode::BadDelta,
+            message,
+        };
+        let mut resolved = [Vec::new(), Vec::new()];
+        for (list, wire) in resolved.iter_mut().zip([add, remove]) {
+            list.reserve(wire.len());
+            for (src, label, dst) in wire {
+                let node = |name: &str| -> Result<NodeId, Response> {
+                    graph
+                        .node_id(name)
+                        .ok_or_else(|| bad(format!("unknown node {name:?}")))
+                };
+                let sym: Symbol = match graph.alphabet().symbol(label) {
+                    Some(sym) => sym,
+                    None => return bad(format!("unknown label {label:?}")),
+                };
+                match (node(src), node(dst)) {
+                    (Ok(src), Ok(dst)) => list.push((src, sym, dst)),
+                    (Err(reply), _) | (_, Err(reply)) => return reply,
+                }
+            }
+        }
+        let [add_ids, remove_ids] = resolved;
+        match self.service.apply_delta(&add_ids, &remove_ids) {
+            Ok(DeltaApplied {
+                invalidated,
+                compacted,
+                delta_edges,
+            }) => Response::DeltaApplied {
+                request_id,
+                invalidated: invalidated as u32,
+                compacted,
+                delta_edges: delta_edges as u32,
+            },
+            // Unreachable while the delta contract holds (resolution
+            // pinned everything in range), but a rebuild racing this
+            // frame can shrink the graph under the resolved ids.
+            Err(
+                err @ (DeltaError::NodeOutOfRange { .. } | DeltaError::SymbolOutOfRange { .. }),
+            ) => bad(err.to_string()),
         }
     }
 
@@ -564,6 +639,11 @@ impl Shared {
                     deadline_ms,
                     query,
                 } => self.handle_query(request_id, kind, deadline_ms, &query, arrival),
+                Request::Delta {
+                    request_id,
+                    add,
+                    remove,
+                } => self.handle_delta(request_id, &add, &remove),
             };
             if write_frame(&mut stream, &reply.encode()).is_err() {
                 self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -748,6 +828,21 @@ impl Server {
         queue.draining = false;
     }
 
+    /// Applies an edge-delta batch to the served graph **without
+    /// draining** — the non-disruptive counterpart of
+    /// [`Server::rebuild_graph`]: concurrent queries keep flowing, only
+    /// the touched labels' cache entries are invalidated, and the
+    /// fingerprint registry is retained (node set and alphabet are
+    /// frozen under the delta contract). Equivalent to a `DELTA` frame
+    /// arriving on a connection, minus the name resolution.
+    pub fn apply_delta(
+        &self,
+        add: &[(NodeId, Symbol, NodeId)],
+        remove: &[(NodeId, Symbol, NodeId)],
+    ) -> Result<DeltaApplied, DeltaError> {
+        self.shared.service.apply_delta(add, remove)
+    }
+
     /// Graceful stop: drain, join workers and acceptor, force-close
     /// lingering connections. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -825,7 +920,8 @@ impl Client {
         let sent_id = match request {
             Request::Query { request_id, .. }
             | Request::Stats { request_id }
-            | Request::Ping { request_id } => *request_id,
+            | Request::Ping { request_id }
+            | Request::Delta { request_id, .. } => *request_id,
         };
         let got_id = match &response {
             Response::Result { request_id, .. }
@@ -834,7 +930,8 @@ impl Client {
             | Response::Draining { request_id }
             | Response::Error { request_id, .. }
             | Response::Stats { request_id, .. }
-            | Response::Pong { request_id } => *request_id,
+            | Response::Pong { request_id }
+            | Response::DeltaApplied { request_id, .. } => *request_id,
         };
         // Error frames for framing violations carry request id 0 (the
         // server could not decode the offender).
@@ -914,6 +1011,20 @@ impl Client {
         }
     }
 
+    /// Sends an edge-delta batch: removals applied before additions,
+    /// names resolved server-side. On success the reply is
+    /// [`Response::DeltaApplied`]; an unknown node or label name comes
+    /// back as [`ErrorCode::BadDelta`] without disturbing the served
+    /// graph.
+    pub fn apply_delta(&mut self, add: &[WireEdge], remove: &[WireEdge]) -> io::Result<Response> {
+        let request_id = self.fresh_id();
+        self.roundtrip(&Request::Delta {
+            request_id,
+            add: add.to_vec(),
+            remove: remove.to_vec(),
+        })
+    }
+
     /// Writes raw bytes with no framing — the fault-injection suites
     /// use this to send garbage, truncated frames, and oversized length
     /// prefixes.
@@ -948,5 +1059,68 @@ impl Client {
     /// Half-closes the write side (mid-query disconnect fault).
     pub fn shutdown_write(&self) -> io::Result<()> {
         self.stream.shutdown(Shutdown::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{LatencyRing, LATENCY_WINDOW};
+
+    /// Nearest-rank on a small window: for n = 10 samples 1..=10 the
+    /// 1-based rank is ⌈10·p/100⌉, so p50 → rank 5 → value 5 (the old
+    /// truncating index returned 4), and p99 → rank 10 → the maximum.
+    #[test]
+    fn percentile_is_nearest_rank_on_a_small_window() {
+        let mut ring = LatencyRing::new();
+        // Record shuffled so the test also covers the internal sort.
+        for ns in [7u64, 2, 9, 4, 1, 10, 6, 3, 8, 5] {
+            ring.record(ns);
+        }
+        assert_eq!(ring.percentile(50), 5);
+        assert_eq!(ring.percentile(90), 9);
+        assert_eq!(ring.percentile(99), 10);
+        assert_eq!(ring.percentile(100), 10);
+        assert_eq!(ring.percentile(1), 1);
+    }
+
+    /// The exact regression the fix targets: a full 1024-sample window
+    /// holding 1..=1024 must report p99 = ⌈1024·0.99⌉ = 1014 (the
+    /// truncating formula said 1013) and p100 = the window maximum.
+    #[test]
+    fn percentile_pins_the_tail_on_a_full_window() {
+        let mut ring = LatencyRing::new();
+        for ns in 1..=LATENCY_WINDOW as u64 {
+            ring.record(ns);
+        }
+        assert_eq!(ring.percentile(50), 512);
+        assert_eq!(ring.percentile(99), 1014);
+        assert_eq!(ring.percentile(100), 1024);
+    }
+
+    /// Past the window the ring overwrites oldest-first; percentiles
+    /// reflect only the surviving window, and a single sample answers
+    /// every percentile with itself.
+    #[test]
+    fn percentile_tracks_the_sliding_window_and_degenerate_sizes() {
+        let mut ring = LatencyRing::new();
+        assert_eq!(ring.percentile(99), 0, "empty ring reports zero");
+
+        ring.record(42);
+        assert_eq!(ring.percentile(1), 42);
+        assert_eq!(ring.percentile(50), 42);
+        assert_eq!(ring.percentile(100), 42);
+
+        // Fill the window with a low plateau, then push it out with a
+        // high one: once the low samples are overwritten the p50 must
+        // move to the new plateau.
+        let mut ring = LatencyRing::new();
+        for _ in 0..LATENCY_WINDOW {
+            ring.record(1);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            ring.record(1_000);
+        }
+        assert_eq!(ring.percentile(50), 1_000);
+        assert_eq!(ring.percentile(99), 1_000);
     }
 }

@@ -28,6 +28,7 @@
 //! | `0x01` | `QUERY` | `u8 kind` (0 monadic, 1 binary) · `u32 source` (binary only) · `u32 deadline_ms` ([`NO_DEADLINE_MS`] = unbounded, 0 = already expired) · `u8 ref` (0 = regex text string, 1 = `u64` canonical fingerprint) · the query |
 //! | `0x02` | `STATS` | empty |
 //! | `0x03` | `PING` | empty |
+//! | `0x04` | `DELTA` | `u32 n_add` · n × (`src` · `label` · `dst` strings) · `u32 n_remove` · m × (`src` · `label` · `dst` strings) — edges by **name**, resolved server-side against the served graph |
 //!
 //! Fingerprint references resolve against the queries this server has
 //! already parsed (see [`crate::net`]'s registry): a client that submits
@@ -45,6 +46,7 @@
 //! | `0x85` | `ERROR` | `u8 code` ([`ErrorCode`]) · message string |
 //! | `0x86` | `STATS` | `u32 n` · n × (`u8 name_len` · name · `u64 value`) |
 //! | `0x87` | `PONG` | empty |
+//! | `0x88` | `DELTA_APPLIED` | `u32 invalidated` · `u8 compacted` · `u32 delta_edges` — the delta landed; only cache entries reading a touched label were dropped |
 //!
 //! The result bitset is encoded as its backing `u64` blocks, so a client
 //! can compare answers **bit-identically** against direct evaluation —
@@ -82,6 +84,7 @@ const HEADER_LEN: usize = 1 + 1 + 8;
 const OP_QUERY: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_PING: u8 = 0x03;
+const OP_DELTA: u8 = 0x04;
 const OP_RESULT: u8 = 0x81;
 const OP_SHED: u8 = 0x82;
 const OP_DEADLINE: u8 = 0x83;
@@ -89,6 +92,7 @@ const OP_DRAINING: u8 = 0x84;
 const OP_ERROR: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
 const OP_PONG: u8 = 0x87;
+const OP_DELTA_APPLIED: u8 = 0x88;
 
 /// Error codes carried by `ERROR` frames. Codes at or above
 /// [`ErrorCode::Parse`] are request-level (the connection survives);
@@ -113,6 +117,10 @@ pub enum ErrorCode {
     UnknownFingerprint = 6,
     /// The server refused the connection (e.g. at its connection cap).
     Busy = 7,
+    /// A `DELTA` frame named a node or label the served graph does not
+    /// have (request-level; the graph is unchanged — deltas are
+    /// all-or-nothing).
+    BadDelta = 8,
 }
 
 impl ErrorCode {
@@ -125,6 +133,7 @@ impl ErrorCode {
             5 => ErrorCode::Parse,
             6 => ErrorCode::UnknownFingerprint,
             7 => ErrorCode::Busy,
+            8 => ErrorCode::BadDelta,
             _ => return None,
         })
     }
@@ -176,7 +185,24 @@ pub enum Request {
         /// Client-chosen id echoed on the response.
         request_id: u64,
     },
+    /// Apply an edge-delta batch — `(G ∖ remove) ∪ add` — to the served
+    /// graph, invalidating only the touched labels' cache entries.
+    /// Edges travel by **name** (`src`, `label`, `dst` strings) and are
+    /// resolved server-side; an unknown name fails the whole batch with
+    /// [`ErrorCode::BadDelta`] and changes nothing.
+    Delta {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+        /// Edges to insert (after removals).
+        add: Vec<WireEdge>,
+        /// Edges to take out first.
+        remove: Vec<WireEdge>,
+    },
 }
+
+/// One named edge in a `DELTA` frame: `(src, label, dst)` strings,
+/// resolved against the served graph's node names and alphabet.
+pub type WireEdge = (String, String, String);
 
 /// How a `RESULT` frame's query was served (the wire projection of
 /// [`crate::Served`], splitting the evaluated case by mode).
@@ -265,6 +291,18 @@ pub enum Response {
     Pong {
         /// Echo of the request id.
         request_id: u64,
+    },
+    /// A `DELTA` frame landed (the wire projection of
+    /// [`crate::DeltaApplied`]).
+    DeltaApplied {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Cache entries dropped by label-aware invalidation.
+        invalidated: u32,
+        /// Whether the overlay was folded into a fresh CSR.
+        compacted: bool,
+        /// Overlay edges still pending after this batch.
+        delta_edges: u32,
     },
 }
 
@@ -501,6 +539,21 @@ impl Request {
             }
             Request::Stats { request_id } => header(&mut out, OP_STATS, *request_id),
             Request::Ping { request_id } => header(&mut out, OP_PING, *request_id),
+            Request::Delta {
+                request_id,
+                add,
+                remove,
+            } => {
+                header(&mut out, OP_DELTA, *request_id);
+                for list in [add, remove] {
+                    out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                    for (src, label, dst) in list {
+                        put_string(&mut out, src);
+                        put_string(&mut out, label);
+                        put_string(&mut out, dst);
+                    }
+                }
+            }
         }
         out
     }
@@ -531,6 +584,32 @@ impl Request {
             }
             OP_STATS => Request::Stats { request_id },
             OP_PING => Request::Ping { request_id },
+            OP_DELTA => {
+                let mut lists = [Vec::new(), Vec::new()];
+                for list in &mut lists {
+                    let n = reader.u32()? as usize;
+                    // Each edge costs ≥ 6 payload bytes (three empty
+                    // strings); a count claiming more edges than the
+                    // payload could hold is malformed, not a giant
+                    // allocation.
+                    if n > payload.len() / 6 {
+                        return Err(DecodeError::Malformed("delta edge count"));
+                    }
+                    list.reserve(n);
+                    for _ in 0..n {
+                        let src = reader.string()?;
+                        let label = reader.string()?;
+                        let dst = reader.string()?;
+                        list.push((src, label, dst));
+                    }
+                }
+                let [add, remove] = lists;
+                Request::Delta {
+                    request_id,
+                    add,
+                    remove,
+                }
+            }
             other => return Err(DecodeError::BadOpcode(other)),
         };
         reader.finish()?;
@@ -590,6 +669,17 @@ impl Response {
                 }
             }
             Response::Pong { request_id } => header(&mut out, OP_PONG, *request_id),
+            Response::DeltaApplied {
+                request_id,
+                invalidated,
+                compacted,
+                delta_edges,
+            } => {
+                header(&mut out, OP_DELTA_APPLIED, *request_id);
+                out.extend_from_slice(&invalidated.to_le_bytes());
+                out.push(u8::from(*compacted));
+                out.extend_from_slice(&delta_edges.to_le_bytes());
+            }
         }
         out
     }
@@ -647,6 +737,21 @@ impl Response {
                 }
             }
             OP_PONG => Response::Pong { request_id },
+            OP_DELTA_APPLIED => {
+                let invalidated = reader.u32()?;
+                let compacted = match reader.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::Malformed("compacted flag")),
+                };
+                let delta_edges = reader.u32()?;
+                Response::DeltaApplied {
+                    request_id,
+                    invalidated,
+                    compacted,
+                    delta_edges,
+                }
+            }
             other => return Err(DecodeError::BadOpcode(other)),
         };
         reader.finish()?;
@@ -684,6 +789,45 @@ mod tests {
         });
         roundtrip_request(Request::Stats { request_id: 1 });
         roundtrip_request(Request::Ping { request_id: 2 });
+        roundtrip_request(Request::Delta {
+            request_id: 3,
+            add: vec![("v1".into(), "a".into(), "v2".into())],
+            remove: vec![
+                ("v2".into(), "b".into(), "v3".into()),
+                ("v3".into(), "c".into(), "v1".into()),
+            ],
+        });
+        roundtrip_request(Request::Delta {
+            request_id: 4,
+            add: vec![],
+            remove: vec![],
+        });
+    }
+
+    #[test]
+    fn delta_decoding_rejects_truncation_and_bogus_counts() {
+        let full = Request::Delta {
+            request_id: 5,
+            add: vec![("v1".into(), "a".into(), "v2".into())],
+            remove: vec![("v2".into(), "a".into(), "v1".into())],
+        }
+        .encode();
+        for cut in HEADER_LEN..full.len() {
+            assert_eq!(
+                Request::decode(&full[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // An edge count the payload cannot possibly hold is rejected
+        // before any allocation, not trusted.
+        let mut bogus = Vec::new();
+        header(&mut bogus, OP_DELTA, 1);
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Request::decode(&bogus),
+            Err(DecodeError::Malformed("delta edge count"))
+        );
     }
 
     #[test]
@@ -724,6 +868,17 @@ mod tests {
             counters: vec![("net.shed".to_owned(), 3), ("serve.hits".to_owned(), 99)],
         });
         roundtrip_response(Response::Pong { request_id: 8 });
+        roundtrip_response(Response::DeltaApplied {
+            request_id: 11,
+            invalidated: 3,
+            compacted: true,
+            delta_edges: 0,
+        });
+        roundtrip_response(Response::Error {
+            request_id: 12,
+            code: ErrorCode::BadDelta,
+            message: "unknown node \"v99\"".to_owned(),
+        });
     }
 
     #[test]

@@ -56,9 +56,50 @@
 //! only if their epoch still matches, and post-rebuild submissions can
 //! no longer coalesce onto them — so a stale result is never served
 //! after the rebuild returns.
+//!
+//! ## Edge deltas: label-aware invalidation
+//!
+//! [`QueryService::apply_delta`] is the incremental alternative: it
+//! patches the current graph with an edge-delta overlay
+//! ([`GraphDb::with_delta`]) instead of swapping it wholesale, and
+//! invalidates **only what the delta can have changed**. The rule is
+//! per-label: every cached entry carries the *live alphabet* of its
+//! canonical DFA (the labels with at least one defined transition), and
+//! an entry survives a delta iff that set is disjoint from the delta's
+//! touched labels — a query that never steps through label `x` provably
+//! answers identically on a graph whose `x`-edges moved. The same rule
+//! gates in-flight work through **per-label epochs**: admission captures
+//! the maximum epoch over the query's live alphabet, and publication
+//! re-checks it, so an evaluation raced by a delta on its own labels
+//! completes for its waiters but never poisons the cache. The plan
+//! cache *survives* deltas — plans embed label statistics, so a plan
+//! tuned pre-delta may be mildly mistuned, but every strategy is
+//! bit-identical, so it is never wrong. Overlays are folded into a
+//! fresh CSR ([`GraphDb::compact`], node-id- and alphabet-preserving)
+//! once they outgrow [`ServeConfig::delta_compact_threshold`].
+//!
+//! ## Subsumption-aware reuse
+//!
+//! A cache miss is not always a cold start. At admission the service
+//! probes the resident monadic entries for a **superset query**: if
+//! antichain inclusion ([`pathlearn_automata::inclusion::nfa_included_in`])
+//! proves
+//! `L(q) ⊆ L(q′)` for some cached `q′`, then `q(G) ⊆ q′(G)` on any
+//! graph, and the cached bits seed
+//! [`pathlearn_graph::eval::eval_monadic_bounded_interruptible`] as a
+//! sound upper bound — the BFS stops the moment its monotone lower
+//! bound meets the cached upper bound (and an empty cached answer
+//! proves the miss empty with zero graph work). Probing is capped and
+//! pre-filtered by live-alphabet subset, and the result is bit-exact
+//! either way.
 
-use crate::cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
-use pathlearn_automata::{BitSet, CanonicalQuery, Dfa};
+use crate::cache::{
+    intersects, live_alphabet, CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache,
+};
+use pathlearn_automata::inclusion::nfa_included_in;
+use pathlearn_automata::{BitSet, CanonicalQuery, Dfa, Symbol};
+use pathlearn_graph::eval::eval_monadic_bounded_interruptible;
+use pathlearn_graph::graph::DeltaError;
 use pathlearn_graph::plan::{
     eval_binary_planned_interruptible, eval_monadic_planned_interruptible, plan_query_forced,
     PlanScratch, QueryPlan,
@@ -95,8 +136,16 @@ pub struct ServeConfig {
     /// Testing/diagnostics knob: hold each evaluated result back this
     /// long before publishing it (cache insert + ticket completion).
     /// Widens the in-flight window so coalescing can be exercised
-    /// reliably from tests; keep `ZERO` (the default) in production.
+    /// reliably by tests; keep `ZERO` (the default) in production.
     pub eval_holdoff: Duration,
+    /// Overlay size (in edges, `added + removed`) above which
+    /// [`QueryService::apply_delta`] folds the accumulated delta into a
+    /// fresh CSR ([`GraphDb::compact`]). `None` (the default) derives
+    /// the bound from the base graph: `max(1024, base_edges / 8)` —
+    /// small overlays are nearly free to carry, and an overlay worth
+    /// ~an eighth of the CSR has earned a rebuild. Compaction preserves
+    /// node ids and the alphabet, so it invalidates nothing.
+    pub delta_compact_threshold: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +157,7 @@ impl Default for ServeConfig {
             step_policy: StepPolicy::Auto,
             strategy: Strategy::Auto,
             eval_holdoff: Duration::ZERO,
+            delta_compact_threshold: None,
         }
     }
 }
@@ -179,6 +229,20 @@ pub struct QueryResponse {
     pub canonical_states: usize,
 }
 
+/// Outcome of one [`QueryService::apply_delta`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaApplied {
+    /// Cache entries dropped because their live alphabet intersected
+    /// the batch's touched labels (everything else kept serving hits).
+    pub invalidated: usize,
+    /// Whether the accumulated overlay was folded into a fresh CSR
+    /// after this batch ([`ServeConfig::delta_compact_threshold`]).
+    pub compacted: bool,
+    /// Overlay edges still pending after this batch (0 right after a
+    /// compaction).
+    pub delta_edges: usize,
+}
+
 /// Aggregate service counters (a consistent snapshot via
 /// [`QueryService::stats`]).
 #[derive(Clone, Debug, Default)]
@@ -193,6 +257,18 @@ pub struct ServeStats {
     pub batch_deduped: u64,
     /// Graph rebuilds (each clears the cache).
     pub invalidations: u64,
+    /// Edge-delta batches applied via [`QueryService::apply_delta`]
+    /// (each invalidates only the touched labels' entries).
+    pub deltas_applied: u64,
+    /// Cache entries dropped by label-aware delta invalidation (entries
+    /// whose live alphabet intersected a delta's touched labels).
+    pub label_invalidations: u64,
+    /// Admitted monadic evaluations that ran under a cached superset
+    /// query's answer as a sound upper bound (subsumption reuse).
+    pub subsumption_reuses: u64,
+    /// Delta overlays folded into a fresh CSR after outgrowing
+    /// [`ServeConfig::delta_compact_threshold`].
+    pub compactions: u64,
     /// Admitted queries run sequentially.
     pub sequential_evals: u64,
     /// Admitted queries run on the intra-query parallel evaluator.
@@ -377,6 +453,14 @@ struct Inner {
     /// Bumped by every [`QueryService::rebuild_graph`]; in-flight
     /// evaluations skip their cache insert when it moved under them.
     epoch: u64,
+    /// Per-label epochs, bumped by [`QueryService::apply_delta`] for
+    /// every label a delta touches (and reset on rebuild — the global
+    /// epoch already fences everything then). An in-flight evaluation
+    /// captures the max over its live alphabet at admission and may
+    /// publish to the cache only if that max is unchanged: a delta on
+    /// labels the query never reads cannot have changed its answer, so
+    /// disjoint-label evaluations keep their cache insert.
+    label_epochs: Vec<u64>,
     cache: ResultCache,
     inflight: HashMap<CacheKey, Arc<InFlight>>,
     /// Whole-query plans keyed by canonical form: a fingerprint replay
@@ -390,6 +474,17 @@ struct Inner {
     stats: ServeStats,
 }
 
+impl Inner {
+    /// Max per-label epoch over a live-alphabet slice (0 for ε-style
+    /// queries with an empty one — no delta can ever stale those).
+    fn label_stamp(&self, live: &[u32]) -> u64 {
+        live.iter()
+            .map(|&sym| self.label_epochs[sym as usize])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Plan-cache entry bound; see [`Inner::plans`].
 const PLAN_CACHE_MAX: usize = 4096;
 
@@ -400,9 +495,24 @@ enum Admission {
     Evaluate {
         graph: Arc<GraphDb>,
         epoch: u64,
+        /// Max per-label epoch over the query's live alphabet at
+        /// admission; re-checked at publication (see [`Inner::label_epochs`]).
+        label_stamp: u64,
+        /// A resident superset query's answer (`L(q) ⊆ L(q′)` proven by
+        /// antichain inclusion): a sound upper bound seeding the
+        /// bounded monadic evaluator. `None` for binary keys and misses
+        /// with no subsuming entry.
+        upper: Option<Arc<BitSet>>,
         ticket: Arc<InFlight>,
     },
 }
+
+/// At most this many resident candidates get a (cheap, but not free)
+/// antichain inclusion check per admitted miss; the live-alphabet
+/// subset pre-filter runs first and is nearly free. Probing is a pure
+/// optimization — capping it bounds admission latency, never
+/// correctness.
+const SUBSUMPTION_PROBE_MAX: usize = 8;
 
 /// The multi-client RPQ query service. See the module docs for the
 /// pipeline; construction is cheap apart from spawning the pool's
@@ -432,6 +542,7 @@ pub struct QueryService {
     intra_query_node_threshold: usize,
     strategy: Strategy,
     eval_holdoff: Duration,
+    delta_compact_threshold: Option<usize>,
 }
 
 impl QueryService {
@@ -439,6 +550,7 @@ impl QueryService {
     pub fn new(graph: GraphDb, config: ServeConfig) -> Self {
         QueryService {
             inner: Mutex::new(Inner {
+                label_epochs: vec![0; graph.alphabet().len()],
                 graph: Arc::new(graph),
                 epoch: 0,
                 cache: ResultCache::new(config.cache),
@@ -450,6 +562,7 @@ impl QueryService {
             intra_query_node_threshold: config.intra_query_node_threshold,
             strategy: config.strategy,
             eval_holdoff: config.eval_holdoff,
+            delta_compact_threshold: config.delta_compact_threshold,
         }
     }
 
@@ -499,6 +612,9 @@ impl QueryService {
     /// and no new waiter can join them.
     pub fn rebuild_graph(&self, graph: GraphDb) {
         let mut inner = self.inner.lock().unwrap();
+        // The global epoch bump fences every in-flight publish, so the
+        // per-label clocks restart at zero (sized to the new alphabet).
+        inner.label_epochs = vec![0; graph.alphabet().len()];
         inner.graph = Arc::new(graph);
         inner.epoch += 1;
         inner.cache.clear();
@@ -509,6 +625,61 @@ impl QueryService {
         // draining only stops *new* submissions from coalescing on.
         inner.inflight.clear();
         inner.stats.invalidations += 1;
+    }
+
+    /// Patches the served graph with an edge-delta batch —
+    /// `(G ∖ remove) ∪ add`, see [`GraphDb::with_delta`] — instead of
+    /// rebuilding it, and invalidates **only** the cache entries and
+    /// in-flight coalescing targets whose live alphabet intersects the
+    /// delta's touched labels (module docs, *Edge deltas*). Entries over
+    /// disjoint labels keep serving hits: their answers are provably
+    /// unchanged. The plan cache survives (plans are tuning, not
+    /// truth), and the overlay is folded into a fresh CSR once it
+    /// outgrows [`ServeConfig::delta_compact_threshold`].
+    ///
+    /// Returns the applied outcome; fails (changing nothing) only on
+    /// endpoints or labels the frozen graph does not know.
+    pub fn apply_delta(
+        &self,
+        add: &[(NodeId, Symbol, NodeId)],
+        remove: &[(NodeId, Symbol, NodeId)],
+    ) -> Result<DeltaApplied, DeltaError> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut patched = inner.graph.with_delta(add, remove)?;
+        // Touched = labels named by the batch, deduped. (A fully
+        // cancelled no-op batch still counts as touching its labels:
+        // callers asked for a write fence, they get one.)
+        let mut touched: Vec<Symbol> = add.iter().chain(remove).map(|&(_, sym, _)| sym).collect();
+        touched.sort_unstable_by_key(|sym| sym.index());
+        touched.dedup();
+        for &sym in &touched {
+            inner.label_epochs[sym.index()] += 1;
+        }
+        let threshold = self
+            .delta_compact_threshold
+            .unwrap_or_else(|| (inner.graph.num_edges() / 8).max(1024));
+        let compacted = patched.delta_edges() > threshold;
+        if compacted {
+            patched = patched.compact();
+            inner.stats.compactions += 1;
+        }
+        inner.graph = Arc::new(patched);
+        let invalidated = inner.cache.invalidate_labels(&touched);
+        inner.stats.label_invalidations += invalidated as u64;
+        // Drain (not abandon) the in-flight tickets the delta can have
+        // staled, exactly as a rebuild drains all of them: their owners
+        // still complete for pre-delta waiters, but new submissions
+        // must re-evaluate instead of coalescing onto a stale run. The
+        // publication stamp check makes their cache insert a no-op.
+        inner
+            .inflight
+            .retain(|key, _| !intersects(&live_alphabet(&key.query), &touched));
+        inner.stats.deltas_applied += 1;
+        Ok(DeltaApplied {
+            invalidated,
+            compacted,
+            delta_edges: inner.graph.delta_edges(),
+        })
     }
 
     /// Serves the monadic query `q(G)`. Equal to
@@ -605,13 +776,59 @@ impl QueryService {
             inner.stats.coalesced += 1;
             return Admission::Wait(ticket);
         }
+        let live = live_alphabet(&key.query);
+        let upper = match key.kind {
+            QueryKind::Monadic => Self::probe_subsumption(&inner, key, &live),
+            QueryKind::Binary(_) => None,
+        };
+        if upper.is_some() {
+            inner.stats.subsumption_reuses += 1;
+        }
         let ticket = Arc::new(InFlight::new());
         inner.inflight.insert(key.clone(), ticket.clone());
         Admission::Evaluate {
             graph: inner.graph.clone(),
             epoch: inner.epoch,
+            label_stamp: inner.label_stamp(&live),
+            upper,
             ticket,
         }
+    }
+
+    /// A resident monadic superset of `key.query`, if antichain
+    /// inclusion proves one within [`SUBSUMPTION_PROBE_MAX`] checks:
+    /// `L(q) ⊆ L(q′)` makes the cached `q′(G)` a sound upper bound for
+    /// evaluating `q` on **any** graph — including the graph the caller
+    /// captured even if a disjoint-label delta lands in between,
+    /// because label-aware invalidation keeps only entries whose bits
+    /// are identical across those versions.
+    fn probe_subsumption(inner: &Inner, key: &CacheKey, live: &[u32]) -> Option<Arc<BitSet>> {
+        let dfa = key.query.dfa();
+        let mut nfa = None;
+        let mut checks = 0;
+        for (candidate, candidate_live, result) in inner.cache.iter_monadic() {
+            if checks >= SUBSUMPTION_PROBE_MAX {
+                break;
+            }
+            // Necessary condition, nearly free: a symbol q steps
+            // through occurs in some accepted word of q, which must
+            // also be accepted by any superset — so it must be live
+            // there too. (Also screens out foreign alphabet sizes,
+            // which the antichain check would assert on.)
+            if candidate.dfa().alphabet_len() != dfa.alphabet_len()
+                || !live
+                    .iter()
+                    .all(|sym| candidate_live.binary_search(sym).is_ok())
+            {
+                continue;
+            }
+            checks += 1;
+            let nfa = nfa.get_or_insert_with(|| dfa.to_nfa());
+            if nfa_included_in(nfa, &candidate.dfa().to_nfa()).is_ok() {
+                return Some(result.clone());
+            }
+        }
+        None
     }
 
     fn serve(&self, key: CacheKey) -> QueryResponse {
@@ -653,28 +870,35 @@ impl QueryService {
                 Admission::Evaluate {
                     graph,
                     epoch,
+                    label_stamp,
+                    upper,
                     ticket,
                 } => {
                     let mut guard = AdmissionGuard::new(self, &key, &ticket);
                     let start = Instant::now();
-                    let (result, mode, strategy) =
-                        match self.evaluate_interruptible(&graph, &key, epoch, cancel) {
-                            Ok(outcome) => outcome,
-                            Err(interrupt) => {
-                                // The armed guard's drop deregisters the
-                                // ticket and abandons it, so coalesced
-                                // waiters re-admit (one may finish the job
-                                // under its own, longer budget).
-                                drop(guard);
-                                return Err(self.note_interrupt(interrupt));
-                            }
-                        };
+                    let (result, mode, strategy) = match self.evaluate_interruptible(
+                        &graph,
+                        &key,
+                        epoch,
+                        upper.as_deref(),
+                        cancel,
+                    ) {
+                        Ok(outcome) => outcome,
+                        Err(interrupt) => {
+                            // The armed guard's drop deregisters the
+                            // ticket and abandons it, so coalesced
+                            // waiters re-admit (one may finish the job
+                            // under its own, longer budget).
+                            drop(guard);
+                            return Err(self.note_interrupt(interrupt));
+                        }
+                    };
                     let eval_ns = start.elapsed().as_nanos() as u64;
                     let result = Arc::new(result);
                     self.publish(
                         &key,
                         &ticket,
-                        epoch,
+                        (epoch, label_stamp),
                         result.clone(),
                         EvalOutcome { mode, strategy },
                         eval_ns,
@@ -701,7 +925,7 @@ impl QueryService {
         key: &CacheKey,
         epoch: u64,
     ) -> (BitSet, EvalMode, Strategy) {
-        match self.evaluate_interruptible(graph, key, epoch, &CancelToken::never()) {
+        match self.evaluate_interruptible(graph, key, epoch, None, &CancelToken::never()) {
             Ok(outcome) => outcome,
             Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
         }
@@ -746,6 +970,7 @@ impl QueryService {
         graph: &GraphDb,
         key: &CacheKey,
         epoch: u64,
+        upper: Option<&BitSet>,
         cancel: &CancelToken,
     ) -> Result<(BitSet, EvalMode, Strategy), Interrupt> {
         // Sequential evaluations run on the calling client thread; a
@@ -755,6 +980,27 @@ impl QueryService {
         thread_local! {
             static SCRATCH: std::cell::RefCell<PlanScratch> =
                 std::cell::RefCell::new(PlanScratch::new());
+        }
+        // Subsumption-bounded warm start: a cached superset's answer
+        // lets the forward monadic engine stop as soon as its monotone
+        // lower bound meets the bound (often level 0 for an empty or
+        // tiny superset answer). Bit-exact either way, so it bypasses
+        // the planner — the bound is typically worth more than the
+        // direction choice, and the plan would be moot at exit time.
+        if let (QueryKind::Monadic, Some(upper)) = (&key.kind, upper) {
+            if upper.capacity() == graph.num_nodes() {
+                let result = SCRATCH.with(|scratch| {
+                    eval_monadic_bounded_interruptible(
+                        scratch.borrow_mut().eval_scratch(),
+                        key.query.dfa(),
+                        graph,
+                        upper,
+                        self.pool.step_policy(),
+                        cancel,
+                    )
+                })?;
+                return Ok((result, EvalMode::Sequential, Strategy::Forward));
+            }
         }
         let plan = self.plan_for(graph, key, epoch);
         let intra = self.pool.is_parallel() && graph.num_nodes() >= self.intra_query_node_threshold;
@@ -819,21 +1065,29 @@ impl QueryService {
         }
     }
 
-    /// Publishes an evaluated result: cache insert (epoch-guarded),
+    /// Publishes an evaluated result: cache insert (stamp-guarded),
     /// stats, in-flight removal, ticket completion — in that order, so a
     /// new submission arriving after the ticket is gone finds the cache
     /// entry instead. The removal is guarded by ticket identity: after a
     /// rebuild drained the table, the key may already belong to a new
     /// owner whose ticket must not be evicted by the old one.
+    ///
+    /// `stamps` is the `(epoch, label_stamp)` pair captured at
+    /// admission: the insert happens only if the global epoch (rebuild
+    /// fence) **and** the max per-label epoch over the query's live
+    /// alphabet (delta fence) are both unchanged — a delta on labels
+    /// this query never reads leaves the stamp alone, so its result is
+    /// still published.
     fn publish(
         &self,
         key: &CacheKey,
         ticket: &Arc<InFlight>,
-        epoch: u64,
+        stamps: (u64, u64),
         result: Arc<BitSet>,
         outcome: EvalOutcome,
         eval_ns: u64,
     ) {
+        let (epoch, label_stamp) = stamps;
         let EvalOutcome { mode, strategy } = outcome;
         if !self.eval_holdoff.is_zero() {
             std::thread::sleep(self.eval_holdoff);
@@ -852,7 +1106,8 @@ impl QueryService {
                 _ => inner.stats.forward_evals += 1,
             }
             inner.stats.eval_ns_total += eval_ns;
-            if inner.epoch == epoch {
+            if inner.epoch == epoch && inner.label_stamp(&live_alphabet(&key.query)) == label_stamp
+            {
                 inner.cache.insert(key.clone(), result.clone(), eval_ns);
             }
             if inner
@@ -879,9 +1134,11 @@ impl QueryService {
             .map(|q| CacheKey::monadic(CanonicalQuery::new(q)))
             .collect();
         let mut results: Vec<Option<Arc<BitSet>>> = vec![None; keys.len()];
-        // Unique keys this call owns, with every batch position mapping
-        // to them; positions waiting on other threads' in-flight work.
-        let mut owned: Vec<(CacheKey, Arc<InFlight>, Vec<usize>)> = Vec::new();
+        // Unique keys this call owns (with their admission-time label
+        // stamps), with every batch position mapping to them; positions
+        // waiting on other threads' in-flight work.
+        #[allow(clippy::type_complexity)]
+        let mut owned: Vec<(CacheKey, Arc<InFlight>, u64, Vec<usize>)> = Vec::new();
         let mut waits: Vec<(usize, Arc<InFlight>)> = Vec::new();
         let (graph, epoch) = {
             let mut inner = self.inner.lock().unwrap();
@@ -892,7 +1149,7 @@ impl QueryService {
                     results[i] = Some(result);
                 } else if let Some(&slot) = local.get(key) {
                     inner.stats.batch_deduped += 1;
-                    owned[slot].2.push(i);
+                    owned[slot].3.push(i);
                 } else if let Some(ticket) = inner.inflight.get(key).cloned() {
                     inner.stats.coalesced += 1;
                     waits.push((i, ticket));
@@ -900,7 +1157,8 @@ impl QueryService {
                     let ticket = Arc::new(InFlight::new());
                     inner.inflight.insert(key.clone(), ticket.clone());
                     local.insert(key, owned.len());
-                    owned.push((key.clone(), ticket, vec![i]));
+                    let stamp = inner.label_stamp(&live_alphabet(&key.query));
+                    owned.push((key.clone(), ticket, stamp, vec![i]));
                 }
             }
             (inner.graph.clone(), inner.epoch)
@@ -910,7 +1168,7 @@ impl QueryService {
         // concurrent waiters retry instead of hanging.
         let mut guards: Vec<AdmissionGuard> = owned
             .iter()
-            .map(|(key, ticket, _)| AdmissionGuard::new(self, key, ticket))
+            .map(|(key, ticket, ..)| AdmissionGuard::new(self, key, ticket))
             .collect();
         if owned.len() >= 2 {
             // Real batch: canonical DFAs through the pool fan-out.
@@ -919,19 +1177,17 @@ impl QueryService {
             // in proportion to its O(|E|·|Q|) work bound
             // ([`GraphDb::eval_cost_bound`]) — a 5-state query carries
             // more of the cost than a 1-state one.
-            let dfas: Vec<Dfa> = owned
-                .iter()
-                .map(|(k, _, _)| k.query.dfa().clone())
-                .collect();
+            let dfas: Vec<Dfa> = owned.iter().map(|(k, ..)| k.query.dfa().clone()).collect();
             let start = Instant::now();
             let evaluated = self.pool.eval_monadic_batch(&dfas, &graph);
             let total_ns = start.elapsed().as_nanos() as u64;
             let bounds: Vec<u64> = owned
                 .iter()
-                .map(|(k, _, _)| graph.eval_cost_bound(k.query.num_states()))
+                .map(|(k, ..)| graph.eval_cost_bound(k.query.num_states()))
                 .collect();
             let total_bound = bounds.iter().sum::<u64>().max(1);
-            for (slot, ((key, ticket, positions), value)) in owned.iter().zip(evaluated).enumerate()
+            for (slot, ((key, ticket, stamp, positions), value)) in
+                owned.iter().zip(evaluated).enumerate()
             {
                 let cost_ns =
                     (total_ns as u128 * bounds[slot] as u128 / total_bound as u128) as u64;
@@ -941,7 +1197,7 @@ impl QueryService {
                 self.publish(
                     key,
                     ticket,
-                    epoch,
+                    (epoch, *stamp),
                     value.clone(),
                     EvalOutcome {
                         mode: EvalMode::Batch,
@@ -954,7 +1210,7 @@ impl QueryService {
                     results[i] = Some(value.clone());
                 }
             }
-        } else if let Some((key, ticket, positions)) = owned.first() {
+        } else if let Some((key, ticket, stamp, positions)) = owned.first() {
             let start = Instant::now();
             let (value, mode, strategy) = self.evaluate(&graph, key, epoch);
             let eval_ns = start.elapsed().as_nanos() as u64;
@@ -962,7 +1218,7 @@ impl QueryService {
             self.publish(
                 key,
                 ticket,
-                epoch,
+                (epoch, *stamp),
                 value.clone(),
                 EvalOutcome { mode, strategy },
                 eval_ns,
@@ -1240,7 +1496,7 @@ mod tests {
         service.publish(
             &bkey,
             &first,
-            epoch.wrapping_add(1), // stale epoch: no cache insert either
+            (epoch.wrapping_add(1), 0), // stale epoch: no cache insert either
             Arc::new(BitSet::new(graph.num_nodes())),
             EvalOutcome {
                 mode: EvalMode::Sequential,
@@ -1455,6 +1711,152 @@ mod tests {
         // Rebuild clears the plan cache (plans embed graph statistics).
         service.rebuild_graph(figure3_g0());
         assert!(service.inner.lock().unwrap().plans.is_empty());
+    }
+
+    #[test]
+    fn delta_invalidates_touched_labels_and_spares_the_rest() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        let qa = query(&graph, "a·b");
+        let qb = query(&graph, "b");
+        let qc = query(&graph, "c");
+        service.query_monadic(&qa);
+        service.query_monadic(&qb);
+        service.query_monadic(&qc);
+        assert_eq!(service.cache_usage().0, 3);
+
+        // Remove one a-edge: only the a-reading entry may die.
+        let a = graph.alphabet().symbol("a").unwrap();
+        let (v1, v2) = (graph.node_id("v1").unwrap(), graph.node_id("v2").unwrap());
+        let applied = service.apply_delta(&[], &[(v1, a, v2)]).unwrap();
+        assert_eq!(applied.invalidated, 1);
+        assert!(!applied.compacted);
+        assert_eq!(applied.delta_edges, 1);
+        assert_eq!(service.cache_usage().0, 2);
+        assert_eq!(service.query_monadic(&qb).served, Served::Hit);
+        assert_eq!(service.query_monadic(&qc).served, Served::Hit);
+
+        // The re-evaluated touched query matches a from-scratch rebuild
+        // of the patched graph: no stale bits anywhere.
+        let served = service.query_monadic(&qa);
+        assert!(matches!(served.served, Served::Evaluated { .. }));
+        let patched = service.graph();
+        assert!(patched.has_delta());
+        let compacted = patched.compact();
+        assert_eq!(*served.result, eval_monadic(&qa, &compacted));
+        assert_eq!(
+            *service.query_monadic(&qb).result,
+            eval_monadic(&qb, &compacted)
+        );
+
+        let stats = service.stats();
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.label_invalidations, 1);
+        assert_eq!(stats.invalidations, 0, "no full rebuild happened");
+
+        // Unknown endpoints are rejected without touching anything.
+        let err = service.apply_delta(&[(10_000, a, v2)], &[]).unwrap_err();
+        assert!(matches!(err, DeltaError::NodeOutOfRange { .. }));
+        assert_eq!(service.stats().deltas_applied, 1);
+    }
+
+    #[test]
+    fn delta_fences_stale_inflight_publishes_but_disjoint_ones_land() {
+        let graph = figure3_g0();
+        let config = ServeConfig {
+            // Keep evaluations in flight long enough to race the delta.
+            eval_holdoff: Duration::from_millis(200),
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(QueryService::new(graph.clone(), config));
+        let qa = query(&graph, "a");
+        let qb = query(&graph, "b");
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        let owners: Vec<_> = [qa.clone(), qb.clone()]
+            .into_iter()
+            .map(|q| {
+                let service = service.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.query_monadic(&q)
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(50));
+        // Both owners are inside their holdoff; patch label a under them.
+        let a = graph.alphabet().symbol("a").unwrap();
+        let (v1, v2) = (graph.node_id("v1").unwrap(), graph.node_id("v2").unwrap());
+        service.apply_delta(&[], &[(v1, a, v2)]).unwrap();
+        for owner in owners {
+            owner.join().unwrap();
+        }
+        // The a-owner's pre-delta answer was fenced out of the cache;
+        // the b-owner's answer is provably delta-proof and was kept.
+        assert_eq!(service.query_monadic(&qb).served, Served::Hit);
+        let after = service.query_monadic(&qa);
+        assert!(
+            matches!(after.served, Served::Evaluated { .. }),
+            "stale a-result must not be served: {:?}",
+            after.served
+        );
+        assert_eq!(*after.result, eval_monadic(&qa, &service.graph().compact()));
+    }
+
+    #[test]
+    fn subsumption_probe_reuses_a_cached_superset_as_bound() {
+        let graph = figure3_g0();
+        let service = QueryService::new(graph.clone(), ServeConfig::default());
+        // Prime the cache with the superset a·b*; then a·b ⊆ a·b* is
+        // provable by inclusion and its cached answer bounds the miss.
+        let superset = query(&graph, "a·b*");
+        service.query_monadic(&superset);
+        let subset = query(&graph, "a·b");
+        let served = service.query_monadic(&subset);
+        assert!(matches!(served.served, Served::Evaluated { .. }));
+        assert_eq!(*served.result, eval_monadic(&subset, &graph), "bit-exact");
+        assert_eq!(service.stats().subsumption_reuses, 1);
+        // A non-subset miss probes but finds nothing (b ⊄ a·b*).
+        let other = query(&graph, "b");
+        assert_eq!(
+            *service.query_monadic(&other).result,
+            eval_monadic(&other, &graph)
+        );
+        assert_eq!(service.stats().subsumption_reuses, 1);
+        // The bounded result was published: a replay is a plain hit.
+        assert_eq!(service.query_monadic(&subset).served, Served::Hit);
+    }
+
+    #[test]
+    fn overlay_compacts_past_the_threshold() {
+        let graph = figure3_g0();
+        let service = QueryService::new(
+            graph.clone(),
+            ServeConfig {
+                delta_compact_threshold: Some(1),
+                ..ServeConfig::default()
+            },
+        );
+        let c = graph.alphabet().symbol("c").unwrap();
+        let v = |name: &str| graph.node_id(name).unwrap();
+        // One overlay edge: at the threshold, carried as an overlay.
+        let first = service.apply_delta(&[(v("v1"), c, v("v5"))], &[]).unwrap();
+        assert!(!first.compacted);
+        assert!(service.graph().has_delta());
+        // A second pushes past it: folded into a fresh CSR.
+        let second = service.apply_delta(&[(v("v2"), c, v("v6"))], &[]).unwrap();
+        assert!(second.compacted);
+        assert_eq!(second.delta_edges, 0);
+        assert!(!service.graph().has_delta());
+        assert_eq!(service.stats().compactions, 1);
+        assert_eq!(service.graph().num_edges(), graph.num_edges() + 2);
+        // Compaction preserved ids: a query still answers correctly.
+        let q = query(&graph, "c");
+        assert_eq!(
+            *service.query_monadic(&q).result,
+            eval_monadic(&q, &service.graph())
+        );
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Net-level edge-delta gate — `DELTA` frames over the wire, named by
+//! CI in both `PATHLEARN_THREADS` legs.
+//!
+//! What this pins, end to end through a real TCP connection:
+//!
+//! - a `DELTA` frame patches the served graph and answers
+//!   `DELTA_APPLIED`; post-delta query bits are **bit-identical** to a
+//!   direct evaluation of the compacted patched graph;
+//! - invalidation is **label-aware**: cached entries whose live
+//!   alphabet is disjoint from the touched labels survive as hits, and
+//!   only intersecting entries re-evaluate;
+//! - unlike a rebuild, a delta **retains** the fingerprint registry
+//!   (the node set and alphabet are frozen) and does not drain;
+//! - unknown node or label names answer `ERROR(BAD_DELTA)` without
+//!   disturbing the served graph or killing the connection.
+
+use pathlearn_automata::Symbol;
+use pathlearn_graph::eval::eval_monadic;
+use pathlearn_graph::{GraphBuilder, GraphDb};
+use pathlearn_server::{
+    Client, ErrorCode, NetConfig, Response, ServeConfig, Server, WireServed, NO_DEADLINE_MS,
+};
+
+/// A ring with chords over {a, b, c} — node names are `n0..n{N-1}`.
+fn ring_graph(n: usize) -> GraphDb {
+    let mut builder =
+        GraphBuilder::with_alphabet(pathlearn_automata::Alphabet::from_labels(["a", "b", "c"]));
+    let first = builder.add_nodes("n", n);
+    for i in 0..n as u32 {
+        let next = first + (i + 1) % n as u32;
+        builder.add_edge_ids(first + i, Symbol::from_index(i as usize % 3), next);
+        if i % 5 == 0 {
+            builder.add_edge_ids(first + i, Symbol::from_index(2), first + (i + 7) % n as u32);
+        }
+    }
+    builder.build()
+}
+
+fn direct_monadic(graph: &GraphDb, expr: &str) -> pathlearn_automata::BitSet {
+    let dfa = pathlearn_automata::Regex::parse(expr, graph.alphabet())
+        .unwrap()
+        .to_dfa(graph.alphabet().len());
+    eval_monadic(&dfa, graph)
+}
+
+fn serve(graph: GraphDb) -> Server {
+    let service = pathlearn_server::QueryService::new(graph, ServeConfig::from_env());
+    Server::bind(service, "127.0.0.1:0", NetConfig::default()).expect("bind ephemeral port")
+}
+
+fn counter(counters: &[(String, u64)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("counter {name} missing"))
+        .1
+}
+
+fn result_bits(response: Response) -> (pathlearn_automata::BitSet, u64, WireServed) {
+    match response {
+        Response::Result {
+            bits,
+            fingerprint,
+            served,
+            ..
+        } => (bits, fingerprint, served),
+        other => panic!("expected RESULT, got {other:?}"),
+    }
+}
+
+fn wire(src: &str, label: &str, dst: &str) -> (String, String, String) {
+    (src.to_owned(), label.to_owned(), dst.to_owned())
+}
+
+#[test]
+fn delta_frame_patches_the_graph_and_spares_disjoint_cache_entries() {
+    let graph = ring_graph(60);
+    let server = serve(graph.clone());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Prime the cache: one entry that the delta will touch (live
+    // alphabet {a}) and one it must spare (live alphabet {b}).
+    let (a_before, a_fp, _) = result_bits(client.query_text("a·a", NO_DEADLINE_MS).unwrap());
+    let (b_before, b_fp, _) = result_bits(client.query_text("b·b", NO_DEADLINE_MS).unwrap());
+
+    // Rewire an `a` chord: remove a ring edge, add a shortcut. The
+    // expected post-delta bits come from a direct evaluation of the
+    // compacted patched graph — the wire must be bit-identical to it.
+    let add = [wire("n0", "a", "n30")];
+    let remove = [wire("n0", "a", "n1")];
+    let a0 = graph.node_id("n0").unwrap();
+    let a1 = graph.node_id("n1").unwrap();
+    let a30 = graph.node_id("n30").unwrap();
+    let sym_a = graph.alphabet().symbol("a").unwrap();
+    let patched = graph
+        .with_delta(&[(a0, sym_a, a30)], &[(a0, sym_a, a1)])
+        .unwrap()
+        .compact();
+    let a_after = direct_monadic(&patched, "a·a");
+    let b_after = direct_monadic(&patched, "b·b");
+    assert_ne!(a_before, a_after, "the delta must change the a·a answer");
+    assert_eq!(b_before, b_after, "b·b must be untouched by an a-delta");
+
+    match client.apply_delta(&add, &remove).unwrap() {
+        Response::DeltaApplied {
+            invalidated,
+            delta_edges,
+            ..
+        } => {
+            assert_eq!(invalidated, 1, "exactly the a·a entry dies");
+            assert_eq!(delta_edges, 2, "one addition + one removal pending");
+        }
+        other => panic!("expected DELTA_APPLIED, got {other:?}"),
+    }
+
+    // The spared entry is still a cache hit, reachable through the
+    // *retained* fingerprint registry — a rebuild would have cleared
+    // both the cache and the registry.
+    let (bits, _, served) = result_bits(client.query_fingerprint(b_fp, NO_DEADLINE_MS).unwrap());
+    assert_eq!(bits, b_before);
+    assert_eq!(served, WireServed::Hit, "disjoint live alphabet survives");
+
+    // The touched entry re-evaluates against the patched graph and is
+    // bit-identical to the direct eval of its compaction.
+    let (bits, _, served) = result_bits(client.query_fingerprint(a_fp, NO_DEADLINE_MS).unwrap());
+    assert_eq!(
+        bits, a_after,
+        "post-delta bits must match the compacted rebuild"
+    );
+    assert_ne!(served, WireServed::Hit, "the touched entry was invalidated");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(counter(&stats, "serve.deltas_applied"), 1);
+    assert_eq!(counter(&stats, "serve.label_invalidations"), 1);
+    assert_eq!(counter(&stats, "cache.invalidated"), 1);
+    assert_eq!(
+        counter(&stats, "serve.invalidations"),
+        0,
+        "a delta is not a rebuild"
+    );
+}
+
+#[test]
+fn bad_delta_names_reject_without_disturbing_the_graph() {
+    let graph = ring_graph(20);
+    let server = serve(graph.clone());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let expected = direct_monadic(&graph, "a·b");
+
+    // Unknown node: the whole batch is rejected atomically.
+    match client.apply_delta(&[wire("nope", "a", "n1")], &[]).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::BadDelta);
+            assert!(message.contains("nope"), "diagnostic names the offender");
+        }
+        other => panic!("expected BAD_DELTA for unknown node, got {other:?}"),
+    }
+    // Unknown label, and on the removal side this time.
+    match client.apply_delta(&[], &[wire("n0", "zzz", "n1")]).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadDelta),
+        other => panic!("expected BAD_DELTA for unknown label, got {other:?}"),
+    }
+
+    // The connection survives and the served graph is untouched.
+    client.ping().expect("connection survives BAD_DELTA");
+    let (bits, _, _) = result_bits(client.query_text("a·b", NO_DEADLINE_MS).unwrap());
+    assert_eq!(bits, expected, "a rejected delta must not patch anything");
+    let stats = client.stats().unwrap();
+    assert_eq!(counter(&stats, "serve.deltas_applied"), 0);
+}
+
+#[test]
+fn deltas_accumulate_and_an_empty_delta_is_a_noop() {
+    let graph = ring_graph(30);
+    let server = serve(graph.clone());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Two deltas in sequence: remove an edge, then put it back. The
+    // final answers must match the original graph bit-for-bit.
+    let expected = direct_monadic(&graph, "(a+c)*");
+    match client.apply_delta(&[], &[wire("n0", "a", "n1")]).unwrap() {
+        Response::DeltaApplied { .. } => {}
+        other => panic!("expected DELTA_APPLIED, got {other:?}"),
+    }
+    match client.apply_delta(&[wire("n0", "a", "n1")], &[]).unwrap() {
+        Response::DeltaApplied { .. } => {}
+        other => panic!("expected DELTA_APPLIED, got {other:?}"),
+    }
+    let (bits, _, _) = result_bits(client.query_text("(a+c)*", NO_DEADLINE_MS).unwrap());
+    assert_eq!(bits, expected, "remove-then-add must round-trip the graph");
+
+    // An empty delta applies, touches nothing and invalidates nothing.
+    match client.apply_delta(&[], &[]).unwrap() {
+        Response::DeltaApplied { invalidated, .. } => assert_eq!(invalidated, 0),
+        other => panic!("expected DELTA_APPLIED, got {other:?}"),
+    }
+    let (_, _, served) = result_bits(client.query_text("(a+c)*", NO_DEADLINE_MS).unwrap());
+    assert_eq!(served, WireServed::Hit, "an empty delta spares the cache");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(counter(&stats, "serve.deltas_applied"), 3);
+}
