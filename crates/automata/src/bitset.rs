@@ -50,6 +50,30 @@ impl BitSet {
         set
     }
 
+    /// Reconstructs a set from raw storage blocks (the inverse of
+    /// [`BitSet::as_blocks`], used by the binary snapshot codec).
+    /// Returns `None` if the block count does not match the capacity or
+    /// any bit at or beyond `capacity` is set — a decoded set must obey
+    /// the tail-masking invariant the kernels rely on, so malformed
+    /// input is rejected rather than silently masked.
+    pub fn from_blocks(capacity: usize, blocks: &[u64]) -> Option<Self> {
+        if blocks.len() != capacity.div_ceil(BITS) {
+            return None;
+        }
+        let used = capacity % BITS;
+        if used != 0 {
+            if let Some(&last) = blocks.last() {
+                if last & !((1u64 << used) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(BitSet {
+            blocks: blocks.to_vec(),
+            capacity,
+        })
+    }
+
     fn mask_tail(&mut self) {
         let used = self.capacity % BITS;
         if used != 0 {

@@ -41,10 +41,19 @@
 //! front door's shed/deadline/malformed counters and p50/p99 service
 //! latency in a `"net"` section of the JSON (schema v2).
 //!
+//! With `--restart` the harness times the three cold-start paths a
+//! `serve --data-dir` deployment can take over identical graphs: parse
+//! the text format from scratch, load the versioned binary snapshot,
+//! and the full recovery (snapshot + replaying `--writes` WAL records
+//! left by a simulated crash). Bit-identity of all three is asserted
+//! before timing, and the run **gates** that the snapshot load is
+//! strictly faster than the text parse; numbers land in the
+//! `"restart"` JSON section (schema v4).
+//!
 //! ```text
 //! bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K]
 //!             [--clients T[,T,...]] [--cache-mb M] [--writes W]
-//!             [--out PATH] [--listen ADDR]
+//!             [--out PATH] [--listen ADDR] [--restart]
 //! ```
 
 use pathlearn_automata::{BitSet, Dfa, Symbol};
@@ -52,7 +61,9 @@ use pathlearn_datagen::scale_free::{scale_free_graph, ScaleFreeConfig};
 use pathlearn_datagen::workloads::{bio_workload, syn_workload};
 use pathlearn_eval::report::ascii_table;
 use pathlearn_graph::eval::{eval_monadic_with, EvalScratch};
+use pathlearn_graph::io::{parse_graph, write_graph};
 use pathlearn_graph::GraphDb;
+use pathlearn_server::wal::{Persistence, SNAPSHOT_FILE};
 use pathlearn_server::{
     CacheConfig, Client, NetConfig, QueryService, Response, ServeConfig, Server, NO_DEADLINE_MS,
 };
@@ -107,7 +118,148 @@ struct UpdatePoint {
     compactions: u64,
 }
 
+/// One cold-restart measurement: the same graph reloaded three ways —
+/// text parse, snapshot load, and full recovery (snapshot + WAL
+/// replay). The schema-v4 `"restart"` JSON section.
+struct RestartPoint {
+    wal_records: usize,
+    text_bytes: usize,
+    snapshot_bytes: usize,
+    text_parse_ns: u128,
+    snapshot_load_ns: u128,
+    recover_ns: u128,
+}
+
 type Edge = (u32, Symbol, u32);
+
+/// The graph as a sorted list of named edges — the identity the text
+/// format preserves (it assigns node ids by order of appearance, so
+/// round-trips are name-stable, not id-stable).
+fn named_edges(graph: &GraphDb) -> Vec<(String, String, String)> {
+    let mut edges: Vec<_> = graph
+        .edges()
+        .map(|(src, sym, dst)| {
+            (
+                graph.node_name(src).to_owned(),
+                graph.alphabet().name(sym).to_owned(),
+                graph.node_name(dst).to_owned(),
+            )
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+/// Times the three cold-start paths of a `serve --data-dir` deployment
+/// over identical graphs: parsing the text format, loading the binary
+/// snapshot, and recovering from a data dir whose WAL holds `writes`
+/// acknowledged-but-not-checkpointed delta batches (the stale-snapshot
+/// shape a crash leaves behind). Every path is asserted bit-identical
+/// before anything is timed, and the snapshot load is **gated**
+/// strictly faster than the text parse — the format earns its place or
+/// the build fails.
+fn restart_point(graph: &GraphDb, writes: usize, seed: u64, runs: usize) -> RestartPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7273_7274); // "rsrt"
+    let dir = std::env::temp_dir().join(format!("pathlearn-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Seed the data dir, then append `writes` single-label delta
+    // batches to the WAL with the checkpoint threshold out of reach —
+    // recovery must replay them all.
+    let seeded =
+        Persistence::recover(&dir, usize::MAX, || Ok(graph.clone())).expect("seed restart dir");
+    let mut persistence = seeded.persistence;
+    let mut current = seeded.graph;
+    for _ in 0..writes {
+        let sym = Symbol::from_index(rng.gen_range(0..graph.alphabet().len()));
+        let labeled: Vec<Edge> = current.edges().filter(|&(_, s, _)| s == sym).collect();
+        let mut remove = Vec::new();
+        for _ in 0..2usize {
+            if !labeled.is_empty() {
+                remove.push(labeled[rng.gen_range(0..labeled.len())]);
+            }
+        }
+        let n = current.num_nodes() as u32;
+        let add: Vec<Edge> = (0..2)
+            .map(|_| (rng.gen_range(0..n), sym, rng.gen_range(0..n)))
+            .collect();
+        persistence
+            .log_batch(&add, &remove)
+            .expect("log restart batch");
+        current = current
+            .with_delta(&add, &remove)
+            .expect("in-range restart delta");
+    }
+    let expected_bytes = current.compact().snapshot_bytes();
+    drop(persistence);
+
+    // Identical-graph gates before timing anything. The text format
+    // assigns node ids by order of appearance, so its round-trip is
+    // compared as a named edge set; the snapshot paths, which preserve
+    // ids exactly, are held to bit-identity.
+    let text = write_graph(graph).expect("render graph text");
+    let graph_bytes = graph.snapshot_bytes();
+    let reparsed = parse_graph(&text).expect("text round-trip");
+    assert_eq!(
+        reparsed.num_nodes(),
+        graph.num_nodes(),
+        "text round-trip must keep every node"
+    );
+    assert_eq!(
+        named_edges(&reparsed),
+        named_edges(graph),
+        "text round-trip must reproduce the named edge set"
+    );
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    assert_eq!(
+        GraphDb::load_snapshot(&snap_path)
+            .expect("snapshot load")
+            .snapshot_bytes(),
+        graph_bytes,
+        "snapshot load must reproduce the graph bit-identically"
+    );
+
+    let mut text_parse_ns = u128::MAX;
+    let mut snapshot_load_ns = u128::MAX;
+    let mut recover_ns = u128::MAX;
+    for _ in 0..runs {
+        let started = Instant::now();
+        std::hint::black_box(parse_graph(&text).expect("timed text parse"));
+        text_parse_ns = text_parse_ns.min(started.elapsed().as_nanos());
+
+        let started = Instant::now();
+        std::hint::black_box(GraphDb::load_snapshot(&snap_path).expect("timed snapshot load"));
+        snapshot_load_ns = snapshot_load_ns.min(started.elapsed().as_nanos());
+
+        let started = Instant::now();
+        let recovered = Persistence::recover(&dir, usize::MAX, || {
+            Err("timed recovery must come from disk".into())
+        })
+        .expect("timed recovery");
+        recover_ns = recover_ns.min(started.elapsed().as_nanos());
+        assert_eq!(
+            recovered.graph.snapshot_bytes(),
+            expected_bytes,
+            "recovery must reproduce the acknowledged graph bit-identically"
+        );
+    }
+    assert!(
+        snapshot_load_ns < text_parse_ns,
+        "snapshot load ({snapshot_load_ns} ns) must be strictly faster than \
+         text parse ({text_parse_ns} ns) — the binary format earns its place"
+    );
+
+    let snapshot_bytes = std::fs::metadata(&snap_path).map_or(0, |m| m.len() as usize);
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartPoint {
+        wal_records: writes,
+        text_bytes: text.len(),
+        snapshot_bytes,
+        text_parse_ns,
+        snapshot_load_ns,
+        recover_ns,
+    }
+}
 
 /// Drives a read/write mix through two services over the same graph —
 /// one patched in place with [`QueryService::apply_delta`], one
@@ -427,7 +579,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K] \
-         [--clients T[,T,...]] [--cache-mb M] [--writes W] [--out PATH] [--listen ADDR]"
+         [--clients T[,T,...]] [--cache-mb M] [--writes W] [--out PATH] \
+         [--listen ADDR] [--restart]"
     );
     std::process::exit(2);
 }
@@ -446,6 +599,7 @@ fn write_json(
     points: &[ClientPoint],
     net: Option<&NetPoint>,
     update: Option<&UpdatePoint>,
+    restart: Option<&RestartPoint>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -455,7 +609,7 @@ fn write_json(
     out.push_str(
         "  \"note\": \"client scaling needs real cores (see BENCHMARKS.md); cache/coalescing wins hold regardless — they remove evaluations\",\n",
     );
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -493,6 +647,19 @@ fn write_json(
         ));
     }
     out.push_str("  ],\n");
+    match restart {
+        Some(p) => out.push_str(&format!(
+            "  \"restart\": {{\"wal_records\": {}, \"text_bytes\": {}, \"snapshot_bytes\": {}, \"text_parse_ns\": {}, \"snapshot_load_ns\": {}, \"recover_ns\": {}, \"snapshot_speedup_vs_text\": {:.3}}},\n",
+            p.wal_records,
+            p.text_bytes,
+            p.snapshot_bytes,
+            p.text_parse_ns,
+            p.snapshot_load_ns,
+            p.recover_ns,
+            p.text_parse_ns.max(1) as f64 / p.snapshot_load_ns.max(1) as f64,
+        )),
+        None => out.push_str("  \"restart\": null,\n"),
+    }
     match update {
         Some(p) => out.push_str(&format!(
             "  \"update_mix\": {{\"writes\": {}, \"delta\": {{\"wall_ns\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"label_invalidations\": {}, \"compactions\": {}}}, \"rebuild_baseline\": {{\"wall_ns\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}}},\n",
@@ -541,6 +708,7 @@ fn main() {
     let mut writes = 8usize;
     let mut out_path = "BENCH_serve.json".to_owned();
     let mut listen: Option<String> = None;
+    let mut restart = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -592,6 +760,7 @@ fn main() {
             }
             "--out" => out_path = value("--out"),
             "--listen" => listen = Some(value("--listen")),
+            "--restart" => restart = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -727,6 +896,23 @@ fn main() {
         point
     });
 
+    // Cold-restart timing: text parse vs snapshot load vs snapshot +
+    // WAL replay, bit-identity asserted, snapshot gated strictly
+    // faster than text.
+    let restart_result = restart.then(|| {
+        let p = restart_point(&graph, writes, seed, runs);
+        println!(
+            "restart: text parse {:.3} ms vs snapshot load {:.3} ms ({:.2}x) \
+             vs recover with {} WAL record(s) {:.3} ms",
+            p.text_parse_ns as f64 / 1e6,
+            p.snapshot_load_ns as f64 / 1e6,
+            p.text_parse_ns.max(1) as f64 / p.snapshot_load_ns.max(1) as f64,
+            p.wal_records,
+            p.recover_ns as f64 / 1e6,
+        );
+        p
+    });
+
     // TCP client mode: the same workload through the framed front
     // door, replayed by fingerprint; counters land in the JSON's "net"
     // section.
@@ -799,6 +985,7 @@ fn main() {
         &points,
         net_point.as_ref(),
         update_point.as_ref(),
+        restart_result.as_ref(),
     )
     .expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

@@ -71,6 +71,8 @@
 use pathlearn_automata::{Alphabet, BitSet, Symbol};
 use std::collections::HashMap;
 
+pub mod snapshot;
+
 /// Numeric identifier of a graph node.
 pub type NodeId = u32;
 

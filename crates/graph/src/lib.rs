@@ -30,7 +30,10 @@
 //! * [`explain`] — witness paths ("why is this node selected?");
 //! * [`sampling`] — representative subgraph sampling (random walk /
 //!   forest fire), the paper's §6 future-work direction;
-//! * [`io`] — a line-oriented text format and Graphviz export.
+//! * [`io`] — a line-oriented text format and Graphviz export;
+//! * [`graph::snapshot`] — a versioned little-endian binary snapshot of
+//!   a frozen [`GraphDb`] (strict, digest-checked decode) so restarts
+//!   load in `O(bytes)` instead of re-parsing text.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,6 +52,7 @@ pub mod sampling;
 pub mod scp;
 
 pub use cancel::{CancelToken, Interrupt};
+pub use graph::snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use graph::{DeltaError, GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
 pub use par_eval::{EvalPool, IntraScratch};
 pub use plan::{PlanScratch, QueryPlan, Strategy};

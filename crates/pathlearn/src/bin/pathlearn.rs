@@ -27,10 +27,23 @@
 //!     only speed).
 //!
 //! pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M]
+//!                 [--data-dir DIR] [--checkpoint-every N]
 //!     Serve the graph over TCP with the framed binary protocol
 //!     (pathlearn-server::proto): deadlines, load shedding, graceful
 //!     drain. Prints `listening on <addr>` (with the real port for
-//!     `:0`) and runs until killed.
+//!     `:0`) and runs until killed. With `--data-dir`, the served
+//!     graph is durable: DIR holds a versioned snapshot plus a
+//!     write-ahead log, every `update` is fsynced before it is
+//!     acknowledged, and a restart recovers exactly the acknowledged
+//!     state (the text graph is only parsed on the first run, to seed
+//!     the snapshot). `--checkpoint-every` caps WAL growth: past N
+//!     records the WAL is folded into a fresh snapshot (default 1024).
+//!
+//! pathlearn snapshot <graph.txt> <out.snap>
+//!     Convert a text graph to the versioned binary snapshot format
+//!     (pathlearn-graph::graph::snapshot). `serve --data-dir` loads a
+//!     snapshot much faster than re-parsing text, and the strict
+//!     decoder rejects any damaged file with a diagnostic.
 //!
 //! pathlearn update <ADDR> [--add \"src label dst\"]... [--remove \"src label dst\"]...
 //!     Patch a live `pathlearn serve --listen` server over TCP with an
@@ -77,6 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "learn" => learn_command(&args[1..]),
         "interactive" => interactive_command(&args[1..]),
         "serve" => serve_command(&args[1..]),
+        "snapshot" => snapshot_command(&args[1..]),
         "update" => update_command(&args[1..]),
         "stats" => stats_command(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
@@ -91,7 +105,8 @@ USAGE:
   pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
   pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M] [--strategy auto|forward|backward|bidirectional]
-  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M] [--strategy ...]
+  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M] [--strategy ...] [--data-dir DIR] [--checkpoint-every N]
+  pathlearn snapshot <graph.txt> <out.snap>
   pathlearn update <ADDR> [--add \"src label dst\"]... [--remove \"src label dst\"]...
   pathlearn stats <graph.txt>
 ";
@@ -247,7 +262,6 @@ fn serve_command(args: &[String]) -> Result<(), String> {
     use std::sync::Arc;
 
     let options = parse_options(args)?;
-    let graph = options.load_graph()?;
     let cache_mb = options
         .flag("cache-mb")
         .map(|m| {
@@ -281,18 +295,75 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         ..ServeConfig::default()
     };
 
+    let checkpoint_every = options
+        .flag("checkpoint-every")
+        .map(|n| {
+            n.parse::<usize>()
+                .map_err(|_| "--checkpoint-every needs an integer")
+        })
+        .transpose()?
+        .unwrap_or(1024);
+
     if let Some(addr) = options.flag("listen") {
         if options.flag("queries").is_some() {
             return Err("--listen and --queries are mutually exclusive: \
                  --listen serves network clients, --queries drives a local workload"
                 .into());
         }
-        let service = QueryService::new(graph, config);
+        let service = match options.flag("data-dir") {
+            Some(dir) => {
+                // Durable mode: the graph of record lives in DIR as
+                // snapshot + WAL. The text file only seeds the first
+                // run — a restart must recover the acknowledged state
+                // even if the text file has since changed or vanished.
+                let recovered =
+                    pathlearn::server::Persistence::recover(dir, checkpoint_every, || {
+                        options.load_graph()
+                    })
+                    .map_err(|e| format!("cannot recover data dir {dir}: {e}"))?;
+                let report = &recovered.report;
+                let source = match report.source {
+                    pathlearn::server::wal::RecoverySource::Snapshot => "snapshot",
+                    pathlearn::server::wal::RecoverySource::Fallback => {
+                        "text graph (first run, snapshot seeded)"
+                    }
+                };
+                println!(
+                    "data dir {dir}: recovered from {source}, {} WAL record(s) replayed{}{}",
+                    report.wal_records_replayed,
+                    if report.torn_bytes_dropped > 0 {
+                        format!(
+                            ", {} torn byte(s) dropped from an unacknowledged final record",
+                            report.torn_bytes_dropped
+                        )
+                    } else {
+                        String::new()
+                    },
+                    if report.checkpointed {
+                        ", checkpointed"
+                    } else {
+                        ""
+                    }
+                );
+                let service = QueryService::new(recovered.graph, config);
+                service.attach_persistence(recovered.persistence);
+                service
+            }
+            None => QueryService::new(options.load_graph()?, config),
+        };
+        let durable = service.is_durable();
         let server =
             pathlearn::server::Server::bind(service, addr, pathlearn::server::NetConfig::default())
                 .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
         println!("listening on {}", server.local_addr());
-        println!("protocol: framed binary v1 (see pathlearn-server::proto); stop with ^C");
+        println!(
+            "protocol: framed binary v1 (see pathlearn-server::proto); {}stop with ^C",
+            if durable {
+                "deltas are fsynced before acknowledgment; "
+            } else {
+                ""
+            }
+        );
         // Flush so child-process supervisors see the address line
         // immediately even through a pipe.
         std::io::stdout().flush().ok();
@@ -301,6 +372,12 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if options.flag("data-dir").is_some() {
+        return Err("--data-dir requires --listen: durability attaches to the \
+             live TCP server, not a one-shot local workload"
+            .into());
+    }
+    let graph = options.load_graph()?;
     let queries_path = options.flag("queries").ok_or("missing --queries")?;
     let text = std::fs::read_to_string(queries_path)
         .map_err(|e| format!("cannot read workload file {queries_path}: {e}"))?;
@@ -408,6 +485,32 @@ fn serve_command(args: &[String]) -> Result<(), String> {
     println!(
         "planner: {} forward, {} backward, {} bidirectional",
         stats.forward_evals, stats.backward_evals, stats.bidirectional_evals
+    );
+    Ok(())
+}
+
+/// `pathlearn snapshot <graph.txt> <out.snap>`: parse a text graph and
+/// write it as a versioned binary snapshot. Takes exactly two
+/// positionals (the shared option parser handles one, so this command
+/// parses its own) and no flags.
+fn snapshot_command(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("snapshot takes no flags, got `{flag}`"));
+    }
+    let [input, output] = args else {
+        return Err("snapshot needs exactly `<graph.txt> <out.snap>`".into());
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let graph = parse_graph(&text).map_err(|e| e.to_string())?;
+    graph
+        .save_snapshot(output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {output}: {} nodes, {} edges, {} labels ({bytes} bytes)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.alphabet().len()
     );
     Ok(())
 }

@@ -374,6 +374,156 @@ fn serve_listen_answers_framed_tcp_queries() {
 }
 
 #[test]
+fn update_rejects_malformed_edge_specs_cleanly() {
+    // Edge specs are parsed before any connection is attempted, so the
+    // bogus address is never dialed and the diagnostic names the spec.
+    let (_, stderr, ok) = run(&["update", "127.0.0.1:1", "--add", "x a"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("needs exactly `src label dst`") && stderr.contains("x a"),
+        "malformed --add diagnostic: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let (_, stderr, ok) = run(&["update", "127.0.0.1:1", "--remove", "a b c d"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("needs exactly `src label dst`"),
+        "four-token --remove diagnostic: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn update_reports_unresolvable_server_cleanly() {
+    // RFC 2606 reserves .invalid, so resolution fails without touching
+    // the network; the failure must be a diagnostic, never a panic.
+    let (_, stderr, ok) = run(&[
+        "update",
+        "does-not-resolve.invalid:4617",
+        "--add",
+        "v1 a v2",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("cannot connect to does-not-resolve.invalid:4617"),
+        "unresolvable-address diagnostic: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn snapshot_subcommand_converts_a_text_graph() {
+    let graph = g0_file();
+    let out = std::env::temp_dir().join(format!("pathlearn-cli-snap-{}.snap", std::process::id()));
+    let (stdout, stderr, ok) = run(&["snapshot", graph.to_str().unwrap(), out.to_str().unwrap()]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("7 nodes"), "{stdout}");
+    assert!(stdout.contains("15 edges"), "{stdout}");
+    let loaded = pathlearn::graph::GraphDb::load_snapshot(&out).expect("load written snapshot");
+    assert_eq!(loaded.num_nodes(), 7);
+    assert_eq!(loaded.num_edges(), 15);
+    std::fs::remove_file(&out).ok();
+
+    // Wrong arity and stray flags are diagnostics, not panics.
+    let (_, stderr, ok) = run(&["snapshot", graph.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly"), "{stderr}");
+    let (_, stderr, ok) = run(&["snapshot", graph.to_str().unwrap(), "out", "--force"]);
+    assert!(!ok);
+    assert!(stderr.contains("no flags"), "{stderr}");
+}
+
+#[test]
+fn serve_data_dir_recovers_acknowledged_deltas_after_restart() {
+    use pathlearn::server::{Client, Response, NO_DEADLINE_MS};
+    use std::io::BufRead as _;
+
+    let graph = g0_file();
+    let data_dir =
+        std::env::temp_dir().join(format!("pathlearn-cli-data-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // --data-dir without --listen is a diagnostic, not a panic.
+    let (_, stderr, ok) = run(&[
+        "serve",
+        graph.to_str().unwrap(),
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--queries",
+        "/dev/null",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--data-dir requires --listen"), "{stderr}");
+
+    // Spawns a durable server and collects (child, addr, banner lines
+    // printed before the address).
+    let spawn_server = |graph: &str, dir: &str| {
+        let mut child = Command::new(pathlearn_binary())
+            .args(["serve", graph, "--listen", "127.0.0.1:0", "--data-dir", dir])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn durable serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let mut banner = Vec::new();
+        let addr = loop {
+            let line = lines.next().expect("address line").expect("read line");
+            if let Some(a) = line.strip_prefix("listening on ") {
+                break a.trim().to_owned();
+            }
+            banner.push(line);
+        };
+        (child, addr, banner.join("\n"))
+    };
+
+    let (mut child, addr, banner) =
+        spawn_server(graph.to_str().unwrap(), data_dir.to_str().unwrap());
+    assert!(banner.contains("first run"), "{banner}");
+    let result = std::panic::catch_unwind(move || {
+        let mut client = Client::connect(&addr).expect("connect to durable server");
+        // G0: only v3 has an outgoing c edge.
+        match client.query_text("c", NO_DEADLINE_MS).unwrap() {
+            Response::Result { bits, .. } => assert_eq!(bits.len(), 1),
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+        match client
+            .apply_delta(&[("v1".into(), "c".into(), "v4".into())], &[])
+            .unwrap()
+        {
+            Response::DeltaApplied { .. } => {}
+            other => panic!("expected DELTA_APPLIED, got {other:?}"),
+        }
+    });
+    child.kill().ok();
+    child.wait().ok();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+
+    // Restart over the same data dir: the acknowledged delta survives
+    // the kill, recovered from snapshot + WAL rather than the text file.
+    let (mut child, addr, banner) =
+        spawn_server(graph.to_str().unwrap(), data_dir.to_str().unwrap());
+    assert!(banner.contains("recovered from snapshot"), "{banner}");
+    assert!(banner.contains("1 WAL record(s) replayed"), "{banner}");
+    let result = std::panic::catch_unwind(move || {
+        let mut client = Client::connect(&addr).expect("reconnect after restart");
+        match client.query_text("c", NO_DEADLINE_MS).unwrap() {
+            Response::Result { bits, .. } => {
+                assert_eq!(bits.len(), 2, "v1 --c--> v4 must survive the restart")
+            }
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+    });
+    child.kill().ok();
+    child.wait().ok();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
 fn unknown_flags_and_files_error_cleanly() {
     let (_, stderr, ok) = run(&["learn", "/nonexistent/graph.txt", "--pos", "x"]);
     assert!(!ok);

@@ -41,6 +41,13 @@
 //! throughput/hit-rate harness is `bench_serve` (crate
 //! `pathlearn-bench`, snapshot committed as `BENCH_serve.json`), which
 //! doubles as a TCP client via `--listen`.
+//!
+//! **Durability** is [`wal`]: a data directory pairing a versioned
+//! binary snapshot of the graph with an append-only, digest-checked
+//! write-ahead log of delta batches — fsynced before `DELTA_APPLIED`
+//! is answered, replayed on restart, and folded back into a fresh
+//! snapshot once the log outgrows a checkpoint threshold. `pathlearn
+//! serve --data-dir DIR` turns it on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,10 +56,13 @@ pub mod cache;
 pub mod net;
 pub mod proto;
 pub mod service;
+pub mod wal;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
 pub use net::{Client, NetConfig, NetStats, Server};
 pub use proto::{ErrorCode, QueryRef, Request, Response, WireKind, WireServed, NO_DEADLINE_MS};
 pub use service::{
-    DeltaApplied, EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats, Served,
+    DeltaApplied, DeltaCommitError, EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats,
+    Served,
 };
+pub use wal::{Persistence, RecoverError, Recovered, RecoveryReport, Wal, WalError};

@@ -52,9 +52,10 @@ use crate::proto::{
     read_frame, write_frame, ErrorCode, FrameError, QueryRef, Request, Response, WireEdge,
     WireKind, WireServed, NO_DEADLINE_MS,
 };
-use crate::service::{DeltaApplied, EvalMode, QueryResponse, QueryService, Served};
+use crate::service::{
+    DeltaApplied, DeltaCommitError, EvalMode, QueryResponse, QueryService, Served,
+};
 use pathlearn_automata::{CanonicalQuery, Regex, Symbol};
-use pathlearn_graph::graph::DeltaError;
 use pathlearn_graph::{CancelToken, GraphDb, Interrupt, NodeId};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -88,7 +89,11 @@ pub struct NetConfig {
     /// query at a time through [`QueryService`] (which does its own
     /// intra-query fan-out on the shared pool).
     pub eval_workers: usize,
-    /// Backoff hint carried in `SHED` frames.
+    /// Base backoff hint carried in `SHED` frames. The hint actually
+    /// sent scales with queue occupancy at shed time — a queue `k`
+    /// workers' worth of jobs deep hints `k × retry_after_ms` (capped
+    /// at [`MAX_RETRY_AFTER_MS`]) — so clients back off harder the
+    /// deeper the backlog they bounced off.
     pub retry_after_ms: u32,
     /// How long a drain (rebuild or shutdown) waits for queued and
     /// in-flight work to finish before proceeding anyway; the tripped
@@ -98,6 +103,10 @@ pub struct NetConfig {
     /// text queries still evaluate but are not registered.
     pub fingerprint_cap: usize,
 }
+
+/// Ceiling on the occupancy-scaled `SHED` backoff hint
+/// ([`NetConfig::retry_after_ms`] × backlog rounds, clamped here).
+pub const MAX_RETRY_AFTER_MS: u32 = 5_000;
 
 impl Default for NetConfig {
     fn default() -> Self {
@@ -479,7 +488,11 @@ impl Shared {
             }
         }
         let [add_ids, remove_ids] = resolved;
-        match self.service.apply_delta(&add_ids, &remove_ids) {
+        // The durable path: with persistence attached the batch is
+        // WAL-appended and fsynced before it is applied, so this
+        // `DELTA_APPLIED` only ever acknowledges a write that survives
+        // a crash. Without persistence it degrades to the plain apply.
+        match self.service.apply_delta_durable(&add_ids, &remove_ids) {
             Ok(DeltaApplied {
                 invalidated,
                 compacted,
@@ -493,9 +506,15 @@ impl Shared {
             // Unreachable while the delta contract holds (resolution
             // pinned everything in range), but a rebuild racing this
             // frame can shrink the graph under the resolved ids.
-            Err(
-                err @ (DeltaError::NodeOutOfRange { .. } | DeltaError::SymbolOutOfRange { .. }),
-            ) => bad(err.to_string()),
+            Err(DeltaCommitError::Rejected(err)) => bad(err.to_string()),
+            // The WAL could not take the batch (e.g. disk full): the
+            // graph is unchanged and the client may retry once the
+            // operator intervenes.
+            Err(DeltaCommitError::Wal(err)) => Response::Error {
+                request_id,
+                code: ErrorCode::Internal,
+                message: format!("delta not committed: {err}"),
+            },
         }
     }
 
@@ -527,11 +546,22 @@ impl Shared {
                 return Response::Draining { request_id };
             }
             if queue.jobs.len() >= self.config.queue_depth {
+                // Scale the backoff hint by how much work the bounced
+                // client is actually behind: occupancy in units of
+                // worker capacity, so one "round" of hint per full
+                // sweep of the current backlog. Deeper queue ⇒ ≥ hint;
+                // capped so a pathological backlog cannot park clients
+                // for minutes.
+                let occupancy = queue.jobs.len() + queue.running;
                 drop(queue);
+                let workers = self.config.eval_workers.max(1);
+                let rounds = occupancy.div_ceil(workers).max(1) as u64;
+                let base = u64::from(self.config.retry_after_ms.max(1));
+                let hint = (base * rounds).min(u64::from(MAX_RETRY_AFTER_MS)) as u32;
                 self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Response::Shed {
                     request_id,
-                    retry_after_ms: self.config.retry_after_ms,
+                    retry_after_ms: hint,
                 };
             }
             let flag = queue.drain_flag.clone();
@@ -834,13 +864,15 @@ impl Server {
     /// the touched labels' cache entries are invalidated, and the
     /// fingerprint registry is retained (node set and alphabet are
     /// frozen under the delta contract). Equivalent to a `DELTA` frame
-    /// arriving on a connection, minus the name resolution.
+    /// arriving on a connection, minus the name resolution — including
+    /// durability: with persistence attached to the service, the batch
+    /// is WAL-logged and fsynced before it applies.
     pub fn apply_delta(
         &self,
         add: &[(NodeId, Symbol, NodeId)],
         remove: &[(NodeId, Symbol, NodeId)],
-    ) -> Result<DeltaApplied, DeltaError> {
-        self.shared.service.apply_delta(add, remove)
+    ) -> Result<DeltaApplied, DeltaCommitError> {
+        self.shared.service.apply_delta_durable(add, remove)
     }
 
     /// Graceful stop: drain, join workers and acceptor, force-close

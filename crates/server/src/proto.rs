@@ -121,6 +121,11 @@ pub enum ErrorCode {
     /// have (request-level; the graph is unchanged — deltas are
     /// all-or-nothing).
     BadDelta = 8,
+    /// The server failed internally while committing the request —
+    /// e.g. the write-ahead log could not be appended or fsynced
+    /// (request-level; the delta was **not** applied, so retrying after
+    /// the operator frees disk space is safe).
+    Internal = 9,
 }
 
 impl ErrorCode {
@@ -134,6 +139,7 @@ impl ErrorCode {
             6 => ErrorCode::UnknownFingerprint,
             7 => ErrorCode::Busy,
             8 => ErrorCode::BadDelta,
+            9 => ErrorCode::Internal,
             _ => return None,
         })
     }

@@ -96,6 +96,7 @@
 use crate::cache::{
     intersects, live_alphabet, CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache,
 };
+use crate::wal::{Persistence, WalError};
 use pathlearn_automata::inclusion::nfa_included_in;
 use pathlearn_automata::{BitSet, CanonicalQuery, Dfa, Symbol};
 use pathlearn_graph::eval::eval_monadic_bounded_interruptible;
@@ -241,6 +242,38 @@ pub struct DeltaApplied {
     /// Overlay edges still pending after this batch (0 right after a
     /// compaction).
     pub delta_edges: usize,
+}
+
+/// Why [`QueryService::apply_delta_durable`] refused a batch. Either
+/// way the served graph is unchanged.
+#[derive(Debug)]
+pub enum DeltaCommitError {
+    /// The batch names a node or label the graph does not have —
+    /// the same rejection [`QueryService::apply_delta`] reports, made
+    /// **before** the batch touches the write-ahead log.
+    Rejected(DeltaError),
+    /// Appending or fsyncing the write-ahead log failed, so the batch
+    /// cannot be made durable and was **not** applied. Safe to retry
+    /// once the underlying problem (e.g. a full disk) is fixed.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for DeltaCommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaCommitError::Rejected(e) => write!(f, "{e}"),
+            DeltaCommitError::Wal(e) => write!(f, "delta not committed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaCommitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaCommitError::Rejected(e) => Some(e),
+            DeltaCommitError::Wal(e) => Some(e),
+        }
+    }
 }
 
 /// Aggregate service counters (a consistent snapshot via
@@ -543,6 +576,11 @@ pub struct QueryService {
     strategy: Strategy,
     eval_holdoff: Duration,
     delta_compact_threshold: Option<usize>,
+    /// Durability, when attached: the WAL the durable delta path logs
+    /// into before applying. Locked **before** `inner` (and never while
+    /// holding it), so log-then-apply is one serialized critical
+    /// section per write.
+    persistence: Mutex<Option<Persistence>>,
 }
 
 impl QueryService {
@@ -563,7 +601,21 @@ impl QueryService {
             strategy: config.strategy,
             eval_holdoff: config.eval_holdoff,
             delta_compact_threshold: config.delta_compact_threshold,
+            persistence: Mutex::new(None),
         }
+    }
+
+    /// Attaches an open snapshot+WAL pair (see
+    /// [`crate::wal::Persistence::recover`]). From now on
+    /// [`QueryService::apply_delta_durable`] logs every batch before
+    /// applying it, and checkpoints past the WAL's record threshold.
+    pub fn attach_persistence(&self, persistence: Persistence) {
+        *self.persistence.lock().unwrap() = Some(persistence);
+    }
+
+    /// Whether a persistence layer is attached.
+    pub fn is_durable(&self) -> bool {
+        self.persistence.lock().unwrap().is_some()
     }
 
     /// The currently served graph (the `Arc` stays valid across
@@ -680,6 +732,75 @@ impl QueryService {
             compacted,
             delta_edges: inner.graph.delta_edges(),
         })
+    }
+
+    /// [`QueryService::apply_delta`] with durability: when a
+    /// persistence layer is attached ([`QueryService::attach_persistence`]),
+    /// the batch is validated against the served graph, appended to the
+    /// write-ahead log, and **fsynced** — and only then applied. A
+    /// caller that sees `Ok` therefore holds a write that survives a
+    /// crash; a caller that sees `Err` knows the graph is unchanged
+    /// (a batch that fails validation is never logged, and a batch
+    /// whose log append fails is never applied).
+    ///
+    /// After a successful apply the WAL is checkpointed if it has grown
+    /// past its record threshold (fresh snapshot + truncate); a failed
+    /// checkpoint does **not** fail the write — the batch is already
+    /// durable in the WAL — it is reported on stderr and retried on
+    /// the next write.
+    ///
+    /// Without attached persistence this is exactly [`QueryService::apply_delta`].
+    pub fn apply_delta_durable(
+        &self,
+        add: &[(NodeId, Symbol, NodeId)],
+        remove: &[(NodeId, Symbol, NodeId)],
+    ) -> Result<DeltaApplied, DeltaCommitError> {
+        let mut persistence = self.persistence.lock().unwrap();
+        let Some(persistence) = persistence.as_mut() else {
+            return self
+                .apply_delta(add, remove)
+                .map_err(DeltaCommitError::Rejected);
+        };
+        // Validate before logging, so the WAL never holds a batch that
+        // replay would reject. (The persistence lock is held across
+        // validate → log → apply, serializing durable writes; the
+        // brief `inner` lock inside respects the persistence-before-
+        // inner ordering.)
+        {
+            let graph = self.graph();
+            let (num_nodes, alphabet_len) = (graph.num_nodes(), graph.alphabet().len());
+            for &(src, sym, dst) in add.iter().chain(remove) {
+                for node in [src, dst] {
+                    if node as usize >= num_nodes {
+                        return Err(DeltaCommitError::Rejected(DeltaError::NodeOutOfRange {
+                            node,
+                            num_nodes,
+                        }));
+                    }
+                }
+                if sym.index() >= alphabet_len {
+                    return Err(DeltaCommitError::Rejected(DeltaError::SymbolOutOfRange {
+                        symbol: sym,
+                        alphabet_len,
+                    }));
+                }
+            }
+        }
+        persistence
+            .log_batch(add, remove)
+            .map_err(DeltaCommitError::Wal)?;
+        let applied = self
+            .apply_delta(add, remove)
+            .map_err(DeltaCommitError::Rejected)?;
+        if persistence.wal_records() > persistence.checkpoint_threshold() {
+            // Compact only when actually checkpointing — folding the
+            // overlay into a fresh CSR is the expensive part.
+            if let Err(error) = persistence.maybe_checkpoint(&self.graph().compact()) {
+                // Best-effort: the write is already durable in the WAL.
+                eprintln!("warning: checkpoint failed (will retry on next write): {error}");
+            }
+        }
+        Ok(applied)
     }
 
     /// Serves the monadic query `q(G)`. Equal to
@@ -1857,6 +1978,83 @@ mod tests {
             *service.query_monadic(&q).result,
             eval_monadic(&q, &service.graph())
         );
+    }
+
+    /// Pins the auto-compact boundary exactly: with the default
+    /// threshold `max(1024, base_edges / 8)`, a batch leaving the
+    /// overlay at **exactly** the threshold is carried as an overlay
+    /// (compaction triggers at `>`, not `>=`), and one more edge folds
+    /// it.
+    #[test]
+    fn default_compact_threshold_boundary_is_strictly_greater_than() {
+        // 40 nodes, one label, a 40-edge ring: the default threshold is
+        // max(1024, 40 / 8) = 1024, and 40 × 40 possible edges leave
+        // room for 1025 distinct overlay additions.
+        let mut builder = pathlearn_graph::GraphBuilder::with_alphabet(
+            pathlearn_automata::Alphabet::from_labels(["a"]),
+        );
+        for i in 0..40 {
+            builder.add_node(&format!("n{i}"));
+        }
+        let a = Symbol::from_index(0);
+        for i in 0..40u32 {
+            builder.add_edge_ids(i, a, (i + 1) % 40);
+        }
+        let graph = builder.build();
+        assert_eq!(graph.num_edges(), 40);
+
+        // 1025 distinct edges absent from the base ring.
+        let fresh: Vec<(NodeId, Symbol, NodeId)> = (0..40u32)
+            .flat_map(|s| (0..40u32).map(move |d| (s, a, d)))
+            .filter(|&(s, _, d)| d != (s + 1) % 40)
+            .take(1025)
+            .collect();
+        assert_eq!(fresh.len(), 1025);
+
+        let service = QueryService::new(graph, ServeConfig::default());
+        // Exactly at the threshold: still an overlay.
+        let at = service.apply_delta(&fresh[..1024], &[]).unwrap();
+        assert!(
+            !at.compacted,
+            "an overlay of exactly 1024 edges must NOT compact (threshold is `>`)"
+        );
+        assert_eq!(at.delta_edges, 1024);
+        assert!(service.graph().has_delta());
+        assert_eq!(service.stats().compactions, 0);
+        // One past it: folded.
+        let past = service.apply_delta(&fresh[1024..], &[]).unwrap();
+        assert!(past.compacted, "1025 overlay edges must compact");
+        assert_eq!(past.delta_edges, 0);
+        assert!(!service.graph().has_delta());
+        assert_eq!(service.stats().compactions, 1);
+        assert_eq!(service.graph().num_edges(), 40 + 1025);
+    }
+
+    /// The same boundary under an explicit [`ServeConfig::delta_compact_threshold`].
+    #[test]
+    fn explicit_compact_threshold_boundary_is_strictly_greater_than() {
+        let graph = figure3_g0();
+        let service = QueryService::new(
+            graph.clone(),
+            ServeConfig {
+                delta_compact_threshold: Some(3),
+                ..ServeConfig::default()
+            },
+        );
+        let c = graph.alphabet().symbol("c").unwrap();
+        let v = |name: &str| graph.node_id(name).unwrap();
+        let edges = [
+            (v("v1"), c, v("v5")),
+            (v("v2"), c, v("v6")),
+            (v("v3"), c, v("v7")),
+            (v("v4"), c, v("v1")),
+        ];
+        let at = service.apply_delta(&edges[..3], &[]).unwrap();
+        assert!(!at.compacted, "exactly 3 overlay edges stay an overlay");
+        assert_eq!(at.delta_edges, 3);
+        let past = service.apply_delta(&edges[3..], &[]).unwrap();
+        assert!(past.compacted, "the 4th edge crosses threshold 3");
+        assert_eq!(past.delta_edges, 0);
     }
 
     #[test]

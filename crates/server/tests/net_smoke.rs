@@ -192,7 +192,13 @@ fn overloaded_queue_sheds_with_a_retry_hint() {
                         answered.fetch_add(1, Ordering::Relaxed);
                     }
                     Response::Shed { retry_after_ms, .. } => {
-                        assert_eq!(retry_after_ms, 77);
+                        // The hint scales with occupancy: here at most
+                        // 1 queued + 1 running on 1 worker, so between
+                        // 1× and 2× the 77ms base.
+                        assert!(
+                            (77..=154).contains(&retry_after_ms),
+                            "depth-1 shed hint {retry_after_ms} outside [77, 154]"
+                        );
                         shed.fetch_add(1, Ordering::Relaxed);
                     }
                     other => panic!("expected RESULT or SHED, got {other:?}"),
@@ -217,6 +223,65 @@ fn overloaded_queue_sheds_with_a_retry_hint() {
     assert_eq!(
         counter(&stats, "net.shed") as usize,
         shed.load(Ordering::Relaxed)
+    );
+}
+
+/// Satellite: the SHED backoff hint scales with queue occupancy — a
+/// deeper queue yields a hint ≥ the shallow queue's, because clients
+/// bouncing off a four-deep backlog should wait at least as long as
+/// clients bouncing off a one-deep one. With `queue_depth: 4` on one
+/// worker, any shed observes occupancy ≥ 4, so its hint is ≥ 4× the
+/// base — strictly above the depth-1 test's [77, 154] envelope — and
+/// never exceeds the [`pathlearn_server::net::MAX_RETRY_AFTER_MS`] cap.
+#[test]
+fn deeper_queue_yields_a_larger_retry_hint() {
+    let serve_config = ServeConfig {
+        eval_holdoff: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let net_config = NetConfig {
+        queue_depth: 4,
+        eval_workers: 1,
+        retry_after_ms: 77,
+        ..NetConfig::default()
+    };
+    let server = serve(ring_graph(30), serve_config, net_config);
+    let addr = server.local_addr();
+
+    // Nine distinct expressions: 1 running + 4 queued occupy the
+    // server for the 300ms holdoff, the rest must shed.
+    let exprs = ["a", "b", "c", "a·b", "b·c", "c·a", "a·a", "b·b", "c·c"];
+    let shed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for (i, expr) in exprs.iter().enumerate() {
+            let shed = &shed;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5 * i as u64));
+                let mut client = Client::connect(addr).unwrap();
+                match client.query_text(expr, NO_DEADLINE_MS).unwrap() {
+                    Response::Result { .. } => {}
+                    Response::Shed { retry_after_ms, .. } => {
+                        // occupancy ∈ [4, 5] on 1 worker: 4–5 backlog
+                        // rounds of the 77ms base.
+                        assert!(
+                            (308..=385).contains(&retry_after_ms),
+                            "depth-4 shed hint {retry_after_ms} outside [308, 385]"
+                        );
+                        assert!(
+                            retry_after_ms > 154,
+                            "a deeper queue must hint ≥ the shallow queue's ceiling"
+                        );
+                        assert!(retry_after_ms <= pathlearn_server::net::MAX_RETRY_AFTER_MS);
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("expected RESULT or SHED, got {other:?}"),
+                }
+            });
+        }
+    });
+    assert!(
+        shed.load(Ordering::Relaxed) >= 1,
+        "nine near-simultaneous queries against 1 worker + depth 4 must shed at least one"
     );
 }
 
