@@ -50,6 +50,16 @@
 //! strictly faster than the text parse; numbers land in the
 //! `"restart"` JSON section (schema v4).
 //!
+//! The **instrumentation-overhead gate** (always on, schema v5) drives
+//! the identical eval-heavy workload through two services — per-level
+//! eval sampling off and on — asserts the answers bit-identical, and
+//! **gates** the observed on-path cost at ≤ 2% (best-of-runs on both
+//! sides, interleaved so machine drift hits them equally); numbers land
+//! in the `"telemetry"` JSON section. In `--listen` mode the harness
+//! also binds the text admin surface and probes `/metrics` and
+//! `/healthz` **mid-traffic**, asserting a non-empty parseable
+//! exposition and a `serving` health phase while the fleet replays.
+//!
 //! ```text
 //! bench_serve [--nodes N] [--seed S] [--repeat R] [--runs K]
 //!             [--clients T[,T,...]] [--cache-mb M] [--writes W]
@@ -65,13 +75,16 @@ use pathlearn_graph::io::{parse_graph, write_graph};
 use pathlearn_graph::GraphDb;
 use pathlearn_server::wal::{Persistence, SNAPSHOT_FILE};
 use pathlearn_server::{
-    CacheConfig, Client, NetConfig, QueryService, Response, ServeConfig, Server, NO_DEADLINE_MS,
+    AdminServer, CacheConfig, Client, NetConfig, QueryService, Response, ServeConfig, Server,
+    NO_DEADLINE_MS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::{Read as _, Write as _};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct ClientPoint {
     clients: usize,
@@ -84,7 +97,8 @@ struct ClientPoint {
 }
 
 /// One TCP client-mode measurement: wall time plus the front door's
-/// counters after the run (the schema-v2 `"net"` JSON section).
+/// counters after the run (the schema-v2 `"net"` JSON section), and —
+/// since schema v5 — what the mid-traffic admin probes saw.
 struct NetPoint {
     clients: usize,
     wall_ns: u128,
@@ -96,6 +110,22 @@ struct NetPoint {
     deadline_probes: usize,
     latency_p50_ns: u64,
     latency_p99_ns: u64,
+    /// Sample lines in the `/metrics` exposition probed while the
+    /// fleet was replaying (gated non-empty and parseable).
+    admin_metrics_series: usize,
+    /// `/healthz` phase probed mid-traffic (gated `serving`).
+    admin_health: String,
+}
+
+/// Instrumentation-overhead measurement: the identical eval-heavy
+/// workload with per-level sampling off vs on, gated bit-identical and
+/// ≤ 2% on-path cost. The schema-v5 `"telemetry"` JSON section.
+struct TelemetryPoint {
+    observer_off_ns: u128,
+    observer_on_ns: u128,
+    overhead_pct: f64,
+    level_samples: u64,
+    slow_traces: usize,
 }
 
 /// One update-mix measurement: the same read/write schedule driven
@@ -412,6 +442,142 @@ fn update_mix_point(
     point
 }
 
+/// Minimal HTTP/1.0 GET against the admin surface: status code + body.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect admin surface");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("admin read timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send admin request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read admin reply");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("admin reply has no status line: {raw:?}")));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Gates the exposition the mid-traffic probe captured: non-empty,
+/// every line either a well-formed `# TYPE` comment or a `name value`
+/// sample with an integer value. Returns the sample-line count.
+fn gate_exposition(exposition: &str) -> usize {
+    assert!(
+        !exposition.is_empty(),
+        "mid-traffic /metrics exposition must not be empty"
+    );
+    let mut samples = 0usize;
+    for line in exposition.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split_whitespace().nth(1).unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind in exposition line {line:?}"
+            );
+            continue;
+        }
+        let value = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| usage(&format!("exposition line {line:?} is not `name value`")))
+            .1;
+        assert!(
+            value.parse::<u64>().is_ok(),
+            "exposition value {value:?} in {line:?} is not an integer"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition carries no samples");
+    samples
+}
+
+/// The instrumentation-overhead gate: every unique canonical query
+/// (first spelling only — all cache misses, so evaluation dominates)
+/// through a sampling-off service and a sampling-on one, interleaved
+/// over `runs` rounds with best-of-runs on both sides. Answers are
+/// asserted bit-identical to direct evaluation on both sides and the
+/// on-path cost is gated at ≤ 2% — the budget the observer hook
+/// promises ("a single thread-local check per level when disabled,
+/// two clock reads when enabled").
+fn telemetry_point(
+    graph: &GraphDb,
+    spellings: &[(String, Vec<Dfa>)],
+    direct: &[BitSet],
+    runs: usize,
+    cache_mb: usize,
+) -> TelemetryPoint {
+    let config = |observe: bool| ServeConfig {
+        threads: 1,
+        cache: CacheConfig {
+            capacity_bytes: cache_mb << 20,
+        },
+        observe_eval_levels: observe,
+        // Capture every trace so the slow-log plumbing is exercised.
+        slow_query_threshold: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let mut observer_off_ns = u128::MAX;
+    let mut observer_on_ns = u128::MAX;
+    let mut level_samples = 0u64;
+    let mut slow_traces = 0usize;
+    for _ in 0..runs.max(3) {
+        let off = QueryService::new(graph.clone(), config(false));
+        let started = Instant::now();
+        for (_, v) in spellings {
+            std::hint::black_box(off.query_monadic(&v[0]));
+        }
+        observer_off_ns = observer_off_ns.min(started.elapsed().as_nanos());
+
+        let on = QueryService::new(graph.clone(), config(true));
+        let started = Instant::now();
+        for (_, v) in spellings {
+            std::hint::black_box(on.query_monadic(&v[0]));
+        }
+        observer_on_ns = observer_on_ns.min(started.elapsed().as_nanos());
+
+        for ((name, v), expected) in spellings.iter().zip(direct) {
+            assert_eq!(
+                *off.query_monadic(&v[0]).result,
+                *expected,
+                "{name}: observer-off result differs from direct eval"
+            );
+            assert_eq!(
+                *on.query_monadic(&v[0]).result,
+                *expected,
+                "{name}: observer-on result differs from direct eval"
+            );
+        }
+        let snapshot = on.telemetry().registry.snapshot();
+        level_samples = snapshot
+            .iter()
+            .find(|(name, _)| name == "eval.level_count")
+            .map_or(0, |(_, value)| *value);
+        slow_traces = on.telemetry().traces.slow().len();
+    }
+    assert!(
+        level_samples > 0,
+        "the sampling-on side must record per-level samples"
+    );
+    assert!(slow_traces > 0, "a zero threshold must capture slow traces");
+    let overhead_pct = (observer_on_ns as f64 / observer_off_ns.max(1) as f64 - 1.0) * 100.0;
+    assert!(
+        observer_on_ns as f64 <= observer_off_ns as f64 * 1.02,
+        "per-level sampling costs {overhead_pct:.2}% on the eval path \
+         (off {observer_off_ns} ns vs on {observer_on_ns} ns) — over the 2% budget"
+    );
+    TelemetryPoint {
+        observer_off_ns,
+        observer_on_ns,
+        overhead_pct,
+        level_samples,
+        slow_traces,
+    }
+}
+
 /// Deterministic Fisher–Yates over the submission indices.
 fn shuffled_workload(unique: usize, variants: usize, repeat: usize, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..unique * variants * repeat)
@@ -476,7 +642,15 @@ fn tcp_client_point(
     let mut server = Server::bind(service, addr, NetConfig::default())
         .unwrap_or_else(|e| usage(&format!("cannot listen on {addr}: {e}")));
     let server_addr = server.local_addr();
-    eprintln!("tcp client mode: front door on {server_addr}, {clients} client connection(s)");
+    // The text admin surface rides along on an ephemeral port; the
+    // probes below hit it while the fleet is replaying.
+    let admin = AdminServer::bind("127.0.0.1:0").expect("bind admin surface");
+    admin.set_sources(server.admin_sources());
+    let admin_addr = admin.local_addr();
+    eprintln!(
+        "tcp client mode: front door on {server_addr}, admin on {admin_addr}, \
+         {clients} client connection(s)"
+    );
 
     // Establish every unique query by text once; the RESULT frame's
     // bits must match direct evaluation and its fingerprint becomes the
@@ -502,10 +676,11 @@ fn tcp_client_point(
         .collect();
 
     // The timed fleet: each client owns one connection and replays
-    // fingerprints off the shared cursor.
+    // fingerprints off the shared cursor. An extra probe thread hits
+    // the admin surface while the fleet is mid-replay.
     let cursor = AtomicUsize::new(0);
     let started = Instant::now();
-    std::thread::scope(|scope| {
+    let (metrics_probe, health_probe) = std::thread::scope(|scope| {
         for _ in 0..clients {
             let cursor = &cursor;
             let fingerprints = &fingerprints;
@@ -529,8 +704,28 @@ fn tcp_client_point(
                 }
             });
         }
+        let probe = scope.spawn(move || {
+            // Give the fleet a moment to be genuinely in flight.
+            std::thread::sleep(Duration::from_millis(2));
+            (
+                http_get(admin_addr, "/metrics"),
+                http_get(admin_addr, "/healthz"),
+            )
+        });
+        probe.join().expect("admin probe thread")
     });
     let wall_ns = started.elapsed().as_nanos();
+
+    let (metrics_status, exposition) = metrics_probe;
+    assert_eq!(metrics_status, 200, "mid-traffic /metrics must answer 200");
+    let admin_metrics_series = gate_exposition(&exposition);
+    let (health_status, health_body) = health_probe;
+    assert_eq!(
+        health_status, 200,
+        "mid-traffic /healthz must be serving: {health_body}"
+    );
+    let admin_health = health_body.lines().next().unwrap_or("").to_owned();
+    assert_eq!(admin_health, "serving", "health phase mid-traffic");
 
     // Deadline probes: an already-expired budget must answer DEADLINE
     // before touching the pool.
@@ -564,6 +759,8 @@ fn tcp_client_point(
         deadline_probes,
         latency_p50_ns: get("net.latency_p50_ns"),
         latency_p99_ns: get("net.latency_p99_ns"),
+        admin_metrics_series,
+        admin_health,
     };
     assert_eq!(
         point.deadline_replies, deadline_probes as u64,
@@ -600,6 +797,7 @@ fn write_json(
     net: Option<&NetPoint>,
     update: Option<&UpdatePoint>,
     restart: Option<&RestartPoint>,
+    telemetry: &TelemetryPoint,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -609,7 +807,7 @@ fn write_json(
     out.push_str(
         "  \"note\": \"client scaling needs real cores (see BENCHMARKS.md); cache/coalescing wins hold regardless — they remove evaluations\",\n",
     );
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!(
         "  \"hardware\": {{\"available_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
@@ -677,9 +875,17 @@ fn write_json(
         )),
         None => out.push_str("  \"update_mix\": null,\n"),
     }
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"observer_off_ns\": {}, \"observer_on_ns\": {}, \"overhead_pct\": {:.3}, \"overhead_budget_pct\": 2.0, \"level_samples\": {}, \"slow_traces\": {}}},\n",
+        telemetry.observer_off_ns,
+        telemetry.observer_on_ns,
+        telemetry.overhead_pct,
+        telemetry.level_samples,
+        telemetry.slow_traces,
+    ));
     match net {
         Some(p) => out.push_str(&format!(
-            "  \"net\": {{\"mode\": \"tcp_client\", \"clients\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \"queries\": {}, \"shed\": {}, \"deadline_replies\": {}, \"deadline_probes\": {}, \"draining_replies\": {}, \"malformed\": {}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}}}\n",
+            "  \"net\": {{\"mode\": \"tcp_client\", \"clients\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \"queries\": {}, \"shed\": {}, \"deadline_replies\": {}, \"deadline_probes\": {}, \"draining_replies\": {}, \"malformed\": {}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"admin\": {{\"metrics_series\": {}, \"healthz\": \"{}\"}}}}\n",
             p.clients,
             p.wall_ns,
             submissions as f64 / (p.wall_ns as f64 / 1e9).max(1e-9),
@@ -691,6 +897,8 @@ fn write_json(
             p.malformed,
             p.latency_p50_ns,
             p.latency_p99_ns,
+            p.admin_metrics_series,
+            p.admin_health,
         )),
         None => out.push_str("  \"net\": null\n"),
     }
@@ -913,6 +1121,20 @@ fn main() {
         p
     });
 
+    // Instrumentation-overhead gate: per-level sampling off vs on over
+    // the identical eval-heavy workload, bit-identical and ≤ 2% or the
+    // run fails.
+    let telemetry = telemetry_point(&graph, &spellings, &direct, runs, cache_mb);
+    println!(
+        "telemetry: per-level sampling overhead {:.2}% (off {:.3} ms, on {:.3} ms), \
+         {} level samples, {} slow traces",
+        telemetry.overhead_pct,
+        telemetry.observer_off_ns as f64 / 1e6,
+        telemetry.observer_on_ns as f64 / 1e6,
+        telemetry.level_samples,
+        telemetry.slow_traces,
+    );
+
     // TCP client mode: the same workload through the framed front
     // door, replayed by fingerprint; counters land in the JSON's "net"
     // section.
@@ -986,6 +1208,7 @@ fn main() {
         net_point.as_ref(),
         update_point.as_ref(),
         restart_result.as_ref(),
+        &telemetry,
     )
     .expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

@@ -315,6 +315,16 @@ impl EvalScratch {
     /// length / active swaps). Callers own the level loop (and the
     /// per-level cancellation check and any early exit).
     pub(crate) fn backward_level(&mut self, rev: &RevIndex, graph: &GraphDb, policy: StepPolicy) {
+        let observing = crate::observer::level_begin();
+        let frontier_nodes: u64 = if observing.is_some() {
+            self.active
+                .iter()
+                .map(|&q| self.frontier_len[q as usize] as u64)
+                .sum()
+        } else {
+            0
+        };
+        let (mut tasks, mut masked_tasks) = (0u32, 0u32);
         let EvalScratch {
             reached,
             frontier,
@@ -338,10 +348,12 @@ impl EvalScratch {
                 match graph.plan_step_back(state_frontier, symbol, state_frontier_len, policy) {
                     StepPlan::Skip => continue,
                     StepPlan::Masked => {
+                        masked_tasks += 1;
                         graph.step_frontier_back_masked_into(state_frontier, symbol, step)
                     }
                     StepPlan::Plain => graph.step_frontier_back_into(state_frontier, symbol, step),
                 }
+                tasks += 1;
                 if step.is_empty() {
                     continue;
                 }
@@ -356,6 +368,9 @@ impl EvalScratch {
                     }
                 }
             }
+        }
+        if let Some(started) = observing {
+            crate::observer::level_record(started, frontier_nodes, tasks, masked_tasks);
         }
         self.advance_level();
     }
@@ -376,6 +391,16 @@ impl EvalScratch {
         policy: StepPolicy,
         prune: Option<&[BitSet]>,
     ) {
+        let observing = crate::observer::level_begin();
+        let frontier_nodes: u64 = if observing.is_some() {
+            self.active
+                .iter()
+                .map(|&q| self.frontier_len[q as usize] as u64)
+                .sum()
+        } else {
+            0
+        };
+        let (mut tasks, mut masked_tasks) = (0u32, 0u32);
         let EvalScratch {
             reached,
             frontier,
@@ -402,18 +427,21 @@ impl EvalScratch {
                 match (plan, dir) {
                     (StepPlan::Skip, _) => continue,
                     (StepPlan::Masked, KernelDir::Out) => {
+                        masked_tasks += 1;
                         graph.step_frontier_masked_into(state_frontier, symbol, step)
                     }
                     (StepPlan::Plain, KernelDir::Out) => {
                         graph.step_frontier_into(state_frontier, symbol, step)
                     }
                     (StepPlan::Masked, KernelDir::In) => {
+                        masked_tasks += 1;
                         graph.step_frontier_back_masked_into(state_frontier, symbol, step)
                     }
                     (StepPlan::Plain, KernelDir::In) => {
                         graph.step_frontier_back_into(state_frontier, symbol, step)
                     }
                 }
+                tasks += 1;
                 if let Some(certificate) = prune {
                     step.intersect_with(&certificate[next_state as usize]);
                 }
@@ -428,6 +456,9 @@ impl EvalScratch {
                     next_active.push(next_state);
                 }
             }
+        }
+        if let Some(started) = observing {
+            crate::observer::level_record(started, frontier_nodes, tasks, masked_tasks);
         }
         self.advance_level();
     }

@@ -19,6 +19,10 @@
 //!   parallel** twins of both evaluators (per-BFS-level `(state, symbol)`
 //!   task fan-out with deterministic OR-merge), all bit-identical to the
 //!   sequential evaluators;
+//! * [`observer`] — thread-local per-BFS-level sampling
+//!   ([`observer::collect_levels`]): the zero-cost-when-off hook the
+//!   serving layer's query traces ride, recording frontier size, kernel
+//!   mix and nanoseconds for every level an evaluator runs;
 //! * [`cancel`] — cooperative cancellation ([`cancel::CancelToken`]:
 //!   deadline and/or shared drain flag) checked once per BFS level by
 //!   the interruptible evaluator variants, so a serving layer can bound
@@ -45,6 +49,7 @@ pub mod explain;
 pub mod graph;
 pub mod io;
 pub mod neighborhood;
+pub mod observer;
 pub mod par_eval;
 pub mod paths;
 pub mod plan;
@@ -54,6 +59,7 @@ pub mod scp;
 pub use cancel::{CancelToken, Interrupt};
 pub use graph::snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use graph::{DeltaError, GraphBuilder, GraphDb, NodeId, StepPlan, StepPolicy};
+pub use observer::{collect_levels, LevelSample, MAX_LEVEL_SAMPLES};
 pub use par_eval::{EvalPool, IntraScratch};
 pub use plan::{PlanScratch, QueryPlan, Strategy};
 pub use scp::ScpFinder;

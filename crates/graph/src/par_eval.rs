@@ -511,6 +511,15 @@ impl EvalPool {
         let words = graph.num_node_words();
         while !active.is_empty() {
             cancel.check()?;
+            let observing = crate::observer::level_begin();
+            let frontier_nodes: u64 = if observing.is_some() {
+                active
+                    .iter()
+                    .map(|&q| frontier_len[q as usize] as u64)
+                    .sum()
+            } else {
+                0
+            };
             // Task list for this level: (state, symbol) pairs that can
             // actually produce predecessors — reverse DFA transitions
             // exist and the cost model did not prove the step empty —
@@ -619,6 +628,10 @@ impl EvalPool {
             std::mem::swap(frontier_len, next_frontier_len);
             std::mem::swap(active, next_active);
             next_active.clear();
+            if let Some(started) = observing {
+                let masked = tasks.iter().filter(|task| task.masked).count() as u32;
+                crate::observer::level_record(started, frontier_nodes, tasks.len() as u32, masked);
+            }
             // Early exit: every node already selected.
             if reached[q0 as usize].len() == v {
                 break;
@@ -727,6 +740,15 @@ impl EvalPool {
         let words = graph.num_node_words();
         while !active.is_empty() {
             cancel.check()?;
+            let observing = crate::observer::level_begin();
+            let frontier_nodes: u64 = if observing.is_some() {
+                active
+                    .iter()
+                    .map(|&q| frontier_len[q as usize] as u64)
+                    .sum()
+            } else {
+                0
+            };
             tasks.clear();
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
@@ -826,6 +848,10 @@ impl EvalPool {
             std::mem::swap(frontier_len, next_frontier_len);
             std::mem::swap(active, next_active);
             next_active.clear();
+            if let Some(started) = observing {
+                let masked = tasks.iter().filter(|task| task.masked).count() as u32;
+                crate::observer::level_record(started, frontier_nodes, tasks.len() as u32, masked);
+            }
         }
 
         for f in query.finals().iter() {
@@ -896,6 +922,15 @@ impl EvalPool {
         let words = graph.num_node_words();
         while !active.is_empty() {
             cancel.check()?;
+            let observing = crate::observer::level_begin();
+            let frontier_nodes: u64 = if observing.is_some() {
+                active
+                    .iter()
+                    .map(|&q| frontier_len[q as usize] as u64)
+                    .sum()
+            } else {
+                0
+            };
             tasks.clear();
             for &q in active.iter() {
                 let state_frontier = &frontier[q as usize];
@@ -995,6 +1030,10 @@ impl EvalPool {
             std::mem::swap(frontier_len, next_frontier_len);
             std::mem::swap(active, next_active);
             next_active.clear();
+            if let Some(started) = observing {
+                let masked = tasks.iter().filter(|task| task.masked).count() as u32;
+                crate::observer::level_record(started, frontier_nodes, tasks.len() as u32, masked);
+            }
         }
 
         let mut result = BitSet::new(v);

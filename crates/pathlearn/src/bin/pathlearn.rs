@@ -105,7 +105,7 @@ USAGE:
   pathlearn learn <graph.txt> --pos A,B --neg C,D [--k N] [--threads T]
   pathlearn interactive <graph.txt> [--goal <REGEX>] [--strategy kR|kS] [--seed N] [--threads T]
   pathlearn serve <graph.txt> --queries <file> [--clients N] [--threads T] [--repeat R] [--cache-mb M] [--strategy auto|forward|backward|bidirectional]
-  pathlearn serve <graph.txt> --listen ADDR [--threads T] [--cache-mb M] [--strategy ...] [--data-dir DIR] [--checkpoint-every N]
+  pathlearn serve <graph.txt> --listen ADDR [--admin ADDR2] [--threads T] [--cache-mb M] [--strategy ...] [--data-dir DIR] [--checkpoint-every N]
   pathlearn snapshot <graph.txt> <out.snap>
   pathlearn update <ADDR> [--add \"src label dst\"]... [--remove \"src label dst\"]...
   pathlearn stats <graph.txt>
@@ -310,6 +310,16 @@ fn serve_command(args: &[String]) -> Result<(), String> {
                  --listen serves network clients, --queries drives a local workload"
                 .into());
         }
+        // Bind the admin surface before recovery: a deployment's health
+        // checks can connect during WAL replay and see `503 recovering`
+        // until the front door is up and content sources are installed.
+        let admin = options
+            .flag("admin")
+            .map(|admin_addr| {
+                pathlearn::server::AdminServer::bind(admin_addr)
+                    .map_err(|e| format!("cannot bind admin address {admin_addr}: {e}"))
+            })
+            .transpose()?;
         let service = match options.flag("data-dir") {
             Some(dir) => {
                 // Durable mode: the graph of record lives in DIR as
@@ -355,6 +365,13 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         let server =
             pathlearn::server::Server::bind(service, addr, pathlearn::server::NetConfig::default())
                 .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        if let Some(admin) = &admin {
+            admin.set_sources(server.admin_sources());
+            println!(
+                "admin surface on http://{} (/metrics, /healthz, /slow)",
+                admin.local_addr()
+            );
+        }
         println!("listening on {}", server.local_addr());
         println!(
             "protocol: framed binary v1 (see pathlearn-server::proto); {}stop with ^C",

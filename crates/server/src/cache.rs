@@ -31,6 +31,7 @@
 //! entry counts are `capacity / |V|-bits`, small enough that the scan is
 //! noise next to one evaluation.
 
+use crate::telemetry::{Counter, MetricsRegistry};
 use pathlearn_automata::{BitSet, CanonicalQuery, Symbol};
 use pathlearn_graph::NodeId;
 use std::collections::HashMap;
@@ -132,7 +133,8 @@ impl Default for CacheConfig {
     }
 }
 
-/// Counters exposed by [`ResultCache::stats`].
+/// Counters exposed by [`ResultCache::stats`] — a point-in-time view
+/// over the cache's live telemetry [`Counter`]s.
 #[derive(Clone, Debug, Default)]
 pub struct CacheStats {
     /// Lookups that found a resident entry.
@@ -148,6 +150,33 @@ pub struct CacheStats {
     /// Entries dropped by label-aware invalidation
     /// ([`ResultCache::invalidate_labels`]).
     pub invalidated: u64,
+}
+
+/// The cache's live counter handles. The cache increments these at its
+/// mutation sites; [`CacheCounters::register`] publishes the same
+/// handles in a [`MetricsRegistry`] under the stable `cache.*` names,
+/// so the `/metrics` exposition and [`ResultCache::stats`] read the
+/// same atomics.
+#[derive(Clone, Default)]
+pub(crate) struct CacheCounters {
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) insertions: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) invalidated: Counter,
+}
+
+impl CacheCounters {
+    /// Publishes the live handles under their `cache.*` names.
+    pub(crate) fn register(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("cache.hits", self.hits.clone());
+        registry.adopt_counter("cache.misses", self.misses.clone());
+        registry.adopt_counter("cache.insertions", self.insertions.clone());
+        registry.adopt_counter("cache.evictions", self.evictions.clone());
+        registry.adopt_counter("cache.rejected", self.rejected.clone());
+        registry.adopt_counter("cache.invalidated", self.invalidated.clone());
+    }
 }
 
 struct Entry {
@@ -170,7 +199,7 @@ pub struct ResultCache {
     /// GDSF aging clock: rises to each evicted priority, so long-resident
     /// entries must keep earning hits to outrank fresh insertions.
     clock: f64,
-    stats: CacheStats,
+    counters: CacheCounters,
 }
 
 impl ResultCache {
@@ -181,7 +210,7 @@ impl ResultCache {
             bytes: 0,
             capacity_bytes: config.capacity_bytes,
             clock: 0.0,
-            stats: CacheStats::default(),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -195,11 +224,11 @@ impl ResultCache {
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.priority = clock + entry.cost_ns as f64 / entry.bytes.max(1) as f64;
-                self.stats.hits += 1;
+                self.counters.hits.inc();
                 Some(entry.value.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.counters.misses.inc();
                 None
             }
         }
@@ -217,7 +246,7 @@ impl ResultCache {
     pub fn insert(&mut self, key: CacheKey, value: Arc<BitSet>, cost_ns: u64) -> bool {
         let bytes = entry_bytes(&key, &value);
         if bytes > self.capacity_bytes {
-            self.stats.rejected += 1;
+            self.counters.rejected.inc();
             return false;
         }
         if let Some(old) = self.map.remove(&key) {
@@ -245,7 +274,7 @@ impl ResultCache {
                 .checked_sub(evicted.bytes)
                 .expect("cache byte ledger underflow on eviction");
             self.clock = self.clock.max(evicted.priority);
-            self.stats.evictions += 1;
+            self.counters.evictions.inc();
         }
         let priority = self.priority(cost_ns, bytes);
         let live = live_alphabet(&key.query);
@@ -260,7 +289,7 @@ impl ResultCache {
                 live,
             },
         );
-        self.stats.insertions += 1;
+        self.counters.insertions.inc();
         true
     }
 
@@ -284,7 +313,7 @@ impl ResultCache {
             !dead
         });
         let dropped = before - self.map.len();
-        self.stats.invalidated += dropped as u64;
+        self.counters.invalidated.add(dropped as u64);
         dropped
     }
 
@@ -328,9 +357,23 @@ impl ResultCache {
         self.capacity_bytes
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// Lifetime counters — a point-in-time view over the live
+    /// telemetry handles (`CacheCounters`).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            insertions: self.counters.insertions.get(),
+            evictions: self.counters.evictions.get(),
+            rejected: self.counters.rejected.get(),
+            invalidated: self.counters.invalidated.get(),
+        }
+    }
+
+    /// The live counter handles, for registry registration by the
+    /// owning service.
+    pub(crate) fn counters(&self) -> &CacheCounters {
+        &self.counters
     }
 }
 

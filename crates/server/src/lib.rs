@@ -48,6 +48,16 @@
 //! is answered, replayed on restart, and folded back into a fresh
 //! snapshot once the log outgrows a checkpoint threshold. `pathlearn
 //! serve --data-dir DIR` turns it on.
+//!
+//! **Observability** is [`telemetry`]: every `serve.*` / `cache.*` /
+//! `net.*` / `wal.*` / `eval.*` number flows through one
+//! [`MetricsRegistry`] (the `STATS` wire frame and [`ServeStats`] are
+//! views over it); per-query [`QueryTrace`]s record wall-clock spans,
+//! admission-queue wait and per-BFS-level samples into a recent-trace
+//! ring plus a threshold-gated slow-query log; and the text admin
+//! surface ([`AdminServer`], `pathlearn serve --listen ADDR --admin
+//! ADDR2`) serves `/metrics` (Prometheus text), `/healthz` (readiness)
+//! and `/slow` (recent slow traces) over plain HTTP.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,6 +66,7 @@ pub mod cache;
 pub mod net;
 pub mod proto;
 pub mod service;
+pub mod telemetry;
 pub mod wal;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache};
@@ -64,5 +75,9 @@ pub use proto::{ErrorCode, QueryRef, Request, Response, WireKind, WireServed, NO
 pub use service::{
     DeltaApplied, DeltaCommitError, EvalMode, QueryResponse, QueryService, ServeConfig, ServeStats,
     Served,
+};
+pub use telemetry::{
+    AdminServer, AdminSources, Counter, Gauge, HealthPhase, HealthReport, Histogram,
+    MetricsRegistry, QueryTrace, Telemetry, TraceBuilder, TraceSink, TraceSpan,
 };
 pub use wal::{Persistence, RecoverError, Recovered, RecoveryReport, Wal, WalError};

@@ -55,12 +55,15 @@ use crate::proto::{
 use crate::service::{
     DeltaApplied, DeltaCommitError, EvalMode, QueryResponse, QueryService, Served,
 };
+use crate::telemetry::{
+    AdminSources, Counter, Gauge, HealthPhase, HealthReport, Histogram, MetricsRegistry, Telemetry,
+};
 use pathlearn_automata::{CanonicalQuery, Regex, Symbol};
 use pathlearn_graph::{CancelToken, GraphDb, Interrupt, NodeId};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -149,10 +152,11 @@ pub struct NetStats {
     pub io_errors: u64,
     /// Current admission queue depth.
     pub queue_depth: u64,
-    /// Median end-to-end service latency of answered queries (ns) over
-    /// a sliding window.
+    /// Median service latency of answered queries (ns), reported as the
+    /// inclusive upper bound of the log₂ histogram bucket holding the
+    /// nearest-rank sample (see [`crate::telemetry::Histogram`]).
     pub latency_p50_ns: u64,
-    /// 99th-percentile service latency (ns) over the same window.
+    /// 99th-percentile service latency (ns), same derivation.
     pub latency_p99_ns: u64,
 }
 
@@ -201,6 +205,10 @@ struct Job {
     query: CanonicalQuery,
     kind: WireKind,
     deadline: Option<Instant>,
+    /// When the job entered the admission queue; the popping worker
+    /// reports `now − enqueued` as the query's queue wait (recorded on
+    /// its trace and in the `serve.queue_wait` histogram).
+    enqueued: Instant,
     /// The drain-generation flag current at admission: a drain trips
     /// exactly the generations admitted before it.
     flag: Arc<AtomicBool>,
@@ -221,58 +229,47 @@ struct QueueState {
     drain_flag: Arc<AtomicBool>,
 }
 
-#[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    refused: AtomicU64,
-    active: AtomicU64,
-    queries: AtomicU64,
-    shed: AtomicU64,
-    deadline_replies: AtomicU64,
-    draining_replies: AtomicU64,
-    malformed: AtomicU64,
-    io_errors: AtomicU64,
+/// Live handles into the unified [`MetricsRegistry`] for the front
+/// door's `net.*` slice. Registered against the service's
+/// [`Telemetry`] bundle at bind time, so one registry snapshot covers
+/// the network, serving, cache and WAL layers together.
+struct NetCounters {
+    accepted: Counter,
+    refused: Counter,
+    active: Gauge,
+    queries: Counter,
+    shed: Counter,
+    deadline_replies: Counter,
+    draining_replies: Counter,
+    malformed: Counter,
+    io_errors: Counter,
+    /// Synced with the live queue at snapshot time (see
+    /// [`Shared::refresh_queue_depth`]); depth is only meaningful at
+    /// observation, so the push/pop paths do not touch it.
+    queue_depth: Gauge,
+    /// Service latency of answered queries (worker pop → reply ready),
+    /// log₂-bucketed. Replaces the old mutex-guarded sliding window on
+    /// the reply hot path; its nearest-rank quantiles are exact over
+    /// the whole history by construction — no partially-filled-window
+    /// cold-start to get wrong.
+    latency: Histogram,
 }
 
-/// Fixed-size sliding window of service latencies for p50/p99.
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-const LATENCY_WINDOW: usize = 1024;
-
-impl LatencyRing {
-    fn new() -> Self {
-        LatencyRing {
-            samples: Vec::with_capacity(LATENCY_WINDOW),
-            next: 0,
+impl NetCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        NetCounters {
+            accepted: registry.counter("net.accepted"),
+            refused: registry.counter("net.refused"),
+            active: registry.gauge("net.active_connections"),
+            queries: registry.counter("net.queries"),
+            shed: registry.counter("net.shed"),
+            deadline_replies: registry.counter("net.deadline_replies"),
+            draining_replies: registry.counter("net.draining_replies"),
+            malformed: registry.counter("net.malformed"),
+            io_errors: registry.counter("net.io_errors"),
+            queue_depth: registry.gauge("net.queue_depth"),
+            latency: registry.histogram("net.latency", "ns"),
         }
-    }
-
-    fn record(&mut self, ns: u64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(ns);
-        } else {
-            self.samples[self.next] = ns;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-
-    /// Nearest-rank percentile: the smallest sample with at least `p`%
-    /// of the window at or below it, `⌈n·p/100⌉` in 1-based rank terms.
-    /// (The previous `(n-1)·p/100` truncation under-reported the tail:
-    /// with a full 1024-sample window it returned rank 1013 of 1024 for
-    /// p=99 — short of the 1014 nearest-rank — and could never return
-    /// the window maximum for any p < 100.)
-    fn percentile(&self, p: u32) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = (sorted.len() * p as usize).div_ceil(100).saturating_sub(1);
-        sorted[rank.min(sorted.len() - 1)]
     }
 }
 
@@ -282,8 +279,9 @@ struct Shared {
     queue: Mutex<QueueState>,
     job_ready: Condvar,
     idle: Condvar,
-    counters: Counters,
-    latency: Mutex<LatencyRing>,
+    /// The service's telemetry bundle — shared registry + trace sink.
+    telemetry: Arc<Telemetry>,
+    counters: NetCounters,
     /// Fingerprint → canonical query, established by text submissions.
     registry: Mutex<HashMap<u64, CanonicalQuery>>,
     /// Clones of live sockets so shutdown can force-unblock connection
@@ -293,74 +291,43 @@ struct Shared {
 }
 
 impl Shared {
+    /// Syncs the `net.queue_depth` gauge with the live queue; called
+    /// before every snapshot or exposition so scrapes see the depth at
+    /// observation time.
+    fn refresh_queue_depth(&self) {
+        let depth = self.queue.lock().unwrap().jobs.len() as u64;
+        self.counters.queue_depth.set(depth);
+    }
+
     fn net_stats(&self) -> NetStats {
-        let queue_depth = self.queue.lock().unwrap().jobs.len() as u64;
-        let latency = self.latency.lock().unwrap();
+        self.refresh_queue_depth();
         NetStats {
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            refused: self.counters.refused.load(Ordering::Relaxed),
-            active_connections: self.counters.active.load(Ordering::Relaxed),
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            shed: self.counters.shed.load(Ordering::Relaxed),
-            deadline_replies: self.counters.deadline_replies.load(Ordering::Relaxed),
-            draining_replies: self.counters.draining_replies.load(Ordering::Relaxed),
-            malformed: self.counters.malformed.load(Ordering::Relaxed),
-            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
-            queue_depth,
-            latency_p50_ns: latency.percentile(50),
-            latency_p99_ns: latency.percentile(99),
+            accepted: self.counters.accepted.get(),
+            refused: self.counters.refused.get(),
+            active_connections: self.counters.active.get(),
+            queries: self.counters.queries.get(),
+            shed: self.counters.shed.get(),
+            deadline_replies: self.counters.deadline_replies.get(),
+            draining_replies: self.counters.draining_replies.get(),
+            malformed: self.counters.malformed.get(),
+            io_errors: self.counters.io_errors.get(),
+            queue_depth: self.counters.queue_depth.get(),
+            latency_p50_ns: self.counters.latency.quantile(50),
+            latency_p99_ns: self.counters.latency.quantile(99),
         }
     }
 
     /// Every counter the server exposes, namespaced and self-describing
     /// — the `STATS` frame body and the bench schema both come from
-    /// here, so adding a counter automatically reaches both.
+    /// here, so adding a counter automatically reaches both. This is a
+    /// sorted snapshot of the unified registry: keys ascend
+    /// lexicographically (pinned by a regression test), and histograms
+    /// contribute derived `_count` / `_p50_<unit>` / `_p99_<unit>`
+    /// keys, which is how the legacy `net.latency_p50_ns` /
+    /// `net.latency_p99_ns` names survive the registry migration.
     fn stats_counters(&self) -> Vec<(String, u64)> {
-        let serve = self.service.stats();
-        let cache = self.service.cache_stats();
-        let (cache_bytes, cache_budget) = self.service.cache_usage();
-        let net = self.net_stats();
-        let mut out: Vec<(String, u64)> = Vec::with_capacity(32);
-        let mut put = |name: &str, value: u64| out.push((name.to_owned(), value));
-        put("serve.hits", serve.hits);
-        put("serve.misses", serve.misses);
-        put("serve.coalesced", serve.coalesced);
-        put("serve.batch_deduped", serve.batch_deduped);
-        put("serve.invalidations", serve.invalidations);
-        put("serve.deltas_applied", serve.deltas_applied);
-        put("serve.label_invalidations", serve.label_invalidations);
-        put("serve.subsumption_reuses", serve.subsumption_reuses);
-        put("serve.compactions", serve.compactions);
-        put("serve.sequential_evals", serve.sequential_evals);
-        put("serve.intra_evals", serve.intra_evals);
-        put("serve.batch_evals", serve.batch_evals);
-        put("serve.forward_evals", serve.forward_evals);
-        put("serve.backward_evals", serve.backward_evals);
-        put("serve.bidirectional_evals", serve.bidirectional_evals);
-        put("serve.eval_ns_total", serve.eval_ns_total);
-        put("serve.deadline_exceeded", serve.deadline_exceeded);
-        put("serve.cancelled", serve.cancelled);
-        put("cache.hits", cache.hits);
-        put("cache.misses", cache.misses);
-        put("cache.insertions", cache.insertions);
-        put("cache.evictions", cache.evictions);
-        put("cache.rejected", cache.rejected);
-        put("cache.invalidated", cache.invalidated);
-        put("cache.bytes_used", cache_bytes as u64);
-        put("cache.bytes_budget", cache_budget as u64);
-        put("net.accepted", net.accepted);
-        put("net.refused", net.refused);
-        put("net.active_connections", net.active_connections);
-        put("net.queries", net.queries);
-        put("net.shed", net.shed);
-        put("net.deadline_replies", net.deadline_replies);
-        put("net.draining_replies", net.draining_replies);
-        put("net.malformed", net.malformed);
-        put("net.io_errors", net.io_errors);
-        put("net.queue_depth", net.queue_depth);
-        put("net.latency_p50_ns", net.latency_p50_ns);
-        put("net.latency_p99_ns", net.latency_p99_ns);
-        out
+        self.refresh_queue_depth();
+        self.telemetry.registry.snapshot()
     }
 
     fn register_fingerprint(&self, query: &CanonicalQuery) {
@@ -391,6 +358,7 @@ impl Shared {
                 }
             };
             let start = Instant::now();
+            let queue_wait = start.saturating_duration_since(job.enqueued);
             let mut token = CancelToken::with_flag(job.flag);
             if let Some(deadline) = job.deadline {
                 token = token.and_deadline(deadline);
@@ -398,16 +366,15 @@ impl Shared {
             let outcome = match job.kind {
                 WireKind::Monadic => self
                     .service
-                    .query_monadic_canonical_interruptible(job.query, &token),
+                    .query_monadic_canonical_queued(job.query, &token, queue_wait),
                 WireKind::Binary(source) => self
                     .service
-                    .query_binary_canonical_interruptible(job.query, source, &token),
+                    .query_binary_canonical_queued(job.query, source, &token, queue_wait),
             };
             let outcome = match outcome {
                 Ok(response) => {
-                    self.latency
-                        .lock()
-                        .unwrap()
+                    self.counters
+                        .latency
                         .record(start.elapsed().as_nanos() as u64);
                     JobOutcome::Done(response)
                 }
@@ -528,7 +495,7 @@ impl Shared {
         query: &QueryRef,
         arrival: Instant,
     ) -> Response {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.counters.queries.inc();
         let canonical = match self.resolve_query(request_id, query) {
             Ok(canonical) => canonical,
             Err(error) => return error,
@@ -540,9 +507,7 @@ impl Shared {
             let mut queue = self.queue.lock().unwrap();
             if queue.draining || queue.shutdown {
                 drop(queue);
-                self.counters
-                    .draining_replies
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.draining_replies.inc();
                 return Response::Draining { request_id };
             }
             if queue.jobs.len() >= self.config.queue_depth {
@@ -558,7 +523,7 @@ impl Shared {
                 let rounds = occupancy.div_ceil(workers).max(1) as u64;
                 let base = u64::from(self.config.retry_after_ms.max(1));
                 let hint = (base * rounds).min(u64::from(MAX_RETRY_AFTER_MS)) as u32;
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed.inc();
                 return Response::Shed {
                     request_id,
                     retry_after_ms: hint,
@@ -569,6 +534,7 @@ impl Shared {
                 query: canonical,
                 kind,
                 deadline,
+                enqueued: Instant::now(),
                 flag,
                 slot: slot.clone(),
             });
@@ -598,15 +564,11 @@ impl Shared {
                 }
             }
             JobOutcome::Deadline => {
-                self.counters
-                    .deadline_replies
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.deadline_replies.inc();
                 Response::Deadline { request_id }
             }
             JobOutcome::Cancelled => {
-                self.counters
-                    .draining_replies
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.draining_replies.inc();
                 Response::Draining { request_id }
             }
         }
@@ -626,7 +588,7 @@ impl Shared {
                 Ok(payload) => payload,
                 Err(FrameError::Closed) => break,
                 Err(FrameError::Oversize(len)) => {
-                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.counters.malformed.inc();
                     let reply = Response::Error {
                         request_id: 0,
                         code: ErrorCode::Oversize,
@@ -639,7 +601,7 @@ impl Shared {
                     break;
                 }
                 Err(FrameError::Io(_)) => {
-                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.io_errors.inc();
                     break;
                 }
             };
@@ -647,7 +609,7 @@ impl Shared {
             let request = match Request::decode(&payload) {
                 Ok(request) => request,
                 Err(err) => {
-                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.counters.malformed.inc();
                     let reply = Response::Error {
                         request_id: 0,
                         code: err.code(),
@@ -676,12 +638,12 @@ impl Shared {
                 } => self.handle_delta(request_id, &add, &remove),
             };
             if write_frame(&mut stream, &reply.encode()).is_err() {
-                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.io_errors.inc();
                 break;
             }
         }
         self.conns.lock().unwrap().remove(&conn_id);
-        self.counters.active.fetch_sub(1, Ordering::Relaxed);
+        self.counters.active.sub(1);
     }
 
     /// Acceptor loop: poll the non-blocking listener until shutdown.
@@ -690,16 +652,16 @@ impl Shared {
         while !self.stop_accept.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.counters.accepted.inc();
                     // Accepted sockets can inherit the listener's
                     // non-blocking mode; the frame loop wants blocking
                     // reads bounded by timeouts.
                     if stream.set_nonblocking(false).is_err() {
                         continue;
                     }
-                    let active = self.counters.active.load(Ordering::Relaxed);
+                    let active = self.counters.active.get();
                     if active as usize >= self.config.max_connections {
-                        self.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        self.counters.refused.inc();
                         let mut stream = stream;
                         let reply = Response::Error {
                             request_id: 0,
@@ -710,7 +672,7 @@ impl Shared {
                         let _ = write_frame(&mut stream, &reply.encode());
                         continue;
                     }
-                    self.counters.active.fetch_add(1, Ordering::Relaxed);
+                    self.counters.active.add(1);
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
                     if let Ok(clone) = stream.try_clone() {
@@ -780,6 +742,8 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = service.telemetry();
+        let counters = NetCounters::register(&telemetry.registry);
         let shared = Arc::new(Shared {
             service,
             config: config.clone(),
@@ -792,8 +756,8 @@ impl Server {
             }),
             job_ready: Condvar::new(),
             idle: Condvar::new(),
-            counters: Counters::default(),
-            latency: Mutex::new(LatencyRing::new()),
+            telemetry,
+            counters,
             registry: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             stop_accept: AtomicBool::new(false),
@@ -837,9 +801,67 @@ impl Server {
     }
 
     /// Every exposed counter, namespaced — identical to a `STATS`
-    /// frame's body.
+    /// frame's body: the sorted snapshot of the unified registry.
     pub fn counters(&self) -> Vec<(String, u64)> {
         self.shared.stats_counters()
+    }
+
+    /// Builds the content sources for an [`crate::AdminServer`] over
+    /// this front door: `/metrics` renders the unified registry as
+    /// Prometheus text (queue-depth gauge refreshed first), `/healthz`
+    /// reports `serving`/`draining` plus queue, connection and WAL
+    /// detail lines, and `/slow` renders the slow-query log. The
+    /// closures hold the server's shared state by `Arc`, so they stay
+    /// valid after [`Server::shutdown`] — a stopped server reports
+    /// `draining`, exactly what a deployment health check should see.
+    pub fn admin_sources(&self) -> AdminSources {
+        let metrics_shared = Arc::clone(&self.shared);
+        let health_shared = Arc::clone(&self.shared);
+        let slow_shared = Arc::clone(&self.shared);
+        AdminSources {
+            metrics: Box::new(move || {
+                metrics_shared.refresh_queue_depth();
+                metrics_shared.telemetry.registry.render_prometheus()
+            }),
+            health: Box::new(move || {
+                let (draining, depth, running) = {
+                    let queue = health_shared.queue.lock().unwrap();
+                    (
+                        queue.draining || queue.shutdown,
+                        queue.jobs.len(),
+                        queue.running,
+                    )
+                };
+                let mut detail = vec![
+                    ("queue_depth".to_owned(), depth.to_string()),
+                    ("running".to_owned(), running.to_string()),
+                    (
+                        "active_connections".to_owned(),
+                        health_shared.counters.active.get().to_string(),
+                    ),
+                ];
+                match health_shared.service.persistence_status() {
+                    Some((wal_records, checkpoint_threshold)) => {
+                        detail.push(("durable".to_owned(), "true".to_owned()));
+                        detail.push(("wal_records".to_owned(), wal_records.to_string()));
+                        detail.push((
+                            "checkpoint_threshold".to_owned(),
+                            checkpoint_threshold.to_string(),
+                        ));
+                    }
+                    None => detail.push(("durable".to_owned(), "false".to_owned())),
+                }
+                HealthReport {
+                    phase: if draining {
+                        HealthPhase::Draining
+                    } else {
+                        HealthPhase::Serving
+                    },
+                    detail,
+                }
+            }),
+            slow: Box::new(move || slow_shared.telemetry.traces.render_slow()),
+        }
     }
 
     /// Swaps the served graph behind a graceful drain: admissions
@@ -1091,68 +1113,5 @@ impl Client {
     /// Half-closes the write side (mid-query disconnect fault).
     pub fn shutdown_write(&self) -> io::Result<()> {
         self.stream.shutdown(Shutdown::Write)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::{LatencyRing, LATENCY_WINDOW};
-
-    /// Nearest-rank on a small window: for n = 10 samples 1..=10 the
-    /// 1-based rank is ⌈10·p/100⌉, so p50 → rank 5 → value 5 (the old
-    /// truncating index returned 4), and p99 → rank 10 → the maximum.
-    #[test]
-    fn percentile_is_nearest_rank_on_a_small_window() {
-        let mut ring = LatencyRing::new();
-        // Record shuffled so the test also covers the internal sort.
-        for ns in [7u64, 2, 9, 4, 1, 10, 6, 3, 8, 5] {
-            ring.record(ns);
-        }
-        assert_eq!(ring.percentile(50), 5);
-        assert_eq!(ring.percentile(90), 9);
-        assert_eq!(ring.percentile(99), 10);
-        assert_eq!(ring.percentile(100), 10);
-        assert_eq!(ring.percentile(1), 1);
-    }
-
-    /// The exact regression the fix targets: a full 1024-sample window
-    /// holding 1..=1024 must report p99 = ⌈1024·0.99⌉ = 1014 (the
-    /// truncating formula said 1013) and p100 = the window maximum.
-    #[test]
-    fn percentile_pins_the_tail_on_a_full_window() {
-        let mut ring = LatencyRing::new();
-        for ns in 1..=LATENCY_WINDOW as u64 {
-            ring.record(ns);
-        }
-        assert_eq!(ring.percentile(50), 512);
-        assert_eq!(ring.percentile(99), 1014);
-        assert_eq!(ring.percentile(100), 1024);
-    }
-
-    /// Past the window the ring overwrites oldest-first; percentiles
-    /// reflect only the surviving window, and a single sample answers
-    /// every percentile with itself.
-    #[test]
-    fn percentile_tracks_the_sliding_window_and_degenerate_sizes() {
-        let mut ring = LatencyRing::new();
-        assert_eq!(ring.percentile(99), 0, "empty ring reports zero");
-
-        ring.record(42);
-        assert_eq!(ring.percentile(1), 42);
-        assert_eq!(ring.percentile(50), 42);
-        assert_eq!(ring.percentile(100), 42);
-
-        // Fill the window with a low plateau, then push it out with a
-        // high one: once the low samples are overwritten the p50 must
-        // move to the new plateau.
-        let mut ring = LatencyRing::new();
-        for _ in 0..LATENCY_WINDOW {
-            ring.record(1);
-        }
-        for _ in 0..LATENCY_WINDOW {
-            ring.record(1_000);
-        }
-        assert_eq!(ring.percentile(50), 1_000);
-        assert_eq!(ring.percentile(99), 1_000);
     }
 }

@@ -96,6 +96,7 @@
 use crate::cache::{
     intersects, live_alphabet, CacheConfig, CacheKey, CacheStats, QueryKind, ResultCache,
 };
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry, TraceBuilder};
 use crate::wal::{Persistence, WalError};
 use pathlearn_automata::inclusion::nfa_included_in;
 use pathlearn_automata::{BitSet, CanonicalQuery, Dfa, Symbol};
@@ -147,6 +148,17 @@ pub struct ServeConfig {
     /// ~an eighth of the CSR has earned a rebuild. Compaction preserves
     /// node ids and the alphabet, so it invalidates nothing.
     pub delta_compact_threshold: Option<usize>,
+    /// Whether admitted evaluations run under the per-BFS-level
+    /// observer ([`pathlearn_graph::collect_levels`]), so query traces
+    /// carry one sample per level (frontier popcount, kernel mix,
+    /// nanoseconds) and feed the `eval.level` / `eval.frontier`
+    /// histograms. On by default — measured ≤2% on-path overhead
+    /// (`bench_serve`'s `telemetry` gate) — and a pure observation: the
+    /// served bits are identical either way.
+    pub observe_eval_levels: bool,
+    /// Queries whose whole-trace wall time reaches this threshold are
+    /// captured in the slow-query log (the `/slow` admin page).
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +171,8 @@ impl Default for ServeConfig {
             strategy: Strategy::Auto,
             eval_holdoff: Duration::ZERO,
             delta_compact_threshold: None,
+            observe_eval_levels: true,
+            slow_query_threshold: Duration::from_millis(50),
         }
     }
 }
@@ -347,6 +361,113 @@ impl ServeStats {
     }
 }
 
+/// The service's live metric handles, registered under their stable
+/// dotted names in the service's [`MetricsRegistry`]. Mutation sites
+/// increment these directly (lock-free sharded atomics — the old
+/// `Inner.stats` fields lived under the state mutex); [`ServeStats`]
+/// and the `STATS` wire frame are views over the same handles.
+struct ServeCounters {
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    batch_deduped: Counter,
+    invalidations: Counter,
+    deltas_applied: Counter,
+    label_invalidations: Counter,
+    subsumption_reuses: Counter,
+    compactions: Counter,
+    sequential_evals: Counter,
+    intra_evals: Counter,
+    batch_evals: Counter,
+    forward_evals: Counter,
+    backward_evals: Counter,
+    bidirectional_evals: Counter,
+    eval_ns_total: Counter,
+    deadline_exceeded: Counter,
+    cancelled: Counter,
+    /// Delta batches made durable in the write-ahead log (zero without
+    /// attached persistence).
+    wal_records_logged: Counter,
+    /// Successful WAL checkpoints (snapshot + truncate).
+    wal_checkpoints: Counter,
+    /// Checkpoint attempts that failed (the write stays durable in the
+    /// WAL; retried on the next write).
+    wal_checkpoint_failures: Counter,
+    /// Resident result-cache entries (kept in step with the cache under
+    /// the state lock).
+    cache_entries: Gauge,
+    /// Accounted resident result-cache bytes.
+    cache_bytes_used: Gauge,
+    /// The cache's configured byte budget.
+    cache_bytes_budget: Gauge,
+    /// Per-BFS-level wall time, fed from trace level samples.
+    eval_level_ns: Histogram,
+    /// Per-BFS-level frontier popcount, fed from trace level samples.
+    eval_frontier: Histogram,
+    /// Admission-queue wait of network-submitted queries.
+    queue_wait: Histogram,
+}
+
+impl ServeCounters {
+    fn register(registry: &crate::telemetry::MetricsRegistry) -> Self {
+        ServeCounters {
+            hits: registry.counter("serve.hits"),
+            misses: registry.counter("serve.misses"),
+            coalesced: registry.counter("serve.coalesced"),
+            batch_deduped: registry.counter("serve.batch_deduped"),
+            invalidations: registry.counter("serve.invalidations"),
+            deltas_applied: registry.counter("serve.deltas_applied"),
+            label_invalidations: registry.counter("serve.label_invalidations"),
+            subsumption_reuses: registry.counter("serve.subsumption_reuses"),
+            compactions: registry.counter("serve.compactions"),
+            sequential_evals: registry.counter("serve.sequential_evals"),
+            intra_evals: registry.counter("serve.intra_evals"),
+            batch_evals: registry.counter("serve.batch_evals"),
+            forward_evals: registry.counter("serve.forward_evals"),
+            backward_evals: registry.counter("serve.backward_evals"),
+            bidirectional_evals: registry.counter("serve.bidirectional_evals"),
+            eval_ns_total: registry.counter("serve.eval_ns_total"),
+            deadline_exceeded: registry.counter("serve.deadline_exceeded"),
+            cancelled: registry.counter("serve.cancelled"),
+            wal_records_logged: registry.counter("wal.records_logged"),
+            wal_checkpoints: registry.counter("wal.checkpoints"),
+            wal_checkpoint_failures: registry.counter("wal.checkpoint_failures"),
+            cache_entries: registry.gauge("cache.entries"),
+            cache_bytes_used: registry.gauge("cache.bytes_used"),
+            cache_bytes_budget: registry.gauge("cache.bytes_budget"),
+            eval_level_ns: registry.histogram("eval.level", "ns"),
+            eval_frontier: registry.histogram("eval.frontier", "nodes"),
+            queue_wait: registry.histogram("serve.queue_wait", "ns"),
+        }
+    }
+
+    /// Refreshes the cache occupancy gauges; called at every cache
+    /// mutation site, under the state lock that guards the cache.
+    fn sync_cache_gauges(&self, cache: &ResultCache) {
+        self.cache_entries.set(cache.len() as u64);
+        self.cache_bytes_used.set(cache.bytes() as u64);
+    }
+}
+
+/// Stable lowercase name of a resolved strategy, for traces.
+fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Forward => "forward",
+        Strategy::Backward => "backward",
+        Strategy::Bidirectional => "bidirectional",
+        _ => "auto",
+    }
+}
+
+/// Stable lowercase name of an execution mode, for traces.
+fn mode_name(mode: EvalMode) -> &'static str {
+    match mode {
+        EvalMode::Sequential => "sequential",
+        EvalMode::IntraQuery => "intra",
+        EvalMode::Batch => "batch",
+    }
+}
+
 /// State of an in-flight ticket.
 enum TicketState {
     /// The owning thread is still evaluating.
@@ -504,7 +625,6 @@ struct Inner {
     /// outgrows [`PLAN_CACHE_MAX`] entries (plans are tiny; the bound
     /// only guards against unbounded distinct-query streams).
     plans: HashMap<CanonicalQuery, Arc<QueryPlan>>,
-    stats: ServeStats,
 }
 
 impl Inner {
@@ -576,6 +696,14 @@ pub struct QueryService {
     strategy: Strategy,
     eval_holdoff: Duration,
     delta_compact_threshold: Option<usize>,
+    observe_eval_levels: bool,
+    /// The unified registry + trace sink this service owns; every layer
+    /// above (front door, admin surface) shares it via
+    /// [`QueryService::telemetry`].
+    telemetry: Arc<Telemetry>,
+    /// Live handles into `telemetry.registry` for the hot-path
+    /// increments.
+    counters: ServeCounters,
     /// Durability, when attached: the WAL the durable delta path logs
     /// into before applying. Locked **before** `inner` (and never while
     /// holding it), so log-then-apply is one serialized critical
@@ -586,23 +714,52 @@ pub struct QueryService {
 impl QueryService {
     /// Builds a service for `graph` under `config`.
     pub fn new(graph: GraphDb, config: ServeConfig) -> Self {
+        let telemetry = Arc::new(Telemetry::new(config.slow_query_threshold));
+        let counters = ServeCounters::register(&telemetry.registry);
+        let cache = ResultCache::new(config.cache);
+        cache.counters().register(&telemetry.registry);
+        counters
+            .cache_bytes_budget
+            .set(cache.capacity_bytes() as u64);
         QueryService {
             inner: Mutex::new(Inner {
                 label_epochs: vec![0; graph.alphabet().len()],
                 graph: Arc::new(graph),
                 epoch: 0,
-                cache: ResultCache::new(config.cache),
+                cache,
                 inflight: HashMap::new(),
                 plans: HashMap::new(),
-                stats: ServeStats::default(),
             }),
             pool: EvalPool::new(config.threads).with_step_policy(config.step_policy),
             intra_query_node_threshold: config.intra_query_node_threshold,
             strategy: config.strategy,
             eval_holdoff: config.eval_holdoff,
             delta_compact_threshold: config.delta_compact_threshold,
+            observe_eval_levels: config.observe_eval_levels,
+            telemetry,
+            counters,
             persistence: Mutex::new(None),
         }
+    }
+
+    /// The service's telemetry bundle: the unified [`MetricsRegistry`]
+    /// every `serve.*` / `cache.*` / `wal.*` / `eval.*` metric lives in
+    /// (the front door adds its `net.*` family to the same registry)
+    /// and the trace sink behind the `/slow` admin page.
+    ///
+    /// [`MetricsRegistry`]: crate::telemetry::MetricsRegistry
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
+    }
+
+    /// WAL status for readiness reporting, when persistence is
+    /// attached: `(wal_records, checkpoint_threshold)`.
+    pub fn persistence_status(&self) -> Option<(u64, u64)> {
+        self.persistence
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|p| (p.wal_records() as u64, p.checkpoint_threshold() as u64))
     }
 
     /// Attaches an open snapshot+WAL pair (see
@@ -624,14 +781,35 @@ impl QueryService {
         self.inner.lock().unwrap().graph.clone()
     }
 
-    /// Snapshot of the aggregate service counters.
+    /// Snapshot of the aggregate service counters — a view over the
+    /// live telemetry registry handles (no state lock taken).
     pub fn stats(&self) -> ServeStats {
-        self.inner.lock().unwrap().stats.clone()
+        let c = &self.counters;
+        ServeStats {
+            hits: c.hits.get(),
+            misses: c.misses.get(),
+            coalesced: c.coalesced.get(),
+            batch_deduped: c.batch_deduped.get(),
+            invalidations: c.invalidations.get(),
+            deltas_applied: c.deltas_applied.get(),
+            label_invalidations: c.label_invalidations.get(),
+            subsumption_reuses: c.subsumption_reuses.get(),
+            compactions: c.compactions.get(),
+            sequential_evals: c.sequential_evals.get(),
+            intra_evals: c.intra_evals.get(),
+            batch_evals: c.batch_evals.get(),
+            forward_evals: c.forward_evals.get(),
+            backward_evals: c.backward_evals.get(),
+            bidirectional_evals: c.bidirectional_evals.get(),
+            eval_ns_total: c.eval_ns_total.get(),
+            deadline_exceeded: c.deadline_exceeded.get(),
+            cancelled: c.cancelled.get(),
+        }
     }
 
     /// Snapshot of the result cache's own counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.lock().unwrap().cache.stats().clone()
+        self.inner.lock().unwrap().cache.stats()
     }
 
     /// `(resident entries, resident bytes)` of the result cache.
@@ -676,7 +854,8 @@ impl QueryService {
         // tickets and will complete them for their pre-rebuild waiters;
         // draining only stops *new* submissions from coalescing on.
         inner.inflight.clear();
-        inner.stats.invalidations += 1;
+        self.counters.sync_cache_gauges(&inner.cache);
+        self.counters.invalidations.inc();
     }
 
     /// Patches the served graph with an edge-delta batch —
@@ -713,11 +892,11 @@ impl QueryService {
         let compacted = patched.delta_edges() > threshold;
         if compacted {
             patched = patched.compact();
-            inner.stats.compactions += 1;
+            self.counters.compactions.inc();
         }
         inner.graph = Arc::new(patched);
         let invalidated = inner.cache.invalidate_labels(&touched);
-        inner.stats.label_invalidations += invalidated as u64;
+        self.counters.label_invalidations.add(invalidated as u64);
         // Drain (not abandon) the in-flight tickets the delta can have
         // staled, exactly as a rebuild drains all of them: their owners
         // still complete for pre-delta waiters, but new submissions
@@ -726,7 +905,8 @@ impl QueryService {
         inner
             .inflight
             .retain(|key, _| !intersects(&live_alphabet(&key.query), &touched));
-        inner.stats.deltas_applied += 1;
+        self.counters.sync_cache_gauges(&inner.cache);
+        self.counters.deltas_applied.inc();
         Ok(DeltaApplied {
             invalidated,
             compacted,
@@ -789,15 +969,24 @@ impl QueryService {
         persistence
             .log_batch(add, remove)
             .map_err(DeltaCommitError::Wal)?;
+        self.counters.wal_records_logged.inc();
         let applied = self
             .apply_delta(add, remove)
             .map_err(DeltaCommitError::Rejected)?;
         if persistence.wal_records() > persistence.checkpoint_threshold() {
             // Compact only when actually checkpointing — folding the
             // overlay into a fresh CSR is the expensive part.
-            if let Err(error) = persistence.maybe_checkpoint(&self.graph().compact()) {
-                // Best-effort: the write is already durable in the WAL.
-                eprintln!("warning: checkpoint failed (will retry on next write): {error}");
+            match persistence.maybe_checkpoint(&self.graph().compact()) {
+                Ok(checkpointed) => {
+                    if checkpointed {
+                        self.counters.wal_checkpoints.inc();
+                    }
+                }
+                Err(error) => {
+                    // Best-effort: the write is already durable in the WAL.
+                    self.counters.wal_checkpoint_failures.inc();
+                    eprintln!("warning: checkpoint failed (will retry on next write): {error}");
+                }
             }
         }
         Ok(applied)
@@ -877,6 +1066,47 @@ impl QueryService {
         self.serve_interruptible(CacheKey::binary(query, source), cancel)
     }
 
+    /// [`QueryService::query_monadic_canonical_interruptible`] carrying
+    /// the time the submission already spent in an admission queue
+    /// before evaluation could start — the network front door's worker
+    /// threads pass the measured wait; it lands in the query's trace
+    /// and the `serve.queue_wait` histogram.
+    pub fn query_monadic_canonical_queued(
+        &self,
+        query: CanonicalQuery,
+        cancel: &CancelToken,
+        queue_wait: Duration,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_queued(CacheKey::monadic(query), cancel, queue_wait)
+    }
+
+    /// Binary twin of [`QueryService::query_monadic_canonical_queued`].
+    pub fn query_binary_canonical_queued(
+        &self,
+        query: CanonicalQuery,
+        source: NodeId,
+        cancel: &CancelToken,
+        queue_wait: Duration,
+    ) -> Result<QueryResponse, Interrupt> {
+        self.serve_queued(CacheKey::binary(query, source), cancel, queue_wait)
+    }
+
+    fn serve_queued(
+        &self,
+        key: CacheKey,
+        cancel: &CancelToken,
+        queue_wait: Duration,
+    ) -> Result<QueryResponse, Interrupt> {
+        let queue_wait_ns = queue_wait.as_nanos() as u64;
+        self.counters.queue_wait.record(queue_wait_ns);
+        let kind = match key.kind {
+            QueryKind::Monadic => "monadic",
+            QueryKind::Binary(_) => "binary",
+        };
+        let trace = TraceBuilder::new(key.query.fingerprint(), kind, queue_wait_ns);
+        self.serve_with_trace(key, cancel, trace)
+    }
+
     fn respond(key: &CacheKey, result: Arc<BitSet>, served: Served) -> QueryResponse {
         QueryResponse {
             result,
@@ -890,11 +1120,11 @@ impl QueryService {
     fn admit(&self, key: &CacheKey) -> Admission {
         let mut inner = self.inner.lock().unwrap();
         if let Some(result) = inner.cache.get(key) {
-            inner.stats.hits += 1;
+            self.counters.hits.inc();
             return Admission::Done(result, Served::Hit);
         }
         if let Some(ticket) = inner.inflight.get(key).cloned() {
-            inner.stats.coalesced += 1;
+            self.counters.coalesced.inc();
             return Admission::Wait(ticket);
         }
         let live = live_alphabet(&key.query);
@@ -903,7 +1133,7 @@ impl QueryService {
             QueryKind::Binary(_) => None,
         };
         if upper.is_some() {
-            inner.stats.subsumption_reuses += 1;
+            self.counters.subsumption_reuses.inc();
         }
         let ticket = Arc::new(InFlight::new());
         inner.inflight.insert(key.clone(), ticket.clone());
@@ -959,15 +1189,68 @@ impl QueryService {
         }
     }
 
-    /// Records an interrupted submission in the stats and forwards the
-    /// verdict.
+    /// Records an interrupted submission in the counters and forwards
+    /// the verdict.
     fn note_interrupt(&self, interrupt: Interrupt) -> Interrupt {
-        let mut inner = self.inner.lock().unwrap();
         match interrupt {
-            Interrupt::Deadline => inner.stats.deadline_exceeded += 1,
-            Interrupt::Cancelled => inner.stats.cancelled += 1,
+            Interrupt::Deadline => self.counters.deadline_exceeded.inc(),
+            Interrupt::Cancelled => self.counters.cancelled.inc(),
         }
         interrupt
+    }
+
+    /// [`QueryService::note_interrupt`] sealing and recording the
+    /// submission's trace with the verdict as its outcome.
+    fn note_interrupt_traced(
+        &self,
+        interrupt: Interrupt,
+        trace: TraceBuilder,
+        key: &CacheKey,
+    ) -> Interrupt {
+        let outcome = match interrupt {
+            Interrupt::Deadline => "deadline",
+            Interrupt::Cancelled => "cancelled",
+        };
+        self.telemetry.traces.record(trace.finish(
+            outcome,
+            "-",
+            "-",
+            Vec::new(),
+            0,
+            key.query.num_states() as u32,
+        ));
+        self.note_interrupt(interrupt)
+    }
+
+    /// Seals and records a successfully-served trace, feeding its level
+    /// samples into the `eval.level` / `eval.frontier` histograms.
+    fn record_trace(
+        &self,
+        trace: TraceBuilder,
+        key: &CacheKey,
+        served: Served,
+        levels: Vec<pathlearn_graph::LevelSample>,
+        result: &BitSet,
+    ) {
+        for sample in &levels {
+            self.counters.eval_level_ns.record(sample.nanos);
+            self.counters.eval_frontier.record(sample.frontier);
+        }
+        let (outcome, mode, strategy) = match served {
+            Served::Hit => ("hit", "-", "-"),
+            Served::Coalesced => ("coalesced", "-", "-"),
+            Served::Evaluated { mode, strategy, .. } => {
+                ("evaluated", mode_name(mode), strategy_name(strategy))
+            }
+        };
+        self.telemetry.traces.record(trace.finish(
+            outcome,
+            mode,
+            strategy,
+            levels,
+            result.len() as u64,
+            key.query.num_states() as u32,
+        ));
     }
 
     fn serve_interruptible(
@@ -975,19 +1258,49 @@ impl QueryService {
         key: CacheKey,
         cancel: &CancelToken,
     ) -> Result<QueryResponse, Interrupt> {
+        let kind = match key.kind {
+            QueryKind::Monadic => "monadic",
+            QueryKind::Binary(_) => "binary",
+        };
+        let trace = TraceBuilder::new(key.query.fingerprint(), kind, 0);
+        self.serve_with_trace(key, cancel, trace)
+    }
+
+    /// The serving loop, recording every outcome into `trace`. The
+    /// trace is sealed exactly once per submission — with the served
+    /// outcome, or the interrupt verdict.
+    fn serve_with_trace(
+        &self,
+        key: CacheKey,
+        cancel: &CancelToken,
+        mut trace: TraceBuilder,
+    ) -> Result<QueryResponse, Interrupt> {
         loop {
             if let Err(interrupt) = cancel.check() {
-                return Err(self.note_interrupt(interrupt));
+                return Err(self.note_interrupt_traced(interrupt, trace, &key));
             }
-            match self.admit(&key) {
-                Admission::Done(result, served) => return Ok(Self::respond(&key, result, served)),
-                Admission::Wait(ticket) => match ticket.wait_interruptible(cancel) {
-                    Ok(Some(result)) => return Ok(Self::respond(&key, result, Served::Coalesced)),
-                    // The owner unwound before publishing: re-admit
-                    // (this thread may become the new owner).
-                    Ok(None) => continue,
-                    Err(interrupt) => return Err(self.note_interrupt(interrupt)),
-                },
+            match trace.span("cache_probe", || self.admit(&key)) {
+                Admission::Done(result, served) => {
+                    self.record_trace(trace, &key, served, Vec::new(), &result);
+                    return Ok(Self::respond(&key, result, served));
+                }
+                Admission::Wait(ticket) => {
+                    let begin = trace.span_begin();
+                    let waited = ticket.wait_interruptible(cancel);
+                    trace.span_end("coalesce_wait", begin);
+                    match waited {
+                        Ok(Some(result)) => {
+                            self.record_trace(trace, &key, Served::Coalesced, Vec::new(), &result);
+                            return Ok(Self::respond(&key, result, Served::Coalesced));
+                        }
+                        // The owner unwound before publishing: re-admit
+                        // (this thread may become the new owner).
+                        Ok(None) => continue,
+                        Err(interrupt) => {
+                            return Err(self.note_interrupt_traced(interrupt, trace, &key))
+                        }
+                    }
+                }
                 Admission::Evaluate {
                     graph,
                     epoch,
@@ -997,13 +1310,33 @@ impl QueryService {
                 } => {
                     let mut guard = AdmissionGuard::new(self, &key, &ticket);
                     let start = Instant::now();
-                    let (result, mode, strategy) = match self.evaluate_interruptible(
-                        &graph,
-                        &key,
-                        epoch,
-                        upper.as_deref(),
-                        cancel,
-                    ) {
+                    let eval_begin = trace.span_begin();
+                    let (evaluated, levels) = if self.observe_eval_levels {
+                        pathlearn_graph::collect_levels(|| {
+                            self.evaluate_interruptible(
+                                &graph,
+                                &key,
+                                epoch,
+                                upper.as_deref(),
+                                Some(&mut trace),
+                                cancel,
+                            )
+                        })
+                    } else {
+                        (
+                            self.evaluate_interruptible(
+                                &graph,
+                                &key,
+                                epoch,
+                                upper.as_deref(),
+                                Some(&mut trace),
+                                cancel,
+                            ),
+                            Vec::new(),
+                        )
+                    };
+                    trace.span_end("eval", eval_begin);
+                    let (result, mode, strategy) = match evaluated {
                         Ok(outcome) => outcome,
                         Err(interrupt) => {
                             // The armed guard's drop deregisters the
@@ -1011,29 +1344,29 @@ impl QueryService {
                             // waiters re-admit (one may finish the job
                             // under its own, longer budget).
                             drop(guard);
-                            return Err(self.note_interrupt(interrupt));
+                            return Err(self.note_interrupt_traced(interrupt, trace, &key));
                         }
                     };
                     let eval_ns = start.elapsed().as_nanos() as u64;
                     let result = Arc::new(result);
-                    self.publish(
-                        &key,
-                        &ticket,
-                        (epoch, label_stamp),
-                        result.clone(),
-                        EvalOutcome { mode, strategy },
-                        eval_ns,
-                    );
-                    guard.disarm();
-                    return Ok(Self::respond(
-                        &key,
-                        result,
-                        Served::Evaluated {
-                            mode,
-                            strategy,
+                    trace.span("publish", || {
+                        self.publish(
+                            &key,
+                            &ticket,
+                            (epoch, label_stamp),
+                            result.clone(),
+                            EvalOutcome { mode, strategy },
                             eval_ns,
-                        },
-                    ));
+                        )
+                    });
+                    guard.disarm();
+                    let served = Served::Evaluated {
+                        mode,
+                        strategy,
+                        eval_ns,
+                    };
+                    self.record_trace(trace, &key, served, levels, &result);
+                    return Ok(Self::respond(&key, result, served));
                 }
             }
         }
@@ -1046,7 +1379,7 @@ impl QueryService {
         key: &CacheKey,
         epoch: u64,
     ) -> (BitSet, EvalMode, Strategy) {
-        match self.evaluate_interruptible(graph, key, epoch, None, &CancelToken::never()) {
+        match self.evaluate_interruptible(graph, key, epoch, None, None, &CancelToken::never()) {
             Ok(outcome) => outcome,
             Err(interrupt) => unreachable!("never-token evaluation interrupted: {interrupt}"),
         }
@@ -1086,12 +1419,15 @@ impl QueryService {
     /// the per-BFS-level checks of the interruptible evaluators. Every
     /// admitted query is dispatched through its [`QueryPlan`]; the
     /// returned [`Strategy`] is the resolved direction (never `Auto`).
+    /// When a `trace` builder is threaded in, the planning pass is
+    /// recorded as its own span.
     fn evaluate_interruptible(
         &self,
         graph: &GraphDb,
         key: &CacheKey,
         epoch: u64,
         upper: Option<&BitSet>,
+        trace: Option<&mut TraceBuilder>,
         cancel: &CancelToken,
     ) -> Result<(BitSet, EvalMode, Strategy), Interrupt> {
         // Sequential evaluations run on the calling client thread; a
@@ -1123,7 +1459,14 @@ impl QueryService {
                 return Ok((result, EvalMode::Sequential, Strategy::Forward));
             }
         }
-        let plan = self.plan_for(graph, key, epoch);
+        let plan = {
+            let begin = trace.as_deref().map(TraceBuilder::span_begin);
+            let plan = self.plan_for(graph, key, epoch);
+            if let (Some(trace), Some(begin)) = (trace, begin) {
+                trace.span_end("plan", begin);
+            }
+            plan
+        };
         let intra = self.pool.is_parallel() && graph.num_nodes() >= self.intra_query_node_threshold;
         match key.kind {
             QueryKind::Monadic => {
@@ -1213,23 +1556,24 @@ impl QueryService {
         if !self.eval_holdoff.is_zero() {
             std::thread::sleep(self.eval_holdoff);
         }
+        self.counters.misses.inc();
+        match mode {
+            EvalMode::Sequential => self.counters.sequential_evals.inc(),
+            EvalMode::IntraQuery => self.counters.intra_evals.inc(),
+            EvalMode::Batch => self.counters.batch_evals.inc(),
+        }
+        match strategy {
+            Strategy::Backward => self.counters.backward_evals.inc(),
+            Strategy::Bidirectional => self.counters.bidirectional_evals.inc(),
+            _ => self.counters.forward_evals.inc(),
+        }
+        self.counters.eval_ns_total.add(eval_ns);
         {
             let mut inner = self.inner.lock().unwrap();
-            inner.stats.misses += 1;
-            match mode {
-                EvalMode::Sequential => inner.stats.sequential_evals += 1,
-                EvalMode::IntraQuery => inner.stats.intra_evals += 1,
-                EvalMode::Batch => inner.stats.batch_evals += 1,
-            }
-            match strategy {
-                Strategy::Backward => inner.stats.backward_evals += 1,
-                Strategy::Bidirectional => inner.stats.bidirectional_evals += 1,
-                _ => inner.stats.forward_evals += 1,
-            }
-            inner.stats.eval_ns_total += eval_ns;
             if inner.epoch == epoch && inner.label_stamp(&live_alphabet(&key.query)) == label_stamp
             {
                 inner.cache.insert(key.clone(), result.clone(), eval_ns);
+                self.counters.sync_cache_gauges(&inner.cache);
             }
             if inner
                 .inflight
@@ -1266,13 +1610,13 @@ impl QueryService {
             let mut local: HashMap<&CacheKey, usize> = HashMap::new();
             for (i, key) in keys.iter().enumerate() {
                 if let Some(result) = inner.cache.get(key) {
-                    inner.stats.hits += 1;
+                    self.counters.hits.inc();
                     results[i] = Some(result);
                 } else if let Some(&slot) = local.get(key) {
-                    inner.stats.batch_deduped += 1;
+                    self.counters.batch_deduped.inc();
                     owned[slot].3.push(i);
                 } else if let Some(ticket) = inner.inflight.get(key).cloned() {
-                    inner.stats.coalesced += 1;
+                    self.counters.coalesced.inc();
                     waits.push((i, ticket));
                 } else {
                     let ticket = Arc::new(InFlight::new());
